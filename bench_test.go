@@ -1,0 +1,317 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// experiment of EXPERIMENTS.md. The paper has no measured tables — its
+// evaluation artifacts are Figures 1-5, Theorems 1-4 and Proposition 1 —
+// so each benchmark regenerates the corresponding validation row and
+// reports the reproduction's own materialization metrics alongside
+// wall-clock time:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/benchreport        # the same rows as tables
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/diagnosis"
+	"repro/internal/dqsq"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/product"
+	"repro/internal/qsq"
+	"repro/internal/term"
+	"repro/internal/unfold"
+)
+
+// seqA1 is the paper's Section 2 example sequence (b,p1),(a,p2),(c,p1).
+var seqA1 = alarm.S("b", "p1", "a", "p2", "c", "p1")
+
+// BenchmarkF1F2_Unfolding regenerates Figure 2: bounded unfolding of the
+// running example.
+func BenchmarkF1F2_Unfolding(b *testing.B) {
+	pn := petri.Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := unfold.Build(pn, unfold.Options{MaxDepth: 4, MaxEvents: 100000})
+		if len(u.Events) == 0 {
+			b.Fatal("empty unfolding")
+		}
+	}
+}
+
+// BenchmarkF4_QSQRewriting regenerates Figure 4: the centralized QSQ
+// rewriting and evaluation of the Figure 3 program.
+func BenchmarkF4_QSQRewriting(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Theorem1Sweep([]int{6})
+		if err != nil || !rows[0].Equal {
+			b.Fatalf("rows=%v err=%v", rows, err)
+		}
+	}
+}
+
+// BenchmarkF5_DQSQRewriting regenerates Figure 5: per-peer rewriting of
+// the Figure 3 program (rewriting only, no evaluation).
+func BenchmarkF5_DQSQRewriting(b *testing.B) {
+	s := term.NewStore()
+	p := ddatalog.NewProgram(s)
+	x, y, z := s.Variable("X"), s.Variable("Y"), s.Variable("Z")
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("R", "r", x, y), Body: []ddatalog.PAtom{ddatalog.At("A", "r", x, y)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("R", "r", x, y), Body: []ddatalog.PAtom{ddatalog.At("S", "s", x, z), ddatalog.At("T", "t", z, y)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("S", "s", x, y), Body: []ddatalog.PAtom{ddatalog.At("R", "r", x, y), ddatalog.At("B", "s", y, z)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("T", "t", x, y), Body: []ddatalog.PAtom{ddatalog.At("C", "t", x, y)}})
+	p.AddFact(ddatalog.At("A", "r", s.Constant("1"), s.Constant("2")))
+	q := ddatalog.At("R", "r", s.Constant("1"), s.Variable("Ans"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dqsq.Rewrite(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT2_UnfoldingProgram regenerates Theorem 2: evaluating
+// Prog(N, M) to a bounded depth on the running example.
+func BenchmarkT2_UnfoldingProgram(b *testing.B) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, err := diagnosis.BuildUnfoldingProgram(padded)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, st := prog.Localize().SemiNaive(datalog.Budget{MaxTermDepth: 6})
+		if st.Truncated {
+			b.Fatal("truncated")
+		}
+	}
+}
+
+// BenchmarkT3_Diagnosis regenerates Theorem 3 on the running example, one
+// sub-benchmark per engine.
+func BenchmarkT3_Diagnosis(b *testing.B) {
+	pn := petri.Example()
+	for _, e := range []diagnosis.Engine{
+		diagnosis.EngineDirect, diagnosis.EngineProduct,
+		diagnosis.EngineNaive, diagnosis.EngineDQSQ,
+	} {
+		b.Run(e.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := diagnosis.Run(pn, seqA1, e, diagnosis.Options{Timeout: 2 * time.Minute})
+				if err != nil || len(rep.Diagnoses) != 2 {
+					b.Fatalf("err=%v rep=%v", err, rep)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkT4_Materialization regenerates the Theorem 4 comparison for
+// growing alarm sequences; the reported custom metrics are the prefix
+// sizes (events) of each engine.
+func BenchmarkT4_Materialization(b *testing.B) {
+	pn := petri.Example()
+	for _, n := range []int{1, 2, 3, 4} {
+		seq := make(alarm.Seq, 0, n)
+		for i := 0; i < n; i++ {
+			a := petri.Alarm("a")
+			if i%2 == 1 {
+				a = "b"
+			}
+			seq = append(seq, alarm.Obs{Alarm: a, Peer: "p2"})
+		}
+		b.Run(fmt.Sprintf("len=%d", n), func(b *testing.B) {
+			var row *experiments.MaterializationRow
+			var err error
+			for i := 0; i < b.N; i++ {
+				row, err = experiments.Materialization(pn, seq)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !row.ExactPrefixEq {
+					b.Fatalf("Theorem 4 violated: dQSQ %d vs product %d", row.DQSQEvents, row.ProductEvents)
+				}
+			}
+			b.ReportMetric(float64(row.ProductEvents), "prefix-events")
+			b.ReportMetric(float64(row.NaiveEvents), "naive-events")
+			b.ReportMetric(float64(row.DQSQDerived), "dqsq-derived")
+			b.ReportMetric(float64(row.NaiveDerived), "naive-derived")
+		})
+	}
+}
+
+// BenchmarkP1_DQSQTermination regenerates Proposition 1: dQSQ reaches
+// quiescence on the cyclic example's diagnosis program with no depth
+// bound.
+func BenchmarkP1_DQSQTermination(b *testing.B) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prog, query, err := diagnosis.BuildDiagnosisProgram(padded, seqA1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := dqsq.Run(prog, query, datalog.Budget{}, 2*time.Minute)
+		if err != nil || res.Stats.Truncated {
+			b.Fatalf("err=%v stats=%+v", err, res.Stats)
+		}
+	}
+}
+
+// BenchmarkS2_PipelinePeers regenerates the peer-scaling sweep.
+func BenchmarkS2_PipelinePeers(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		pn := gen.Pipeline(k, 2)
+		seq := gen.PipelineSeq(pn, rand.New(rand.NewSource(7)), 3)
+		b.Run(fmt.Sprintf("peers=%d/dqsq", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := diagnosis.Run(pn, seq, diagnosis.EngineDQSQ, diagnosis.Options{Timeout: 2 * time.Minute})
+				if err != nil || len(rep.Diagnoses) != 1 {
+					b.Fatalf("err=%v", err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("peers=%d/naive", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := diagnosis.Run(pn, seq, diagnosis.EngineNaive, diagnosis.Options{Timeout: 2 * time.Minute})
+				if err != nil || len(rep.Diagnoses) != 1 {
+					b.Fatalf("err=%v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkS3_ForkConcurrency regenerates the concurrency sweep: one
+// configuration hiding under factorially many interleavings.
+func BenchmarkS3_ForkConcurrency(b *testing.B) {
+	for _, branches := range []int{2, 3, 4} {
+		pn := gen.Fork(branches, 2)
+		seq := gen.ForkSeq(pn, rand.New(rand.NewSource(5)))
+		b.Run(fmt.Sprintf("branches=%d/direct", branches), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if d := diagnosis.Direct(pn, seq, diagnosis.DirectOptions{}); len(d) != 1 {
+					b.Fatal("want one configuration")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("branches=%d/product", branches), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := product.Run(pn, seq, product.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_QSQvsMagic regenerates the sibling-optimization
+// comparison on the Figure 3 family.
+func BenchmarkAblation_QSQvsMagic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.MagicAblation([]int{8})
+		if err != nil || !rows[0].SameAnswers {
+			b.Fatalf("rows=%v err=%v", rows, err)
+		}
+	}
+}
+
+// BenchmarkE2_PatternDiagnosis regenerates the Section 4.4 pattern
+// experiment: a.(b.a)* on the running example under the depth gadget.
+func BenchmarkE2_PatternDiagnosis(b *testing.B) {
+	pn := petri.Example()
+	pat := alarm.Concat(alarm.Sym("a", "p2"),
+		alarm.Star(alarm.Concat(alarm.Sym("b", "p2"), alarm.Sym("a", "p2"))))
+	nfa := pat.Compile()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := diagnosis.DiagnosePattern(pn, nfa, diagnosis.Options{
+			Timeout: 2 * time.Minute,
+			Budget:  datalog.Budget{MaxTermDepth: 14},
+		})
+		if err != nil || len(d) == 0 {
+			b.Fatalf("err=%v d=%v", err, d)
+		}
+	}
+}
+
+// BenchmarkTelecom regenerates the intro scenario at growing line counts.
+func BenchmarkTelecom(b *testing.B) {
+	for _, lines := range []int{2, 4, 8} {
+		pn := gen.Telecom(lines)
+		seq := alarm.Seq(gen.TelecomSeqFixed())
+		b.Run(fmt.Sprintf("lines=%d", lines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := diagnosis.Run(pn, seq, diagnosis.EngineDQSQ, diagnosis.Options{Timeout: 2 * time.Minute})
+				if err != nil || len(rep.Diagnoses) == 0 {
+					b.Fatalf("err=%v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRemark1_Placement regenerates the supplementary-relation
+// placement ablation.
+func BenchmarkRemark1_Placement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.PlacementAblation([]int{8})
+		if err != nil || !rows[0].SameAnswers {
+			b.Fatalf("rows=%v err=%v", rows, err)
+		}
+	}
+}
+
+// BenchmarkE4_ForbiddenPattern regenerates the Section 4.4 blocking
+// extension: diagnosis constrained by a forbidden-pattern monitor.
+func BenchmarkE4_ForbiddenPattern(b *testing.B) {
+	pn := petri.Example()
+	alpha := alarm.Alphabet{
+		{Alarm: "a", Peer: "p2"}, {Alarm: "b", Peer: "p2"},
+		{Alarm: "b", Peer: "p1"}, {Alarm: "c", Peer: "p1"},
+	}
+	mon := alarm.Avoiding(alarm.Sym("b", "p2"), alpha)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := diagnosis.DiagnosePattern(pn, mon, diagnosis.Options{
+			Timeout: 2 * time.Minute,
+			Budget:  datalog.Budget{MaxTermDepth: 12},
+		})
+		if err != nil || len(d) == 0 {
+			b.Fatalf("err=%v d=%v", err, d)
+		}
+	}
+}
+
+// BenchmarkQSQRewriteOnly isolates the cost of the rewriting itself.
+func BenchmarkQSQRewriteOnly(b *testing.B) {
+	s := term.NewStore()
+	p := datalog.NewProgram(s)
+	x, y, z := s.Variable("X"), s.Variable("Y"), s.Variable("Z")
+	p.AddRule(datalog.Rule{Head: datalog.A("tc", x, y), Body: []datalog.Atom{datalog.A("e", x, y)}})
+	p.AddRule(datalog.Rule{Head: datalog.A("tc", x, z), Body: []datalog.Atom{datalog.A("e", x, y), datalog.A("tc", y, z)}})
+	p.AddFact(datalog.A("e", s.Constant("a"), s.Constant("b")))
+	q := datalog.A("tc", s.Constant("a"), s.Variable("Y"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := qsq.Rewrite(p, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command datalogcli evaluates Datalog and dDatalog programs with every
+// strategy in the library, printing answers and evaluation statistics —
+// a workbench for the paper's Section 3.
+//
+// Usage:
+//
+//	datalogcli -program fig3.dl -query 'R@r("1", Y)' -strategy dqsq
+//	datalogcli -program tc.dl   -query 'tc(a, X)'    -strategy qsq
+//
+// Strategies for centralized programs (no @peers): naive, seminaive, qsq,
+// magic. For distributed programs: dnaive, dqsq.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dqsq"
+	"repro/internal/magic"
+	"repro/internal/parser"
+	"repro/internal/qsq"
+	"repro/internal/term"
+)
+
+func main() {
+	var (
+		progFile = flag.String("program", "", "program file")
+		queryStr = flag.String("query", "", `query atom, e.g. 'tc(a, X)' or 'R@r("1", Y)'`)
+		strategy = flag.String("strategy", "seminaive", "naive | seminaive | qsq | magic | dnaive | dqsq")
+		maxFacts = flag.Int("maxfacts", 0, "fact budget (0 = default)")
+		maxDepth = flag.Int("maxdepth", 0, "term depth budget (0 = unlimited)")
+		timeout  = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
+	)
+	flag.Parse()
+	if *progFile == "" || *queryStr == "" {
+		fatal(fmt.Errorf("-program and -query are required"))
+	}
+	src, err := os.ReadFile(*progFile)
+	if err != nil {
+		fatal(err)
+	}
+	store := term.NewStore()
+	budget := datalog.Budget{MaxFacts: *maxFacts, MaxTermDepth: *maxDepth}
+
+	relName, peer, args, err := parser.Query(*queryStr, store)
+	if err != nil {
+		fatal(fmt.Errorf("query: %w", err))
+	}
+
+	start := time.Now()
+	switch *strategy {
+	case "naive", "seminaive", "qsq", "magic":
+		p, err := parser.Program(string(src), store)
+		if err != nil {
+			fatal(err)
+		}
+		if peer != "" {
+			fatal(fmt.Errorf("located query %s@%s against a centralized program", relName, peer))
+		}
+		q := datalog.Atom{Rel: relName, Args: args}
+		var rows [][]term.ID
+		var st datalog.Stats
+		switch *strategy {
+		case "naive":
+			db, s := p.Naive(budget)
+			rows, st = datalog.Answers(db, store, q), s
+		case "seminaive":
+			db, s := p.SemiNaive(budget)
+			rows, st = datalog.Answers(db, store, q), s
+		case "qsq":
+			rows, _, st, err = qsq.Run(p, q, budget)
+			if err != nil {
+				fatal(err)
+			}
+		case "magic":
+			rows, _, st, err = magic.Run(p, q, budget)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		printRows(store, rows)
+		fmt.Printf("derived=%d seeded=%d iterations=%d truncated=%v elapsed=%s\n",
+			st.Derived, st.Seeded, st.Iterations, st.Truncated, time.Since(start).Round(time.Microsecond))
+	case "dnaive", "dqsq":
+		p, err := parser.DistProgram(string(src), store)
+		if err != nil {
+			fatal(err)
+		}
+		if peer == "" {
+			fatal(fmt.Errorf("distributed query needs a peer: R@peer(...)"))
+		}
+		q := ddatalog.PAtom{Rel: relName, Peer: peer, Args: args}
+		if *strategy == "dnaive" {
+			res, _, err := ddatalog.Run(p, q, budget, *timeout)
+			if err != nil {
+				fatal(err)
+			}
+			printRows(res.Store, res.Answers)
+			fmt.Printf("derived=%d replicated=%d messages=%d elapsed=%s\n",
+				res.Stats.Derived, res.Stats.Replicated, res.Stats.Net.MessagesSent,
+				time.Since(start).Round(time.Microsecond))
+		} else {
+			res, err := dqsq.Run(p, q, budget, *timeout)
+			if err != nil {
+				fatal(err)
+			}
+			printRows(res.Store, res.Answers)
+			fmt.Printf("derived=%d replicated=%d messages=%d elapsed=%s\n",
+				res.Stats.Derived, res.Stats.Replicated, res.Stats.Net.MessagesSent,
+				time.Since(start).Round(time.Microsecond))
+		}
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+}
+
+func printRows(store *term.Store, rows [][]term.ID) {
+	lines := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, t := range r {
+			parts[i] = store.String(t)
+		}
+		lines = append(lines, strings.Join(parts, ", "))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Printf("%d answer(s)\n", len(lines))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datalogcli:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+func TestPickEngines(t *testing.T) {
+	for name, want := range map[string]int{
+		"direct": 1, "product": 1, "naive": 1, "dqsq": 1, "all": 4,
+	} {
+		engines, err := pickEngines(name)
+		if err != nil || len(engines) != want {
+			t.Fatalf("%s: %v %v", name, engines, err)
+		}
+	}
+	if _, err := pickEngines("bogus"); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestLoadSystem(t *testing.T) {
+	if _, err := loadSystem("", false); err == nil {
+		t.Fatal("missing flags accepted")
+	}
+	if _, err := loadSystem("x", true); err == nil {
+		t.Fatal("conflicting flags accepted")
+	}
+	sys, err := loadSystem("", true)
+	if err != nil || len(sys.Peers()) != 2 {
+		t.Fatalf("example: %v %v", sys, err)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(path, []byte(parser.FormatNet(core.Example().PN)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys, err = loadSystem(path, false)
+	if err != nil || len(sys.Peers()) != 2 {
+		t.Fatalf("file: %v %v", sys, err)
+	}
+	if _, err := loadSystem(filepath.Join(dir, "missing.txt"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

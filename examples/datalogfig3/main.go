@@ -1,0 +1,106 @@
+// Datalogfig3: Figures 3, 4 and 5 of the paper, live.
+//
+// It parses the three-peer dDatalog program of Figure 3 from its textual
+// form, prints the centralized QSQ rewriting (Figure 4) and the
+// distributed dQSQ rewriting (Figure 5), then evaluates the query
+// Q@r(y) :- R@r("1", y) both ways and shows that they compute the same
+// answers from the same amount of materialized data (Theorem 1).
+//
+// Run with: go run ./examples/datalogfig3
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dqsq"
+	"repro/internal/parser"
+	"repro/internal/qsq"
+	"repro/internal/term"
+)
+
+const figure3 = `
+% Figure 3: a dDatalog program over peers r, s, t.
+R@r(X, Y) :- A@r(X, Y).
+R@r(X, Y) :- S@s(X, Z), T@t(Z, Y).
+S@s(X, Y) :- R@r(X, Y), B@s(Y, Z).
+T@t(X, Y) :- C@t(X, Y).
+
+% Base data.
+A@r("1", "2").
+A@r("2", "3").
+B@s("2", ok).
+B@s("3", ok).
+C@t("2", "4").
+C@t("3", "5").
+`
+
+func main() {
+	store := term.NewStore()
+	prog, err := parser.DistProgram(figure3, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 4: the centralized QSQ rewriting of the localized program.
+	local := prog.Localize()
+	q := datalog.Atom{Rel: "R@r", Args: []term.ID{store.Constant("1"), store.Variable("Y")}}
+	rw, err := qsq.Rewrite(local, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 4: centralized QSQ rewriting ===")
+	for _, f := range rw.Program.Facts {
+		if f.Rel[:3] == "in-" {
+			fmt.Println(f.String(store) + ".   % seed")
+		}
+	}
+	for _, r := range rw.Program.Rules {
+		fmt.Println(r.String(store))
+	}
+
+	// Figure 5: the distributed rewriting, each peer rewriting only its
+	// own rules.
+	prog2, err := parser.DistProgram(figure3, term.NewStore())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2 := prog2.Store
+	pq := ddatalog.At("R", "r", s2.Constant("1"), s2.Variable("Y"))
+	drw, err := dqsq.Rewrite(prog2, pq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Figure 5: distributed dQSQ rewriting (note the cross-peer rules) ===")
+	for _, r := range drw.Program.Rules {
+		cross := ""
+		for _, a := range r.Body {
+			if a.Peer != r.Head.Peer {
+				cross = "   % crosses " + string(a.Peer) + " -> " + string(r.Head.Peer)
+			}
+		}
+		fmt.Println(r.String(s2) + cross)
+	}
+
+	// Evaluate both and compare (Theorem 1).
+	db, st := rw.Eval(datalog.Budget{})
+	qsqAnswers := rw.Answers(db)
+	fmt.Printf("\nQSQ:  %d answers, %d facts derived\n", len(qsqAnswers), st.Derived)
+
+	res, err := dqsq.Run(prog2, pq, datalog.Budget{}, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dQSQ: %d answers, %d facts derived, %d messages between peers\n",
+		len(res.Answers), res.Stats.Derived, res.Stats.Net.MessagesSent)
+
+	if len(qsqAnswers) == len(res.Answers) && st.Derived == res.Stats.Derived {
+		fmt.Println("\nTheorem 1 live: same answers, same materialized data — computed by")
+		fmt.Println("three autonomous peers exchanging asynchronous messages.")
+	} else {
+		log.Fatal("Theorem 1 violated!")
+	}
+}

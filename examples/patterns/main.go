@@ -1,0 +1,83 @@
+// Patterns: the Section 4.4 extensions — hidden transitions and alarm
+// patterns.
+//
+// Part 1 diagnoses a net with an unobservable (silent) transition: the
+// explanation must include an event that reported nothing.
+//
+// Part 2 seeks explanations of the regular pattern a.(b.a)* on the running
+// example, the paper's "α.β*.α" shape, using the automaton-encoded
+// alarmSeq relation and the depth-bound termination gadget.
+//
+// Run with: go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/parser"
+)
+
+const hiddenNet = `
+# A chain whose middle step is unobservable.
+place a p
+place b p
+place c p
+place d p
+trans t1 p x : a -> b
+trans h  p _ : b -> c
+trans t2 p y : c -> d
+init a
+`
+
+func main() {
+	// Part 1: hidden transitions.
+	sys, err := core.LoadNet(hiddenNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, _ := core.ParseAlarms("x@p y@p")
+	rep, err := sys.Diagnose(seq, core.DQSQ, core.Options{
+		Timeout: time.Minute,
+		Budget:  datalog.Budget{MaxTermDepth: 16},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Hidden transitions ===")
+	fmt.Printf("observed %q; %d explanation(s):\n", parser.FormatAlarms(seq), len(rep.Diagnoses))
+	for _, cfg := range rep.Diagnoses {
+		for _, ev := range cfg {
+			fmt.Printf("  %s\n", ev)
+		}
+	}
+	fmt.Println("the silent event f(h,...) reported nothing yet appears in the explanation.")
+
+	// Part 2: alarm patterns on the running example.
+	example := core.Example()
+	pat := alarm.Concat(
+		alarm.Sym("a", "p2"),
+		alarm.Star(alarm.Concat(alarm.Sym("b", "p2"), alarm.Sym("a", "p2"))),
+	)
+	fmt.Println("\n=== Alarm pattern a.(b.a)* at peer p2 ===")
+	diags, err := example.DiagnosePattern(pat, core.Options{
+		Timeout: time.Minute,
+		Budget:  datalog.Budget{MaxTermDepth: 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d explanation(s) within the depth bound:\n", len(diags))
+	for i, cfg := range diags {
+		fmt.Printf("  explanation %d (%d events):\n", i+1, len(cfg))
+		for _, ev := range cfg {
+			fmt.Printf("    %s\n", ev)
+		}
+	}
+	fmt.Println("\nexplanations of growing length walk the v/vi cycle of the example net;")
+	fmt.Println("the depth bound (Section 4.4's gadget) keeps the computation finite.")
+}

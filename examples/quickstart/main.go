@@ -1,0 +1,57 @@
+// Quickstart: the paper's running example end to end.
+//
+// It builds the Figure 1 Petri net, shows its bounded unfolding (Figure
+// 2), then diagnoses the alarm sequence (b,p1),(a,p2),(c,p1) from Section
+// 2 with all four engines and prints the explanations — including the
+// "shaded" configuration {i, iii, iv} of Figure 2.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	sys := core.Example()
+	fmt.Println("Peers:", sys.Peers())
+
+	// Figure 2: a branching process of the net.
+	u := sys.Unfold(2, 1000)
+	fmt.Printf("\nUnfolding prefix to depth 2: %d events, %d conditions\n",
+		len(u.Events), len(u.Conditions))
+	for _, e := range u.Events {
+		fmt.Printf("  %s  (alarm %s at %s)\n", e.Name, e.Alarm, e.Peer)
+	}
+
+	// The supervisor receives three alarms over asynchronous channels.
+	seq, err := core.ParseAlarms("b@p1 a@p2 c@p1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nObserved sequence: %v\n", seq)
+
+	for _, engine := range []core.Engine{core.Direct, core.Product, core.Naive, core.DQSQ} {
+		rep, err := sys.Diagnose(seq, engine, core.Options{Timeout: time.Minute})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n[%v] %d explanation(s) in %s\n", engine, len(rep.Diagnoses), rep.Elapsed.Round(time.Millisecond))
+		for i, cfg := range rep.Diagnoses {
+			fmt.Printf("  explanation %d:\n", i+1)
+			for _, ev := range cfg {
+				fmt.Printf("    %s\n", ev)
+			}
+		}
+		if rep.TransFacts > 0 {
+			fmt.Printf("  materialized prefix: %d events, %d conditions\n", rep.TransFacts, rep.PlaceFacts)
+		}
+	}
+
+	fmt.Println("\nNote how every engine returns the same two explanations, and how")
+	fmt.Println("dQSQ materializes the same prefix as the dedicated algorithm [8].")
+}

@@ -1,0 +1,115 @@
+// Package adorn implements binding patterns ("adornments") for Datalog
+// relations, the common machinery under both the QSQ rewriting (Section
+// 3.1, Figure 4) and the magic-sets rewriting the paper cites as the
+// sibling technique.
+//
+// An adornment annotates each argument position of a relation with 'b'
+// (bound: every variable in the argument is known when the subquery is
+// issued) or 'f' (free). R with adornment "bf" is written R#bf here —
+// rendered R^bf in the paper.
+package adorn
+
+import (
+	"strings"
+
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Adornment is a string over {'b','f'}, one character per argument
+// position.
+type Adornment string
+
+// AllFree returns the adornment of n free positions.
+func AllFree(n int) Adornment {
+	return Adornment(strings.Repeat("f", n))
+}
+
+// Bound reports whether position i is bound.
+func (a Adornment) Bound(i int) bool { return a[i] == 'b' }
+
+// CountBound returns the number of bound positions.
+func (a Adornment) CountBound() int {
+	n := 0
+	for i := 0; i < len(a); i++ {
+		if a[i] == 'b' {
+			n++
+		}
+	}
+	return n
+}
+
+// VarSet tracks which variables are currently bound during a left-to-right
+// pass over a rule body.
+type VarSet map[term.ID]bool
+
+// Clone copies the set.
+func (v VarSet) Clone() VarSet {
+	out := make(VarSet, len(v))
+	for k := range v {
+		out[k] = true
+	}
+	return out
+}
+
+// AddTerm marks every variable of t as bound.
+func (v VarSet) AddTerm(s *term.Store, t term.ID) {
+	for _, x := range s.Vars(nil, t) {
+		v[x] = true
+	}
+}
+
+// CoversTerm reports whether every variable of t is in the set (a ground
+// term is trivially covered).
+func (v VarSet) CoversTerm(s *term.Store, t term.ID) bool {
+	for _, x := range s.Vars(nil, t) {
+		if !v[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compute returns the adornment of an atom's argument list given the
+// currently bound variables: a position is bound iff the whole argument is
+// covered.
+func Compute(s *term.Store, bound VarSet, args []term.ID) Adornment {
+	b := make([]byte, len(args))
+	for i, t := range args {
+		if bound.CoversTerm(s, t) {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	return Adornment(b)
+}
+
+// Name returns the adorned relation name, e.g. Name("R", "bf") == "R#bf".
+// The all-free adornment of a 0-ary relation yields "R#".
+func Name(r rel.Name, a Adornment) rel.Name {
+	return r + "#" + rel.Name(a)
+}
+
+// InputName returns the name of the input ("call") relation carrying the
+// bound arguments of subqueries on R#a — the paper's in-R^bf.
+func InputName(r rel.Name, a Adornment) rel.Name {
+	return "in-" + Name(r, a)
+}
+
+// BoundArgs projects args to the bound positions of a, in order.
+func BoundArgs(a Adornment, args []term.ID) []term.ID {
+	out := make([]term.ID, 0, a.CountBound())
+	for i, t := range args {
+		if a.Bound(i) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Key identifies a relation-adornment pair, used to queue rewriting work.
+type Key struct {
+	Rel rel.Name
+	Ad  Adornment
+}

@@ -1,0 +1,73 @@
+package adorn
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestComputeAdornment(t *testing.T) {
+	s := term.NewStore()
+	x, y := s.Variable("X"), s.Variable("Y")
+	c := s.Constant("c")
+	bound := VarSet{x: true}
+
+	args := []term.ID{x, y, c, s.Compound("f", x, c), s.Compound("f", y, c)}
+	if got := Compute(s, bound, args); got != "bfbbf" {
+		t.Fatalf("Compute = %q, want bfbbf", got)
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	s := term.NewStore()
+	x, y := s.Variable("X"), s.Variable("Y")
+	v := VarSet{}
+	v.AddTerm(s, s.Compound("f", x, s.Constant("c")))
+	if !v[x] || v[y] {
+		t.Fatalf("AddTerm wrong: %v", v)
+	}
+	c := v.Clone()
+	c.AddTerm(s, y)
+	if v[y] {
+		t.Fatal("Clone aliased")
+	}
+	if !c.CoversTerm(s, s.Compound("g", x, y)) {
+		t.Fatal("CoversTerm false negative")
+	}
+	if v.CoversTerm(s, y) {
+		t.Fatal("CoversTerm false positive")
+	}
+	if !v.CoversTerm(s, s.Constant("ground")) {
+		t.Fatal("ground term must be covered")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if Name("R", "bf") != "R#bf" {
+		t.Fatalf("Name = %q", Name("R", "bf"))
+	}
+	if InputName("R", "bf") != "in-R#bf" {
+		t.Fatalf("InputName = %q", InputName("R", "bf"))
+	}
+	if AllFree(3) != "fff" {
+		t.Fatalf("AllFree = %q", AllFree(3))
+	}
+	if AllFree(0) != "" {
+		t.Fatal("AllFree(0) nonempty")
+	}
+}
+
+func TestBoundArgsProjection(t *testing.T) {
+	s := term.NewStore()
+	a, b, c := s.Constant("a"), s.Constant("b"), s.Constant("c")
+	got := BoundArgs("bfb", []term.ID{a, b, c})
+	if len(got) != 2 || got[0] != a || got[1] != c {
+		t.Fatalf("BoundArgs = %v", got)
+	}
+	if Adornment("bfb").CountBound() != 2 {
+		t.Fatal("CountBound wrong")
+	}
+	if !Adornment("bf").Bound(0) || Adornment("bf").Bound(1) {
+		t.Fatal("Bound wrong")
+	}
+}

@@ -1,0 +1,94 @@
+// Package alarm models what the supervisor receives: sequences of
+// (alarm symbol, emitting peer) pairs (Section 2), their per-peer
+// projections, and — for the Section 4.4 extension — regular alarm
+// patterns compiled to NFAs whose transition tables can be encoded in the
+// alarmSeq relation of the supervisor's Datalog program.
+package alarm
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Obs is one received alarm (the paper's pair (a, p)).
+type Obs = petri.Observation
+
+// Seq is the sequence received by the supervisor. Only the per-peer order
+// is meaningful (asynchronous channels, Section 2).
+type Seq []Obs
+
+// S builds a sequence from (alarm, peer) string pairs:
+// S("b","p1", "a","p2").
+func S(pairs ...string) Seq {
+	if len(pairs)%2 != 0 {
+		panic("alarm: S needs alarm/peer pairs")
+	}
+	out := make(Seq, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Obs{Alarm: petri.Alarm(pairs[i]), Peer: petri.Peer(pairs[i+1])})
+	}
+	return out
+}
+
+// PerPeer splits the sequence into the per-peer subsequences A_p.
+func (s Seq) PerPeer() map[petri.Peer][]petri.Alarm {
+	out := make(map[petri.Peer][]petri.Alarm)
+	for _, o := range s {
+		out[o.Peer] = append(out[o.Peer], o.Alarm)
+	}
+	return out
+}
+
+// Peers returns the peers appearing in the sequence, sorted.
+func (s Seq) Peers() []petri.Peer {
+	seen := map[petri.Peer]bool{}
+	var out []petri.Peer
+	for _, o := range s {
+		if !seen[o.Peer] {
+			seen[o.Peer] = true
+			out = append(out, o.Peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the sequence as (b,p1),(a,p2),...
+func (s Seq) String() string {
+	var b strings.Builder
+	for i, o := range s {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('(')
+		b.WriteString(string(o.Alarm))
+		b.WriteByte(',')
+		b.WriteString(string(o.Peer))
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Equivalent reports whether two sequences have identical per-peer
+// subsequences — the supervisor cannot distinguish them (Section 2's
+// interleaving nondeterminism).
+func Equivalent(a, b Seq) bool {
+	pa, pb := a.PerPeer(), b.PerPeer()
+	if len(pa) != len(pb) {
+		return false
+	}
+	for p, sa := range pa {
+		sb := pb[p]
+		if len(sa) != len(sb) {
+			return false
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

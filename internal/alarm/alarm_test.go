@@ -1,0 +1,193 @@
+package alarm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+)
+
+func TestSeqBasics(t *testing.T) {
+	s := S("b", "p1", "a", "p2", "c", "p1")
+	if s.String() != "(b,p1),(a,p2),(c,p1)" {
+		t.Fatalf("String = %s", s.String())
+	}
+	per := s.PerPeer()
+	if len(per["p1"]) != 2 || per["p1"][0] != "b" || per["p1"][1] != "c" {
+		t.Fatalf("p1 = %v", per["p1"])
+	}
+	if len(per["p2"]) != 1 || per["p2"][0] != "a" {
+		t.Fatalf("p2 = %v", per["p2"])
+	}
+	peers := s.Peers()
+	if len(peers) != 2 || peers[0] != "p1" || peers[1] != "p2" {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestEquivalentInterleavings(t *testing.T) {
+	// The paper's three sequences: the first two are indistinguishable to
+	// the supervisor up to cross-peer interleaving; the third swaps b and c
+	// within p1 and is genuinely different.
+	a1 := S("b", "p1", "a", "p2", "c", "p1")
+	a2 := S("b", "p1", "c", "p1", "a", "p2")
+	a3 := S("c", "p1", "b", "p1", "a", "p2")
+	if !Equivalent(a1, a2) {
+		t.Fatal("a1 and a2 must be equivalent")
+	}
+	if Equivalent(a1, a3) {
+		t.Fatal("a1 and a3 must differ")
+	}
+	if Equivalent(a1, S("b", "p1")) {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestSPanicsOnOddArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	S("b")
+}
+
+func TestLinearPatternAcceptsExactlyItsSequence(t *testing.T) {
+	seq := S("b", "p1", "a", "p2", "c", "p1")
+	n := Linear(seq).Compile()
+	if !n.Accepts(seq) {
+		t.Fatal("linear pattern rejects its own sequence")
+	}
+	if n.Accepts(S("b", "p1", "a", "p2")) {
+		t.Fatal("accepts proper prefix")
+	}
+	if n.Accepts(S("a", "p2", "b", "p1", "c", "p1")) {
+		t.Fatal("accepts permutation")
+	}
+	if n.Accepts(nil) {
+		t.Fatal("accepts empty")
+	}
+}
+
+func TestStarPattern(t *testing.T) {
+	// α.β*.α — the paper's example pattern.
+	p := Concat(Sym("α", "p"), Star(Sym("β", "p")), Sym("α", "p"))
+	n := p.Compile()
+	if !n.Accepts(S("α", "p", "α", "p")) {
+		t.Fatal("rejects zero repetitions")
+	}
+	if !n.Accepts(S("α", "p", "β", "p", "α", "p")) {
+		t.Fatal("rejects one repetition")
+	}
+	if !n.Accepts(S("α", "p", "β", "p", "β", "p", "β", "p", "α", "p")) {
+		t.Fatal("rejects three repetitions")
+	}
+	if n.Accepts(S("α", "p", "β", "p")) {
+		t.Fatal("accepts missing closer")
+	}
+	if n.Accepts(S("β", "p", "α", "p", "α", "p")) {
+		t.Fatal("accepts leading β")
+	}
+}
+
+func TestAltAndEps(t *testing.T) {
+	p := Concat(Alt(Sym("a", "p"), Sym("b", "p")), Eps(), Sym("c", "p"))
+	n := p.Compile()
+	if !n.Accepts(S("a", "p", "c", "p")) || !n.Accepts(S("b", "p", "c", "p")) {
+		t.Fatal("alternation broken")
+	}
+	if n.Accepts(S("c", "p")) {
+		t.Fatal("skipped required alternative")
+	}
+	if !Star(Sym("x", "p")).Compile().Accepts(nil) {
+		t.Fatal("x* must accept empty")
+	}
+}
+
+func TestPeersDistinguishedInPatterns(t *testing.T) {
+	n := Sym("a", "p1").Compile()
+	if n.Accepts(S("a", "p2")) {
+		t.Fatal("pattern ignored peer")
+	}
+}
+
+func TestStepExposesStateSets(t *testing.T) {
+	n := Concat(Sym("a", "p"), Sym("b", "p")).Compile()
+	st := n.Start()
+	if n.Accepting(st) {
+		t.Fatal("start accepting")
+	}
+	st = n.Step(st, Obs{Alarm: "a", Peer: "p"})
+	if len(st) == 0 || n.Accepting(st) {
+		t.Fatalf("mid state wrong: %v", st)
+	}
+	st = n.Step(st, Obs{Alarm: "b", Peer: "p"})
+	if !n.Accepting(st) {
+		t.Fatal("final state not accepting")
+	}
+}
+
+// Property: Linear(seq) accepts exactly seq among random same-alphabet
+// sequences of the same length.
+func TestQuickLinearIsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alph := []petri.Alarm{"a", "b"}
+		mk := func() Seq {
+			s := make(Seq, 3+rng.Intn(3))
+			for i := range s {
+				s[i] = Obs{Alarm: alph[rng.Intn(2)], Peer: "p"}
+			}
+			return s
+		}
+		s1, s2 := mk(), mk()
+		n := Linear(s1).Compile()
+		same := len(s1) == len(s2)
+		if same {
+			for i := range s1 {
+				if s1[i] != s2[i] {
+					same = false
+				}
+			}
+		}
+		return n.Accepts(s2) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (αβ*α) acceptance matches a hand-rolled recognizer.
+func TestQuickStarAgainstReference(t *testing.T) {
+	p := Concat(Sym("a", "p"), Star(Sym("b", "p")), Sym("a", "p")).Compile()
+	ref := func(s Seq) bool {
+		if len(s) < 2 {
+			return false
+		}
+		if s[0] != (Obs{Alarm: "a", Peer: "p"}) || s[len(s)-1] != (Obs{Alarm: "a", Peer: "p"}) {
+			return false
+		}
+		for _, o := range s[1 : len(s)-1] {
+			if o != (Obs{Alarm: "b", Peer: "p"}) {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(Seq, rng.Intn(6))
+		for i := range s {
+			if rng.Intn(2) == 0 {
+				s[i] = Obs{Alarm: "a", Peer: "p"}
+			} else {
+				s[i] = Obs{Alarm: "b", Peer: "p"}
+			}
+		}
+		return p.Accepts(s) == ref(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

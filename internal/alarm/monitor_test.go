@@ -1,0 +1,108 @@
+package alarm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/petri"
+)
+
+func TestDeterminizeEquivalent(t *testing.T) {
+	// a.(b.a)* has nondeterminism after the first a.
+	p := Concat(Sym("a", "p"), Star(Concat(Sym("b", "p"), Sym("a", "p"))))
+	n := p.Compile()
+	d := n.Determinize()
+
+	// Determinism: at most one edge per (state, obs).
+	seen := map[string]bool{}
+	for _, e := range d.Edges {
+		k := string(rune(e.From)) + "|" + string(e.Obs.Alarm) + "@" + string(e.Obs.Peer)
+		if seen[k] {
+			t.Fatalf("nondeterministic edge %v", e)
+		}
+		seen[k] = true
+	}
+
+	// Language equivalence on random words.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := make(Seq, rng.Intn(7))
+		for i := range w {
+			if rng.Intn(2) == 0 {
+				w[i] = Obs{Alarm: "a", Peer: "p"}
+			} else {
+				w[i] = Obs{Alarm: "b", Peer: "p"}
+			}
+		}
+		return n.Accepts(w) == d.Accepts(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvoidingBlocksSubstring(t *testing.T) {
+	alpha := NetAlphabet("a", "p", "b", "p")
+	// Forbid the substring b.b.
+	mon := Avoiding(Concat(Sym("b", "p"), Sym("b", "p")), alpha)
+
+	ref := func(s Seq) bool {
+		for i := 0; i+1 < len(s); i++ {
+			if s[i].Alarm == "b" && s[i+1].Alarm == "b" {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := make(Seq, rng.Intn(8))
+		for i := range s {
+			if rng.Intn(2) == 0 {
+				s[i] = Obs{Alarm: "a", Peer: "p"}
+			} else {
+				s[i] = Obs{Alarm: "b", Peer: "p"}
+			}
+		}
+		return mon.Accepts(s) == ref(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvoidingAcceptsEmptyAndBlocksEarly(t *testing.T) {
+	alpha := NetAlphabet("x", "p", "y", "p")
+	mon := Avoiding(Sym("y", "p"), alpha)
+	if !mon.Accepts(nil) {
+		t.Fatal("empty sequence rejected")
+	}
+	if !mon.Accepts(S("x", "p", "x", "p")) {
+		t.Fatal("clean sequence rejected")
+	}
+	if mon.Accepts(S("y", "p")) || mon.Accepts(S("x", "p", "y", "p", "x", "p")) {
+		t.Fatal("forbidden observation accepted")
+	}
+	// Blocking: after the violation the state set is empty.
+	st := mon.Start()
+	st = mon.Step(st, Obs{Alarm: "y", Peer: "p"})
+	if len(st) != 0 {
+		t.Fatalf("violation state survived: %v", st)
+	}
+}
+
+func TestAvoidingMultiPeer(t *testing.T) {
+	alpha := Alphabet{
+		{Alarm: petri.Alarm("a"), Peer: "p1"},
+		{Alarm: petri.Alarm("a"), Peer: "p2"},
+	}
+	// Forbid a@p2 (anywhere); a@p1 remains free.
+	mon := Avoiding(Sym("a", "p2"), alpha)
+	if !mon.Accepts(S("a", "p1", "a", "p1")) {
+		t.Fatal("clean multi-peer sequence rejected")
+	}
+	if mon.Accepts(S("a", "p1", "a", "p2")) {
+		t.Fatal("forbidden peer observation accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package alarm
+
+import (
+	"fmt"
+
+	"repro/internal/petri"
+)
+
+// Pattern is a regular expression over observations, for the Section 4.4
+// "alarm patterns" extension ("a pattern described by some regular
+// language, e.g., α.β*.α"). Build with Sym, Concat, Star, Alt and compile
+// with Compile.
+type Pattern struct {
+	kind patKind
+	obs  Obs
+	subs []*Pattern
+}
+
+type patKind uint8
+
+const (
+	pSym patKind = iota
+	pConcat
+	pStar
+	pAlt
+	pEps
+)
+
+// Sym matches exactly one observation (a, p).
+func Sym(a petri.Alarm, p petri.Peer) *Pattern {
+	return &Pattern{kind: pSym, obs: Obs{Alarm: a, Peer: p}}
+}
+
+// Eps matches the empty sequence.
+func Eps() *Pattern { return &Pattern{kind: pEps} }
+
+// Concat matches its arguments in order.
+func Concat(ps ...*Pattern) *Pattern { return &Pattern{kind: pConcat, subs: ps} }
+
+// Star matches zero or more repetitions of p.
+func Star(p *Pattern) *Pattern { return &Pattern{kind: pStar, subs: []*Pattern{p}} }
+
+// Alt matches any one of its arguments.
+func Alt(ps ...*Pattern) *Pattern { return &Pattern{kind: pAlt, subs: ps} }
+
+// Edge is one NFA transition: on observation Obs, move From -> To.
+type Edge struct {
+	From int
+	Obs  Obs
+	To   int
+}
+
+// NFA is a nondeterministic automaton over observations with epsilon
+// transitions already eliminated. State 0 is the start state.
+type NFA struct {
+	States int
+	Accept map[int]bool
+	Edges  []Edge
+	// outgoing[s] lists edge indexes leaving s.
+	outgoing map[int][]int
+}
+
+// Compile builds an NFA via Thompson construction followed by epsilon
+// closure elimination.
+func (p *Pattern) Compile() *NFA {
+	b := &thompson{eps: map[int][]int{}}
+	start := b.newState()
+	end := b.build(p, start)
+	// Epsilon elimination.
+	nfa := &NFA{States: b.states, Accept: map[int]bool{}, outgoing: map[int][]int{}}
+	for s := 0; s < b.states; s++ {
+		cl := b.closure(s)
+		for t := range cl {
+			if t == end {
+				nfa.Accept[s] = true
+			}
+			for _, e := range b.edges[t] {
+				nfa.Edges = append(nfa.Edges, Edge{From: s, Obs: e.Obs, To: e.To})
+			}
+		}
+	}
+	// Deduplicate edges and index them.
+	seen := map[string]bool{}
+	dedup := nfa.Edges[:0]
+	for _, e := range nfa.Edges {
+		k := fmt.Sprintf("%d|%s|%s|%d", e.From, e.Obs.Alarm, e.Obs.Peer, e.To)
+		if !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, e)
+		}
+	}
+	nfa.Edges = dedup
+	for i, e := range nfa.Edges {
+		nfa.outgoing[e.From] = append(nfa.outgoing[e.From], i)
+	}
+	return nfa
+}
+
+type tEdge struct {
+	Obs Obs
+	To  int
+}
+
+type thompson struct {
+	states int
+	edges  map[int][]tEdge
+	eps    map[int][]int
+}
+
+func (b *thompson) newState() int {
+	if b.edges == nil {
+		b.edges = map[int][]tEdge{}
+	}
+	s := b.states
+	b.states++
+	return s
+}
+
+// build wires pattern p from state `from` and returns its accepting state.
+func (b *thompson) build(p *Pattern, from int) int {
+	switch p.kind {
+	case pEps:
+		return from
+	case pSym:
+		to := b.newState()
+		b.edges[from] = append(b.edges[from], tEdge{Obs: p.obs, To: to})
+		return to
+	case pConcat:
+		cur := from
+		for _, sub := range p.subs {
+			cur = b.build(sub, cur)
+		}
+		return cur
+	case pStar:
+		// from -eps-> hub; hub -sub-> back to hub; accept at hub.
+		hub := b.newState()
+		b.eps[from] = append(b.eps[from], hub)
+		end := b.build(p.subs[0], hub)
+		b.eps[end] = append(b.eps[end], hub)
+		return hub
+	case pAlt:
+		join := b.newState()
+		for _, sub := range p.subs {
+			end := b.build(sub, from)
+			b.eps[end] = append(b.eps[end], join)
+		}
+		return join
+	default:
+		panic("alarm: unknown pattern kind")
+	}
+}
+
+func (b *thompson) closure(s int) map[int]bool {
+	out := map[int]bool{s: true}
+	stack := []int{s}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range b.eps[t] {
+			if !out[u] {
+				out[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return out
+}
+
+// StateSet is a set of NFA states.
+type StateSet map[int]bool
+
+// Start returns the initial state set.
+func (n *NFA) Start() StateSet { return StateSet{0: true} }
+
+// Step advances the state set on one observation.
+func (n *NFA) Step(states StateSet, o Obs) StateSet {
+	out := StateSet{}
+	for s := range states {
+		for _, ei := range n.outgoing[s] {
+			e := n.Edges[ei]
+			if e.Obs == o {
+				out[e.To] = true
+			}
+		}
+	}
+	return out
+}
+
+// Accepting reports whether the state set contains an accepting state.
+func (n *NFA) Accepting(states StateSet) bool {
+	for s := range states {
+		if n.Accept[s] {
+			return true
+		}
+	}
+	return false
+}
+
+// Accepts runs the whole sequence.
+func (n *NFA) Accepts(seq Seq) bool {
+	st := n.Start()
+	for _, o := range seq {
+		st = n.Step(st, o)
+		if len(st) == 0 {
+			return false
+		}
+	}
+	return n.Accepting(st)
+}
+
+// Linear returns the pattern matching exactly the given sequence — the
+// basic diagnosis problem is the special case of pattern diagnosis where
+// the automaton is a straight line, which is how the paper encodes the
+// sequence in the alarmSeq relation.
+func Linear(seq Seq) *Pattern {
+	subs := make([]*Pattern, len(seq))
+	for i, o := range seq {
+		subs[i] = Sym(o.Alarm, o.Peer)
+	}
+	return Concat(subs...)
+}

@@ -1,0 +1,131 @@
+// Package core is the library's front door: it ties the Petri-net system
+// model, the alarm sequences and the four diagnosis engines together
+// behind a small API, and exposes the paper's Datalog machinery for
+// callers that want to work at the program level.
+//
+// A typical session:
+//
+//	sys, err := core.LoadNet(netText)
+//	seq, err := core.ParseAlarms("b@p1 a@p2 c@p1")
+//	rep, err := sys.Diagnose(seq, core.DQSQ, core.Options{})
+//	for _, cfg := range rep.Diagnoses { ... }
+//
+// See the examples/ directory for complete programs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/diagnosis"
+	"repro/internal/parser"
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+// Engine identifies a diagnosis strategy.
+type Engine = diagnosis.Engine
+
+// The available engines.
+const (
+	// Direct searches net interleavings explicitly (ground truth).
+	Direct = diagnosis.EngineDirect
+	// Product is the dedicated algorithm of the paper's reference [8].
+	Product = diagnosis.EngineProduct
+	// Naive evaluates the Section 4 dDatalog program with the naive
+	// distributed evaluation of Section 3.2.
+	Naive = diagnosis.EngineNaive
+	// DQSQ evaluates it with distributed Query-Sub-Query — the paper's
+	// contribution.
+	DQSQ = diagnosis.EngineDQSQ
+)
+
+// Options re-exports the diagnosis run options.
+type Options = diagnosis.Options
+
+// Report re-exports the diagnosis report.
+type Report = diagnosis.Report
+
+// Budget re-exports evaluation budgets.
+type Budget = datalog.Budget
+
+// System is a distributed discrete event system: a safe Petri net whose
+// places and transitions are assigned to peers.
+type System struct {
+	PN *petri.PetriNet
+}
+
+// NewSystem wraps an already-built net, checking its safety up to
+// maxStates reachable markings (0 means 100000).
+func NewSystem(pn *petri.PetriNet, maxStates int) (*System, error) {
+	if maxStates == 0 {
+		maxStates = 100000
+	}
+	if _, _, err := pn.CheckSafe(maxStates); err != nil {
+		return nil, fmt.Errorf("core: net is not safe: %w", err)
+	}
+	return &System{PN: pn}, nil
+}
+
+// LoadNet parses the textual net format (see parser.Net) and validates
+// safety.
+func LoadNet(text string) (*System, error) {
+	pn, err := parser.Net(text)
+	if err != nil {
+		return nil, err
+	}
+	return NewSystem(pn, 0)
+}
+
+// Example returns the paper's running example (Figure 1).
+func Example() *System {
+	return &System{PN: petri.Example()}
+}
+
+// ParseAlarms parses "b@p1 a@p2 c@p1".
+func ParseAlarms(text string) (alarm.Seq, error) {
+	return parser.Alarms(text)
+}
+
+// Diagnose computes the diagnosis set of seq with the chosen engine.
+func (s *System) Diagnose(seq alarm.Seq, engine Engine, opt Options) (*Report, error) {
+	return diagnosis.Run(s.PN, seq, engine, opt)
+}
+
+// DiagnosePattern computes the Section 4.4 pattern diagnoses.
+func (s *System) DiagnosePattern(p *alarm.Pattern, opt Options) (diagnosis.Diagnoses, error) {
+	return diagnosis.DiagnosePattern(s.PN, p.Compile(), opt)
+}
+
+// Unfold builds a bounded prefix of the system's unfolding.
+func (s *System) Unfold(maxDepth, maxEvents int) *unfold.Unfolding {
+	return unfold.Build(s.PN, unfold.Options{MaxDepth: maxDepth, MaxEvents: maxEvents})
+}
+
+// UnfoldingProgram returns Prog(N, M) — the Section 4.1 dDatalog program
+// whose minimal model is the system's unfolding (Theorem 2). The system's
+// net is padded to 2-parent form first.
+func (s *System) UnfoldingProgram() (*ddatalog.Program, error) {
+	padded, err := petri.Pad2(s.PN)
+	if err != nil {
+		return nil, err
+	}
+	return diagnosis.BuildUnfoldingProgram(padded)
+}
+
+// DiagnosisProgram returns P_A(N, M, A) — the full Section 4.2 program —
+// and the supervisor query atom.
+func (s *System) DiagnosisProgram(seq alarm.Seq) (*ddatalog.Program, ddatalog.PAtom, error) {
+	padded, err := petri.Pad2(s.PN)
+	if err != nil {
+		return nil, ddatalog.PAtom{}, err
+	}
+	return diagnosis.BuildDiagnosisProgram(padded, seq)
+}
+
+// Peers lists the system's peers.
+func (s *System) Peers() []petri.Peer {
+	return s.PN.Net.Peers()
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/parser"
+)
+
+func TestLoadNetAndDiagnose(t *testing.T) {
+	sys, err := LoadNet(parser.FormatNet(Example().PN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ParseAlarms("b@p1 a@p2 c@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Diagnose(seq, DQSQ, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnoses) != 2 {
+		t.Fatalf("diagnoses = %v", rep.Diagnoses.Keys())
+	}
+}
+
+func TestEnginesConsistentThroughFacade(t *testing.T) {
+	sys := Example()
+	seq, _ := ParseAlarms("b@p1 a@p2 c@p1")
+	want, err := sys.Diagnose(seq, Direct, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Engine{Product, Naive, DQSQ} {
+		rep, err := sys.Diagnose(seq, e, Options{Timeout: 30 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Diagnoses.Equal(want.Diagnoses) {
+			t.Fatalf("%v differs", e)
+		}
+	}
+}
+
+func TestUnsafeNetRejected(t *testing.T) {
+	_, err := LoadNet(`
+		place a p
+		place b p
+		place c p
+		trans t1 p x : a -> c
+		trans t2 p y : b -> c
+		init a b
+	`)
+	if err == nil || !strings.Contains(err.Error(), "safe") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnfoldFacade(t *testing.T) {
+	u := Example().Unfold(3, 1000)
+	if len(u.Events) == 0 {
+		t.Fatal("empty unfolding")
+	}
+}
+
+func TestProgramsFacade(t *testing.T) {
+	sys := Example()
+	up, err := sys.UnfoldingProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Rules) == 0 {
+		t.Fatal("empty unfolding program")
+	}
+	seq, _ := ParseAlarms("b@p1")
+	dp, q, err := sys.DiagnosisProgram(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Rules) <= len(up.Rules) {
+		t.Fatal("diagnosis program no larger than unfolding program")
+	}
+	if q.Rel != "q" {
+		t.Fatalf("query = %v", q.Rel)
+	}
+	if len(sys.Peers()) != 2 {
+		t.Fatalf("peers = %v", sys.Peers())
+	}
+}
+
+func TestPatternFacade(t *testing.T) {
+	sys := Example()
+	pat := alarm.Concat(alarm.Sym("a", "p2"), alarm.Sym("b", "p2"))
+	d, err := sys.DiagnosePattern(pat, Options{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 1 {
+		t.Fatalf("pattern diagnoses = %v", d.Keys())
+	}
+}

@@ -1,0 +1,116 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestAnswersRepeatedVariable(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	p.AddFact(A("e", s.Constant("a"), s.Constant("a")))
+	p.AddFact(A("e", s.Constant("a"), s.Constant("b")))
+	db, _ := p.SemiNaive(Budget{})
+
+	x := s.Variable("X")
+	rows := Answers(db, s, A("e", x, x))
+	if len(rows) != 1 || s.String(rows[0][0]) != "a" {
+		t.Fatalf("e(X,X) answers = %v", rows)
+	}
+}
+
+func TestAnswersGroundQuery(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	p.AddFact(A("e", s.Constant("a")))
+	db, _ := p.SemiNaive(Budget{})
+
+	// Ground positive query: one empty row.
+	rows := Answers(db, s, A("e", s.Constant("a")))
+	if len(rows) != 1 || len(rows[0]) != 0 {
+		t.Fatalf("ground positive = %v", rows)
+	}
+	// Ground negative query: no rows.
+	if rows := Answers(db, s, A("e", s.Constant("zz"))); len(rows) != 0 {
+		t.Fatalf("ground negative = %v", rows)
+	}
+}
+
+func TestAnswersCompoundPattern(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	p.AddFact(A("holds", s.Compound("f", s.Constant("a"), s.Constant("b"))))
+	p.AddFact(A("holds", s.Constant("flat")))
+	db, _ := p.SemiNaive(Budget{})
+
+	x := s.Variable("X")
+	rows := Answers(db, s, A("holds", s.Compound("f", x, s.Constant("b"))))
+	if len(rows) != 1 || s.String(rows[0][0]) != "a" {
+		t.Fatalf("compound pattern answers = %v", rows)
+	}
+}
+
+func TestIterationBudget(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddFact(A("nat", s.Constant("z")))
+	p.AddRule(Rule{Head: A("nat", s.Compound("s", x)), Body: []Atom{A("nat", x)}})
+
+	_, st := p.SemiNaive(Budget{MaxIters: 5, MaxFacts: 1 << 20})
+	if !st.Truncated || st.Reason != "iteration budget" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Iterations > 5 {
+		t.Fatalf("ran %d iterations", st.Iterations)
+	}
+}
+
+func TestDumpDeterministic(t *testing.T) {
+	build := func() string {
+		s := term.NewStore()
+		p := NewProgram(s)
+		for _, c := range []string{"c", "a", "b"} {
+			p.AddFact(A("r", s.Constant(c)))
+			p.AddFact(A("q", s.Constant(c), s.Constant(c)))
+		}
+		db, _ := p.SemiNaive(Budget{})
+		return db.Dump()
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if build() != first {
+			t.Fatal("Dump not deterministic")
+		}
+	}
+}
+
+func TestProgramStringRendering(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddFact(A("e", s.Constant("a"), s.Constant("b")))
+	p.AddRule(Rule{
+		Head: A("tc", x, y),
+		Body: []Atom{A("e", x, y)},
+		Neqs: []Neq{{X: x, Y: y}},
+	})
+	want := "e(a,b).\ntc(X,Y) :- e(X,Y), X != Y.\n"
+	if got := p.String(); got != want {
+		t.Fatalf("String:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestSeededVsDerivedAccounting(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddFact(A("e", s.Constant("a")))
+	p.AddFact(A("e", s.Constant("b")))
+	p.AddRule(Rule{Head: A("r", x), Body: []Atom{A("e", x)}})
+	_, st := p.SemiNaive(Budget{})
+	if st.Seeded != 2 || st.Derived != 2 {
+		t.Fatalf("seeded=%d derived=%d", st.Seeded, st.Derived)
+	}
+}

@@ -1,0 +1,169 @@
+// Package datalog implements the deductive-database substrate of the
+// reproduction: Datalog with function symbols and inequality constraints
+// (the paper's rule language, Section 3), validated programs, and naive and
+// semi-naive bottom-up evaluation under explicit budgets.
+//
+// Because rules may build compound terms in their heads (the Skolem
+// functions f, g, h that name unfolding nodes), the minimal model can be
+// infinite; every evaluator therefore takes a Budget and reports whether it
+// was hit.
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Atom is a literal R(t1, ..., tn). Args are term IDs in a Store shared by
+// the whole program.
+type Atom struct {
+	Rel  rel.Name
+	Args []term.ID
+}
+
+// A is a terse atom constructor: A("edge", x, y).
+func A(r rel.Name, args ...term.ID) Atom {
+	return Atom{Rel: r, Args: args}
+}
+
+// String renders the atom against its store.
+func (a Atom) String(s *term.Store) string {
+	var b strings.Builder
+	b.WriteString(string(a.Rel))
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String(t))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Neq is an inequality constraint x != y between two terms of a rule body.
+type Neq struct {
+	X, Y term.ID
+}
+
+// Rule is a Horn rule Head :- Body, Neqs. A rule with an empty body is a
+// fact (its head must then be ground).
+type Rule struct {
+	Head Atom
+	Body []Atom
+	Neqs []Neq
+}
+
+// IsFact reports whether the rule has an empty body.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 && len(r.Neqs) == 0 }
+
+// String renders the rule in textual Datalog.
+func (r Rule) String(s *term.Store) string {
+	var b strings.Builder
+	b.WriteString(r.Head.String(s))
+	if len(r.Body) > 0 || len(r.Neqs) > 0 {
+		b.WriteString(" :- ")
+		for i, a := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String(s))
+		}
+		for i, n := range r.Neqs {
+			if i > 0 || len(r.Body) > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(s.String(n.X))
+			b.WriteString(" != ")
+			b.WriteString(s.String(n.Y))
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Program is a finite set of rules over a shared term store, plus the
+// extensional facts. EDB relations are those that never occur in a rule
+// head; IDB relations are defined by rules.
+type Program struct {
+	Store *term.Store
+	Rules []Rule
+	Facts []Atom // ground extensional facts
+}
+
+// NewProgram returns an empty program over store.
+func NewProgram(store *term.Store) *Program {
+	return &Program{Store: store}
+}
+
+// AddRule appends a rule.
+func (p *Program) AddRule(r Rule) { p.Rules = append(p.Rules, r) }
+
+// AddFact appends a ground extensional fact. It panics if the atom is not
+// ground — catching encoding bugs early.
+func (p *Program) AddFact(a Atom) {
+	for _, t := range a.Args {
+		if !p.Store.IsGround(t) {
+			panic(fmt.Sprintf("datalog: non-ground fact %s", a.String(p.Store)))
+		}
+	}
+	p.Facts = append(p.Facts, a)
+}
+
+// IDB returns the set of relation names defined by rule heads.
+func (p *Program) IDB() map[rel.Name]bool {
+	idb := make(map[rel.Name]bool)
+	for _, r := range p.Rules {
+		idb[r.Head.Rel] = true
+	}
+	return idb
+}
+
+// Arities returns the arity of every relation mentioned in the program,
+// or an error if a relation is used with two different arities.
+func (p *Program) Arities() (map[rel.Name]int, error) {
+	ar := make(map[rel.Name]int)
+	note := func(a Atom) error {
+		if prev, ok := ar[a.Rel]; ok {
+			if prev != len(a.Args) {
+				return fmt.Errorf("datalog: relation %s used with arities %d and %d", a.Rel, prev, len(a.Args))
+			}
+			return nil
+		}
+		ar[a.Rel] = len(a.Args)
+		return nil
+	}
+	for _, f := range p.Facts {
+		if err := note(f); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range p.Rules {
+		if err := note(r.Head); err != nil {
+			return nil, err
+		}
+		for _, a := range r.Body {
+			if err := note(a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ar, nil
+}
+
+// String renders the whole program, facts first.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Facts {
+		b.WriteString(f.String(p.Store))
+		b.WriteString(".\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String(p.Store))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

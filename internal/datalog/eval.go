@@ -1,0 +1,293 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Budget bounds an evaluation. Datalog with function symbols has infinite
+// minimal models in general (Section 3: "the semantics of a Datalog program
+// may be infinite and its naive evaluation may not terminate"), so every
+// run declares how much it is willing to materialize. The zero Budget means
+// DefaultBudget.
+type Budget struct {
+	// MaxFacts bounds the total number of materialized tuples across all
+	// relations, extensional facts included.
+	MaxFacts int
+	// MaxIters bounds fixpoint iterations.
+	MaxIters int
+	// MaxTermDepth, when positive, drops derived facts containing a term
+	// nested deeper than this — the paper's Section 4.4 "gadget" of
+	// bounding the depth of the unfolding.
+	MaxTermDepth int
+}
+
+// DefaultBudget is used for zero-valued budgets: generous enough for every
+// experiment in this repository, small enough to fail fast on divergence.
+var DefaultBudget = Budget{MaxFacts: 1 << 21, MaxIters: 1 << 16}
+
+func (b Budget) orDefault() Budget {
+	if b.MaxFacts == 0 {
+		b.MaxFacts = DefaultBudget.MaxFacts
+	}
+	if b.MaxIters == 0 {
+		b.MaxIters = DefaultBudget.MaxIters
+	}
+	return b
+}
+
+// Stats reports what an evaluation did.
+type Stats struct {
+	Iterations int  // fixpoint rounds executed
+	Seeded     int  // extensional facts loaded
+	Derived    int  // new tuples materialized by rules — the metric QSQ minimizes
+	Attempts   int  // successful body matches (incl. duplicates and depth-dropped)
+	Truncated  bool // a budget bound was hit; the result is a sound under-approximation
+	Reason     string
+}
+
+// ErrBudget is wrapped by errors returned when a budget is exhausted and
+// the caller asked for strict evaluation.
+var ErrBudget = errors.New("datalog: budget exhausted")
+
+// SemiNaive evaluates the program bottom-up with semi-naive iteration and
+// returns the materialized database. If the budget is hit, the database is
+// a sound prefix of the minimal model and Stats.Truncated is set; no error
+// is returned for truncation (diagnosis workloads rely on bounded prefixes).
+func (p *Program) SemiNaive(b Budget) (*rel.DB, Stats) {
+	return p.run(b, true)
+}
+
+// Naive evaluates the program with naive iteration: every round rejoins
+// full relations rather than deltas. Semantically identical to SemiNaive;
+// kept as the cost baseline the paper's Section 3.1 starts from.
+func (p *Program) Naive(b Budget) (*rel.DB, Stats) {
+	return p.run(b, false)
+}
+
+type evaluator struct {
+	p       *Program
+	db      *rel.DB
+	budget  Budget
+	stats   Stats
+	seeding bool
+	prev    map[rel.Name]int // watermark at start of previous round
+	cur     map[rel.Name]int // watermark at start of current round
+}
+
+func (p *Program) run(b Budget, seminaive bool) (*rel.DB, Stats) {
+	b = b.orDefault()
+	arities, err := p.Arities()
+	if err != nil {
+		panic(err) // callers validate first; an invalid program is a programming error here
+	}
+	e := &evaluator{
+		p:      p,
+		db:     rel.NewDB(p.Store),
+		budget: b,
+		prev:   make(map[rel.Name]int),
+		cur:    make(map[rel.Name]int),
+	}
+	// Create every relation up front so lookups never nil-check.
+	for name, ar := range arities {
+		e.db.Rel(name, ar)
+	}
+	// Seed extensional facts and ground-fact rules.
+	e.seeding = true
+	for _, f := range p.Facts {
+		e.insert(f.Rel, f.Args)
+	}
+	for _, r := range p.Rules {
+		if r.IsFact() {
+			e.insert(r.Head.Rel, r.Head.Args)
+		}
+	}
+	e.seeding = false
+
+	bnd := term.NewBindings(p.Store)
+	for e.stats.Iterations < b.MaxIters && !e.stats.Truncated {
+		e.stats.Iterations++
+		grew := false
+		for name := range e.cur {
+			e.cur[name] = 0
+		}
+		for _, name := range e.db.Names() {
+			e.cur[name] = e.db.Lookup(name).Len()
+		}
+		before := e.db.FactCount()
+		for _, r := range p.Rules {
+			if r.IsFact() {
+				continue
+			}
+			if seminaive && e.stats.Iterations > 1 {
+				// One pass per choice of delta atom.
+				for d := range r.Body {
+					dr := e.db.Lookup(r.Body[d].Rel)
+					if dr == nil || e.prev[r.Body[d].Rel] >= e.cur[r.Body[d].Rel] {
+						continue // empty delta
+					}
+					e.joinBody(r, 0, d, bnd)
+					if e.stats.Truncated {
+						break
+					}
+				}
+			} else {
+				e.joinBody(r, 0, -1, bnd)
+			}
+			if e.stats.Truncated {
+				break
+			}
+		}
+		grew = e.db.FactCount() > before
+		for name, c := range e.cur {
+			e.prev[name] = c
+		}
+		if !grew {
+			return e.db, e.stats
+		}
+	}
+	if !e.stats.Truncated && e.stats.Iterations >= b.MaxIters {
+		e.stats.Truncated = true
+		e.stats.Reason = "iteration budget"
+	}
+	return e.db, e.stats
+}
+
+// window returns the scan window [lo,hi) for body atom j when the delta
+// atom is at index d (d < 0 means naive: full current window everywhere).
+func (e *evaluator) window(r Rule, j, d int) (int, int) {
+	name := r.Body[j].Rel
+	switch {
+	case d < 0 || j < d:
+		return 0, e.cur[name]
+	case j == d:
+		return e.prev[name], e.cur[name]
+	default:
+		return 0, e.prev[name]
+	}
+}
+
+// joinBody extends bindings over body atoms j..n-1 and emits head facts.
+func (e *evaluator) joinBody(r Rule, j, d int, bnd *term.Bindings) {
+	if e.stats.Truncated {
+		return
+	}
+	if j == len(r.Body) {
+		e.emit(r, bnd)
+		return
+	}
+	atom := r.Body[j]
+	relation := e.db.Lookup(atom.Rel)
+	lo, hi := e.window(r, j, d)
+
+	// Build an index key from arguments that are ground under the current
+	// bindings; non-ground arguments are matched per candidate tuple.
+	var mask uint64
+	key := make([]term.ID, len(atom.Args))
+	resolved := make([]term.ID, len(atom.Args))
+	for i, a := range atom.Args {
+		t := bnd.Resolve(a)
+		resolved[i] = t
+		if e.p.Store.IsGround(t) {
+			mask |= 1 << uint(i)
+			key[i] = t
+		}
+	}
+	relation.Scan(mask, key, lo, hi, func(_ int, tuple []term.ID) bool {
+		mark := bnd.Mark()
+		ok := true
+		for i, pat := range resolved {
+			if mask&(1<<uint(i)) != 0 {
+				continue // already matched via the index
+			}
+			if !bnd.Match(pat, tuple[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.joinBody(r, j+1, d, bnd)
+		}
+		bnd.Undo(mark)
+		return !e.stats.Truncated
+	})
+}
+
+// emit checks the rule's inequality constraints and materializes the head.
+func (e *evaluator) emit(r Rule, bnd *term.Bindings) {
+	for _, n := range r.Neqs {
+		if bnd.Resolve(n.X) == bnd.Resolve(n.Y) {
+			return
+		}
+	}
+	e.stats.Attempts++
+	args := make([]term.ID, len(r.Head.Args))
+	for i, a := range r.Head.Args {
+		t := bnd.Resolve(a)
+		if !e.p.Store.IsGround(t) {
+			panic(fmt.Sprintf("datalog: derived non-ground fact from %s", r.String(e.p.Store)))
+		}
+		if e.budget.MaxTermDepth > 0 && e.p.Store.Depth(t) > e.budget.MaxTermDepth {
+			return // depth gadget: drop, do not truncate
+		}
+		args[i] = t
+	}
+	e.insert(r.Head.Rel, args)
+}
+
+func (e *evaluator) insert(name rel.Name, args []term.ID) {
+	if e.db.Lookup(name).Insert(args) {
+		if e.seeding {
+			e.stats.Seeded++
+		} else {
+			e.stats.Derived++
+		}
+		if e.db.FactCount() >= e.budget.MaxFacts {
+			e.stats.Truncated = true
+			e.stats.Reason = "fact budget"
+		}
+	}
+}
+
+// Answers evaluates a query pattern against a materialized database: it
+// returns the bindings of the pattern's variables, in first-occurrence
+// order, for every matching tuple of the pattern's relation. The returned
+// tuples are deduplicated and deterministic (insertion order of db).
+func Answers(db *rel.DB, store *term.Store, q Atom) [][]term.ID {
+	relation := db.Lookup(q.Rel)
+	if relation == nil {
+		return nil
+	}
+	var qvars []term.ID
+	for _, a := range q.Args {
+		qvars = store.Vars(qvars, a)
+	}
+	bnd := term.NewBindings(store)
+	seen := rel.New(len(qvars))
+	var out [][]term.ID
+	relation.Scan(0, nil, 0, relation.Len(), func(_ int, tuple []term.ID) bool {
+		mark := bnd.Mark()
+		ok := true
+		for i, pat := range q.Args {
+			if !bnd.Match(pat, tuple[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			row := make([]term.ID, len(qvars))
+			for i, v := range qvars {
+				row[i] = bnd.Resolve(v)
+			}
+			if seen.Insert(row) {
+				out = append(out, row)
+			}
+		}
+		bnd.Undo(mark)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,475 @@
+package ddatalog
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/dist"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Messages exchanged by the naive distributed evaluation (Section 3.2):
+// a peer activates a remote relation and thereby subscribes to its tuple
+// stream; the owner streams every current and future tuple back.
+
+// msgActivate asks the receiver to activate relation Rel (unqualified, a
+// relation of the receiver) and subscribe the sender to its tuples.
+type msgActivate struct {
+	Rel rel.Name
+}
+
+// msgFacts carries ground tuples of a (qualified) relation to a subscriber.
+type msgFacts struct {
+	Qual  rel.Name // qualified name "R@owner"
+	Arity int
+	Tuple term.Extern
+}
+
+// Stats summarizes a distributed run.
+type Stats struct {
+	Net        dist.Stats
+	Derived    int // tuples materialized at their owner peer
+	Replicated int // remote tuples copied into subscriber replicas
+	Truncated  bool
+	Reason     string
+}
+
+// Engine evaluates a distributed program naively. Create with NewEngine,
+// run once with Run, then inspect per-peer databases with PeerDB.
+type Engine struct {
+	prog    *Program
+	budget  datalog.Budget
+	peers   map[dist.PeerID]*peerState
+	order   []dist.PeerID
+	derived atomic.Int64 // global fact counter for the budget
+	aborted atomic.Bool  // set when the budget trips; stops in-handler work
+	hook    ActivationHook
+	stats   Stats
+}
+
+// peerState is the private state of one peer; only its own goroutine
+// touches it after Run starts.
+type peerState struct {
+	eng       *Engine
+	id        dist.PeerID
+	store     *term.Store
+	db        *rel.DB
+	bnd       *term.Bindings
+	rules     []PRule                 // hosted rules, re-interned into store
+	active    map[rel.Name]bool       // qualified local relations activated
+	requested map[rel.Name]bool       // qualified remote relations already activated
+	subs      map[rel.Name][]dist.PeerID
+	bodyIdx   map[rel.Name][]ruleAt // qualified relation -> occurrences in hosted rule bodies
+	arity     map[rel.Name]int      // qualified relation -> arity
+	hooked    map[rel.Name]bool     // relations whose activation hook already ran
+	pending   []pendingFact         // derived facts awaiting their delta joins
+	derived   int
+	replicated int
+}
+
+// pendingFact is a newly materialized fact whose delta joins have not run
+// yet. Derivations are queued rather than evaluated recursively so that a
+// rule never re-enters the join machinery (and its variable bindings)
+// while a previous instantiation is still on the stack.
+type pendingFact struct {
+	q    rel.Name
+	args []term.ID
+}
+
+type ruleAt struct {
+	rule int // index into peerState.rules
+	atom int // body position
+}
+
+// NewEngine prepares a naive distributed evaluation of prog under budget.
+func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if budget.MaxFacts == 0 {
+		budget.MaxFacts = datalog.DefaultBudget.MaxFacts
+	}
+	e := &Engine{prog: prog, budget: budget, peers: make(map[dist.PeerID]*peerState)}
+	for _, id := range prog.Peers() {
+		ps := &peerState{
+			eng:       e,
+			id:        id,
+			store:     term.NewStore(),
+			active:    make(map[rel.Name]bool),
+			requested: make(map[rel.Name]bool),
+			subs:      make(map[rel.Name][]dist.PeerID),
+			bodyIdx:   make(map[rel.Name][]ruleAt),
+			arity:     make(map[rel.Name]int),
+			hooked:    make(map[rel.Name]bool),
+		}
+		ps.db = rel.NewDB(ps.store)
+		ps.bnd = term.NewBindings(ps.store)
+		e.peers[id] = ps
+		e.order = append(e.order, id)
+	}
+
+	// Ship rules and facts to their hosts, re-interning terms into each
+	// peer's private store (the wire conversion the real system would do).
+	src := prog.Store
+	for _, r := range prog.Rules {
+		ps := e.peers[r.Head.Peer]
+		ps.rules = append(ps.rules, reintern(src, ps.store, r))
+	}
+	for i := range e.order {
+		ps := e.peers[e.order[i]]
+		for ri, r := range ps.rules {
+			ps.noteArity(r.Head.Qualified(), len(r.Head.Args))
+			for ai, a := range r.Body {
+				q := a.Qualified()
+				ps.noteArity(q, len(a.Args))
+				ps.bodyIdx[q] = append(ps.bodyIdx[q], ruleAt{rule: ri, atom: ai})
+			}
+		}
+	}
+	for _, f := range prog.Facts {
+		ps := e.peers[f.Peer]
+		args := ps.store.InternalizeTuple(src.ExternalizeTuple(f.Args))
+		q := f.Qualified()
+		ps.noteArity(q, len(args))
+		ps.rel(q, len(args)).Insert(args)
+	}
+	return e, nil
+}
+
+func reintern(src, dst *term.Store, r PRule) PRule {
+	conv := func(a PAtom) PAtom {
+		return PAtom{Rel: a.Rel, Peer: a.Peer, Args: dst.InternalizeTuple(src.ExternalizeTuple(a.Args))}
+	}
+	out := PRule{Head: conv(r.Head)}
+	for _, a := range r.Body {
+		out.Body = append(out.Body, conv(a))
+	}
+	for _, n := range r.Neqs {
+		out.Neqs = append(out.Neqs, datalog.Neq{
+			X: dst.Internalize(src.Externalize(n.X)),
+			Y: dst.Internalize(src.Externalize(n.Y)),
+		})
+	}
+	return out
+}
+
+func (ps *peerState) noteArity(q rel.Name, n int) {
+	if prev, ok := ps.arity[q]; ok && prev != n {
+		panic(fmt.Sprintf("ddatalog: relation %s used with arities %d and %d", q, prev, n))
+	}
+	ps.arity[q] = n
+}
+
+func (ps *peerState) rel(q rel.Name, arity int) *rel.Relation {
+	return ps.db.Rel(q, arity)
+}
+
+// handle processes one network message for the peer.
+func (ps *peerState) handle(ctx *dist.Context, m dist.Message) {
+	switch msg := m.Payload.(type) {
+	case msgActivate:
+		ps.activateLocal(ctx, msg.Rel, m.From)
+	case msgInstall:
+		ps.installRule(ctx, ps.internRule(msg.Rule))
+	case msgFacts:
+		tuple := ps.store.InternalizeTuple(msg.Tuple)
+		ps.noteArity(msg.Qual, msg.Arity)
+		if ps.rel(msg.Qual, msg.Arity).Insert(tuple) {
+			ps.replicated++
+			ps.pending = append(ps.pending, pendingFact{q: msg.Qual, args: tuple})
+		}
+	default:
+		panic(fmt.Sprintf("ddatalog: unknown message %T", m.Payload))
+	}
+	ps.drain(ctx)
+}
+
+// drain runs the delta joins of every pending fact until none remain.
+// On a divergent program this loop is where facts pile up, so it is also
+// where a budget abort must take effect: network aborts stop message
+// delivery but cannot interrupt a handler.
+func (ps *peerState) drain(ctx *dist.Context) {
+	for len(ps.pending) > 0 && !ps.eng.aborted.Load() && !ctx.Stopped() {
+		f := ps.pending[0]
+		ps.pending = ps.pending[1:]
+		ps.deltaJoin(ctx, f.q, f.args)
+	}
+}
+
+// activateLocal activates relation r (owned by this peer) and subscribes
+// subscriber (unless it is the pseudo-peer marker ""). Activation recurses
+// into the body relations of every defining rule — remote ones via
+// msgActivate, local ones directly.
+func (ps *peerState) activateLocal(ctx *dist.Context, r rel.Name, subscriber dist.PeerID) {
+	q := Qualify(r, ps.id)
+	if subscriber != "" && subscriber != ps.id {
+		already := false
+		for _, s := range ps.subs[q] {
+			if s == subscriber {
+				already = true
+				break
+			}
+		}
+		if !already {
+			ps.subs[q] = append(ps.subs[q], subscriber)
+			// Stream everything known so far.
+			if relation := ps.db.Lookup(q); relation != nil {
+				for _, tuple := range relation.All() {
+					ctx.Send(subscriber, msgFacts{Qual: q, Arity: relation.Arity(), Tuple: ps.store.ExternalizeTuple(tuple)})
+				}
+			}
+		}
+	}
+	if ps.active[q] {
+		return
+	}
+	ps.active[q] = true
+	ps.runHook(ctx, r)
+	if ar, ok := ps.arity[q]; ok {
+		ps.rel(q, ar) // ensure the relation exists even if empty
+	}
+	for _, rule := range ps.rules {
+		if rule.Head.Rel != r {
+			continue
+		}
+		for _, a := range rule.Body {
+			ps.activateBody(ctx, a)
+		}
+		// Initial full evaluation of the newly activated rule.
+		ps.evalRule(ctx, rule, -1, nil)
+	}
+}
+
+func (ps *peerState) activateBody(ctx *dist.Context, a PAtom) {
+	if a.Peer == ps.id {
+		ps.activateLocal(ctx, a.Rel, "")
+		return
+	}
+	q := a.Qualified()
+	if !ps.requested[q] {
+		ps.requested[q] = true
+		ctx.Send(a.Peer, msgActivate{Rel: a.Rel})
+	}
+}
+
+// deltaJoin re-evaluates every hosted rule that uses q in its body, pinning
+// the occurrence to the new tuple.
+func (ps *peerState) deltaJoin(ctx *dist.Context, q rel.Name, tuple []term.ID) {
+	for _, occ := range ps.bodyIdx[q] {
+		rule := ps.rules[occ.rule]
+		if !ps.ruleActive(rule) {
+			continue
+		}
+		ps.evalRule(ctx, rule, occ.atom, tuple)
+	}
+}
+
+// ruleActive reports whether the rule's head relation has been activated.
+func (ps *peerState) ruleActive(r PRule) bool {
+	return ps.active[r.Head.Qualified()]
+}
+
+// evalRule joins the rule body left to right. If pin >= 0, body atom `pin`
+// is matched only against pinned (the delta tuple); other atoms scan their
+// full local replicas.
+func (ps *peerState) evalRule(ctx *dist.Context, r PRule, pin int, pinned []term.ID) {
+	ps.joinFrom(ctx, r, 0, pin, pinned)
+}
+
+func (ps *peerState) joinFrom(ctx *dist.Context, r PRule, j, pin int, pinned []term.ID) {
+	if j == len(r.Body) {
+		ps.emit(ctx, r)
+		return
+	}
+	a := r.Body[j]
+	if j == pin {
+		mark := ps.bnd.Mark()
+		ok := true
+		for i, pat := range a.Args {
+			if !ps.bnd.Match(ps.bnd.Resolve(pat), pinned[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ps.joinFrom(ctx, r, j+1, pin, pinned)
+		}
+		ps.bnd.Undo(mark)
+		return
+	}
+	q := a.Qualified()
+	relation := ps.db.Lookup(q)
+	if relation == nil {
+		return
+	}
+	var mask uint64
+	key := make([]term.ID, len(a.Args))
+	resolved := make([]term.ID, len(a.Args))
+	for i, t := range a.Args {
+		rt := ps.bnd.Resolve(t)
+		resolved[i] = rt
+		if ps.store.IsGround(rt) {
+			mask |= 1 << uint(i)
+			key[i] = rt
+		}
+	}
+	relation.Scan(mask, key, 0, relation.Len(), func(_ int, tuple []term.ID) bool {
+		mark := ps.bnd.Mark()
+		ok := true
+		for i, pat := range resolved {
+			if mask&(1<<uint(i)) != 0 {
+				continue
+			}
+			if !ps.bnd.Match(pat, tuple[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ps.joinFrom(ctx, r, j+1, pin, pinned)
+		}
+		ps.bnd.Undo(mark)
+		return true
+	})
+}
+
+// emit materializes the head of a satisfied rule body and propagates it.
+func (ps *peerState) emit(ctx *dist.Context, r PRule) {
+	for _, n := range r.Neqs {
+		if ps.bnd.Resolve(n.X) == ps.bnd.Resolve(n.Y) {
+			return
+		}
+	}
+	args := make([]term.ID, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		rt := ps.bnd.Resolve(t)
+		if !ps.store.IsGround(rt) {
+			panic(fmt.Sprintf("ddatalog: derived non-ground fact from %s", r.String(ps.store)))
+		}
+		if ps.eng.budget.MaxTermDepth > 0 && ps.store.Depth(rt) > ps.eng.budget.MaxTermDepth {
+			return // depth gadget (Section 4.4): silently dropped
+		}
+		args[i] = rt
+	}
+	ps.deriveFact(ctx, r.Head.Qualified(), args)
+}
+
+// deriveFact inserts a locally owned fact, forwards it to subscribers and
+// triggers local delta joins. Also used for the initial query seeding.
+func (ps *peerState) deriveFact(ctx *dist.Context, q rel.Name, args []term.ID) {
+	relation := ps.rel(q, len(args))
+	if !relation.Insert(args) {
+		return
+	}
+	ps.derived++
+	if int(ps.eng.derived.Add(1)) > ps.eng.budget.MaxFacts {
+		ps.eng.aborted.Store(true)
+		ctx.Abort(fmt.Errorf("%w: more than %d facts", datalog.ErrBudget, ps.eng.budget.MaxFacts))
+		return
+	}
+	for _, sub := range ps.subs[q] {
+		ctx.Send(sub, msgFacts{Qual: q, Arity: len(args), Tuple: ps.store.ExternalizeTuple(args)})
+	}
+	ps.pending = append(ps.pending, pendingFact{q: q, args: args})
+}
+
+// collectorID is the synthetic peer that receives the query's answers.
+const collectorID dist.PeerID = "§collector"
+
+// Result of a distributed run.
+type Result struct {
+	// Answers are the query-variable bindings, deduplicated, in
+	// first-occurrence order of the query's variables, interned in Store.
+	Answers [][]term.ID
+	// Store interns the answers (the collector's private store).
+	Store *term.Store
+	Stats Stats
+}
+
+// Run evaluates the program for the located query atom q: the collector
+// activates q's relation at q's peer, the network runs to quiescence, and
+// the tuples matching the query pattern are extracted. A zero timeout
+// means one minute.
+func (e *Engine) Run(q PAtom, timeout time.Duration) (*Result, error) {
+	if _, ok := e.peers[q.Peer]; !ok {
+		return nil, fmt.Errorf("ddatalog: query peer %q not in program", q.Peer)
+	}
+	net := dist.NewNetwork()
+	for _, id := range e.order {
+		ps := e.peers[id]
+		net.AddPeer(id, ps.handle)
+	}
+	colStore := term.NewStore()
+	colDB := rel.NewDB(colStore)
+	qual := q.Qualified()
+	net.AddPeer(collectorID, func(ctx *dist.Context, m dist.Message) {
+		msg, ok := m.Payload.(msgFacts)
+		if !ok {
+			return
+		}
+		colDB.Rel(msg.Qual, msg.Arity).Insert(colStore.InternalizeTuple(msg.Tuple))
+	})
+
+	netStats, err := net.Run([]dist.Message{
+		{From: collectorID, To: q.Peer, Payload: msgActivate{Rel: q.Rel}},
+	}, timeout)
+
+	res := &Result{Store: colStore}
+	res.Stats.Net = netStats
+	for _, id := range e.order {
+		ps := e.peers[id]
+		res.Stats.Derived += ps.derived
+		res.Stats.Replicated += ps.replicated
+	}
+	if err != nil {
+		res.Stats.Truncated = true
+		res.Stats.Reason = err.Error()
+		return res, err
+	}
+
+	// Extract answers by matching the query pattern against the collected
+	// relation (re-interning the pattern into the collector's store).
+	pattern := colStore.InternalizeTuple(e.prog.Store.ExternalizeTuple(q.Args))
+	res.Answers = datalog.Answers(colDB, colStore, datalog.Atom{Rel: qual, Args: pattern})
+	return res, nil
+}
+
+// PeerDB exposes a peer's database after Run has returned — used by tests
+// and by the materialization metrics. It must not be called concurrently
+// with Run.
+func (e *Engine) PeerDB(id dist.PeerID) *rel.DB {
+	ps := e.peers[id]
+	if ps == nil {
+		return nil
+	}
+	return ps.db
+}
+
+// Peers returns the program's peer IDs in first-mention order.
+func (e *Engine) Peers() []dist.PeerID {
+	out := make([]dist.PeerID, len(e.order))
+	copy(out, e.order)
+	return out
+}
+
+// PeerStore exposes a peer's term store after Run has returned.
+func (e *Engine) PeerStore(id dist.PeerID) *term.Store {
+	ps := e.peers[id]
+	if ps == nil {
+		return nil
+	}
+	return ps.store
+}
+
+// Run is the one-call convenience wrapper: build an engine and evaluate q.
+func Run(prog *Program, q PAtom, budget datalog.Budget, timeout time.Duration) (*Result, *Engine, error) {
+	e, err := NewEngine(prog, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := e.Run(q, timeout)
+	return res, e, err
+}

@@ -1,0 +1,278 @@
+package ddatalog
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/term"
+)
+
+// figure3 builds the paper's Figure 3 program: peers r (R, A), s (S, B),
+// t (T, C) with
+//
+//	rule 1 @r: R@r(x,y) :- A@r(x,y)
+//	rule 2 @r: R@r(x,y) :- S@s(x,z), T@t(z,y)
+//	rule 3 @s: S@s(x,y) :- R@r(x,y), B@s(y,z)
+//	rule 4 @t: T@t(x,y) :- C@t(x,y)
+func figure3(a, b, c [][2]string) *Program {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x, y, z := s.Variable("X"), s.Variable("Y"), s.Variable("Z")
+	p.AddRule(PRule{Head: At("R", "r", x, y), Body: []PAtom{At("A", "r", x, y)}})
+	p.AddRule(PRule{Head: At("R", "r", x, y), Body: []PAtom{At("S", "s", x, z), At("T", "t", z, y)}})
+	p.AddRule(PRule{Head: At("S", "s", x, y), Body: []PAtom{At("R", "r", x, y), At("B", "s", y, z)}})
+	p.AddRule(PRule{Head: At("T", "t", x, y), Body: []PAtom{At("C", "t", x, y)}})
+	add := func(name PAtom, rows [][2]string) {
+		for _, r := range rows {
+			p.AddFact(At(name.Rel, name.Peer, s.Constant(r[0]), s.Constant(r[1])))
+		}
+	}
+	add(At("A", "r"), a)
+	add(At("B", "s"), b)
+	add(At("C", "t"), c)
+	return p
+}
+
+func sortedRows(s *term.Store, rows [][]term.ID) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, t := range r {
+			parts[i] = s.String(t)
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFigure3DistributedMatchesLocal(t *testing.T) {
+	a := [][2]string{{"1", "2"}, {"2", "3"}}
+	b := [][2]string{{"2", "ok"}, {"3", "ok"}}
+	c := [][2]string{{"2", "4"}, {"3", "5"}}
+	p := figure3(a, b, c)
+	s := p.Store
+	q := At("R", "r", s.Constant("1"), s.Variable("Y"))
+
+	res, _, err := Run(p, q, datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	local := figure3(a, b, c).Localize()
+	db, _ := local.SemiNaive(datalog.Budget{})
+	ls := local.Store
+	want := sortedRows(ls, datalog.Answers(db, ls, datalog.Atom{Rel: "R@r", Args: []term.ID{ls.Constant("1"), ls.Variable("Y")}}))
+	got := sortedRows(res.Store, res.Answers)
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("distributed %v != local %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("expected answers")
+	}
+}
+
+func TestFigure3CrossPeerRecursionReachesFixpoint(t *testing.T) {
+	// R and S feed each other across peers r and s; the run must quiesce
+	// with the full mutual closure.
+	a := [][2]string{{"1", "2"}}
+	b := [][2]string{{"2", "w"}, {"4", "w"}}
+	c := [][2]string{{"2", "4"}, {"4", "6"}}
+	p := figure3(a, b, c)
+	s := p.Store
+	q := At("R", "r", s.Constant("1"), s.Variable("Y"))
+	res, eng, err := Run(p, q, datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R(1,2) from A; S(1,2) via B(2,w); T(2,4) from C; R(1,4) via rule 2;
+	// S(1,4) via B(4,w); T(4,6); R(1,6). No B(6,_): fixpoint.
+	got := sortedRows(res.Store, res.Answers)
+	if strings.Join(got, ";") != "2;4;6" {
+		t.Fatalf("answers %v, want [2 4 6]", got)
+	}
+	// The fixpoint materialized R at peer r.
+	rRel := eng.PeerDB("r").Lookup("R@r")
+	if rRel == nil || rRel.Len() != 3 {
+		t.Fatalf("R@r has %v tuples", rRel)
+	}
+}
+
+func TestGlobalTranslationAgrees(t *testing.T) {
+	a := [][2]string{{"1", "2"}}
+	b := [][2]string{{"2", "w"}}
+	c := [][2]string{{"2", "4"}}
+	p := figure3(a, b, c)
+
+	// Semantics of the distributed program = minimal model of the global
+	// translation (Section 3, "Models and Semantics").
+	g := p.Global()
+	gdb, _ := g.SemiNaive(datalog.Budget{})
+	gs := g.Store
+	wantR := sortedRows(gs, datalog.Answers(gdb, gs, datalog.Atom{Rel: "R-g",
+		Args: []term.ID{gs.Variable("X"), gs.Variable("Y"), gs.Constant("r")}}))
+
+	l := p.Localize()
+	ldb, _ := l.SemiNaive(datalog.Budget{})
+	ls := l.Store
+	gotR := sortedRows(ls, datalog.Answers(ldb, ls, datalog.Atom{Rel: "R@r",
+		Args: []term.ID{ls.Variable("X"), ls.Variable("Y")}}))
+
+	if strings.Join(wantR, ";") != strings.Join(gotR, ";") {
+		t.Fatalf("global %v != localized %v", wantR, gotR)
+	}
+}
+
+func TestActivationIsSelective(t *testing.T) {
+	// A relation U@t that nothing reachable from the query uses must stay
+	// cold: no replica of it anywhere, no activation message for it.
+	a := [][2]string{{"1", "2"}}
+	p := figure3(a, nil, nil)
+	s := p.Store
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddRule(PRule{Head: At("U", "t", x, y), Body: []PAtom{At("C", "t", x, y)}})
+	p.AddFact(At("C", "t", s.Constant("seed"), s.Constant("seed2")))
+
+	q := At("R", "r", s.Constant("1"), s.Variable("Y"))
+	_, eng, err := Run(p, q, datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := eng.PeerDB("t").Lookup("U@t"); u != nil && u.Len() > 0 {
+		t.Fatalf("U@t materialized %d tuples despite never being activated", u.Len())
+	}
+}
+
+func TestBudgetAborts(t *testing.T) {
+	// inf@p(f(X)) :- inf@p(X): diverges; the fact budget must abort.
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddRule(PRule{Head: At("inf", "p", s.Compound("f", x)), Body: []PAtom{At("inf", "p", x)}})
+	p.AddFact(At("inf", "p", s.Constant("z")))
+
+	_, _, err := Run(p, At("inf", "p", s.Variable("X")), datalog.Budget{MaxFacts: 50}, 10*time.Second)
+	if !errors.Is(err, datalog.ErrBudget) {
+		t.Fatalf("err = %v, want budget error", err)
+	}
+}
+
+func TestDepthGadgetTerminates(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddRule(PRule{Head: At("inf", "p", s.Compound("f", x)), Body: []PAtom{At("inf", "p", x)}})
+	p.AddFact(At("inf", "p", s.Constant("z")))
+
+	res, _, err := Run(p, At("inf", "p", s.Variable("X")), datalog.Budget{MaxTermDepth: 4}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 5 { // z, f(z), ..., f^4(z)
+		t.Fatalf("got %d answers, want 5", len(res.Answers))
+	}
+}
+
+func TestQualifiedNames(t *testing.T) {
+	if Qualify("R", "p1") != "R@p1" {
+		t.Fatal("Qualify wrong")
+	}
+	r, p, ok := SplitQualified("R@p1")
+	if !ok || r != "R" || p != "p1" {
+		t.Fatalf("SplitQualified = %v %v %v", r, p, ok)
+	}
+	if _, _, ok := SplitQualified("plain"); ok {
+		t.Fatal("SplitQualified accepted unqualified name")
+	}
+}
+
+func TestPeersEnumeration(t *testing.T) {
+	p := figure3([][2]string{{"1", "2"}}, nil, nil)
+	peers := p.Peers()
+	if len(peers) != 3 {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestValidateRejectsUnsafeRule(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddRule(PRule{Head: At("R", "p", x, y), Body: []PAtom{At("A", "p", x)}})
+	if _, err := NewEngine(p, datalog.Budget{}); err == nil {
+		t.Fatal("unsafe rule accepted")
+	}
+}
+
+func TestQueryUnknownPeer(t *testing.T) {
+	p := figure3(nil, nil, nil)
+	e, err := NewEngine(p, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(At("R", "nowhere"), time.Second); err == nil {
+		t.Fatal("query at unknown peer accepted")
+	}
+}
+
+// Property: the distributed evaluation computes the same R@r answer set as
+// the centralized localized program, over random Figure 3 instances.
+// This is the naive-evaluation half of the Section 3.2 claim ("the result
+// is exactly as in the centralized case").
+func TestQuickDistributedEqualsLocal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"1", "2", "3", "4", "5"}
+		pick := func() string { return names[rng.Intn(len(names))] }
+		var a, b, c [][2]string
+		for i := 0; i < 4+rng.Intn(5); i++ {
+			a = append(a, [2]string{pick(), pick()})
+			b = append(b, [2]string{pick(), "w"})
+			c = append(c, [2]string{pick(), pick()})
+		}
+		src := pick()
+
+		p := figure3(a, b, c)
+		s := p.Store
+		res, _, err := Run(p, At("R", "r", s.Constant(src), s.Variable("Y")), datalog.Budget{}, 10*time.Second)
+		if err != nil {
+			return false
+		}
+
+		local := figure3(a, b, c).Localize()
+		db, _ := local.SemiNaive(datalog.Budget{})
+		ls := local.Store
+		want := sortedRows(ls, datalog.Answers(db, ls,
+			datalog.Atom{Rel: "R@r", Args: []term.ID{ls.Constant(src), ls.Variable("Y")}}))
+		got := sortedRows(res.Store, res.Answers)
+		return strings.Join(got, ";") == strings.Join(want, ";")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDistributedFigure3(b *testing.B) {
+	var av, bv, cv [][2]string
+	for i := 0; i < 20; i++ {
+		av = append(av, [2]string{n2(i), n2(i + 1)})
+		bv = append(bv, [2]string{n2(i + 1), "w"})
+		cv = append(cv, [2]string{n2(i + 1), n2(i + 2)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := figure3(av, bv, cv)
+		s := p.Store
+		if _, _, err := Run(p, At("R", "r", s.Constant(n2(0)), s.Variable("Y")), datalog.Budget{}, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func n2(i int) string { return "v" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }

@@ -1,0 +1,146 @@
+package ddatalog
+
+import (
+	"sync"
+
+	"repro/internal/datalog"
+	"repro/internal/dist"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// This file adds dynamic rule installation to the engine: rules may arrive
+// while the network is running, either from an activation hook (a peer
+// extending its own program lazily) or as msgInstall messages from another
+// peer. It is the substrate for online dQSQ (the paper's Remark 2: "the
+// dQSQ computation, and the generation of results, may start even before
+// the rewriting is complete").
+
+// ActivationHook is consulted the first time a relation is activated at a
+// peer. It returns rules to add to the running program; rules hosted at
+// the activating peer are installed immediately, rules hosted elsewhere
+// are shipped as msgInstall messages. The returned rules must be built
+// over the engine's program store. Hooks run on peer goroutines and must
+// be safe for concurrent use.
+type ActivationHook func(peer dist.PeerID, relName rel.Name) []PRule
+
+// SetActivationHook installs the hook. Must be called before Run.
+func (e *Engine) SetActivationHook(h ActivationHook) {
+	e.hook = h
+}
+
+// wireAtom is the store-independent form of a located atom.
+type wireAtom struct {
+	Rel  rel.Name
+	Peer dist.PeerID
+	Args term.Extern
+}
+
+// wireRule is the store-independent form of a rule, shipped to its host.
+type wireRule struct {
+	Head wireAtom
+	Body []wireAtom
+	NeqX term.Extern // tuple of constraint left sides
+	NeqY term.Extern // tuple of constraint right sides
+}
+
+// msgInstall delivers a rule to its host peer at runtime.
+type msgInstall struct {
+	Rule wireRule
+}
+
+// hookStore serializes access to the shared program store during hook
+// execution: hooks (the online rewriters) intern new terms into the
+// program store, which is not safe for concurrent mutation.
+var hookMu sync.Mutex
+
+// runHook invokes the engine hook once per (peer, relation), routing the
+// returned rules: local ones are installed now, remote ones shipped.
+func (ps *peerState) runHook(ctx *dist.Context, relName rel.Name) {
+	if ps.eng.hook == nil {
+		return
+	}
+	key := Qualify(relName, ps.id)
+	if ps.hooked[key] {
+		return
+	}
+	ps.hooked[key] = true
+
+	hookMu.Lock()
+	rules := ps.eng.hook(ps.id, relName)
+	var local []PRule
+	var remote []msgInstall
+	src := ps.eng.prog.Store
+	for _, r := range rules {
+		if r.Head.Peer == ps.id {
+			local = append(local, reintern(src, ps.store, r))
+		} else {
+			remote = append(remote, msgInstall{Rule: externRule(src, r)})
+		}
+	}
+	hookMu.Unlock()
+
+	for _, r := range local {
+		ps.installRule(ctx, r)
+	}
+	for _, m := range remote {
+		ctx.Send(m.Rule.Head.Peer, m)
+	}
+}
+
+// externRule encodes a rule for the wire.
+func externRule(s *term.Store, r PRule) wireRule {
+	conv := func(a PAtom) wireAtom {
+		return wireAtom{Rel: a.Rel, Peer: a.Peer, Args: s.ExternalizeTuple(a.Args)}
+	}
+	out := wireRule{Head: conv(r.Head)}
+	for _, a := range r.Body {
+		out.Body = append(out.Body, conv(a))
+	}
+	xs := make([]term.ID, len(r.Neqs))
+	ys := make([]term.ID, len(r.Neqs))
+	for i, n := range r.Neqs {
+		xs[i], ys[i] = n.X, n.Y
+	}
+	out.NeqX = s.ExternalizeTuple(xs)
+	out.NeqY = s.ExternalizeTuple(ys)
+	return out
+}
+
+// internRule decodes a wire rule into the peer's private store.
+func (ps *peerState) internRule(w wireRule) PRule {
+	conv := func(a wireAtom) PAtom {
+		return PAtom{Rel: a.Rel, Peer: a.Peer, Args: ps.store.InternalizeTuple(a.Args)}
+	}
+	out := PRule{Head: conv(w.Head)}
+	for _, a := range w.Body {
+		out.Body = append(out.Body, conv(a))
+	}
+	xs := ps.store.InternalizeTuple(w.NeqX)
+	ys := ps.store.InternalizeTuple(w.NeqY)
+	for i := range xs {
+		out.Neqs = append(out.Neqs, datalog.Neq{X: xs[i], Y: ys[i]})
+	}
+	return out
+}
+
+// installRule registers a rule that arrived at runtime. If the head's
+// relation is already active, the rule's body relations are activated and
+// the rule evaluated over current data; otherwise activation will pick it
+// up when the relation is requested.
+func (ps *peerState) installRule(ctx *dist.Context, r PRule) {
+	ri := len(ps.rules)
+	ps.rules = append(ps.rules, r)
+	ps.noteArity(r.Head.Qualified(), len(r.Head.Args))
+	for ai, a := range r.Body {
+		q := a.Qualified()
+		ps.noteArity(q, len(a.Args))
+		ps.bodyIdx[q] = append(ps.bodyIdx[q], ruleAt{rule: ri, atom: ai})
+	}
+	if ps.active[r.Head.Qualified()] {
+		for _, a := range r.Body {
+			ps.activateBody(ctx, a)
+		}
+		ps.evalRule(ctx, r, -1, nil)
+	}
+}

@@ -1,0 +1,105 @@
+package ddatalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/term"
+)
+
+func TestPAtomAndRuleString(t *testing.T) {
+	s := term.NewStore()
+	x, y := s.Variable("X"), s.Variable("Y")
+	r := PRule{
+		Head: At("R", "r", x, y),
+		Body: []PAtom{At("S", "s", x, s.Compound("f", y))},
+		Neqs: []datalog.Neq{{X: x, Y: y}},
+	}
+	want := "R@r(X,Y) :- S@s(X,f(Y)), X != Y."
+	if got := r.String(s); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	fact := PRule{Head: At("A", "p", s.Constant("c"))}
+	if got := fact.String(s); got != "A@p(c)." {
+		t.Fatalf("fact String = %q", got)
+	}
+}
+
+func TestLocalizeKeepsQualifiedNames(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddRule(PRule{Head: At("R", "r", x), Body: []PAtom{At("A", "q", x)}})
+	p.AddFact(At("A", "q", s.Constant("c")))
+	local := p.Localize()
+	if err := local.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if local.Rules[0].Head.Rel != "R@r" || local.Rules[0].Body[0].Rel != "A@q" {
+		t.Fatalf("localized rule: %s", local.Rules[0].String(s))
+	}
+	if local.Facts[0].Rel != "A@q" {
+		t.Fatalf("localized fact: %v", local.Facts[0].Rel)
+	}
+}
+
+func TestGlobalAddsPeerColumn(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddRule(PRule{Head: At("R", "r", x), Body: []PAtom{At("A", "q", x)}})
+	p.AddFact(At("A", "q", s.Constant("c")))
+	g := p.Global()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	head := g.Rules[0].Head
+	if head.Rel != "R-g" || len(head.Args) != 2 || s.String(head.Args[1]) != "r" {
+		t.Fatalf("global head: %s", head.String(s))
+	}
+	if len(g.Facts[0].Args) != 2 || s.String(g.Facts[0].Args[1]) != "q" {
+		t.Fatalf("global fact: %s", g.Facts[0].String(s))
+	}
+	// Minimal model: R-g(c, r) derivable.
+	db, _ := g.SemiNaive(datalog.Budget{})
+	if !strings.Contains(db.Dump(), "R-g(c,r)") {
+		t.Fatalf("global model missing R-g(c,r):\n%s", db.Dump())
+	}
+}
+
+func TestAddFactRejectsNonGround(t *testing.T) {
+	s := term.NewStore()
+	p := NewProgram(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-ground fact")
+		}
+	}()
+	p.AddFact(At("A", "p", s.Variable("X")))
+}
+
+func TestEngineRunTwiceIsIndependent(t *testing.T) {
+	// Two engines over the same program must not share state.
+	s := term.NewStore()
+	p := NewProgram(s)
+	x := s.Variable("X")
+	p.AddRule(PRule{Head: At("R", "p", x), Body: []PAtom{At("A", "p", x)}})
+	p.AddFact(At("A", "p", s.Constant("c")))
+	q := At("R", "p", s.Variable("Y"))
+
+	r1, _, err := Run(p, q, datalog.Budget{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := Run(p, q, datalog.Budget{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Answers) != 1 || len(r2.Answers) != 1 {
+		t.Fatalf("answers: %d, %d", len(r1.Answers), len(r2.Answers))
+	}
+	if r1.Stats.Derived != r2.Stats.Derived {
+		t.Fatalf("runs not independent: %d vs %d", r1.Stats.Derived, r2.Stats.Derived)
+	}
+}

@@ -1,0 +1,339 @@
+// Package diagnosis implements the paper's diagnosis problem (Section 2)
+// three ways:
+//
+//   - a direct search diagnoser over the net (this file), the ground-truth
+//     oracle for the test suite;
+//   - the Section 4 dDatalog encoding: the unfolding program Prog(N,M)
+//     (prog.go) and the supervisor program P_A(N,M,A) (supervisor.go),
+//     evaluated naively or with dQSQ;
+//   - the Section 4.4 extensions: hidden transitions, alarm patterns and
+//     depth bounds (direct search here; Datalog variants in supervisor.go).
+//
+// A diagnosis is reported as the sorted canonical event names of a
+// configuration of Unfold(N,M) whose alarms biject to the observed
+// sequence respecting per-peer order.
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+// DirectOptions bounds the direct search.
+type DirectOptions struct {
+	// MaxSilent bounds the total number of silent (hidden) transition
+	// firings per explored run; 0 forbids silent firings unless the net
+	// has silent transitions, in which case a default of 2*len(A)+2 is
+	// used (Section 4.4's termination gadget).
+	MaxSilent int
+	// MaxAlarms bounds observed alarms for pattern diagnosis, where the
+	// language may be infinite. 0 means the pattern run is bounded by the
+	// sequence length (sequence diagnosis) or 2*states+4 (patterns).
+	MaxAlarms int
+}
+
+// Diagnoses is a set of configurations, each a sorted slice of canonical
+// event names.
+type Diagnoses [][]string
+
+// Keys renders the set canonically for comparisons.
+func (d Diagnoses) Keys() []string {
+	out := make([]string, 0, len(d))
+	for _, cfg := range d {
+		out = append(out, strings.Join(cfg, ";"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal compares two diagnosis sets regardless of order.
+func (d Diagnoses) Equal(other Diagnoses) bool {
+	a, b := d.Keys(), other.Keys()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// token tracks the condition currently sitting on a place, identified by
+// its canonical unfolding name.
+type token struct {
+	place petri.NodeID
+	name  string
+}
+
+// searcher explores interleavings, maintaining token identity so that the
+// fired events are exactly unfolding events.
+type searcher struct {
+	pn      *petri.PetriNet
+	opt     DirectOptions
+	seen    map[string]bool // state dedup
+	configs map[string][]string
+}
+
+// Direct computes the diagnosis set of seq in pn by explicit search: fire
+// transitions whose alarm matches the next unconsumed alarm of their peer;
+// silent transitions fire freely within the MaxSilent budget.
+func Direct(pn *petri.PetriNet, seq alarm.Seq, opt DirectOptions) Diagnoses {
+	per := seq.PerPeer()
+	hasSilent := false
+	for _, tid := range pn.Net.Transitions() {
+		if pn.Net.Transition(tid).Alarm == petri.Silent {
+			hasSilent = true
+		}
+	}
+	if opt.MaxSilent == 0 && hasSilent {
+		opt.MaxSilent = 2*len(seq) + 2
+	}
+
+	s := &searcher{pn: pn, opt: opt, seen: map[string]bool{}, configs: map[string][]string{}}
+	tokens := map[petri.NodeID]token{}
+	for pl := range pn.M0 {
+		tokens[pl] = token{place: pl, name: fmt.Sprintf("g(%s,%s)", unfold.Root, pl)}
+	}
+	idx := map[petri.Peer]int{}
+	s.search(tokens, per, idx, nil, 0)
+
+	out := make(Diagnoses, 0, len(s.configs))
+	keys := make([]string, 0, len(s.configs))
+	for k := range s.configs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, s.configs[k])
+	}
+	return out
+}
+
+// firedKey canonicalizes a fired event set. The fired set fully determines
+// the search state: the surviving tokens, the per-peer alarm indexes and
+// the silent count are all functions of it, while the converse is false
+// for transitions with empty postsets. Deduplicating on it collapses the
+// interleavings of one configuration into a single exploration.
+func firedKey(fired []string) string {
+	cp := append([]string(nil), fired...)
+	sort.Strings(cp)
+	return strings.Join(cp, ";")
+}
+
+func (s *searcher) search(tokens map[petri.NodeID]token, per map[petri.Peer][]petri.Alarm,
+	idx map[petri.Peer]int, fired []string, silent int) {
+
+	key := firedKey(fired)
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+
+	done := true
+	for p, sub := range per {
+		if idx[p] < len(sub) {
+			done = false
+		}
+	}
+	if done {
+		cfg := append([]string(nil), fired...)
+		sort.Strings(cfg)
+		s.configs[strings.Join(cfg, ";")] = cfg
+		// Do not return: hidden-transition runs may continue only through
+		// silent firings, which never add alarms; configurations recorded
+		// here are the minimal explanations (no trailing silent events).
+		return
+	}
+
+	for _, tid := range s.pn.Net.Transitions() {
+		t := s.pn.Net.Transition(tid)
+		// Enabled?
+		ok := true
+		for _, pl := range t.Pre {
+			if _, has := tokens[pl]; !has {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		nextSilent := silent
+		if t.Alarm == petri.Silent {
+			if silent >= s.opt.MaxSilent {
+				continue
+			}
+			nextSilent++
+		} else {
+			sub := per[t.Peer]
+			i := idx[t.Peer]
+			if i >= len(sub) || sub[i] != t.Alarm {
+				continue
+			}
+		}
+		s.fire(tokens, per, idx, fired, nextSilent, t)
+	}
+}
+
+// fire executes t, building the canonical event name from the consumed
+// tokens, and recurses.
+func (s *searcher) fire(tokens map[petri.NodeID]token, per map[petri.Peer][]petri.Alarm,
+	idx map[petri.Peer]int, fired []string, silent int, t *petri.Transition) {
+
+	parts := []string{string(t.ID)}
+	for _, pl := range t.Pre {
+		parts = append(parts, tokens[pl].name)
+	}
+	event := "f(" + strings.Join(parts, ",") + ")"
+
+	next := make(map[petri.NodeID]token, len(tokens))
+	for pl, tok := range tokens {
+		next[pl] = tok
+	}
+	for _, pl := range t.Pre {
+		delete(next, pl)
+	}
+	unsafe := false
+	for _, pl := range t.Post {
+		if _, clash := next[pl]; clash {
+			unsafe = true
+			break
+		}
+		next[pl] = token{place: pl, name: fmt.Sprintf("g(%s,%s)", event, pl)}
+	}
+	if unsafe {
+		return
+	}
+
+	nidx := make(map[petri.Peer]int, len(idx))
+	for p, i := range idx {
+		nidx[p] = i
+	}
+	if t.Alarm != petri.Silent {
+		nidx[t.Peer]++
+	}
+	s.search(next, per, nidx, append(fired, event), silent)
+}
+
+// DirectPattern computes pattern diagnoses (Section 4.4): configurations
+// some linearization of whose observable alarms is accepted by the
+// pattern automaton. The number of observed alarms is bounded by
+// opt.MaxAlarms since star patterns describe infinite languages.
+func DirectPattern(pn *petri.PetriNet, nfa *alarm.NFA, opt DirectOptions) Diagnoses {
+	if opt.MaxAlarms == 0 {
+		opt.MaxAlarms = 2*nfa.States + 4
+	}
+	s := &patSearcher{pn: pn, nfa: nfa, opt: opt, seen: map[string]bool{}, configs: map[string][]string{}}
+	tokens := map[petri.NodeID]token{}
+	for pl := range pn.M0 {
+		tokens[pl] = token{place: pl, name: fmt.Sprintf("g(%s,%s)", unfold.Root, pl)}
+	}
+	s.search(tokens, nfa.Start(), nil, 0, 0)
+
+	out := make(Diagnoses, 0, len(s.configs))
+	keys := make([]string, 0, len(s.configs))
+	for k := range s.configs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, s.configs[k])
+	}
+	return out
+}
+
+type patSearcher struct {
+	pn      *petri.PetriNet
+	nfa     *alarm.NFA
+	opt     DirectOptions
+	seen    map[string]bool
+	configs map[string][]string
+}
+
+func (s *patSearcher) search(tokens map[petri.NodeID]token, states alarm.StateSet,
+	fired []string, observed, silent int) {
+
+	// Pattern state sets depend on the observation order, so the key is
+	// the fired set plus the NFA state set.
+	var st []string
+	for q := range states {
+		st = append(st, fmt.Sprintf("%d", q))
+	}
+	sort.Strings(st)
+	key := firedKey(fired) + "#" + strings.Join(st, ",")
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+
+	if s.nfa.Accepting(states) {
+		cfg := append([]string(nil), fired...)
+		sort.Strings(cfg)
+		s.configs[strings.Join(cfg, ";")] = cfg
+		// Continue: longer matches may also be accepted (e.g. α.β*.α).
+	}
+	if observed >= s.opt.MaxAlarms {
+		return
+	}
+
+	for _, tid := range s.pn.Net.Transitions() {
+		t := s.pn.Net.Transition(tid)
+		ok := true
+		for _, pl := range t.Pre {
+			if _, has := tokens[pl]; !has {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		nextStates := states
+		nextObserved := observed
+		nextSilent := silent
+		if t.Alarm == petri.Silent {
+			if silent >= s.opt.MaxSilent {
+				continue
+			}
+			nextSilent++
+		} else {
+			nextStates = s.nfa.Step(states, alarm.Obs{Alarm: t.Alarm, Peer: t.Peer})
+			if len(nextStates) == 0 {
+				continue
+			}
+			nextObserved++
+		}
+
+		eventParts := []string{string(t.ID)}
+		for _, pl := range t.Pre {
+			eventParts = append(eventParts, tokens[pl].name)
+		}
+		event := "f(" + strings.Join(eventParts, ",") + ")"
+		next := make(map[petri.NodeID]token, len(tokens))
+		for pl, tok := range tokens {
+			next[pl] = tok
+		}
+		for _, pl := range t.Pre {
+			delete(next, pl)
+		}
+		unsafe := false
+		for _, pl := range t.Post {
+			if _, clash := next[pl]; clash {
+				unsafe = true
+				break
+			}
+			next[pl] = token{place: pl, name: fmt.Sprintf("g(%s,%s)", event, pl)}
+		}
+		if unsafe {
+			continue
+		}
+		s.search(next, nextStates, append(fired, event), nextObserved, nextSilent)
+	}
+}

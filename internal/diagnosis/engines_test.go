@@ -1,0 +1,147 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+)
+
+func TestRunUnknownEngine(t *testing.T) {
+	if _, err := Run(petri.Example(), nil, Engine(99), Options{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	for e, want := range map[Engine]string{
+		EngineDirect:  "direct",
+		EngineProduct: "product[8]",
+		EngineNaive:   "naive-dDatalog",
+		EngineDQSQ:    "dQSQ",
+	} {
+		if e.String() != want {
+			t.Fatalf("%d: %q", e, e.String())
+		}
+	}
+	if !strings.Contains(Engine(42).String(), "42") {
+		t.Fatal("unknown engine string")
+	}
+}
+
+func TestDatalogEnginesRejectWidePresets(t *testing.T) {
+	n := petri.NewNet()
+	for _, id := range []petri.NodeID{"a", "b", "c", "d"} {
+		n.AddPlace(id, "p")
+	}
+	n.AddTransition("t", "p", "x", []petri.NodeID{"a", "b", "c"}, []petri.NodeID{"d"})
+	pn, err := petri.New(n, petri.NewMarking("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(pn, alarm.S("x", "p"), EngineNaive, Options{}); err == nil {
+		t.Fatal("3-parent net accepted by the Datalog pipeline")
+	}
+	// The direct and product engines handle it fine.
+	rep, err := Run(pn, alarm.S("x", "p"), EngineDirect, Options{})
+	if err != nil || len(rep.Diagnoses) != 1 {
+		t.Fatalf("direct on wide preset: %v / %v", err, rep)
+	}
+	rep, err = Run(pn, alarm.S("x", "p"), EngineProduct, Options{})
+	if err != nil || len(rep.Diagnoses) != 1 {
+		t.Fatalf("product on wide preset: %v / %v", err, rep)
+	}
+}
+
+func TestSupervisorPeerCollision(t *testing.T) {
+	n := petri.NewNet()
+	n.AddPlace("a", petri.Peer(SupervisorPeer))
+	n.AddPlace("b", petri.Peer(SupervisorPeer))
+	n.AddTransition("t", petri.Peer(SupervisorPeer), "x", []petri.NodeID{"a"}, []petri.NodeID{"b"})
+	pn, err := petri.New(n, petri.NewMarking("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(pn, alarm.S("x", string(SupervisorPeer)), EngineDQSQ, Options{}); err == nil {
+		t.Fatal("supervisor peer collision accepted")
+	}
+}
+
+func TestUnknownAlarmPeerRejected(t *testing.T) {
+	if _, err := Run(petri.Example(), alarm.S("b", "ghost"), EngineDQSQ, Options{}); err == nil {
+		t.Fatal("alarm from unknown peer accepted")
+	}
+	// The direct engine simply finds no explanation.
+	rep, err := Run(petri.Example(), alarm.S("b", "ghost"), EngineDirect, Options{})
+	if err != nil || len(rep.Diagnoses) != 0 {
+		t.Fatalf("direct: %v / %v", err, rep.Diagnoses)
+	}
+}
+
+func TestReportMetricsPopulated(t *testing.T) {
+	rep, err := Run(petri.Example(), alarm.S("b", "p1", "a", "p2", "c", "p1"),
+		EngineDQSQ, Options{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TransFacts == 0 || rep.PlaceFacts == 0 || rep.Derived == 0 || rep.Messages == 0 {
+		t.Fatalf("metrics missing: %+v", rep)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if rep.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+}
+
+func TestDiagnosesKeysAndEqual(t *testing.T) {
+	a := Diagnoses{{"x", "y"}, {"z"}}
+	b := Diagnoses{{"z"}, {"x", "y"}}
+	if !a.Equal(b) {
+		t.Fatal("order-insensitive equality broken")
+	}
+	if a.Equal(Diagnoses{{"x", "y"}}) {
+		t.Fatal("length mismatch accepted")
+	}
+	if a.Equal(Diagnoses{{"x", "y"}, {"w"}}) {
+		t.Fatal("content mismatch accepted")
+	}
+	keys := a.Keys()
+	if len(keys) != 2 || keys[0] != "x;y" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestStripPadsRendering(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildUnfoldingProgram(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := prog.Store
+	// f(ii, g(r,4), g(r,pad.ii)) must strip to f(ii,g(r,4)).
+	r := s.Constant("r")
+	ev := s.Compound("f", s.Constant("ii"),
+		s.Compound("g", r, s.Constant("4")),
+		s.Compound("g", r, s.Constant("pad.ii")))
+	if got := StripPads(s, ev); got != "f(ii,g(r,4))" {
+		t.Fatalf("StripPads = %q", got)
+	}
+	// Nested pads strip too.
+	ev2 := s.Compound("f", s.Constant("vi"),
+		s.Compound("g", ev, s.Constant("6")),
+		s.Compound("g", r, s.Constant("pad.vi")))
+	if got := StripPads(s, ev2); got != "f(vi,g(f(ii,g(r,4)),6))" {
+		t.Fatalf("StripPads nested = %q", got)
+	}
+	// Constants pass through.
+	if StripPads(s, r) != "r" {
+		t.Fatal("constant mangled")
+	}
+}

@@ -1,0 +1,94 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/petri"
+)
+
+// netAlphabet collects the distinct observable (alarm, peer) pairs of a
+// net — the Σ of a Section 4.4 forbidden-pattern monitor.
+func netAlphabet(pn *petri.PetriNet) alarm.Alphabet {
+	seen := map[alarm.Obs]bool{}
+	var out alarm.Alphabet
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		if t.Alarm == petri.Silent {
+			continue
+		}
+		o := alarm.Obs{Alarm: t.Alarm, Peer: t.Peer}
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// TestForbiddenPatternBlocksConstruction reproduces the third Section 4.4
+// extension: "sequences of alarms not containing some known patterns ...
+// block the unfolding construction upon detection". We forbid the
+// substring (b,p2) — i.e. explanations must never use transition vi — and
+// check both engines agree and that no explanation contains vi.
+func TestForbiddenPatternBlocksConstruction(t *testing.T) {
+	pn := petri.Example()
+	mon := alarm.Avoiding(alarm.Sym("b", "p2"), netAlphabet(pn))
+
+	direct := DirectPattern(pn, mon, DirectOptions{MaxAlarms: 3})
+	if len(direct) == 0 {
+		t.Fatal("no clean explanations")
+	}
+	for _, cfg := range direct {
+		for _, ev := range cfg {
+			if strings.HasPrefix(ev, "f(vi") {
+				t.Fatalf("forbidden event vi in %v", cfg)
+			}
+		}
+	}
+
+	got, err := DiagnosePattern(pn, mon, Options{Timeout: time.Minute,
+		Budget: datalog.Budget{MaxTermDepth: 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range got {
+		for _, ev := range cfg {
+			if strings.HasPrefix(ev, "f(vi") {
+				t.Fatalf("Datalog engine produced forbidden event vi in %v", cfg)
+			}
+		}
+	}
+	// On the comparable slice (<= 3 events) the engines agree.
+	want := filterBySize(direct, 3)
+	if !filterBySize(got, 3).Equal(want) {
+		t.Fatalf("forbidden-pattern diagnoses differ:\n%v\nvs\n%v",
+			filterBySize(got, 3).Keys(), want.Keys())
+	}
+}
+
+// TestForbiddenVersusUnconstrained: the blocked set is a strict subset of
+// the unconstrained bounded explanations.
+func TestForbiddenVersusUnconstrained(t *testing.T) {
+	pn := petri.Example()
+	alpha := netAlphabet(pn)
+
+	free := alarm.Avoiding(alarm.Concat(alarm.Sym("zz", "p1")), alpha) // forbids nothing possible
+	blocked := alarm.Avoiding(alarm.Sym("a", "p2"), alpha)             // forbids every p2 "a"
+
+	dFree := DirectPattern(pn, free, DirectOptions{MaxAlarms: 2})
+	dBlocked := DirectPattern(pn, blocked, DirectOptions{MaxAlarms: 2})
+	if len(dBlocked) >= len(dFree) {
+		t.Fatalf("blocking removed nothing: %d vs %d", len(dBlocked), len(dFree))
+	}
+	for _, cfg := range dBlocked {
+		for _, ev := range cfg {
+			if strings.HasPrefix(ev, "f(iv") || strings.HasPrefix(ev, "f(v,") {
+				t.Fatalf("a-emitting event in blocked diagnosis %v", cfg)
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package diagnosis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting with -update.
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("%s drifted from golden file; run with -update and review the diff.\n--- got ---\n%s", name, got)
+	}
+}
+
+// TestGoldenUnfoldingProgram pins the full generated Prog(N,M) for the
+// padded running example: the Section 4.1 rules are the heart of the
+// reproduction, and unreviewed drift in their shape would silently change
+// what every downstream theorem test exercises.
+func TestGoldenUnfoldingProgram(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildUnfoldingProgram(padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "unfolding_program.golden", prog.Localize().String())
+}
+
+// TestGoldenDiagnosisProgram pins the supervisor rules of Section 4.2 for
+// the example and the paper's A1 sequence.
+func TestGoldenDiagnosisProgram(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, _, err := BuildDiagnosisProgram(padded, alarm.S("b", "p1", "a", "p2", "c", "p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "diagnosis_program.golden", prog.Localize().String())
+}

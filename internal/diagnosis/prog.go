@@ -1,0 +1,271 @@
+package diagnosis
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/petri"
+	"repro/internal/term"
+)
+
+// Relation names of the unfolding program (Section 4.1).
+const (
+	RelPlaces    = "places"    // places(condition, producing event)  — condition c is a child of event
+	RelTrans     = "trans"     // trans(event, parent cond 1, parent cond 2)
+	RelMap       = "map"       // map(unfolding node, net node)       — the homomorphism ρ
+	RelCo        = "co"        // co(cond, cond)                      — concurrency of conditions
+	RelCausal    = "causal"    // causal(x, y): y ⪯ x among events
+	RelNotCausal = "notCausal" // notCausal(x, y): ¬[y ⪯ x] among events (Lemma 1)
+)
+
+// RootConst is the virtual transition node id r of Section 4.1.
+const RootConst = "r"
+
+// peerOf converts net peers to runtime peer IDs.
+func peerOf(p petri.Peer) dist.PeerID { return dist.PeerID(p) }
+
+// BuildUnfoldingProgram generates Prog(N, M): the distributed dDatalog
+// program of Section 4.1 whose minimal model is (isomorphic to) the
+// unfolding of pn — Theorem 2. The net must be in 2-parent form
+// (petri.Pad2).
+//
+// The rules at each peer are derived solely from that peer's nodes and
+// their immediate neighborhood, as in the paper. One deliberate deviation,
+// recorded in DESIGN.md: the paper guards event creation with
+// notCausal/notConf relations maintained via local ancestor-tree copies
+// (transTree/placesTree); we guard with the standard concurrency relation
+// `co` on conditions, defined by an equally positive and local induction
+// (roots are pairwise concurrent; the children of an event are concurrent
+// with each other and with everything concurrent with all the event's
+// parents). The recognized unfolding is identical, and the notCausal /
+// causal relations of Lemma 1 are generated too, verbatim.
+func BuildUnfoldingProgram(pn *petri.PetriNet) (*ddatalog.Program, error) {
+	if !petri.IsTwoParent(pn) {
+		return nil, fmt.Errorf("diagnosis: net must be 2-parent (apply petri.Pad2)")
+	}
+	s := term.NewStore()
+	p := ddatalog.NewProgram(s)
+	r := s.Constant(RootConst)
+	peers := pn.Net.Peers()
+
+	cst := func(id petri.NodeID) term.ID { return s.Constant(string(id)) }
+	g := func(parent, place term.ID) term.ID { return s.Compound("g", parent, place) }
+
+	// Variables are shared across generated rules; each rule is evaluated
+	// independently so reuse is safe.
+	x := s.Variable("X")
+	u, v, m := s.Variable("U"), s.Variable("V"), s.Variable("M")
+	y := s.Variable("Y")
+	up, vp := s.Variable("Up"), s.Variable("Vp")
+
+	// Roots: for each marked place c, places(g(r,c), r) and map(g(r,c), c)
+	// at the place's peer; distinct roots are pairwise concurrent.
+	marked := []petri.NodeID{}
+	for _, pl := range pn.Net.Places() {
+		if pn.M0[pl] {
+			marked = append(marked, pl)
+		}
+	}
+	for _, c := range marked {
+		pc := peerOf(pn.Net.Place(c).Peer)
+		root := g(r, cst(c))
+		p.AddFact(ddatalog.At(RelPlaces, pc, root, r))
+		p.AddFact(ddatalog.At(RelMap, pc, root, cst(c)))
+	}
+	for _, c1 := range marked {
+		for _, c2 := range marked {
+			if c1 == c2 {
+				continue
+			}
+			pc := peerOf(pn.Net.Place(c1).Peer)
+			p.AddFact(ddatalog.At(RelCo, pc, g(r, cst(c1)), g(r, cst(c2))))
+		}
+	}
+
+	// Per-transition rules.
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		pt := peerOf(t.Peer)
+		c1, c2 := t.Pre[0], t.Pre[1]
+		p1 := peerOf(pn.Net.Place(c1).Peer)
+		p2 := peerOf(pn.Net.Place(c2).Peer)
+		ev := s.Compound("f", cst(tid), u, v)
+
+		// trans@pt(f(t,u,v), u, v), map@pt(f(t,u,v), t) :-
+		//   map@p1(u, c1), map@p2(v, c2), co@p1(u, v).
+		body := []ddatalog.PAtom{
+			ddatalog.At(RelMap, p1, u, cst(c1)),
+			ddatalog.At(RelMap, p2, v, cst(c2)),
+			ddatalog.At(RelCo, p1, u, v),
+		}
+		p.AddRule(ddatalog.PRule{Head: ddatalog.At(RelTrans, pt, ev, u, v), Body: body})
+		p.AddRule(ddatalog.PRule{Head: ddatalog.At(RelMap, pt, ev, cst(tid)), Body: body})
+
+		// Children: for each post place d, places@pd(g(x,d), x) and
+		// map@pd(g(x,d), d) :- map@pt(x, t), trans@pt(x, u, v).
+		childBody := []ddatalog.PAtom{
+			ddatalog.At(RelMap, pt, x, cst(tid)),
+			ddatalog.At(RelTrans, pt, x, u, v),
+		}
+		for _, d := range t.Post {
+			pd := peerOf(pn.Net.Place(d).Peer)
+			child := g(x, cst(d))
+			p.AddRule(ddatalog.PRule{Head: ddatalog.At(RelPlaces, pd, child, x), Body: childBody})
+			p.AddRule(ddatalog.PRule{Head: ddatalog.At(RelMap, pd, child, cst(d)), Body: childBody})
+		}
+
+		// Siblings of one event are pairwise concurrent.
+		for _, d1 := range t.Post {
+			for _, d2 := range t.Post {
+				if d1 == d2 {
+					continue
+				}
+				pd := peerOf(pn.Net.Place(d1).Peer)
+				p.AddRule(ddatalog.PRule{
+					Head: ddatalog.At(RelCo, pd, g(x, cst(d1)), g(x, cst(d2))),
+					Body: []ddatalog.PAtom{ddatalog.At(RelTrans, pt, x, u, v)},
+				})
+			}
+		}
+
+		// Induction: a child of x is concurrent with everything concurrent
+		// with both parents of x.
+		for _, d := range t.Post {
+			pd := peerOf(pn.Net.Place(d).Peer)
+			p.AddRule(ddatalog.PRule{
+				Head: ddatalog.At(RelCo, pd, g(x, cst(d)), m),
+				Body: []ddatalog.PAtom{
+					ddatalog.At(RelTrans, pt, x, u, v),
+					ddatalog.At(RelCo, p1, u, m),
+					ddatalog.At(RelCo, p2, v, m),
+				},
+			})
+		}
+	}
+
+	// Mirror rules: the symmetric closure of co, hosted at the peer of the
+	// pair's first element. (This replaces the paper's transTree /
+	// placesTree locality machinery; see the function comment.)
+	for _, q := range peers {
+		pq := peerOf(q)
+		for _, tid := range pn.Net.Transitions() {
+			t := pn.Net.Transition(tid)
+			pt := peerOf(t.Peer)
+			for _, d := range t.Post {
+				// trans comes first so that a bound-bound co subquery
+				// decomposes the child's name, binds x, and asks only
+				// bound-bound co subqueries about the parents — keeping
+				// every co request fully bound under (d)QSQ.
+				p.AddRule(ddatalog.PRule{
+					Head: ddatalog.At(RelCo, pq, m, s.Compound("g", x, cst(d))),
+					Body: []ddatalog.PAtom{
+						ddatalog.At(RelTrans, pt, x, u, v),
+						ddatalog.At(RelCo, pq, m, u),
+						ddatalog.At(RelCo, pq, m, v),
+					},
+				})
+			}
+		}
+	}
+
+	addCausalRules(pn, p, s, x, y, u, v, up, vp)
+	return p, nil
+}
+
+// addCausalRules generates the causal and notCausal relations of Section
+// 4.1 (used by Lemma 1): causal(x,y) iff y ⪯ x, notCausal(x,y) iff
+// ¬[y ⪯ x], both over event nodes, both positive.
+func addCausalRules(pn *petri.PetriNet, p *ddatalog.Program, s *term.Store,
+	x, y, u, v, up, vp term.ID) {
+
+	r := s.Constant(RootConst)
+	peers := pn.Net.Peers()
+
+	// producerPeers returns the peers hosting causal/notCausal facts about
+	// the producer of an instance of place c: the peers of the producing
+	// transitions, plus the place's own peer to cover the virtual root.
+	producerPeers := func(c petri.NodeID) []dist.PeerID {
+		seen := map[dist.PeerID]bool{}
+		var out []dist.PeerID
+		add := func(id dist.PeerID) {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+		for _, prod := range pn.Net.Producers(c) {
+			add(peerOf(pn.Net.Transition(prod).Peer))
+		}
+		add(peerOf(pn.Net.Place(c).Peer))
+		return out
+	}
+
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		pt := peerOf(t.Peer)
+		c1, c2 := t.Pre[0], t.Pre[1]
+		p1 := peerOf(pn.Net.Place(c1).Peer)
+		p2 := peerOf(pn.Net.Place(c2).Peer)
+
+		// causal(x, x) :- trans(x, u, v).
+		p.AddRule(ddatalog.PRule{
+			Head: ddatalog.At(RelCausal, pt, x, x),
+			Body: []ddatalog.PAtom{ddatalog.At(RelTrans, pt, x, u, v)},
+		})
+		// causal(x, y) :- trans(x,u,v), places(u, u'), causal@q(u', y),
+		// one rule per candidate producer peer q of each parent.
+		for _, q := range producerPeers(c1) {
+			p.AddRule(ddatalog.PRule{
+				Head: ddatalog.At(RelCausal, pt, x, y),
+				Body: []ddatalog.PAtom{
+					ddatalog.At(RelTrans, pt, x, u, v),
+					ddatalog.At(RelPlaces, p1, u, up),
+					ddatalog.At(RelCausal, q, up, y),
+				},
+			})
+		}
+		for _, q := range producerPeers(c2) {
+			p.AddRule(ddatalog.PRule{
+				Head: ddatalog.At(RelCausal, pt, x, y),
+				Body: []ddatalog.PAtom{
+					ddatalog.At(RelTrans, pt, x, u, v),
+					ddatalog.At(RelPlaces, p2, v, vp),
+					ddatalog.At(RelCausal, q, vp, y),
+				},
+			})
+		}
+
+		// notCausal(x, y) :- trans(x,u,v), places(u,u'), places(v,v'),
+		//   notCausal@q1(u', y), notCausal@q2(v', y), x != y.
+		for _, q1 := range producerPeers(c1) {
+			for _, q2 := range producerPeers(c2) {
+				p.AddRule(ddatalog.PRule{
+					Head: ddatalog.At(RelNotCausal, pt, x, y),
+					Body: []ddatalog.PAtom{
+						ddatalog.At(RelTrans, pt, x, u, v),
+						ddatalog.At(RelPlaces, p1, u, up),
+						ddatalog.At(RelPlaces, p2, v, vp),
+						ddatalog.At(RelNotCausal, q1, up, y),
+						ddatalog.At(RelNotCausal, q2, vp, y),
+					},
+					Neqs: []datalog.Neq{{X: x, Y: y}},
+				})
+			}
+		}
+	}
+
+	// Base: the virtual transition r is not caused by any event:
+	// notCausal@q(r, y) :- trans@q'(y, u, v), at every peer, for events of
+	// every peer (the paper's "one rule to state that the virtual
+	// transition node r is not causal to any transition node").
+	for _, q := range peers {
+		for _, q2 := range peers {
+			p.AddRule(ddatalog.PRule{
+				Head: ddatalog.At(RelNotCausal, peerOf(q), r, y),
+				Body: []ddatalog.PAtom{ddatalog.At(RelTrans, peerOf(q2), y, u, v)},
+			})
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package diagnosis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+)
+
+// TestStressPipelineLongRun pushes a longer diagnosis through dQSQ and
+// cross-checks it against direct search — a scale smoke test beyond the
+// paper-sized instances. Skipped with -short.
+func TestStressPipelineLongRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	pn := gen.Pipeline(4, 3)
+	rng := rand.New(rand.NewSource(99))
+	seq := gen.PipelineSeq(pn, rng, 6)
+	if len(seq) != 6 {
+		t.Fatalf("seq = %v", seq)
+	}
+
+	want := Direct(pn, seq, DirectOptions{})
+	if len(want) != 1 {
+		t.Fatalf("pipeline run has %d explanations", len(want))
+	}
+	rep, err := Run(pn, seq, EngineDQSQ, Options{Timeout: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diagnoses.Equal(want) {
+		t.Fatalf("dQSQ %v != direct %v", rep.Diagnoses.Keys(), want.Keys())
+	}
+	// The prefix materialized is small: the 6 executed hops plus the
+	// dead-end alternatives reachable from explored cuts.
+	if rep.TransFacts >= 60 {
+		t.Fatalf("dQSQ materialized %d events for a 6-hop run", rep.TransFacts)
+	}
+}
+
+// TestStressTelecomWide runs the intro scenario at 10 peers end to end.
+func TestStressTelecomWide(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	pn := gen.Telecom(10)
+	seq := gen.TelecomSeqFixed()
+	want, err := Run(pn, seq, EngineDirect, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(pn, seq, EngineDQSQ, Options{Timeout: 3 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diagnoses.Equal(want.Diagnoses) {
+		t.Fatalf("telecom wide: %v != %v", rep.Diagnoses.Keys(), want.Diagnoses.Keys())
+	}
+}

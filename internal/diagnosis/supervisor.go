@@ -1,0 +1,353 @@
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/petri"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// SupervisorPeer is the supervisor site p0 of Section 4.2.
+const SupervisorPeer dist.PeerID = "p0"
+
+// Supervisor relation names.
+const (
+	RelPetriNet       = "petriNet"       // petriNet@p(t, a, c, c'): transition t emits a, parents c, c'
+	RelPetriNetSilent = "petriNetSilent" // silent transitions (Section 4.4 hidden extension)
+	RelAlarmSeq       = "alarmSeq"       // alarmSeq(i, a, p, i'): automaton edge / sequence position
+	RelConfigPrefixes = "configPrefixes" // configPrefixes(id, parent, event, index...)
+	RelTransInConf    = "transInConf"    // transInConf(id, event)
+	RelNotParent      = "notParent"      // notParent(id, condition)
+	RelQuery          = "q"              // q(id, event): complete explanations
+)
+
+// idxConst names the alarm-position constant c_i of peer p.
+func idxConst(p petri.Peer, i int) string {
+	return fmt.Sprintf("idx.%s.%d", p, i)
+}
+
+// BuildDiagnosisProgram generates P_A(N, M, A): the unfolding program
+// Prog(N, M) plus the supervisor rules of Section 4.2 with the k-ary index
+// for multiple peers. It returns the program and the located query atom
+// q@p0(Z, X) whose answers pair configuration ids with their member
+// events. The net must be 2-parent and every alarm-emitting peer of the
+// sequence must exist in the net.
+//
+// Hidden transitions (alarm = petri.Silent) are supported as in Section
+// 4.4: they are listed in petriNetSilent and may extend a configuration
+// without consuming an alarm position. If the net has silent cycles, use a
+// term-depth budget when evaluating.
+func BuildDiagnosisProgram(pn *petri.PetriNet, seq alarm.Seq) (*ddatalog.Program, ddatalog.PAtom, error) {
+	p, err := BuildUnfoldingProgram(pn)
+	if err != nil {
+		return nil, ddatalog.PAtom{}, err
+	}
+	s := p.Store
+	for _, peer := range pn.Net.Peers() {
+		if dist.PeerID(peer) == SupervisorPeer {
+			return nil, ddatalog.PAtom{}, fmt.Errorf("diagnosis: peer name %q collides with the supervisor", peer)
+		}
+	}
+	for _, o := range seq {
+		if !hasPeer(pn, o.Peer) {
+			return nil, ddatalog.PAtom{}, fmt.Errorf("diagnosis: alarm from unknown peer %q", o.Peer)
+		}
+	}
+
+	addPetriNetFacts(pn, p)
+
+	// Per-peer subsequences and their position constants.
+	per := seq.PerPeer()
+	peers := seq.Peers() // sorted; defines the k-ary index order
+	k := len(peers)
+
+	// alarmSeq facts: one linear chain per peer.
+	for _, peer := range peers {
+		sub := per[peer]
+		for i, a := range sub {
+			p.AddFact(ddatalog.At(RelAlarmSeq, SupervisorPeer,
+				s.Constant(idxConst(peer, i)),
+				s.Constant(string(a)),
+				s.Constant(string(peer)),
+				s.Constant(idxConst(peer, i+1)),
+			))
+		}
+	}
+
+	// Initial configuration: configPrefixes(h(r), h(r), r, c0...).
+	r := s.Constant(RootConst)
+	hr := s.Compound("h", r)
+	init := []term.ID{hr, hr, r}
+	for _, peer := range peers {
+		init = append(init, s.Constant(idxConst(peer, 0)))
+	}
+	p.AddFact(ddatalog.PAtom{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: init})
+
+	addExtensionRules(pn, p, peers, k, false)
+	if hasSilentTransitions(pn) {
+		addExtensionRules(pn, p, peers, k, true)
+	}
+	addMembershipRules(p, k)
+
+	// q(z, x) :- configPrefixes(z, w, y, cfinal...), transInConf(z, x).
+	z, w, y, x := s.Variable("Qz"), s.Variable("Qw"), s.Variable("Qy"), s.Variable("Qx")
+	final := []term.ID{z, w, y}
+	for _, peer := range peers {
+		final = append(final, s.Constant(idxConst(peer, len(per[peer]))))
+	}
+	p.AddRule(ddatalog.PRule{
+		Head: ddatalog.At(RelQuery, SupervisorPeer, z, x),
+		Body: []ddatalog.PAtom{
+			{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: final},
+			ddatalog.At(RelTransInConf, SupervisorPeer, z, x),
+		},
+	})
+
+	query := ddatalog.At(RelQuery, SupervisorPeer, s.Variable("AnsZ"), s.Variable("AnsX"))
+	return p, query, nil
+}
+
+func hasPeer(pn *petri.PetriNet, peer petri.Peer) bool {
+	for _, q := range pn.Net.Peers() {
+		if q == peer {
+			return true
+		}
+	}
+	return false
+}
+
+func hasSilentTransitions(pn *petri.PetriNet) bool {
+	for _, tid := range pn.Net.Transitions() {
+		if pn.Net.Transition(tid).Alarm == petri.Silent {
+			return true
+		}
+	}
+	return false
+}
+
+// addPetriNetFacts publishes each peer's description of its transitions
+// ("Each peer pi provides a description of the transitions in its Petri
+// net ... in the atom petriNet@pi(c, a, c', c”)").
+func addPetriNetFacts(pn *petri.PetriNet, p *ddatalog.Program) {
+	s := p.Store
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		args := []term.ID{s.Constant(string(tid))}
+		if t.Alarm != petri.Silent {
+			args = append(args, s.Constant(string(t.Alarm)))
+		}
+		args = append(args, s.Constant(string(t.Pre[0])), s.Constant(string(t.Pre[1])))
+		relName := rel.Name(RelPetriNet)
+		if t.Alarm == petri.Silent {
+			relName = RelPetriNetSilent
+		}
+		p.AddFact(ddatalog.PAtom{Rel: relName, Peer: dist.PeerID(t.Peer), Args: args})
+	}
+}
+
+// addExtensionRules generates, per emitting peer, the configPrefixes
+// extension rule of Section 4.2 (k-ary index form). With silent=true it
+// generates the Section 4.4 variant that consumes no alarm position.
+func addExtensionRules(pn *petri.PetriNet, p *ddatalog.Program, peers []petri.Peer, k int, silent bool) {
+	s := p.Store
+	// Silent rules are generated per net peer (any peer may hide
+	// transitions); observable rules per emitting peer of the sequence.
+	rulePeers := peers
+	if silent {
+		rulePeers = nil
+		for _, q := range pn.Net.Peers() {
+			rulePeers = append(rulePeers, q)
+		}
+	}
+	for j, peer := range rulePeers {
+		z, w, y := s.Variable("Cz"), s.Variable("Cw"), s.Variable("Cy")
+		x, u, v := s.Variable("Cx"), s.Variable("Cu"), s.Variable("Cv")
+		a, t := s.Variable("Ca"), s.Variable("Ct")
+		c1, c2 := s.Variable("Cc1"), s.Variable("Cc2")
+		idx := make([]term.ID, k)
+		for l := 0; l < k; l++ {
+			idx[l] = s.Variable(fmt.Sprintf("Ci%d", l))
+		}
+
+		prefixArgs := append([]term.ID{z, w, y}, idx...)
+		body := []ddatalog.PAtom{
+			{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: prefixArgs},
+		}
+		headIdx := append([]term.ID(nil), idx...)
+		if silent {
+			body = append(body, ddatalog.At(RelPetriNetSilent, dist.PeerID(peer), t, c1, c2))
+		} else {
+			// The index column this peer's rule advances: its position in
+			// the k-ary vector for sequence diagnosis, or the single
+			// shared automaton-state column for pattern diagnosis (k==1).
+			col := j
+			if k == 1 {
+				col = 0
+			}
+			nextIdx := s.Variable("Cnext")
+			headIdx[col] = nextIdx
+			body = append(body,
+				ddatalog.At(RelAlarmSeq, SupervisorPeer, idx[col], a, s.Constant(string(peer)), nextIdx),
+				ddatalog.At(RelPetriNet, dist.PeerID(peer), t, a, c1, c2),
+			)
+		}
+		gu := s.Compound("g", u, c1)
+		gv := s.Compound("g", v, c2)
+		body = append(body,
+			ddatalog.At(RelTransInConf, SupervisorPeer, z, u),
+			ddatalog.At(RelTransInConf, SupervisorPeer, z, v),
+			ddatalog.At(RelNotParent, SupervisorPeer, z, gu),
+			ddatalog.At(RelNotParent, SupervisorPeer, z, gv),
+			ddatalog.At(RelTrans, dist.PeerID(peer), x, gu, gv),
+		)
+		head := append([]term.ID{s.Compound("h", z, x), z, x}, headIdx...)
+		p.AddRule(ddatalog.PRule{
+			Head: ddatalog.PAtom{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: head},
+			Body: body,
+		})
+	}
+}
+
+// addMembershipRules generates transInConf and notParent (Section 4.2).
+func addMembershipRules(p *ddatalog.Program, k int) {
+	s := p.Store
+	r := s.Constant(RootConst)
+	z, w, y, x, m := s.Variable("Mz"), s.Variable("Mw"), s.Variable("My"), s.Variable("Mx"), s.Variable("Mm")
+	u, v := s.Variable("Mu"), s.Variable("Mv")
+	idx := make([]term.ID, k)
+	for l := 0; l < k; l++ {
+		idx[l] = s.Variable(fmt.Sprintf("Mi%d", l))
+	}
+
+	// transInConf(z, x) :- configPrefixes(z, w, x, i...).
+	p.AddRule(ddatalog.PRule{
+		Head: ddatalog.At(RelTransInConf, SupervisorPeer, z, x),
+		Body: []ddatalog.PAtom{
+			{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: append([]term.ID{z, w, x}, idx...)},
+		},
+	})
+	// transInConf(z, x) :- configPrefixes(z, w, y, i...), transInConf(w, x).
+	p.AddRule(ddatalog.PRule{
+		Head: ddatalog.At(RelTransInConf, SupervisorPeer, z, x),
+		Body: []ddatalog.PAtom{
+			{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: append([]term.ID{z, w, y}, idx...)},
+			ddatalog.At(RelTransInConf, SupervisorPeer, w, x),
+		},
+	})
+	// transInConf(h(r), r).
+	p.AddFact(ddatalog.At(RelTransInConf, SupervisorPeer, s.Compound("h", r), r))
+
+	// notParent(z, m) :- configPrefixes(z, w, y, i...), trans@p(y, u, v),
+	//                    m != u, m != v, notParent(w, m).  (one rule per peer)
+	// notParent(h(r), m) :- places@p(m, y).                (one rule per peer)
+	peers := map[dist.PeerID]bool{}
+	for _, rule := range p.Rules {
+		if rule.Head.Rel == RelTrans {
+			peers[rule.Head.Peer] = true
+		}
+	}
+	var peerList []dist.PeerID
+	for q := range peers {
+		peerList = append(peerList, q)
+	}
+	sort.Slice(peerList, func(i, j int) bool { return peerList[i] < peerList[j] })
+	for _, q := range peerList {
+		p.AddRule(ddatalog.PRule{
+			Head: ddatalog.At(RelNotParent, SupervisorPeer, z, m),
+			Body: []ddatalog.PAtom{
+				{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: append([]term.ID{z, w, y}, idx...)},
+				ddatalog.At(RelTrans, q, y, u, v),
+				ddatalog.At(RelNotParent, SupervisorPeer, w, m),
+			},
+			Neqs: []datalog.Neq{{X: m, Y: u}, {X: m, Y: v}},
+		})
+		p.AddRule(ddatalog.PRule{
+			Head: ddatalog.At(RelNotParent, SupervisorPeer, s.Compound("h", r), m),
+			Body: []ddatalog.PAtom{ddatalog.At(RelPlaces, q, m, y)},
+		})
+	}
+}
+
+// StripPads renders an unfolding node term with the padding of petri.Pad2
+// erased: arguments of an event term f(t, ...) that are conditions of a
+// pad place are dropped, recursively, so that event names on the padded
+// net coincide with names on the original net.
+func StripPads(store *term.Store, t term.ID) string {
+	var render func(t term.ID) string
+	isPadCond := func(t term.ID) bool {
+		if store.Kind(t) != term.Comp || store.Name(t) != "g" {
+			return false
+		}
+		args := store.Args(t)
+		return len(args) == 2 && petri.PadPlace(petri.NodeID(store.Name(args[1])))
+	}
+	render = func(t term.ID) string {
+		if store.Kind(t) != term.Comp {
+			return store.Name(t)
+		}
+		args := store.Args(t)
+		parts := make([]string, 0, len(args))
+		for i, a := range args {
+			if store.Name(t) == "f" && i > 0 && isPadCond(a) {
+				continue
+			}
+			parts = append(parts, render(a))
+		}
+		return store.Name(t) + "(" + strings.Join(parts, ",") + ")"
+	}
+	return render(t)
+}
+
+// ExtractDiagnoses converts q(z, x) answer rows into a diagnosis set:
+// rows are grouped by configuration id z, the virtual root r is dropped,
+// and configurations reached through different interleavings (different
+// ids, same event set) are deduplicated. With stripPads, event names are
+// normalized back to the unpadded net's canonical names.
+func ExtractDiagnoses(store *term.Store, rows [][]term.ID, stripPads bool) Diagnoses {
+	render := store.String
+	if stripPads {
+		render = func(t term.ID) string { return StripPads(store, t) }
+	}
+	byID := map[term.ID]map[string]bool{}
+	order := []term.ID{}
+	for _, row := range rows {
+		if len(row) != 2 {
+			continue
+		}
+		z, x := row[0], row[1]
+		if _, ok := byID[z]; !ok {
+			byID[z] = map[string]bool{}
+			order = append(order, z)
+		}
+		name := render(x)
+		if name != RootConst {
+			byID[z][name] = true
+		}
+	}
+	seen := map[string]bool{}
+	var out Diagnoses
+	for _, z := range order {
+		events := byID[z]
+		cfg := make([]string, 0, len(events))
+		for e := range events {
+			cfg = append(cfg, e)
+		}
+		sort.Strings(cfg)
+		key := strings.Join(cfg, ";")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, cfg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i], ";") < strings.Join(out[j], ";")
+	})
+	return out
+}

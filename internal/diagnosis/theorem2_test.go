@@ -1,0 +1,219 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/petri"
+	"repro/internal/rel"
+	"repro/internal/term"
+	"repro/internal/unfold"
+)
+
+// evalUnfoldingProgram builds Prog(N,M) for the padded example and
+// evaluates its centralized (localized) form with the given term-depth
+// bound, returning the materialized database and its store.
+func evalUnfoldingProgram(t *testing.T, pn *petri.PetriNet, depth int) (*rel.DB, *term.Store) {
+	t.Helper()
+	prog, err := BuildUnfoldingProgram(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := prog.Localize()
+	if err := local.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db, st := local.SemiNaive(datalog.Budget{MaxTermDepth: depth})
+	if st.Truncated {
+		t.Fatalf("evaluation truncated: %s", st.Reason)
+	}
+	return db, local.Store
+}
+
+// firstArgs gathers the rendered first argument of every fact of the
+// relations named base@<any peer>.
+func firstArgs(db *rel.DB, store *term.Store, base string) map[string]bool {
+	out := map[string]bool{}
+	for _, name := range db.Names() {
+		s := string(name)
+		if !strings.HasPrefix(s, base+"@") {
+			continue
+		}
+		for _, tup := range db.Lookup(name).All() {
+			out[store.String(tup[0])] = true
+		}
+	}
+	return out
+}
+
+// TestTheorem2 checks the bijection δ between the nodes of the direct
+// unfolder's bounded unfolding and the node terms derived by Prog(N,M):
+// because both sides use the same canonical Skolem naming, δ is literal
+// name equality on trans/places facts.
+func TestTheorem2(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 6 // term depth; events live at term depths 2, 4, 6
+
+	db, store := evalUnfoldingProgram(t, padded, depth)
+	gotEvents := firstArgs(db, store, RelTrans)
+	gotConds := firstArgs(db, store, RelPlaces)
+
+	u := unfold.Build(padded, unfold.Options{MaxDepth: depth, MaxEvents: 100000})
+	wantEvents := map[string]bool{}
+	for _, e := range u.Events {
+		if e.TermDepth <= depth {
+			wantEvents[e.Name] = true
+		}
+	}
+	wantConds := map[string]bool{}
+	for _, c := range u.Conditions {
+		if c.TermDepth <= depth {
+			wantConds[c.Name] = true
+		}
+	}
+
+	diff := func(kind string, got, want map[string]bool) {
+		for n := range want {
+			if !got[n] {
+				t.Errorf("Datalog program missing %s %s", kind, n)
+			}
+		}
+		for n := range got {
+			if !want[n] {
+				t.Errorf("Datalog program derived spurious %s %s", kind, n)
+			}
+		}
+	}
+	diff("event", gotEvents, wantEvents)
+	diff("condition", gotConds, wantConds)
+	if len(wantEvents) < 5 {
+		t.Fatalf("unfolding suspiciously small: %d events", len(wantEvents))
+	}
+}
+
+// TestTheorem2Map checks condition 3 of Theorem 2: map is exactly the
+// homomorphism ρ.
+func TestTheorem2Map(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 4
+	db, store := evalUnfoldingProgram(t, padded, depth)
+	u := unfold.Build(padded, unfold.Options{MaxDepth: depth, MaxEvents: 100000})
+
+	// Collect map facts: node name -> net node.
+	got := map[string]string{}
+	for _, name := range db.Names() {
+		if !strings.HasPrefix(string(name), RelMap+"@") {
+			continue
+		}
+		for _, tup := range db.Lookup(name).All() {
+			got[store.String(tup[0])] = store.String(tup[1])
+		}
+	}
+	for _, e := range u.Events {
+		if e.TermDepth <= depth && got[e.Name] != string(e.Trans) {
+			t.Fatalf("map(%s) = %q, want %q", e.Name, got[e.Name], e.Trans)
+		}
+	}
+	for _, c := range u.Conditions {
+		if c.TermDepth <= depth && got[c.Name] != string(c.Place) {
+			t.Fatalf("map(%s) = %q, want %q", c.Name, got[c.Name], c.Place)
+		}
+	}
+}
+
+// TestTheorem2CoRelation checks that the co relation derived by the
+// program coincides with the unfolder's concurrency relation on
+// conditions (our positive replacement for the paper's notConf guard).
+func TestTheorem2CoRelation(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 5
+	db, store := evalUnfoldingProgram(t, padded, depth)
+	u := unfold.Build(padded, unfold.Options{MaxDepth: depth, MaxEvents: 100000})
+
+	gotCo := map[string]bool{}
+	for _, name := range db.Names() {
+		if !strings.HasPrefix(string(name), RelCo+"@") {
+			continue
+		}
+		for _, tup := range db.Lookup(name).All() {
+			gotCo[store.String(tup[0])+"|"+store.String(tup[1])] = true
+		}
+	}
+	checked := 0
+	for _, a := range u.Conditions {
+		if a.TermDepth > depth {
+			continue
+		}
+		for _, b := range u.Conditions {
+			if b.TermDepth > depth || a == b {
+				continue
+			}
+			want := u.ConcurrentConditions(a, b)
+			if got := gotCo[a.Name+"|"+b.Name]; got != want {
+				t.Fatalf("co(%s, %s) = %v, unfolder says %v", a.Name, b.Name, got, want)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d pairs checked", checked)
+	}
+}
+
+// TestLemma1 checks notCausal and causal against the unfolder's causality:
+// causal(x, y) iff y ⪯ x; notCausal(x, y) iff ¬[y ⪯ x], over events.
+func TestLemma1(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const depth = 5
+	db, store := evalUnfoldingProgram(t, padded, depth)
+	u := unfold.Build(padded, unfold.Options{MaxDepth: depth, MaxEvents: 100000})
+
+	pairs := func(base string) map[string]bool {
+		out := map[string]bool{}
+		for _, name := range db.Names() {
+			if !strings.HasPrefix(string(name), base+"@") {
+				continue
+			}
+			for _, tup := range db.Lookup(name).All() {
+				out[store.String(tup[0])+"|"+store.String(tup[1])] = true
+			}
+		}
+		return out
+	}
+	gotCausal := pairs(RelCausal)
+	gotNotCausal := pairs(RelNotCausal)
+
+	var events []*unfold.Event
+	for _, e := range u.Events {
+		if e.TermDepth <= depth {
+			events = append(events, e)
+		}
+	}
+	if len(events) < 4 {
+		t.Fatalf("too few events: %d", len(events))
+	}
+	for _, x := range events {
+		for _, y := range events {
+			below := u.Causal(y, x) // y ⪯ x
+			if got := gotCausal[x.Name+"|"+y.Name]; got != below {
+				t.Fatalf("causal(%s, %s) = %v, want %v", x.Name, y.Name, got, below)
+			}
+			if got := gotNotCausal[x.Name+"|"+y.Name]; got != !below {
+				t.Fatalf("notCausal(%s, %s) = %v, want %v", x.Name, y.Name, got, !below)
+			}
+		}
+	}
+}

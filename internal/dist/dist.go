@@ -1,0 +1,259 @@
+// Package dist provides the asynchronous peer-to-peer runtime used by the
+// distributed evaluators: one goroutine per peer, asynchronous message
+// delivery that preserves per-sender FIFO order (the only ordering
+// guarantee the paper's model assumes — Section 2, "for each individual
+// peer the relative order of its alarms ... respects the order in which
+// they were sent"), and distributed termination detection.
+//
+// Termination ("the system reaches a fixpoint when no new relation may be
+// activated and no new fact derived at any peer", Section 3.2) is detected
+// by message counting: the network is quiescent exactly when every peer is
+// blocked waiting for input and no message is in flight. Because the whole
+// network runs in one process, the count is maintained under a single lock
+// and detection is exact — this stands in for the "standard termination
+// detection algorithms for distributed computing" the paper cites [19, 33].
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PeerID names a peer.
+type PeerID string
+
+// Message is an asynchronous message between peers. Payload is
+// evaluator-defined; the runtime never inspects it.
+type Message struct {
+	From    PeerID
+	To      PeerID
+	Payload any
+}
+
+// Handler processes one message on behalf of a peer. It runs on the peer's
+// goroutine; messages to a peer are handled one at a time, in per-sender
+// FIFO order. The handler may send further messages through ctx.
+type Handler func(ctx *Context, m Message)
+
+// Context is a peer's interface to the network during message handling.
+type Context struct {
+	net  *Network
+	self PeerID
+}
+
+// Self returns the identity of the handling peer.
+func (c *Context) Self() PeerID { return c.self }
+
+// Send delivers payload to the given peer asynchronously.
+func (c *Context) Send(to PeerID, payload any) {
+	c.net.send(Message{From: c.self, To: to, Payload: payload})
+}
+
+// Abort stops the whole network; Run returns err.
+func (c *Context) Abort(err error) {
+	c.net.abort(err)
+}
+
+// Stopped reports whether the network has been aborted or has quiesced.
+// Long-running handlers should poll it and bail out: an abort stops
+// message delivery but cannot interrupt a handler.
+func (c *Context) Stopped() bool {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.net.stopped
+}
+
+// Stats summarizes a network run.
+type Stats struct {
+	MessagesSent int
+	Processed    map[PeerID]int // messages handled per peer
+	Elapsed      time.Duration
+}
+
+// ErrTimeout is returned by Run when the deadline passes before quiescence.
+var ErrTimeout = errors.New("dist: network did not quiesce before deadline")
+
+type peer struct {
+	id      PeerID
+	handler Handler
+	queue   []Message
+	waiting bool
+	done    chan struct{}
+}
+
+// Network is a closed set of peers exchanging asynchronous messages.
+// Configure with AddPeer, then call Run exactly once.
+type Network struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	peers    map[PeerID]*peer
+	order    []PeerID
+	inflight int // messages sent but not yet fully processed
+	idle     int // peers currently blocked on an empty queue
+	stopped  bool
+	err      error
+	stats    Stats
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	n := &Network{peers: make(map[PeerID]*peer)}
+	n.cond = sync.NewCond(&n.mu)
+	n.stats.Processed = make(map[PeerID]int)
+	return n
+}
+
+// AddPeer registers a peer. It panics if the ID is taken or the network has
+// started.
+func (n *Network) AddPeer(id PeerID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		panic("dist: AddPeer after Run")
+	}
+	if _, ok := n.peers[id]; ok {
+		panic(fmt.Sprintf("dist: duplicate peer %q", id))
+	}
+	n.peers[id] = &peer{id: id, handler: h, done: make(chan struct{})}
+	n.order = append(n.order, id)
+}
+
+// Peers returns the registered peer IDs in registration order.
+func (n *Network) Peers() []PeerID {
+	out := make([]PeerID, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+func (n *Network) send(m Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.peers[m.To]
+	if !ok {
+		panic(fmt.Sprintf("dist: send to unknown peer %q", m.To))
+	}
+	if n.stopped {
+		return // late sends during shutdown are dropped
+	}
+	n.inflight++
+	n.stats.MessagesSent++
+	p.queue = append(p.queue, m)
+	n.cond.Broadcast()
+}
+
+func (n *Network) abort(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.stopped {
+		n.stopped = true
+		if n.err == nil {
+			n.err = err
+		}
+		n.cond.Broadcast()
+	}
+}
+
+// receive blocks until a message is available for p or the network stops.
+func (n *Network) receive(p *peer) (Message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(p.queue) == 0 && !n.stopped {
+		if !p.waiting {
+			p.waiting = true
+			n.idle++
+			if n.quiescentLocked() {
+				n.stopped = true
+				n.cond.Broadcast()
+				return Message{}, false
+			}
+		}
+		n.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return Message{}, false
+	}
+	if p.waiting {
+		p.waiting = false
+		n.idle--
+	}
+	m := p.queue[0]
+	p.queue = p.queue[1:]
+	return m, true
+}
+
+// finish marks one message as fully processed.
+func (n *Network) finish(p *peer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inflight--
+	n.stats.Processed[p.id]++
+	if n.quiescentLocked() {
+		n.stopped = true
+		n.cond.Broadcast()
+	}
+}
+
+// quiescentLocked reports global quiescence: every peer idle, nothing in
+// flight. Caller holds n.mu.
+func (n *Network) quiescentLocked() bool {
+	return n.inflight == 0 && n.idle == len(n.peers)
+}
+
+func (p *peer) loop(n *Network) {
+	defer close(p.done)
+	ctx := &Context{net: n, self: p.id}
+	for {
+		m, ok := n.receive(p)
+		if !ok {
+			return
+		}
+		p.handler(ctx, m)
+		n.finish(p)
+	}
+}
+
+// Run injects the initial messages (From is preserved; use a synthetic
+// sender such as "query" for seeds), starts every peer, and blocks until
+// the network quiesces, a handler aborts, or the timeout elapses (zero
+// timeout means one minute). It returns run statistics and the abort or
+// timeout error, if any.
+func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	start := time.Now()
+
+	n.mu.Lock()
+	for _, m := range initial {
+		p, ok := n.peers[m.To]
+		if !ok {
+			n.mu.Unlock()
+			panic(fmt.Sprintf("dist: initial message to unknown peer %q", m.To))
+		}
+		n.inflight++
+		n.stats.MessagesSent++
+		p.queue = append(p.queue, m)
+	}
+	if len(initial) == 0 {
+		// Nothing to do: already quiescent.
+		n.stopped = true
+	}
+	n.mu.Unlock()
+
+	for _, id := range n.order {
+		go n.peers[id].loop(n)
+	}
+
+	timer := time.AfterFunc(timeout, func() { n.abort(ErrTimeout) })
+	for _, id := range n.order {
+		<-n.peers[id].done
+	}
+	timer.Stop()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Elapsed = time.Since(start)
+	return n.stats, n.err
+}

@@ -1,0 +1,195 @@
+package dist
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuiescenceEmpty(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {})
+	st, err := n.Run(nil, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MessagesSent != 0 {
+		t.Fatalf("sent %d", st.MessagesSent)
+	}
+}
+
+func TestPingPongCountdown(t *testing.T) {
+	n := NewNetwork()
+	handler := func(ctx *Context, m Message) {
+		k := m.Payload.(int)
+		if k > 0 {
+			ctx.Send(m.From, k-1)
+		}
+	}
+	n.AddPeer("a", handler)
+	n.AddPeer("b", handler)
+	st, err := n.Run([]Message{{From: "a", To: "b", Payload: 10}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial message + 10 replies.
+	if st.MessagesSent != 11 {
+		t.Fatalf("sent %d, want 11", st.MessagesSent)
+	}
+	if st.Processed["a"]+st.Processed["b"] != 11 {
+		t.Fatalf("processed %v", st.Processed)
+	}
+}
+
+func TestPerSenderFIFO(t *testing.T) {
+	n := NewNetwork()
+	var mu sync.Mutex
+	var got []int
+	n.AddPeer("sink", func(ctx *Context, m Message) {
+		mu.Lock()
+		got = append(got, m.Payload.(int))
+		mu.Unlock()
+	})
+	n.AddPeer("src", func(ctx *Context, m Message) {
+		for i := 0; i < 100; i++ {
+			ctx.Send("sink", i)
+		}
+	})
+	if _, err := n.Run([]Message{{From: "go", To: "src", Payload: 0}}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("sink got %d messages", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestFanOutFanIn(t *testing.T) {
+	const workers = 8
+	n := NewNetwork()
+	var mu sync.Mutex
+	total := 0
+	n.AddPeer("coord", func(ctx *Context, m Message) {
+		switch v := m.Payload.(type) {
+		case string: // kickoff
+			for i := 0; i < workers; i++ {
+				ctx.Send(PeerID(rune('0'+i)), 7)
+			}
+			_ = v
+		case int:
+			mu.Lock()
+			total += v
+			mu.Unlock()
+		}
+	})
+	for i := 0; i < workers; i++ {
+		n.AddPeer(PeerID(rune('0'+i)), func(ctx *Context, m Message) {
+			ctx.Send("coord", m.Payload.(int)*2)
+		})
+	}
+	if _, err := n.Run([]Message{{From: "ext", To: "coord", Payload: "go"}}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if total != workers*14 {
+		t.Fatalf("total = %d, want %d", total, workers*14)
+	}
+}
+
+func TestTimeoutOnLivelock(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {
+		ctx.Send("a", m.Payload) // never quiesces
+	})
+	_, err := n.Run([]Message{{From: "x", To: "a", Payload: 0}}, 50*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestAbortPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {
+		ctx.Abort(boom)
+	})
+	n.AddPeer("b", func(ctx *Context, m Message) {})
+	_, err := n.Run([]Message{{From: "x", To: "a", Payload: 0}}, time.Second)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSelfAndContextIdentity(t *testing.T) {
+	n := NewNetwork()
+	var self PeerID
+	var from PeerID
+	n.AddPeer("me", func(ctx *Context, m Message) {
+		self = ctx.Self()
+		from = m.From
+	})
+	if _, err := n.Run([]Message{{From: "you", To: "me", Payload: 0}}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if self != "me" || from != "you" {
+		t.Fatalf("self=%q from=%q", self, from)
+	}
+}
+
+func TestDuplicatePeerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n := NewNetwork()
+	n.AddPeer("a", nil)
+	n.AddPeer("a", nil)
+}
+
+// Gossip stress: every peer forwards a token to the next peer a bounded
+// number of times; the network must quiesce with the exact message count.
+func TestRingGossipStress(t *testing.T) {
+	const peers = 20
+	const hops = 500
+	n := NewNetwork()
+	id := func(i int) PeerID { return PeerID(rune('A' + i)) }
+	for i := 0; i < peers; i++ {
+		next := id((i + 1) % peers)
+		n.AddPeer(id(i), func(ctx *Context, m Message) {
+			k := m.Payload.(int)
+			if k > 0 {
+				ctx.Send(next, k-1)
+			}
+		})
+	}
+	st, err := n.Run([]Message{{From: "x", To: id(0), Payload: hops}}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MessagesSent != hops+1 {
+		t.Fatalf("sent %d, want %d", st.MessagesSent, hops+1)
+	}
+}
+
+func BenchmarkRingHop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork()
+		for j := 0; j < 4; j++ {
+			next := PeerID(rune('A' + (j+1)%4))
+			n.AddPeer(PeerID(rune('A'+j)), func(ctx *Context, m Message) {
+				k := m.Payload.(int)
+				if k > 0 {
+					ctx.Send(next, k-1)
+				}
+			})
+		}
+		if _, err := n.Run([]Message{{From: "x", To: "A", Payload: 100}}, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package dist
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStoppedVisibleInHandler: after an abort, a long-running handler can
+// observe Stopped and bail out instead of looping forever.
+func TestStoppedVisibleInHandler(t *testing.T) {
+	boom := errors.New("boom")
+	var sawStopped atomic.Bool
+	n := NewNetwork()
+	n.AddPeer("worker", func(ctx *Context, m Message) {
+		if m.Payload.(string) == "abort" {
+			ctx.Abort(boom)
+			// The handler keeps "working"; Stopped must flip.
+			for i := 0; i < 1000000; i++ {
+				if ctx.Stopped() {
+					sawStopped.Store(true)
+					return
+				}
+			}
+		}
+	})
+	_, err := n.Run([]Message{{From: "x", To: "worker", Payload: "abort"}}, 5*time.Second)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if !sawStopped.Load() {
+		t.Fatal("handler never observed Stopped")
+	}
+}
+
+// TestStoppedFalseWhileRunning: a healthy run never reports stopped to a
+// handler mid-flight.
+func TestStoppedFalseWhileRunning(t *testing.T) {
+	var sawStopped atomic.Bool
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {
+		if ctx.Stopped() {
+			sawStopped.Store(true)
+		}
+		if k := m.Payload.(int); k > 0 {
+			ctx.Send("a", k-1)
+		}
+	})
+	if _, err := n.Run([]Message{{From: "x", To: "a", Payload: 5}}, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sawStopped.Load() {
+		t.Fatal("Stopped reported during a healthy run")
+	}
+}
+
+// TestLateSendsDropped: sends issued after an abort are dropped without
+// panicking or deadlocking.
+func TestLateSendsDropped(t *testing.T) {
+	boom := errors.New("boom")
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {
+		ctx.Abort(boom)
+		ctx.Send("a", "late") // must be a silent no-op
+	})
+	if _, err := n.Run([]Message{{From: "x", To: "a", Payload: "go"}}, 5*time.Second); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,397 @@
+package dqsq
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/adorn"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/qsq"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// figure3 builds the paper's Figure 3 distributed program.
+func figure3(a, b, c [][2]string) *ddatalog.Program {
+	s := term.NewStore()
+	p := ddatalog.NewProgram(s)
+	x, y, z := s.Variable("X"), s.Variable("Y"), s.Variable("Z")
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("R", "r", x, y), Body: []ddatalog.PAtom{ddatalog.At("A", "r", x, y)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("R", "r", x, y), Body: []ddatalog.PAtom{ddatalog.At("S", "s", x, z), ddatalog.At("T", "t", z, y)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("S", "s", x, y), Body: []ddatalog.PAtom{ddatalog.At("R", "r", x, y), ddatalog.At("B", "s", y, z)}})
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("T", "t", x, y), Body: []ddatalog.PAtom{ddatalog.At("C", "t", x, y)}})
+	add := func(name rel.Name, peer dist.PeerID, rows [][2]string) {
+		for _, r := range rows {
+			p.AddFact(ddatalog.At(name, peer, s.Constant(r[0]), s.Constant(r[1])))
+		}
+	}
+	add("A", "r", a)
+	add("B", "s", b)
+	add("C", "t", c)
+	return p
+}
+
+func sortedRows(s *term.Store, rows [][]term.ID) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, t := range r {
+			parts[i] = s.String(t)
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func queryFig3(p *ddatalog.Program, src string) ddatalog.PAtom {
+	s := p.Store
+	return ddatalog.At("R", "r", s.Constant(src), s.Variable("Y"))
+}
+
+func TestFigure5PerPeerRewriting(t *testing.T) {
+	p := figure3(nil, nil, nil)
+	rw, err := Rewrite(p, queryFig3(p, "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each peer expands exactly its own adorned relation, as in Figure 5.
+	if got := rw.KeysByPeer["r"]; len(got) != 1 || got[0] != (adorn.Key{Rel: "R", Ad: "bf"}) {
+		t.Fatalf("peer r keys = %v", got)
+	}
+	if got := rw.KeysByPeer["s"]; len(got) != 1 || got[0] != (adorn.Key{Rel: "S", Ad: "bf"}) {
+		t.Fatalf("peer s keys = %v", got)
+	}
+	if got := rw.KeysByPeer["t"]; len(got) != 1 || got[0] != (adorn.Key{Rel: "T", Ad: "bf"}) {
+		t.Fatalf("peer t keys = %v", got)
+	}
+	if err := rw.Program.Validate(); err != nil {
+		t.Fatalf("rewriting invalid: %v", err)
+	}
+}
+
+func TestFigure5DelegationsCrossPeers(t *testing.T) {
+	p := figure3(nil, nil, nil)
+	s := p.Store
+	rw, err := Rewrite(p, queryFig3(p, "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rewriting must contain cross-peer rules: a rule hosted at one
+	// peer whose body consumes a supplementary relation at another peer —
+	// the bold rules of Figure 5 / rule (†).
+	crossings := map[string]bool{}
+	for _, r := range rw.Program.Rules {
+		for _, a := range r.Body {
+			if a.Peer != r.Head.Peer {
+				crossings[string(r.Head.Peer)+"<-"+string(a.Peer)] = true
+				_ = r.String(s)
+			}
+		}
+	}
+	// Rule 2 at r delegates to s (in-S + sup chain), s delegates to t, and
+	// t's last supplementary feeds the answer rule back at r. Rule 3 at s
+	// consumes R#bf from r.
+	for _, want := range []string{"s<-r", "t<-s", "r<-t"} {
+		if !crossings[want] {
+			t.Fatalf("missing delegation %s; have %v", want, crossings)
+		}
+	}
+	// The query seed lands at peer r.
+	found := false
+	for _, f := range rw.Program.Facts {
+		if f.Rel == "in-R#bf" && f.Peer == "r" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no in-R#bf seed at peer r")
+	}
+}
+
+// zeta maps a dQSQ qualified adorned name "R#bf@r" to the centralized
+// QSQ name for the localized program, "R@r#bf" (the Theorem 1 bijection
+// on adorned relations).
+func zeta(q rel.Name) (rel.Name, bool) {
+	name, peer, ok := ddatalog.SplitQualified(q)
+	if !ok {
+		return "", false
+	}
+	str := string(name)
+	i := strings.LastIndex(str, "#")
+	if i < 0 || strings.HasPrefix(str, "sup.") || strings.HasPrefix(str, "in-") {
+		return "", false
+	}
+	return rel.Name(str[:i] + "@" + string(peer) + str[i:]), true
+}
+
+func TestTheorem1AnswersAndAdornedRelationsMatchQSQ(t *testing.T) {
+	a := [][2]string{{"1", "2"}, {"2", "3"}, {"7", "8"}}
+	b := [][2]string{{"2", "w"}, {"3", "w"}}
+	c := [][2]string{{"2", "4"}, {"3", "5"}, {"4", "6"}}
+
+	// dQSQ on the distributed program.
+	p := figure3(a, b, c)
+	res, err := Run(p, queryFig3(p, "1"), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Centralized QSQ on the localized program (Theorem 1's P_local).
+	pl := figure3(a, b, c)
+	local := pl.Localize()
+	ls := local.Store
+	q := datalog.Atom{Rel: "R@r", Args: []term.ID{ls.Constant("1"), ls.Variable("Y")}}
+	qAns, qdb, qStats, err := qsq.Run(local, q, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Same answers.
+	if g, w := sortedRows(res.Store, res.Answers), sortedRows(ls, qAns); strings.Join(g, ";") != strings.Join(w, ";") {
+		t.Fatalf("dQSQ answers %v != QSQ answers %v", g, w)
+	}
+	if len(res.Answers) == 0 {
+		t.Fatal("expected nonempty answers")
+	}
+
+	// (b) Same facts in every adorned relation, up to zeta.
+	for _, peer := range []dist.PeerID{"r", "s", "t"} {
+		db := res.Engine.PeerDB(peer)
+		st := res.Engine.PeerStore(peer)
+		for _, name := range db.Names() {
+			mapped, ok := zeta(name)
+			if !ok {
+				continue
+			}
+			lrel := qdb.Lookup(mapped)
+			if lrel == nil {
+				t.Fatalf("QSQ has no relation %s (zeta of %s)", mapped, name)
+			}
+			drel := db.Lookup(name)
+			var got, want []string
+			for _, tup := range drel.All() {
+				row := make([]string, len(tup))
+				for i, id := range tup {
+					row[i] = st.String(id)
+				}
+				got = append(got, strings.Join(row, ","))
+			}
+			for _, tup := range lrel.All() {
+				row := make([]string, len(tup))
+				for i, id := range tup {
+					row[i] = ls.String(id)
+				}
+				want = append(want, strings.Join(row, ","))
+			}
+			sort.Strings(got)
+			sort.Strings(want)
+			if strings.Join(got, ";") != strings.Join(want, ";") {
+				t.Fatalf("relation %s: dQSQ %v != QSQ %v", name, got, want)
+			}
+		}
+	}
+
+	// (c) Same amount of materialized data: dQSQ derives at owners exactly
+	// what centralized QSQ derives (Figure 3 has no remote extensional
+	// atoms, so no bridge relations inflate the count).
+	if res.Stats.Derived != qStats.Derived {
+		t.Fatalf("dQSQ derived %d, QSQ derived %d", res.Stats.Derived, qStats.Derived)
+	}
+}
+
+func TestDQSQMaterializesLessThanNaiveDistributed(t *testing.T) {
+	// Wide extensional data with a query touching a small slice.
+	var a, b, c [][2]string
+	for i := 0; i < 40; i++ {
+		a = append(a, [2]string{nn(i), nn(i + 1)})
+		b = append(b, [2]string{nn(i + 1), "w"})
+		c = append(c, [2]string{nn(i + 1), nn(i + 2)})
+	}
+	p1 := figure3(a, b, c)
+	res, err := Run(p1, queryFig3(p1, nn(0)), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := figure3(a, b, c)
+	nres, _, err := ddatalog.Run(p2, queryFig3(p2, nn(0)), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both compute R, S, T fully in this instance (the chain is connected),
+	// but dQSQ's derivations stay proportional while naive activation of R
+	// computes everything regardless of the constant "1". What must hold
+	// generally: same answers.
+	g1 := sortedRows(res.Store, res.Answers)
+	g2 := sortedRows(nres.Store, nres.Answers)
+	if strings.Join(g1, ";") != strings.Join(g2, ";") {
+		t.Fatalf("answers differ: %v vs %v", g1, g2)
+	}
+}
+
+func TestDQSQSelectiveOnDisconnectedData(t *testing.T) {
+	// Two disconnected chains; querying the first must not materialize
+	// R-facts about the second under dQSQ, while naive distributed
+	// evaluation computes the whole R relation.
+	a := [][2]string{{"1", "2"}, {"x1", "x2"}, {"x2", "x3"}, {"x3", "x4"}}
+	p1 := figure3(a, nil, nil)
+	res, err := Run(p1, queryFig3(p1, "1"), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := figure3(a, nil, nil)
+	nres, _, err := ddatalog.Run(p2, queryFig3(p2, "1"), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sortedRows(res.Store, res.Answers); strings.Join(g, ";") != "2" {
+		t.Fatalf("dQSQ answers %v", g)
+	}
+	// The naive run materializes the full R relation (4 tuples, one per A
+	// fact); dQSQ materializes only the tuple relevant to the query.
+	db := res.Engine.PeerDB("r")
+	st := res.Engine.PeerStore("r")
+	if rAd := db.Lookup("R#bf@r"); rAd == nil || rAd.Len() != 1 {
+		t.Fatalf("dQSQ materialized %v R#bf tuples, want 1", rAd)
+	}
+	if nres.Stats.Derived != 4 {
+		t.Fatalf("naive derived %d R tuples, want 4", nres.Stats.Derived)
+	}
+	if r := db.Lookup("R#bf@r"); r != nil {
+		for _, tup := range r.All() {
+			if strings.HasPrefix(st.String(tup[0]), "x") {
+				t.Fatalf("dQSQ materialized irrelevant fact R#bf(%s,%s)", st.String(tup[0]), st.String(tup[1]))
+			}
+		}
+	}
+}
+
+func TestRemoteExtensionalBridge(t *testing.T) {
+	// A rule at p joins an extensional relation owned by q: the rewriting
+	// must produce a bridge at q rather than requiring p to know q's schema.
+	s := term.NewStore()
+	p := ddatalog.NewProgram(s)
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddRule(ddatalog.PRule{Head: ddatalog.At("res", "p", x, y), Body: []ddatalog.PAtom{
+		ddatalog.At("edge", "q", x, y),
+	}})
+	p.AddFact(ddatalog.At("edge", "q", s.Constant("a"), s.Constant("b")))
+	p.AddFact(ddatalog.At("edge", "q", s.Constant("a"), s.Constant("c")))
+	p.AddFact(ddatalog.At("edge", "q", s.Constant("z"), s.Constant("w")))
+
+	res, err := Run(p, ddatalog.At("res", "p", s.Constant("a"), s.Variable("Y")), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sortedRows(res.Store, res.Answers); strings.Join(g, ";") != "b;c" {
+		t.Fatalf("answers %v, want [b c]", g)
+	}
+	// The bridge must have filtered: edge#bf@q holds only "a" tuples.
+	db := res.Engine.PeerDB("q")
+	st := res.Engine.PeerStore("q")
+	bridge := db.Lookup("edge#bf@q")
+	if bridge == nil {
+		t.Fatal("no bridge relation edge#bf at q")
+	}
+	for _, tup := range bridge.All() {
+		if st.String(tup[0]) != "a" {
+			t.Fatalf("bridge shipped irrelevant tuple (%s,%s)", st.String(tup[0]), st.String(tup[1]))
+		}
+	}
+}
+
+func TestDQSQWithNeqAcrossPeers(t *testing.T) {
+	s := term.NewStore()
+	p := ddatalog.NewProgram(s)
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddRule(ddatalog.PRule{
+		Head: ddatalog.At("pair", "p", x, y),
+		Body: []ddatalog.PAtom{ddatalog.At("n", "p", x), ddatalog.At("m", "q", y)},
+		Neqs: []datalog.Neq{{X: x, Y: y}},
+	})
+	for _, v := range []string{"a", "b"} {
+		p.AddFact(ddatalog.At("n", "p", s.Constant(v)))
+		p.AddFact(ddatalog.At("m", "q", s.Constant(v)))
+	}
+	res, err := Run(p, ddatalog.At("pair", "p", s.Constant("a"), s.Variable("Y")), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sortedRows(res.Store, res.Answers); strings.Join(g, ";") != "b" {
+		t.Fatalf("answers %v, want [b]", g)
+	}
+}
+
+func TestDQSQExtensionalQuery(t *testing.T) {
+	p := figure3([][2]string{{"1", "2"}}, nil, nil)
+	s := p.Store
+	res, err := Run(p, ddatalog.At("A", "r", s.Constant("1"), s.Variable("Y")), datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sortedRows(res.Store, res.Answers); strings.Join(g, ";") != "2" {
+		t.Fatalf("answers %v", g)
+	}
+}
+
+func nn(i int) string { return "v" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+// Property: Theorem 1 over random instances — dQSQ and centralized QSQ on
+// the localized program agree on answers.
+func TestQuickTheorem1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"1", "2", "3", "4"}
+		pick := func() string { return names[rng.Intn(len(names))] }
+		var a, b, c [][2]string
+		for i := 0; i < 3+rng.Intn(5); i++ {
+			a = append(a, [2]string{pick(), pick()})
+			b = append(b, [2]string{pick(), "w"})
+			c = append(c, [2]string{pick(), pick()})
+		}
+		src := pick()
+
+		p := figure3(a, b, c)
+		res, err := Run(p, queryFig3(p, src), datalog.Budget{}, 10*time.Second)
+		if err != nil {
+			return false
+		}
+
+		pl := figure3(a, b, c)
+		local := pl.Localize()
+		ls := local.Store
+		qAns, _, _, err := qsq.Run(local, datalog.Atom{Rel: "R@r",
+			Args: []term.ID{ls.Constant(src), ls.Variable("Y")}}, datalog.Budget{})
+		if err != nil {
+			return false
+		}
+		return strings.Join(sortedRows(res.Store, res.Answers), ";") ==
+			strings.Join(sortedRows(ls, qAns), ";")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDQSQFigure3(b *testing.B) {
+	var av, bv, cv [][2]string
+	for i := 0; i < 20; i++ {
+		av = append(av, [2]string{nn(i), nn(i + 1)})
+		bv = append(bv, [2]string{nn(i + 1), "w"})
+		cv = append(cv, [2]string{nn(i + 1), nn(i + 2)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := figure3(av, bv, cv)
+		if _, err := Run(p, queryFig3(p, nn(0)), datalog.Budget{}, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

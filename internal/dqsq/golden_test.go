@@ -1,0 +1,47 @@
+package dqsq
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenFigure5 pins the full dQSQ rewriting of the Figure 3 program —
+// the repository's rendition of Figure 5. Reviewed drift only.
+func TestGoldenFigure5(t *testing.T) {
+	p := figure3(nil, nil, nil)
+	rw, err := Rewrite(p, queryFig3(p, "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range rw.Program.Facts {
+		b.WriteString(f.String(p.Store) + ".\n")
+	}
+	for _, r := range rw.Program.Rules {
+		b.WriteString(r.String(p.Store) + "\n")
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "figure5.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Fatalf("Figure 5 rewriting drifted; run with -update and review.\n--- got ---\n%s", got)
+	}
+}

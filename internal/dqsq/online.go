@@ -1,0 +1,177 @@
+package dqsq
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/adorn"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// This file implements online dQSQ — the paper's Remark 2: "The dQSQ
+// computation, and the generation of results, may start even before the
+// rewriting is complete. This property is especially important in the
+// context of the Web where the number of sites transitively involved in a
+// computation may be too large to explore exhaustively."
+//
+// Instead of rewriting the whole program up front, the network starts
+// with the extensional facts only. The first time an adorned relation
+// R#ad is activated at its peer — i.e. the first time a subquery actually
+// reaches that peer — the peer rewrites its own rules for that adornment,
+// installs the local portions into its running program, and ships the
+// delegated portions to their hosts as rule-install messages. Evaluation
+// and rewriting interleave freely; quiescence detection is unchanged.
+
+// TraceEntry records one lazy rewriting step.
+type TraceEntry struct {
+	Peer dist.PeerID
+	Key  adorn.Key
+}
+
+// OnlineTrace is the order in which peers performed their rewritings.
+type OnlineTrace struct {
+	mu      sync.Mutex
+	Entries []TraceEntry
+}
+
+func (tr *OnlineTrace) add(peer dist.PeerID, key adorn.Key) {
+	tr.mu.Lock()
+	tr.Entries = append(tr.Entries, TraceEntry{Peer: peer, Key: key})
+	tr.mu.Unlock()
+}
+
+// Snapshot returns the entries recorded so far.
+func (tr *OnlineTrace) Snapshot() []TraceEntry {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]TraceEntry(nil), tr.Entries...)
+}
+
+// splitAdorned splits an adorned answer-relation name "R#bf" into the base
+// relation and adornment. Supplementary and input relations return false:
+// only answer-relation activations trigger rewriting.
+func splitAdorned(name rel.Name) (rel.Name, adorn.Adornment, bool) {
+	s := string(name)
+	if strings.HasPrefix(s, "sup.") || strings.HasPrefix(s, "in-") {
+		return "", "", false
+	}
+	i := strings.LastIndex(s, "#")
+	if i < 0 {
+		return "", "", false
+	}
+	return rel.Name(s[:i]), adorn.Adornment(s[i+1:]), true
+}
+
+// RunOnline evaluates prog for q with lazy per-peer rewriting. It returns
+// the same answers as Run (Theorem 1 extends: the installed program is
+// identical, only its arrival order differs) plus the rewriting trace.
+func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, timeout time.Duration) (*Result, *OnlineTrace, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, nil, err
+	}
+	s := prog.Store
+
+	// The base program: extensional facts and the query's in-seed only.
+	// All rules arrive at runtime through the activation hook.
+	base := ddatalog.NewProgram(s)
+	base.Facts = append(base.Facts, prog.Facts...)
+	for _, id := range prog.Peers() {
+		base.AddPeer(id) // rules arrive at runtime; every peer must exist
+	}
+
+	// Per-peer rewriters over the original program, exactly as in the
+	// static path; the network replaces the static request driver.
+	rewriters := make(map[dist.PeerID]*peerRewriter)
+	for _, id := range prog.Peers() {
+		rewriters[id] = &peerRewriter{
+			id:       id,
+			place:    PlaceAtData,
+			store:    s,
+			hasRules: make(map[rel.Name]bool),
+			edbArity: make(map[rel.Name]int),
+			facts:    make(map[rel.Name][][]term.ID),
+			done:     make(map[adorn.Key]bool),
+			out:      ddatalog.NewProgram(s), // per-call buffer, drained below
+		}
+	}
+	for _, r := range prog.Rules {
+		pr := rewriters[r.Head.Peer]
+		pr.rules = append(pr.rules, r)
+		pr.hasRules[r.Head.Rel] = true
+	}
+	for _, f := range prog.Facts {
+		pr := rewriters[f.Peer]
+		pr.edbArity[f.Rel] = len(f.Args)
+		pr.facts[f.Rel] = append(pr.facts[f.Rel], f.Args)
+	}
+
+	ad := adorn.Compute(s, adorn.VarSet{}, q.Args)
+	qr, ok := rewriters[q.Peer]
+	if !ok {
+		return nil, nil, errUnknownPeer(q.Peer)
+	}
+	if !qr.hasRules[q.Rel] {
+		// Extensional query: evaluate directly, nothing to rewrite.
+		res, _, err := ddatalog.Run(base, q, budget, timeout)
+		if res == nil {
+			return nil, nil, err
+		}
+		return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats}, &OnlineTrace{}, err
+	}
+	base.AddFact(ddatalog.PAtom{
+		Rel: adorn.InputName(q.Rel, ad), Peer: q.Peer,
+		Args: adorn.BoundArgs(ad, q.Args),
+	})
+
+	trace := &OnlineTrace{}
+	eng, err := ddatalog.NewEngine(base, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The hook runs under the engine's store lock (hooks of different
+	// peers share the program store and their rewriters' output buffer
+	// handling below).
+	eng.SetActivationHook(func(peer dist.PeerID, relName rel.Name) []ddatalog.PRule {
+		baseRel, adr, ok := splitAdorned(relName)
+		if !ok {
+			return nil
+		}
+		pr := rewriters[peer]
+		if pr == nil {
+			return nil
+		}
+		key := adorn.Key{Rel: baseRel, Ad: adr}
+		if pr.done[key] {
+			return nil
+		}
+		before := len(pr.out.Rules)
+		pr.handle(key) // follow-up requests are ignored: activation drives them
+		rules := pr.out.Rules[before:]
+		if len(rules) > 0 {
+			trace.add(peer, key)
+		}
+		return rules
+	})
+
+	queryAtom := ddatalog.PAtom{Rel: adorn.Name(q.Rel, ad), Peer: q.Peer, Args: q.Args}
+	res, err := eng.Run(queryAtom, timeout)
+	if res == nil {
+		return nil, trace, err
+	}
+	return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats, Engine: eng}, trace, err
+}
+
+func errUnknownPeer(p dist.PeerID) error {
+	return &unknownPeerError{peer: p}
+}
+
+type unknownPeerError struct{ peer dist.PeerID }
+
+func (e *unknownPeerError) Error() string {
+	return "dqsq: query peer \"" + string(e.peer) + "\" not in program"
+}

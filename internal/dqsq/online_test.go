@@ -1,0 +1,155 @@
+package dqsq
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/adorn"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/rel"
+)
+
+func TestOnlineMatchesStatic(t *testing.T) {
+	a := [][2]string{{"1", "2"}, {"2", "3"}}
+	b := [][2]string{{"2", "w"}, {"3", "w"}}
+	c := [][2]string{{"2", "4"}, {"3", "5"}, {"4", "6"}}
+
+	p1 := figure3(a, b, c)
+	static, err := Run(p1, queryFig3(p1, "1"), datalog.Budget{}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := figure3(a, b, c)
+	online, trace, err := RunOnline(p2, queryFig3(p2, "1"), datalog.Budget{}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := sortedRows(static.Store, static.Answers)
+	g2 := sortedRows(online.Store, online.Answers)
+	if strings.Join(g1, ";") != strings.Join(g2, ";") {
+		t.Fatalf("online %v != static %v", g2, g1)
+	}
+	if len(g2) == 0 {
+		t.Fatal("no answers")
+	}
+
+	// The trace starts at the query peer with the query's adornment and
+	// eventually covers all three peers (the data flows through them all).
+	entries := trace.Snapshot()
+	if len(entries) == 0 {
+		t.Fatal("no rewriting happened")
+	}
+	if entries[0].Peer != "r" || entries[0].Key != (adorn.Key{Rel: "R", Ad: "bf"}) {
+		t.Fatalf("first rewriting = %+v, want R#bf at r", entries[0])
+	}
+	peers := map[string]bool{}
+	for _, e := range entries {
+		peers[string(e.Peer)] = true
+	}
+	if !peers["r"] || !peers["s"] || !peers["t"] {
+		t.Fatalf("rewriting did not reach all peers: %v", entries)
+	}
+}
+
+func TestOnlineLazyUnreachedPeer(t *testing.T) {
+	// If S has no facts feeding T, peer t's relation is still requested
+	// structurally (the rule mentions it); but a peer never mentioned by
+	// any reachable rule must not rewrite. Add a fourth peer with an
+	// island rule to verify it stays cold.
+	p := figure3([][2]string{{"1", "2"}}, nil, nil)
+	s := p.Store
+	x, y := s.Variable("X"), s.Variable("Y")
+	p.AddRule(ddatalog.PRule{
+		Head: ddatalog.At("island", "u", x, y),
+		Body: []ddatalog.PAtom{ddatalog.At("islandBase", "u", x, y)},
+	})
+	p.AddFact(ddatalog.At("islandBase", "u", s.Constant("a"), s.Constant("b")))
+
+	_, trace, err := RunOnline(p, queryFig3(p, "1"), datalog.Budget{}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range trace.Snapshot() {
+		if e.Peer == "u" {
+			t.Fatalf("island peer was rewritten: %+v", e)
+		}
+	}
+}
+
+func TestOnlineExtensionalQuery(t *testing.T) {
+	p := figure3([][2]string{{"1", "2"}}, nil, nil)
+	s := p.Store
+	res, trace, err := RunOnline(p, ddatalog.At("A", "r", s.Constant("1"), s.Variable("Y")), datalog.Budget{}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 1 {
+		t.Fatalf("answers = %v", res.Answers)
+	}
+	if len(trace.Snapshot()) != 0 {
+		t.Fatal("extensional query triggered rewriting")
+	}
+}
+
+func TestOnlineUnknownPeer(t *testing.T) {
+	p := figure3(nil, nil, nil)
+	s := p.Store
+	if _, _, err := RunOnline(p, ddatalog.At("R", "ghost", s.Constant("1"), s.Variable("Y")), datalog.Budget{}, time.Second); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+}
+
+func TestSplitAdorned(t *testing.T) {
+	for name, ok := range map[string]bool{
+		"R#bf":           true,
+		"trans#fbb":      true,
+		"in-R#bf":        false,
+		"sup.r.R.0_1#bf": false,
+		"plain":          false,
+	} {
+		if _, _, got := splitAdorned(rel.Name(name)); got != ok {
+			t.Fatalf("splitAdorned(%q) = %v, want %v", name, got, ok)
+		}
+	}
+	base, ad, _ := splitAdorned("R#bf")
+	if base != "R" || ad != "bf" {
+		t.Fatalf("split = %v %v", base, ad)
+	}
+}
+
+// Property: online and static dQSQ agree on random Figure 3 instances.
+func TestQuickOnlineEqualsStatic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := []string{"1", "2", "3", "4"}
+		pick := func() string { return names[rng.Intn(len(names))] }
+		var a, b, c [][2]string
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			a = append(a, [2]string{pick(), pick()})
+			b = append(b, [2]string{pick(), "w"})
+			c = append(c, [2]string{pick(), pick()})
+		}
+		src := pick()
+
+		p1 := figure3(a, b, c)
+		static, err := Run(p1, queryFig3(p1, src), datalog.Budget{}, 30*time.Second)
+		if err != nil {
+			return false
+		}
+		p2 := figure3(a, b, c)
+		online, _, err := RunOnline(p2, queryFig3(p2, src), datalog.Budget{}, 30*time.Second)
+		if err != nil {
+			return false
+		}
+		return strings.Join(sortedRows(static.Store, static.Answers), ";") ==
+			strings.Join(sortedRows(online.Store, online.Answers), ";")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

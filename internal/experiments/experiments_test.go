@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestMaterializationSweepShape(t *testing.T) {
+	rows, err := MaterializationSweep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Theorem 4: dQSQ materializes exactly the [8] prefix.
+		if !r.ExactPrefixEq {
+			t.Fatalf("len=%d: dQSQ events %d != product events %d", r.SeqLen, r.DQSQEvents, r.ProductEvents)
+		}
+		// The depth-bounded naive run materializes at least as much.
+		if r.NaiveEvents < r.DQSQEvents {
+			t.Fatalf("len=%d: naive events %d < dQSQ events %d", r.SeqLen, r.NaiveEvents, r.DQSQEvents)
+		}
+		if r.NaiveDerived <= r.DQSQDerived {
+			t.Fatalf("len=%d: naive derived %d <= dQSQ derived %d — the paper's shape is inverted",
+				r.SeqLen, r.NaiveDerived, r.DQSQDerived)
+		}
+	}
+	// The prefix grows with the sequence.
+	if rows[3].ProductEvents <= rows[0].ProductEvents {
+		t.Fatalf("prefix did not grow: %d vs %d", rows[3].ProductEvents, rows[0].ProductEvents)
+	}
+}
+
+func TestPipelineSweepShape(t *testing.T) {
+	rows, err := PipelineSweep([]int{2, 3}, 2, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Diagnoses != 1 {
+			t.Fatalf("peers=%d: %d diagnoses, want 1", r.Peers, r.Diagnoses)
+		}
+		if r.NaiveDerived <= r.DQSQDerived {
+			t.Fatalf("peers=%d: naive derived %d <= dQSQ %d", r.Peers, r.NaiveDerived, r.DQSQDerived)
+		}
+	}
+}
+
+func TestTheorem1SweepEquality(t *testing.T) {
+	rows, err := Theorem1Sweep([]int{3, 6, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Equal {
+			t.Fatalf("chain=%d: dQSQ derived %d != QSQ derived %d", r.ChainLen, r.DQSQDerived, r.QSQDerived)
+		}
+		if r.Answers == 0 {
+			t.Fatalf("chain=%d: no answers", r.ChainLen)
+		}
+	}
+}
+
+func TestConcurrencySweepShape(t *testing.T) {
+	rows, err := ConcurrencySweep([]int{2, 3}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Diagnoses != 1 {
+			t.Fatalf("branches=%d: %d diagnoses, want 1 (pure concurrency)", r.Branches, r.Diagnoses)
+		}
+		// Prefix = exactly the executed events (dQSQ runs only on the
+		// instances small enough for the order-sensitive config ids).
+		if r.ProductEvents != r.SeqLen {
+			t.Fatalf("branches=%d: product prefix %d, want %d", r.Branches, r.ProductEvents, r.SeqLen)
+		}
+		if r.DQSQEvents != 0 && r.DQSQEvents != r.SeqLen {
+			t.Fatalf("branches=%d: dQSQ prefix %d, want %d", r.Branches, r.DQSQEvents, r.SeqLen)
+		}
+	}
+}
+
+func TestMagicAblation(t *testing.T) {
+	rows, err := MagicAblation([]int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.SameAnswers {
+			t.Fatalf("chain=%d: answer counts differ", r.ChainLen)
+		}
+		if r.QSQDerived == 0 || r.MagicDerived == 0 {
+			t.Fatalf("chain=%d: empty derivations", r.ChainLen)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package experiments
+
+import (
+	"repro/internal/datalog"
+	"repro/internal/magic"
+	"repro/internal/term"
+)
+
+// magicRun evaluates a query with the magic-sets rewriting; split out so
+// the ablation reads symmetrically with qsq.Run.
+func magicRun(p *datalog.Program, q datalog.Atom) ([][]term.ID, *struct{}, datalog.Stats, error) {
+	rows, _, st, err := magic.Run(p, q, datalog.Budget{})
+	return rows, nil, st, err
+}

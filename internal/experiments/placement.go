@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dqsq"
+)
+
+// PlacementRow is one point of the Remark 1 ablation: the same dQSQ
+// rewriting with supplementary relations hosted at the data (Figure 5) vs
+// at the rule's home peer.
+type PlacementRow struct {
+	ChainLen      int
+	AtDataMsgs    int
+	AtDataRepl    int
+	AtHeadMsgs    int
+	AtHeadRepl    int
+	SameAnswers   bool
+	AtDataElapsed time.Duration
+	AtHeadElapsed time.Duration
+}
+
+// PlacementAblation runs the Remark 1 ablation on the Figure 3 family.
+func PlacementAblation(chainLens []int) ([]PlacementRow, error) {
+	var rows []PlacementRow
+	for _, n := range chainLens {
+		row := PlacementRow{ChainLen: n}
+		var counts [2]int
+		for i, place := range []dqsq.Placement{dqsq.PlaceAtData, dqsq.PlaceAtHead} {
+			p := figure3Instance(n)
+			s := p.Store
+			q := ddatalog.At("R", "r", s.Constant("n00"), s.Variable("Y"))
+			rw, err := dqsq.RewritePlaced(p, q, place)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, _, err := ddatalog.Run(rw.Program, rw.Query, datalog.Budget{}, 2*time.Minute)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			counts[i] = len(res.Answers)
+			if place == dqsq.PlaceAtData {
+				row.AtDataMsgs = res.Stats.Net.MessagesSent
+				row.AtDataRepl = res.Stats.Replicated
+				row.AtDataElapsed = elapsed
+			} else {
+				row.AtHeadMsgs = res.Stats.Net.MessagesSent
+				row.AtHeadRepl = res.Stats.Replicated
+				row.AtHeadElapsed = elapsed
+			}
+		}
+		row.SameAnswers = counts[0] == counts[1]
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

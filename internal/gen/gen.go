@@ -1,0 +1,215 @@
+// Package gen generates parametric workloads for the benchmark harness:
+// families of distributed safe Petri nets with tunable peer count, depth
+// and branching, plus observed alarm sequences drawn from random
+// executions. The families are chosen to stress the dimensions the paper's
+// evaluation argues about: causal chains across peers (delegation depth in
+// dQSQ), per-stage branching (the relevance pruning of Theorem 4), and
+// cross-peer concurrency (interleaving explosion at the supervisor).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+)
+
+// Pipeline builds a cyclic pipeline over `peers` peers: one token walks
+// the stages s0 -> s1 -> ... -> s_{peers-1} -> s0. Each hop is owned by
+// the target stage's peer and emits that peer's alarm. With branching > 1,
+// each hop has `branching` alternative transitions with distinct alarms —
+// the observed alarm selects which fired, so diagnosis must prune the
+// alternatives (the Theorem 4 workload).
+func Pipeline(peers, branching int) *petri.PetriNet {
+	if peers < 2 || branching < 1 {
+		panic("gen: Pipeline needs peers >= 2, branching >= 1")
+	}
+	n := petri.NewNet()
+	peerOf := func(i int) petri.Peer { return petri.Peer(fmt.Sprintf("w%d", i)) }
+	for i := 0; i < peers; i++ {
+		n.AddPlace(petri.NodeID(fmt.Sprintf("s%d", i)), peerOf(i))
+	}
+	for i := 0; i < peers; i++ {
+		next := (i + 1) % peers
+		for b := 0; b < branching; b++ {
+			n.AddTransition(
+				petri.NodeID(fmt.Sprintf("hop%d.%d", i, b)),
+				peerOf(next),
+				petri.Alarm(fmt.Sprintf("a%d", b)),
+				[]petri.NodeID{petri.NodeID(fmt.Sprintf("s%d", i))},
+				[]petri.NodeID{petri.NodeID(fmt.Sprintf("s%d", next))},
+			)
+		}
+	}
+	pn, err := petri.New(n, petri.NewMarking("s0"))
+	if err != nil {
+		panic(err)
+	}
+	return pn
+}
+
+// PipelineSeq is the alarm sequence of `steps` pipeline hops with the
+// branch of each hop chosen by rng — the ground-truth execution whose
+// diagnosis the benchmarks reconstruct.
+func PipelineSeq(pn *petri.PetriNet, rng *rand.Rand, steps int) alarm.Seq {
+	exec, _ := pn.RandomExecution(rng, steps)
+	return petri.Interleave(rng, exec.ObservedAlarms())
+}
+
+// Fork builds `branches` independent chains of length `depth`, each on its
+// own peer, all rooted in independent initial places. Every event of one
+// branch is concurrent with every event of the others, so a k-branch
+// d-deep fork has (k*d)!/(d!)^k interleavings but only one configuration —
+// the concurrency workload.
+func Fork(branches, depth int) *petri.PetriNet {
+	if branches < 1 || depth < 1 {
+		panic("gen: Fork needs branches >= 1, depth >= 1")
+	}
+	n := petri.NewNet()
+	for b := 0; b < branches; b++ {
+		peer := petri.Peer(fmt.Sprintf("br%d", b))
+		for d := 0; d <= depth; d++ {
+			n.AddPlace(petri.NodeID(fmt.Sprintf("p%d.%d", b, d)), peer)
+		}
+		for d := 0; d < depth; d++ {
+			n.AddTransition(
+				petri.NodeID(fmt.Sprintf("t%d.%d", b, d)),
+				peer,
+				petri.Alarm(fmt.Sprintf("a%d", d)),
+				[]petri.NodeID{petri.NodeID(fmt.Sprintf("p%d.%d", b, d))},
+				[]petri.NodeID{petri.NodeID(fmt.Sprintf("p%d.%d", b, d+1))},
+			)
+		}
+	}
+	marks := make([]petri.NodeID, branches)
+	for b := 0; b < branches; b++ {
+		marks[b] = petri.NodeID(fmt.Sprintf("p%d.0", b))
+	}
+	pn, err := petri.New(n, petri.NewMarking(marks...))
+	if err != nil {
+		panic(err)
+	}
+	return pn
+}
+
+// ForkSeq observes the full execution of a Fork net (every chain runs to
+// the end) under a random interleaving.
+func ForkSeq(pn *petri.PetriNet, rng *rand.Rand) alarm.Seq {
+	exec, _ := pn.RandomExecution(rng, 1<<30)
+	return petri.Interleave(rng, exec.ObservedAlarms())
+}
+
+// Telecom builds a small telecom-flavoured scenario: `lines` subscriber
+// line cards, each owned by its own peer, sharing one switch peer. A line
+// card can fail (alarm "fail"), which both marks the card as down and
+// congests the switch; the switch then raises "overload" and recovers;
+// a down card can be reset ("reset"). The switch's congestion place is
+// shared, so line failures interact through the switch — the cross-peer
+// recursion the paper motivates with.
+func Telecom(lines int) *petri.PetriNet {
+	if lines < 1 {
+		panic("gen: Telecom needs lines >= 1")
+	}
+	n := petri.NewNet()
+	const sw = petri.Peer("switch")
+	n.AddPlace("sw.ok", sw)
+	n.AddPlace("sw.congested", sw)
+	n.AddTransition("sw.overload", sw, "overload",
+		[]petri.NodeID{"sw.congested"}, []petri.NodeID{"sw.ok"})
+	marks := []petri.NodeID{"sw.ok"}
+	for i := 0; i < lines; i++ {
+		peer := petri.Peer(fmt.Sprintf("line%d", i))
+		up := petri.NodeID(fmt.Sprintf("l%d.up", i))
+		down := petri.NodeID(fmt.Sprintf("l%d.down", i))
+		n.AddPlace(up, peer)
+		n.AddPlace(down, peer)
+		n.AddTransition(petri.NodeID(fmt.Sprintf("l%d.fail", i)), peer, "fail",
+			[]petri.NodeID{up, "sw.ok"}, []petri.NodeID{down, "sw.congested"})
+		n.AddTransition(petri.NodeID(fmt.Sprintf("l%d.reset", i)), peer, "reset",
+			[]petri.NodeID{down}, []petri.NodeID{up})
+		marks = append(marks, up)
+	}
+	pn, err := petri.New(n, petri.NewMarking(marks...))
+	if err != nil {
+		panic(err)
+	}
+	return pn
+}
+
+// TelecomSeqFixed is the canonical fault scenario used by tests, examples
+// and benchmarks: line 1 fails, the switch overloads, line 1 resets. The
+// supervisor happens to receive the overload last (cross-peer order is
+// arbitrary anyway).
+func TelecomSeqFixed() alarm.Seq {
+	return alarm.Seq{
+		{Alarm: "fail", Peer: "line1"},
+		{Alarm: "reset", Peer: "line1"},
+		{Alarm: "overload", Peer: "switch"},
+	}
+}
+
+// TelecomSeq runs the telecom net for `steps` firings and returns the
+// supervisor's view.
+func TelecomSeq(pn *petri.PetriNet, rng *rand.Rand, steps int) alarm.Seq {
+	exec, _ := pn.RandomExecution(rng, steps)
+	return petri.Interleave(rng, exec.ObservedAlarms())
+}
+
+// Params configures RandomSafe.
+type Params struct {
+	Peers       int // >= 1
+	Places      int // >= 2
+	Transitions int // >= 1
+	Alarms      int // alphabet size, >= 1
+	// MaxStates bounds the safety check; nets whose reachability exceeds
+	// it are rejected.
+	MaxStates int
+}
+
+// RandomSafe draws random nets with 1- or 2-parent transitions until one
+// is safe (verified exhaustively up to MaxStates), or returns nil after
+// 200 attempts. Deterministic for a given rng state.
+func RandomSafe(rng *rand.Rand, p Params) *petri.PetriNet {
+	if p.MaxStates == 0 {
+		p.MaxStates = 20000
+	}
+	for attempt := 0; attempt < 200; attempt++ {
+		n := petri.NewNet()
+		var places []petri.NodeID
+		for i := 0; i < p.Places; i++ {
+			id := petri.NodeID(fmt.Sprintf("pl%d", i))
+			n.AddPlace(id, petri.Peer(fmt.Sprintf("rp%d", i%p.Peers)))
+			places = append(places, id)
+		}
+		for i := 0; i < p.Transitions; i++ {
+			perm := rng.Perm(len(places))
+			pre := []petri.NodeID{places[perm[0]]}
+			if rng.Intn(2) == 0 && len(places) > 1 {
+				pre = append(pre, places[perm[1]])
+			}
+			var post []petri.NodeID
+			if rng.Intn(5) != 0 {
+				post = append(post, places[perm[len(perm)-1]])
+			}
+			n.AddTransition(
+				petri.NodeID(fmt.Sprintf("rt%d", i)),
+				petri.Peer(fmt.Sprintf("rp%d", rng.Intn(p.Peers))),
+				petri.Alarm(fmt.Sprintf("al%d", rng.Intn(p.Alarms))),
+				pre, post,
+			)
+		}
+		m0 := petri.Marking{}
+		for _, pl := range places[:1+rng.Intn(len(places))] {
+			m0[pl] = true
+		}
+		pn, err := petri.New(n, m0)
+		if err != nil {
+			continue
+		}
+		if _, exhaustive, err := pn.CheckSafe(p.MaxStates); err == nil && exhaustive {
+			return pn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/diagnosis"
+)
+
+func TestPipelineShape(t *testing.T) {
+	pn := Pipeline(4, 2)
+	if got := len(pn.Net.Transitions()); got != 8 {
+		t.Fatalf("transitions = %d, want 8", got)
+	}
+	if got := len(pn.Net.Peers()); got != 4 {
+		t.Fatalf("peers = %d", got)
+	}
+	if _, exhaustive, err := pn.CheckSafe(1000); err != nil || !exhaustive {
+		t.Fatalf("pipeline unsafe: %v", err)
+	}
+	// Exactly `branching` transitions enabled at any time.
+	if got := len(pn.EnabledSet(pn.M0)); got != 2 {
+		t.Fatalf("enabled = %d, want 2", got)
+	}
+}
+
+func TestPipelineSeqDiagnosable(t *testing.T) {
+	pn := Pipeline(3, 2)
+	rng := rand.New(rand.NewSource(1))
+	seq := PipelineSeq(pn, rng, 4)
+	if len(seq) != 4 {
+		t.Fatalf("seq = %v", seq)
+	}
+	d := diagnosis.Direct(pn, seq, diagnosis.DirectOptions{})
+	if len(d) != 1 {
+		t.Fatalf("pipeline observation has %d explanations, want exactly 1 (branch alarms are distinct)", len(d))
+	}
+}
+
+func TestForkShapeAndConcurrency(t *testing.T) {
+	pn := Fork(3, 2)
+	if got := len(pn.Net.Transitions()); got != 6 {
+		t.Fatalf("transitions = %d", got)
+	}
+	if _, exhaustive, err := pn.CheckSafe(1000); err != nil || !exhaustive {
+		t.Fatalf("fork unsafe: %v", err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	seq := ForkSeq(pn, rng)
+	if len(seq) != 6 {
+		t.Fatalf("full execution observes %d alarms, want 6", len(seq))
+	}
+	// One configuration regardless of interleaving.
+	d := diagnosis.Direct(pn, seq, diagnosis.DirectOptions{})
+	if len(d) != 1 || len(d[0]) != 6 {
+		t.Fatalf("fork diagnoses = %v", d.Keys())
+	}
+}
+
+func TestTelecomScenario(t *testing.T) {
+	pn := Telecom(3)
+	if _, exhaustive, err := pn.CheckSafe(10000); err != nil || !exhaustive {
+		t.Fatalf("telecom unsafe: %v", err)
+	}
+	// A failure congests the switch: fail then overload is explainable.
+	rep, err := diagnosis.Run(pn,
+		TelecomSeqFixed(), diagnosis.EngineDirect, diagnosis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnoses) == 0 {
+		t.Fatal("telecom fault scenario unexplained")
+	}
+	// The explanation must involve both a line peer and the switch peer.
+	found := false
+	for _, cfg := range rep.Diagnoses {
+		hasLine, hasSwitch := false, false
+		for _, e := range cfg {
+			if len(e) > 4 && e[2] == 'l' {
+				hasLine = true
+			}
+			if len(e) > 5 && e[2:5] == "sw." {
+				hasSwitch = true
+			}
+		}
+		if hasLine && hasSwitch {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cross-peer explanation: %v", rep.Diagnoses.Keys())
+	}
+}
+
+func TestTelecomAllEnginesAgree(t *testing.T) {
+	pn := Telecom(2)
+	seq := TelecomSeqFixed()
+	want, err := diagnosis.Run(pn, seq, diagnosis.EngineDirect, diagnosis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []diagnosis.Engine{diagnosis.EngineProduct, diagnosis.EngineNaive, diagnosis.EngineDQSQ} {
+		rep, err := diagnosis.Run(pn, seq, e, diagnosis.Options{Timeout: 60 * time.Second})
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		if !rep.Diagnoses.Equal(want.Diagnoses) {
+			t.Fatalf("%v: %v != %v", e, rep.Diagnoses.Keys(), want.Diagnoses.Keys())
+		}
+	}
+}
+
+func TestRandomSafeProducesSafeNets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	made := 0
+	for i := 0; i < 10; i++ {
+		pn := RandomSafe(rng, Params{Peers: 2, Places: 5, Transitions: 4, Alarms: 2})
+		if pn == nil {
+			continue
+		}
+		made++
+		if _, exhaustive, err := pn.CheckSafe(20000); err != nil || !exhaustive {
+			t.Fatalf("RandomSafe returned unsafe net: %v", err)
+		}
+	}
+	if made < 5 {
+		t.Fatalf("only %d nets generated", made)
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Pipeline(1, 1) },
+		func() { Fork(0, 1) },
+		func() { Telecom(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

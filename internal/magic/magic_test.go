@@ -1,0 +1,165 @@
+package magic
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/qsq"
+	"repro/internal/term"
+)
+
+func buildTC(s *term.Store, edges [][2]string) *datalog.Program {
+	p := datalog.NewProgram(s)
+	x, y, z := s.Variable("X"), s.Variable("Y"), s.Variable("Z")
+	p.AddRule(datalog.Rule{Head: datalog.A("tc", x, y), Body: []datalog.Atom{datalog.A("e", x, y)}})
+	p.AddRule(datalog.Rule{Head: datalog.A("tc", x, z), Body: []datalog.Atom{
+		datalog.A("e", x, y), datalog.A("tc", y, z),
+	}})
+	for _, e := range edges {
+		p.AddFact(datalog.A("e", s.Constant(e[0]), s.Constant(e[1])))
+	}
+	return p
+}
+
+func asStrings(s *term.Store, rows [][]term.ID) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, t := range r {
+			parts[i] = s.String(t)
+		}
+		out = append(out, strings.Join(parts, ","))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestMagicEqualsNaiveOnTC(t *testing.T) {
+	edges := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"x", "y"}}
+	s := term.NewStore()
+	p := buildTC(s, edges)
+	q := datalog.A("tc", s.Constant("a"), s.Variable("Y"))
+	got, _, st, err := Run(p, q, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Truncated {
+		t.Fatal("truncated")
+	}
+	if g := asStrings(s, got); strings.Join(g, ";") != "b;c;d" {
+		t.Fatalf("answers %v, want [b c d]", g)
+	}
+}
+
+func TestMagicPrunesUnreachable(t *testing.T) {
+	// Long chain plus a disconnected clique; magic must not touch the clique.
+	var edges [][2]string
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]string{n(i), n(i + 1)})
+	}
+	for i := 20; i < 30; i++ {
+		for j := 20; j < 30; j++ {
+			if i != j {
+				edges = append(edges, [2]string{n(i), n(j)})
+			}
+		}
+	}
+	s := term.NewStore()
+	p := buildTC(s, edges)
+	_, stFull := buildTC(term.NewStore(), edges).SemiNaive(datalog.Budget{})
+
+	q := datalog.A("tc", s.Constant(n(0)), s.Variable("Y"))
+	_, _, st, err := Run(p, q, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Derived >= stFull.Derived {
+		t.Fatalf("magic derived %d >= naive %d", st.Derived, stFull.Derived)
+	}
+}
+
+func n(i int) string { return "v" + string(rune('0'+i/10)) + string(rune('0'+i%10)) }
+
+func TestMagicSeedAndKeys(t *testing.T) {
+	s := term.NewStore()
+	p := buildTC(s, nil)
+	q := datalog.A("tc", s.Constant("a"), s.Variable("Y"))
+	rw, err := Rewrite(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rw.Program.Facts) != 1 || rw.Program.Facts[0].Rel != "magic-tc#bf" {
+		t.Fatalf("seed = %v", rw.Program.Facts)
+	}
+	if len(rw.Keys) != 1 || rw.Keys[0].Rel != "tc" || rw.Keys[0].Ad != "bf" {
+		t.Fatalf("keys = %v", rw.Keys)
+	}
+	if err := rw.Program.Validate(); err != nil {
+		t.Fatalf("invalid rewriting: %v", err)
+	}
+}
+
+func TestMagicEDBQuery(t *testing.T) {
+	s := term.NewStore()
+	p := buildTC(s, [][2]string{{"a", "b"}})
+	got, _, _, err := Run(p, datalog.A("e", s.Constant("a"), s.Variable("Y")), datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || s.String(got[0][0]) != "b" {
+		t.Fatalf("answers %v", got)
+	}
+}
+
+// Property: magic sets and QSQ compute identical answer sets on random TC
+// instances (they are the "closely related" pair from Section 1).
+func TestQuickMagicEqualsQSQ(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nNodes := 3 + rng.Intn(6)
+		var edges [][2]string
+		for i := 0; i < nNodes; i++ {
+			for j := 0; j < nNodes; j++ {
+				if i != j && rng.Intn(3) == 0 {
+					edges = append(edges, [2]string{n(i), n(j)})
+				}
+			}
+		}
+		src := n(rng.Intn(nNodes))
+
+		s1 := term.NewStore()
+		p1 := buildTC(s1, edges)
+		gotM, _, st1, err1 := Run(p1, datalog.A("tc", s1.Constant(src), s1.Variable("Y")), datalog.Budget{})
+
+		s2 := term.NewStore()
+		p2 := buildTC(s2, edges)
+		gotQ, _, st2, err2 := qsq.Run(p2, datalog.A("tc", s2.Constant(src), s2.Variable("Y")), datalog.Budget{})
+
+		if err1 != nil || err2 != nil || st1.Truncated || st2.Truncated {
+			return false
+		}
+		return strings.Join(asStrings(s1, gotM), ";") == strings.Join(asStrings(s2, gotQ), ";")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMagicTCChain(b *testing.B) {
+	var edges [][2]string
+	for i := 0; i < 60; i++ {
+		edges = append(edges, [2]string{n(i), n(i + 1)})
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := term.NewStore()
+		p := buildTC(s, edges)
+		if _, _, st, err := Run(p, datalog.A("tc", s.Constant(n(0)), s.Variable("Y")), datalog.Budget{}); err != nil || st.Truncated {
+			b.Fatal("failed")
+		}
+	}
+}

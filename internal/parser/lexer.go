@@ -1,0 +1,164 @@
+// Package parser implements the textual formats of the repository's CLI
+// tools and examples: Datalog and dDatalog programs, Petri nets, and alarm
+// sequences.
+//
+// Datalog syntax follows the paper's notation:
+//
+//	% comment
+//	edge(a, b).                          % fact
+//	tc(X, Y) :- edge(X, Y).              % rule; variables start uppercase
+//	tc(X, Z) :- edge(X, Y), tc(Y, Z), X != Z.
+//	R@r(X, Y) :- S@s(X, Z), T@t(Z, Y).   % located atoms (dDatalog)
+//	wrap(f(X)) :- base(X).               % function symbols
+//
+// Constants start with a lowercase letter or digit, or are double-quoted;
+// variables start with an uppercase letter or underscore.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent        // constant or functor
+	tokVar          // variable
+	tokString       // quoted constant
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow // :-
+	tokNeq   // !=
+	tokAt    // @
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	start, line := l.pos, l.line
+	c := l.src[l.pos]
+	mk := func(k tokKind, text string) token {
+		return token{kind: k, text: text, pos: start, line: line}
+	}
+	switch c {
+	case '(':
+		l.pos++
+		return mk(tokLParen, "("), nil
+	case ')':
+		l.pos++
+		return mk(tokRParen, ")"), nil
+	case ',':
+		l.pos++
+		return mk(tokComma, ","), nil
+	case '.':
+		l.pos++
+		return mk(tokDot, "."), nil
+	case '@':
+		l.pos++
+		return mk(tokAt, "@"), nil
+	case ':':
+		if strings.HasPrefix(l.src[l.pos:], ":-") {
+			l.pos += 2
+			return mk(tokArrow, ":-"), nil
+		}
+		return token{}, l.errorf("unexpected ':'")
+	case '!':
+		if strings.HasPrefix(l.src[l.pos:], "!=") {
+			l.pos += 2
+			return mk(tokNeq, "!="), nil
+		}
+		return token{}, l.errorf("unexpected '!'")
+	case '"':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != '"' {
+			if l.src[l.pos] == '\n' {
+				return token{}, l.errorf("unterminated string")
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated string")
+		}
+		l.pos++
+		return mk(tokString, b.String()), nil
+	}
+
+	r := rune(c)
+	if isIdentRune(r) {
+		for l.pos < len(l.src) && isIdentRune(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		// '.' is an identifier character (pad.ii, idx.p1.0) but also the
+		// clause terminator; a trailing dot always terminates the clause.
+		if len(text) > 1 && strings.HasSuffix(text, ".") {
+			text = text[:len(text)-1]
+			l.pos--
+		}
+		first := rune(text[0])
+		if unicode.IsUpper(first) || first == '_' {
+			return mk(tokVar, text), nil
+		}
+		return mk(tokIdent, text), nil
+	}
+	return token{}, l.errorf("unexpected character %q", c)
+}
+
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) ||
+		r == '_' || r == '-' || r == '.' || r == '\'' || r == '×' || r == '#'
+}

@@ -1,0 +1,100 @@
+package parser
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexerKinds(t *testing.T) {
+	toks := lexAll(t, `R@p(X, "1") :- a1, X != y.`)
+	want := []tokKind{
+		tokVar, tokAt, tokIdent, tokLParen, tokVar, tokComma, tokString, tokRParen,
+		tokArrow, tokIdent, tokComma, tokVar, tokNeq, tokIdent, tokDot,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Fatalf("token %d = %v (%q), want kind %d", i, toks[i].kind, toks[i].text, k)
+		}
+	}
+}
+
+func TestLexerDottedIdentifiers(t *testing.T) {
+	toks := lexAll(t, `p(pad.ii, idx.p1.0).`)
+	if toks[2].text != "pad.ii" || toks[4].text != "idx.p1.0" {
+		t.Fatalf("dotted idents: %q, %q", toks[2].text, toks[4].text)
+	}
+	// Trailing dot terminates the clause even directly after an ident.
+	toks = lexAll(t, `q(a).`)
+	last := toks[len(toks)-1]
+	if last.kind != tokDot {
+		t.Fatalf("no trailing dot token: %v", toks)
+	}
+	if toks[2].text != "a" {
+		t.Fatalf("ident swallowed the dot: %q", toks[2].text)
+	}
+}
+
+func TestLexerLineTracking(t *testing.T) {
+	l := newLexer("a\n\nb")
+	tok, _ := l.next()
+	if tok.line != 1 {
+		t.Fatalf("a at line %d", tok.line)
+	}
+	tok, _ = l.next()
+	if tok.line != 3 {
+		t.Fatalf("b at line %d", tok.line)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"multi
+line"`, `:`, `!x`, `$`} {
+		l := newLexer(src)
+		bad := false
+		for i := 0; i < 10; i++ {
+			tok, err := l.next()
+			if err != nil {
+				bad = true
+				break
+			}
+			if tok.kind == tokEOF {
+				break
+			}
+		}
+		if !bad {
+			t.Errorf("no lex error for %q", src)
+		}
+	}
+}
+
+func TestLexerCommentsToEOL(t *testing.T) {
+	toks := lexAll(t, "a % rest ignored ( ) .\nb")
+	if len(toks) != 2 || toks[0].text != "a" || toks[1].text != "b" {
+		t.Fatalf("comment handling: %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	if (token{kind: tokEOF}).String() != "end of input" {
+		t.Fatal("EOF rendering")
+	}
+	if (token{kind: tokIdent, text: "x"}).String() != `"x"` {
+		t.Fatal("ident rendering")
+	}
+}

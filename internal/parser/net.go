@@ -1,0 +1,136 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+)
+
+// Net parses the line-oriented Petri net format:
+//
+//	# comment
+//	place <id> <peer>
+//	trans <id> <peer> <alarm|_> : <pre place...> -> [<post place>...]
+//	init <place>...
+//
+// An alarm of "_" marks a silent (hidden) transition. Example — the
+// paper's running example:
+//
+//	place 1 p1
+//	...
+//	trans i p1 b : 1 7 -> 2 3
+//	trans iii p1 c : 2 ->
+//	init 1 4 7
+func Net(src string) (*petri.PetriNet, error) {
+	n := petri.NewNet()
+	var init []petri.NodeID
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "place":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: place needs <id> <peer>", lineNo+1)
+			}
+			n.AddPlace(petri.NodeID(fields[1]), petri.Peer(fields[2]))
+		case "trans":
+			if len(fields) < 5 {
+				return nil, fmt.Errorf("line %d: trans needs <id> <peer> <alarm> : <pre...> -> [post...]", lineNo+1)
+			}
+			id, peer := petri.NodeID(fields[1]), petri.Peer(fields[2])
+			al := petri.Alarm(fields[3])
+			if fields[3] == "_" {
+				al = petri.Silent
+			}
+			if fields[4] != ":" {
+				return nil, fmt.Errorf("line %d: expected ':' after alarm", lineNo+1)
+			}
+			rest := fields[5:]
+			arrow := -1
+			for i, f := range rest {
+				if f == "->" {
+					arrow = i
+					break
+				}
+			}
+			if arrow < 0 {
+				return nil, fmt.Errorf("line %d: missing '->'", lineNo+1)
+			}
+			var pre, post []petri.NodeID
+			for _, f := range rest[:arrow] {
+				pre = append(pre, petri.NodeID(f))
+			}
+			for _, f := range rest[arrow+1:] {
+				post = append(post, petri.NodeID(f))
+			}
+			n.AddTransition(id, peer, al, pre, post)
+		case "init":
+			for _, f := range fields[1:] {
+				init = append(init, petri.NodeID(f))
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	return petri.New(n, petri.NewMarking(init...))
+}
+
+// FormatNet renders a net in the textual format Net parses.
+func FormatNet(pn *petri.PetriNet) string {
+	var b strings.Builder
+	for _, pl := range pn.Net.Places() {
+		fmt.Fprintf(&b, "place %s %s\n", pl, pn.Net.Place(pl).Peer)
+	}
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		al := string(t.Alarm)
+		if t.Alarm == petri.Silent {
+			al = "_"
+		}
+		fmt.Fprintf(&b, "trans %s %s %s :", tid, t.Peer, al)
+		for _, p := range t.Pre {
+			fmt.Fprintf(&b, " %s", p)
+		}
+		b.WriteString(" ->")
+		for _, p := range t.Post {
+			fmt.Fprintf(&b, " %s", p)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("init")
+	for _, pl := range pn.Net.Places() {
+		if pn.M0[pl] {
+			fmt.Fprintf(&b, " %s", pl)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Alarms parses an alarm sequence written as space-separated alarm@peer
+// pairs: "b@p1 a@p2 c@p1".
+func Alarms(src string) (alarm.Seq, error) {
+	var out alarm.Seq
+	for _, f := range strings.Fields(src) {
+		i := strings.LastIndex(f, "@")
+		if i <= 0 || i == len(f)-1 {
+			return nil, fmt.Errorf("parser: alarm %q is not of the form alarm@peer", f)
+		}
+		out = append(out, alarm.Obs{Alarm: petri.Alarm(f[:i]), Peer: petri.Peer(f[i+1:])})
+	}
+	return out, nil
+}
+
+// FormatAlarms renders a sequence in the format Alarms parses.
+func FormatAlarms(seq alarm.Seq) string {
+	parts := make([]string, len(seq))
+	for i, o := range seq {
+		parts[i] = string(o.Alarm) + "@" + string(o.Peer)
+	}
+	return strings.Join(parts, " ")
+}

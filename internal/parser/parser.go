@@ -1,0 +1,359 @@
+package parser
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// parser holds the token stream.
+type parser struct {
+	lex  *lexer
+	tok  token
+	s    *term.Store
+	dist bool // located atoms seen / required
+}
+
+func newParser(src string, store *term.Store) (*parser, error) {
+	p := &parser{lex: newLexer(src), s: store}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("line %d: expected %s, found %s", p.tok.line, what, p.tok)
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+// parseTerm parses a constant, variable, quoted constant or compound term.
+func (p *parser) parseTerm() (term.ID, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return p.s.Variable(name), nil
+	case tokString:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return p.s.Constant(text), nil
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		if p.tok.kind != tokLParen {
+			return p.s.Constant(name), nil
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return 0, err
+		}
+		if len(args) == 0 {
+			return 0, fmt.Errorf("line %d: empty argument list for function %q", p.tok.line, name)
+		}
+		return p.s.Compound(name, args...), nil
+	default:
+		return 0, fmt.Errorf("line %d: expected a term, found %s", p.tok.line, p.tok)
+	}
+}
+
+// parseArgs parses "(t1, ..., tn)"; "()" yields nil.
+func (p *parser) parseArgs() ([]term.ID, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var args []term.ID
+	if p.tok.kind == tokRParen {
+		return nil, p.advance()
+	}
+	for {
+		t, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		_, err = p.expect(tokRParen, "')' or ','")
+		return args, err
+	}
+}
+
+// locatedAtom is an atom with an optional peer.
+type locatedAtom struct {
+	rel   rel.Name
+	peer  dist.PeerID
+	hasAt bool
+	args  []term.ID
+}
+
+// parseAtom parses rel[@peer](args). Relation names may start uppercase
+// (the paper writes R, S, T); the '(' or '@' following disambiguates them
+// from variables.
+func (p *parser) parseAtom() (locatedAtom, error) {
+	if p.tok.kind != tokIdent && p.tok.kind != tokVar {
+		return locatedAtom{}, fmt.Errorf("line %d: expected a relation name, found %s", p.tok.line, p.tok)
+	}
+	name := p.tok
+	if err := p.advance(); err != nil {
+		return locatedAtom{}, err
+	}
+	a := locatedAtom{rel: rel.Name(name.text)}
+	if p.tok.kind == tokAt {
+		if err := p.advance(); err != nil {
+			return locatedAtom{}, err
+		}
+		peer, err := p.expect(tokIdent, "a peer name")
+		if err != nil {
+			return locatedAtom{}, err
+		}
+		a.peer = dist.PeerID(peer.text)
+		a.hasAt = true
+	}
+	args, err := p.parseArgs()
+	a.args = args
+	return a, err
+}
+
+// clause is a parsed rule or fact.
+type clause struct {
+	head locatedAtom
+	body []locatedAtom
+	neqs []datalog.Neq
+}
+
+// parseClause parses one clause terminated by '.'.
+func (p *parser) parseClause() (clause, error) {
+	var c clause
+	var err error
+	c.head, err = p.parseAtom()
+	if err != nil {
+		return c, err
+	}
+	if p.tok.kind == tokArrow {
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+		for {
+			// A body element is an atom or a constraint t1 != t2. Both can
+			// start with a term, so parse a term first when the lookahead
+			// is a variable (constraints between variables/terms), else an
+			// atom — relations and constants are both idents, so decide by
+			// what follows.
+			elem, neq, err := p.parseBodyElem()
+			if err != nil {
+				return c, err
+			}
+			if neq != nil {
+				c.neqs = append(c.neqs, *neq)
+			} else {
+				c.body = append(c.body, elem)
+			}
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return c, err
+				}
+				continue
+			}
+			break
+		}
+	}
+	_, err = p.expect(tokDot, "'.'")
+	return c, err
+}
+
+// parseBodyElem parses either an atom or an inequality constraint.
+func (p *parser) parseBodyElem() (locatedAtom, *datalog.Neq, error) {
+	if p.tok.kind == tokString {
+		x, err := p.parseTerm()
+		if err != nil {
+			return locatedAtom{}, nil, err
+		}
+		return p.parseNeqTail(x)
+	}
+	// Ident or uppercase name: relation atom R(...) / R@p(...), or a
+	// term-led constraint like f(X) != Y, c != X, or X != Y.
+	if p.tok.kind != tokIdent && p.tok.kind != tokVar {
+		return locatedAtom{}, nil, fmt.Errorf("line %d: expected an atom or term, found %s", p.tok.line, p.tok)
+	}
+	name := p.tok
+	isVar := p.tok.kind == tokVar
+	if err := p.advance(); err != nil {
+		return locatedAtom{}, nil, err
+	}
+	if isVar && p.tok.kind == tokNeq {
+		return p.parseNeqTail(p.s.Variable(name.text))
+	}
+	switch p.tok.kind {
+	case tokAt, tokLParen:
+		// Could be atom or compound-term constraint; parse args, then look
+		// for '!='.
+		a := locatedAtom{rel: rel.Name(name.text)}
+		if p.tok.kind == tokAt {
+			if err := p.advance(); err != nil {
+				return locatedAtom{}, nil, err
+			}
+			peer, err := p.expect(tokIdent, "a peer name")
+			if err != nil {
+				return locatedAtom{}, nil, err
+			}
+			a.peer = dist.PeerID(peer.text)
+			a.hasAt = true
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return locatedAtom{}, nil, err
+		}
+		a.args = args
+		if p.tok.kind == tokNeq && !a.hasAt {
+			if len(a.args) == 0 {
+				return locatedAtom{}, nil, fmt.Errorf("line %d: constraint on empty term", p.tok.line)
+			}
+			x := p.s.Compound(string(a.rel), a.args...)
+			return p.parseNeqTail(x)
+		}
+		return a, nil, nil
+	case tokNeq:
+		return p.parseNeqTail(p.s.Constant(name.text))
+	default:
+		return locatedAtom{}, nil, fmt.Errorf("line %d: expected '(' after %q", p.tok.line, name.text)
+	}
+}
+
+func (p *parser) parseNeqTail(x term.ID) (locatedAtom, *datalog.Neq, error) {
+	if _, err := p.expect(tokNeq, "'!='"); err != nil {
+		return locatedAtom{}, nil, err
+	}
+	y, err := p.parseTerm()
+	if err != nil {
+		return locatedAtom{}, nil, err
+	}
+	return locatedAtom{}, &datalog.Neq{X: x, Y: y}, nil
+}
+
+func (p *parser) parseClauses() ([]clause, error) {
+	var out []clause
+	for p.tok.kind != tokEOF {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Program parses a centralized Datalog program. Located atoms (R@p) are
+// rejected; use DistProgram for those.
+func Program(src string, store *term.Store) (*datalog.Program, error) {
+	p, err := newParser(src, store)
+	if err != nil {
+		return nil, err
+	}
+	clauses, err := p.parseClauses()
+	if err != nil {
+		return nil, err
+	}
+	out := datalog.NewProgram(store)
+	for _, c := range clauses {
+		for _, a := range append([]locatedAtom{c.head}, c.body...) {
+			if a.hasAt {
+				return nil, fmt.Errorf("parser: located atom %s@%s in a centralized program", a.rel, a.peer)
+			}
+		}
+		if len(c.body) == 0 && len(c.neqs) == 0 {
+			out.AddFact(datalog.Atom{Rel: c.head.rel, Args: c.head.args})
+			continue
+		}
+		r := datalog.Rule{Head: datalog.Atom{Rel: c.head.rel, Args: c.head.args}, Neqs: c.neqs}
+		for _, a := range c.body {
+			r.Body = append(r.Body, datalog.Atom{Rel: a.rel, Args: a.args})
+		}
+		out.AddRule(r)
+	}
+	return out, out.Validate()
+}
+
+// DistProgram parses a dDatalog program; every atom must be located.
+func DistProgram(src string, store *term.Store) (*ddatalog.Program, error) {
+	p, err := newParser(src, store)
+	if err != nil {
+		return nil, err
+	}
+	clauses, err := p.parseClauses()
+	if err != nil {
+		return nil, err
+	}
+	out := ddatalog.NewProgram(store)
+	conv := func(a locatedAtom) (ddatalog.PAtom, error) {
+		if !a.hasAt {
+			return ddatalog.PAtom{}, fmt.Errorf("parser: atom %s lacks a peer (use %s@peer)", a.rel, a.rel)
+		}
+		return ddatalog.PAtom{Rel: a.rel, Peer: a.peer, Args: a.args}, nil
+	}
+	for _, c := range clauses {
+		head, err := conv(c.head)
+		if err != nil {
+			return nil, err
+		}
+		if len(c.body) == 0 && len(c.neqs) == 0 {
+			out.AddFact(head)
+			continue
+		}
+		r := ddatalog.PRule{Head: head, Neqs: c.neqs}
+		for _, a := range c.body {
+			b, err := conv(a)
+			if err != nil {
+				return nil, err
+			}
+			r.Body = append(r.Body, b)
+		}
+		out.AddRule(r)
+	}
+	return out, out.Validate()
+}
+
+// Query parses a single atom (optionally located), e.g. "tc(a, X)" or
+// "R@r(\"1\", Y)".
+func Query(src string, store *term.Store) (rel.Name, dist.PeerID, []term.ID, error) {
+	p, err := newParser(src, store)
+	if err != nil {
+		return "", "", nil, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return "", "", nil, err
+	}
+	if p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return "", "", nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return "", "", nil, fmt.Errorf("parser: trailing input after query atom")
+	}
+	return a.rel, a.peer, a.args, nil
+}

@@ -1,0 +1,274 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/petri"
+	"repro/internal/qsq"
+	"repro/internal/term"
+)
+
+func TestParseFactsAndRules(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program(`
+		% transitive closure
+		edge(a, b).
+		edge(b, c).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Facts) != 2 || len(p.Rules) != 2 {
+		t.Fatalf("facts=%d rules=%d", len(p.Facts), len(p.Rules))
+	}
+	db, _ := p.SemiNaive(datalog.Budget{})
+	if db.Lookup("tc").Len() != 3 {
+		t.Fatalf("tc = %d", db.Lookup("tc").Len())
+	}
+}
+
+func TestParseQuotedAndNumericConstants(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program(`r("1", hello-world). r(2, x3).`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Facts) != 2 {
+		t.Fatalf("facts = %v", p.Facts)
+	}
+	if s.String(p.Facts[0].Args[0]) != "1" {
+		t.Fatalf("quoted constant = %q", s.String(p.Facts[0].Args[0]))
+	}
+}
+
+func TestParseFunctionTerms(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program(`
+		base(z).
+		nat(s(X)) :- nat(X).
+		nat(X) :- base(X).
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := p.SemiNaive(datalog.Budget{MaxTermDepth: 3})
+	if db.Lookup("nat").Len() != 4 {
+		t.Fatalf("nat = %d", db.Lookup("nat").Len())
+	}
+}
+
+func TestParseNeqConstraints(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program(`
+		n(a). n(b).
+		pair(X, Y) :- n(X), n(Y), X != Y.
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := p.SemiNaive(datalog.Budget{})
+	if db.Lookup("pair").Len() != 2 {
+		t.Fatalf("pair = %d", db.Lookup("pair").Len())
+	}
+}
+
+func TestParseNeqWithCompoundAndConstant(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program(`
+		n(a). n(f(a)).
+		odd(X) :- n(X), X != a.
+		alt(X) :- n(X), f(X) != f(a).
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, _ := p.SemiNaive(datalog.Budget{})
+	if db.Lookup("odd").Len() != 1 {
+		t.Fatalf("odd = %d", db.Lookup("odd").Len())
+	}
+	if db.Lookup("alt").Len() != 1 {
+		t.Fatalf("alt = %d", db.Lookup("alt").Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := term.NewStore()
+	for _, src := range []string{
+		`edge(a, b)`,            // missing dot
+		`edge(a, .`,             // bad term
+		`tc(X) :- .`,            // empty body
+		`tc(X) :- edge(X, Y)`,   // missing dot
+		`r(X) :- e(X), X != .`,  // bad constraint
+		`r("unterminated) .`,    // bad string
+		`r(x) :- ! e(x).`,       // stray !
+		`R@p(x) :- R@p(x).`,     // located atom in centralized program
+		`head(X) :- e(Y).`,      // range restriction (validation)
+	} {
+		if _, err := Program(src, s); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseDistProgramFigure3(t *testing.T) {
+	s := term.NewStore()
+	p, err := DistProgram(`
+		R@r(X, Y) :- A@r(X, Y).
+		R@r(X, Y) :- S@s(X, Z), T@t(Z, Y).
+		S@s(X, Y) :- R@r(X, Y), B@s(Y, Z).
+		T@t(X, Y) :- C@t(X, Y).
+		A@r("1", "2").
+		B@s("2", ok).
+		C@t("2", "4").
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 4 || len(p.Facts) != 3 {
+		t.Fatalf("rules=%d facts=%d", len(p.Rules), len(p.Facts))
+	}
+	res, _, err := ddatalog.Run(p, ddatalog.At("R", "r", s.Constant("1"), s.Variable("Y")),
+		datalog.Budget{}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 { // R(1,2) via A; R(1,4) via S,T
+		t.Fatalf("answers = %d", len(res.Answers))
+	}
+}
+
+func TestParseDistProgramRejectsUnlocated(t *testing.T) {
+	s := term.NewStore()
+	if _, err := DistProgram(`R@r(X) :- A(X).`, s); err == nil {
+		t.Fatal("unlocated atom accepted")
+	}
+}
+
+func TestParseQueryAtom(t *testing.T) {
+	s := term.NewStore()
+	r, peer, args, err := Query(`tc(a, X)`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "tc" || peer != "" || len(args) != 2 {
+		t.Fatalf("r=%s peer=%s args=%v", r, peer, args)
+	}
+	r, peer, _, err = Query(`R@r("1", Y).`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != "R" || peer != "r" {
+		t.Fatalf("r=%s peer=%s", r, peer)
+	}
+	if _, _, _, err := Query(`a(x) b(y)`, s); err == nil {
+		t.Fatal("trailing input accepted")
+	}
+}
+
+func TestRoundTripThroughQSQ(t *testing.T) {
+	// Parse, rewrite with QSQ, evaluate: end-to-end sanity.
+	s := term.NewStore()
+	p, err := Program(`
+		edge(a, b). edge(b, c). edge(x, y).
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Z) :- edge(X, Y), tc(Y, Z).
+	`, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, _, err := qsq.Run(p, datalog.A("tc", s.Constant("a"), s.Variable("Y")), datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 2 {
+		t.Fatalf("answers = %v", ans)
+	}
+}
+
+func TestNetRoundTrip(t *testing.T) {
+	pn := petri.Example()
+	text := FormatNet(pn)
+	back, err := Net(text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if FormatNet(back) != text {
+		t.Fatalf("round trip changed:\n%s\nvs\n%s", FormatNet(back), text)
+	}
+	// Parsed net behaves like the original.
+	a := pn.EnabledSet(pn.M0)
+	b := back.EnabledSet(back.M0)
+	if len(a) != len(b) {
+		t.Fatalf("enabled sets differ")
+	}
+}
+
+func TestNetSilentTransitions(t *testing.T) {
+	pn, err := Net(`
+		# tiny net with a hidden transition
+		place a p
+		place b p
+		trans t p _ : a -> b
+		init a
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn.Net.Transition("t").Alarm != petri.Silent {
+		t.Fatal("silent alarm not parsed")
+	}
+}
+
+func TestNetErrors(t *testing.T) {
+	for _, src := range []string{
+		"place a",                  // missing peer
+		"trans t p x : a",          // missing arrow
+		"trans t p x a -> b",       // missing colon
+		"bogus directive",          // unknown
+		"place a p\ninit a b",      // unknown init place
+		"place a p\ntrans t p x : -> a\ninit a", // no preset
+	} {
+		if _, err := Net(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestAlarmsRoundTrip(t *testing.T) {
+	seq, err := Alarms("b@p1 a@p2 c@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 || seq[0].Alarm != "b" || seq[0].Peer != "p1" {
+		t.Fatalf("seq = %v", seq)
+	}
+	if FormatAlarms(seq) != "b@p1 a@p2 c@p1" {
+		t.Fatalf("format = %q", FormatAlarms(seq))
+	}
+	if _, err := Alarms("nopeer"); err == nil {
+		t.Fatal("malformed alarm accepted")
+	}
+	if _, err := Alarms("@p"); err == nil {
+		t.Fatal("empty alarm accepted")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	s := term.NewStore()
+	p, err := Program("% only comments\n\n  % more\n r(a). % trailing\n", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Facts) != 1 {
+		t.Fatalf("facts = %v", p.Facts)
+	}
+	if !strings.Contains(p.String(), "r(a)") {
+		t.Fatal("String rendering lost the fact")
+	}
+}

@@ -1,0 +1,148 @@
+package parser
+
+import (
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dist"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// randProgram builds a random well-formed centralized program.
+func randProgram(rng *rand.Rand, s *term.Store) *datalog.Program {
+	p := datalog.NewProgram(s)
+	consts := []term.ID{s.Constant("a"), s.Constant("b"), s.Constant("c1")}
+	vars := []term.ID{s.Variable("X"), s.Variable("Y")}
+	rels := []rel.Name{"p", "q", "base"}
+
+	randTerm := func(allowVar bool, depth int) term.ID {
+		if depth > 0 && rng.Intn(3) == 0 {
+			return s.Compound("f", consts[rng.Intn(len(consts))])
+		}
+		if allowVar && rng.Intn(2) == 0 {
+			return vars[rng.Intn(len(vars))]
+		}
+		return consts[rng.Intn(len(consts))]
+	}
+
+	// Facts.
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		p.AddFact(datalog.A("base", randTerm(false, 1), randTerm(false, 1)))
+	}
+	// Rules: head vars drawn from a body atom that binds both vars.
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		head := datalog.A(rels[rng.Intn(2)], vars[0], vars[1])
+		body := []datalog.Atom{datalog.A("base", vars[0], vars[1])}
+		if rng.Intn(2) == 0 {
+			body = append(body, datalog.A("base", vars[1], randTerm(true, 1)))
+		}
+		r := datalog.Rule{Head: head, Body: body}
+		if rng.Intn(3) == 0 {
+			r.Neqs = []datalog.Neq{{X: vars[0], Y: vars[1]}}
+		}
+		p.AddRule(r)
+	}
+	return p
+}
+
+// TestQuickProgramRoundTrip: String -> parse -> String is a fixpoint for
+// random programs, and both evaluate identically.
+func TestQuickProgramRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := term.NewStore()
+		p1 := randProgram(rng, s1)
+		text := p1.String()
+
+		s2 := term.NewStore()
+		p2, err := Program(text, s2)
+		if err != nil {
+			t.Logf("parse error on:\n%s\n%v", text, err)
+			return false
+		}
+		if p2.String() != text {
+			t.Logf("round trip changed:\n%s\nvs\n%s", p2.String(), text)
+			return false
+		}
+		db1, _ := p1.SemiNaive(datalog.Budget{})
+		db2, _ := p2.SemiNaive(datalog.Budget{})
+		return db1.Dump() == db2.Dump()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistProgramRoundTrip does the same for located programs.
+func TestQuickDistProgramRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1 := term.NewStore()
+		p1 := ddatalog.NewProgram(s1)
+		x, y := s1.Variable("X"), s1.Variable("Y")
+		peers := []dist.PeerID{"p1", "p2"}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			p1.AddFact(ddatalog.At("base", peers[rng.Intn(2)],
+				s1.Constant("a"), s1.Constant("b")))
+		}
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			p1.AddRule(ddatalog.PRule{
+				Head: ddatalog.At("derived", peers[rng.Intn(2)], x, y),
+				Body: []ddatalog.PAtom{ddatalog.At("base", peers[rng.Intn(2)], x, y)},
+			})
+		}
+		text := ""
+		for _, f := range p1.Facts {
+			text += f.String(s1) + ".\n"
+		}
+		for _, r := range p1.Rules {
+			text += r.String(s1) + "\n"
+		}
+		s2 := term.NewStore()
+		p2, err := DistProgram(text, s2)
+		if err != nil {
+			t.Logf("parse error on:\n%s\n%v", text, err)
+			return false
+		}
+		return len(p2.Rules) == len(p1.Rules) && len(p2.Facts) == len(p1.Facts)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseGeneratedDiagnosisProgram parses the (large, generated)
+// localized diagnosis program of the running example and checks the
+// round trip is a fixpoint — the parser handles everything the Section 4
+// generators emit: Skolem terms, dotted constants, adorned names,
+// inequality constraints.
+func TestParseGeneratedDiagnosisProgram(t *testing.T) {
+	data, err := os.ReadFile("../diagnosis/testdata/diagnosis_program.golden")
+	if err != nil {
+		t.Skipf("golden file unavailable: %v", err)
+	}
+	s := term.NewStore()
+	p, err := DistProgram(string(data), s)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var b strings.Builder
+	for _, f := range p.Facts {
+		b.WriteString(f.String(s) + ".\n")
+	}
+	for _, r := range p.Rules {
+		b.WriteString(r.String(s) + "\n")
+	}
+	if b.String() != string(data) {
+		t.Fatal("round trip changed the generated program")
+	}
+	if len(p.Rules) < 50 || len(p.Facts) < 30 {
+		t.Fatalf("suspiciously small: %d rules, %d facts", len(p.Rules), len(p.Facts))
+	}
+}

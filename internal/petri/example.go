@@ -1,0 +1,44 @@
+package petri
+
+// Example returns the running example of the paper (Figure 1),
+// reconstructed from the prose. The figure itself is not machine-readable;
+// the reconstruction satisfies every fact the text states:
+//
+//   - places 1-7 and transitions i-vi, over peers P1 and P2;
+//   - α(i) = b, φ(i) = P1, •i = {1,7}, i• = {2,3};
+//   - transitions i, ii and v are the initially enabled set;
+//   - firing i removes the marking of places 1, 7 and marks 2, 3;
+//   - the configuration {i, iii, iv} (the shaded nodes of Figure 2) is a
+//     diagnosis for (b,p1),(a,p2),(c,p1) and for (b,p1),(c,p1),(a,p2) but
+//     not for (c,p1),(b,p1),(a,p2);
+//   - the net is safe, cyclic (infinite unfolding), and the two peers
+//     interact in both directions.
+//
+// Layout:
+//
+//	P1: places 1,2,3,4; transitions i(b): {1,7}->{2,3},
+//	    ii(c): {4}->{5}, iii(c): {2}->{}
+//	P2: places 5,6,7; transitions iv(a): {3}->{6},
+//	    v(a): {7}->{6}, vi(b): {6}->{7}
+//	M0 = {1, 4, 7}
+func Example() *PetriNet {
+	n := NewNet()
+	const p1, p2 = Peer("p1"), Peer("p2")
+	for _, id := range []NodeID{"1", "2", "3", "4"} {
+		n.AddPlace(id, p1)
+	}
+	for _, id := range []NodeID{"5", "6", "7"} {
+		n.AddPlace(id, p2)
+	}
+	n.AddTransition("i", p1, "b", []NodeID{"1", "7"}, []NodeID{"2", "3"})
+	n.AddTransition("ii", p1, "c", []NodeID{"4"}, []NodeID{"5"})
+	n.AddTransition("iii", p1, "c", []NodeID{"2"}, nil)
+	n.AddTransition("iv", p2, "a", []NodeID{"3"}, []NodeID{"6"})
+	n.AddTransition("v", p2, "a", []NodeID{"7"}, []NodeID{"6"})
+	n.AddTransition("vi", p2, "b", []NodeID{"6"}, []NodeID{"7"})
+	pn, err := New(n, NewMarking("1", "4", "7"))
+	if err != nil {
+		panic(err) // the example is static; failure is a programming error
+	}
+	return pn
+}

@@ -1,0 +1,94 @@
+package petri
+
+import "math/rand"
+
+// Firing records one transition firing during an execution.
+type Firing struct {
+	Trans NodeID
+	Alarm Alarm
+	Peer  Peer
+}
+
+// Execution is a firing sequence of the net (one interleaving of a run).
+type Execution []Firing
+
+// RandomExecution fires up to steps randomly chosen enabled transitions
+// starting from M0 and returns the firing sequence and the final marking.
+// It stops early at a dead marking. Deterministic for a given rng state.
+func (pn *PetriNet) RandomExecution(rng *rand.Rand, steps int) (Execution, Marking) {
+	m := pn.M0.Clone()
+	var exec Execution
+	for len(exec) < steps {
+		enabled := pn.EnabledSet(m)
+		if len(enabled) == 0 {
+			break
+		}
+		t := enabled[rng.Intn(len(enabled))]
+		next, err := pn.Fire(m, t)
+		if err != nil {
+			break // unsafe nets stop the run rather than corrupting it
+		}
+		tr := pn.Net.Transition(t)
+		exec = append(exec, Firing{Trans: t, Alarm: tr.Alarm, Peer: tr.Peer})
+		m = next
+	}
+	return exec, m
+}
+
+// ObservedAlarms projects the execution to the observable alarms of each
+// peer, in firing order — what each peer sends to the supervisor. Silent
+// transitions are dropped (the Section 4.4 hidden-transition extension).
+func (e Execution) ObservedAlarms() map[Peer][]Alarm {
+	out := make(map[Peer][]Alarm)
+	for _, f := range e {
+		if f.Alarm == Silent {
+			continue
+		}
+		out[f.Peer] = append(out[f.Peer], f.Alarm)
+	}
+	return out
+}
+
+// Observation is one alarm as received by the supervisor: the symbol and
+// the emitting peer (the paper's pair (a, p)).
+type Observation struct {
+	Alarm Alarm
+	Peer  Peer
+}
+
+// Interleave merges the per-peer alarm streams into one supervisor
+// sequence, preserving each peer's internal order but interleaving across
+// peers at random — the asynchronous channel of Section 2. Deterministic
+// for a given rng state.
+func Interleave(rng *rand.Rand, perPeer map[Peer][]Alarm) []Observation {
+	// Deterministic peer order regardless of map iteration.
+	var peers []Peer
+	for p := range perPeer {
+		peers = append(peers, p)
+	}
+	for i := 1; i < len(peers); i++ {
+		for j := i; j > 0 && peers[j] < peers[j-1]; j-- {
+			peers[j], peers[j-1] = peers[j-1], peers[j]
+		}
+	}
+	idx := make(map[Peer]int, len(peers))
+	total := 0
+	for _, p := range peers {
+		total += len(perPeer[p])
+	}
+	out := make([]Observation, 0, total)
+	for len(out) < total {
+		// Pick a random peer that still has alarms to deliver.
+		k := rng.Intn(total - len(out))
+		for _, p := range peers {
+			remaining := len(perPeer[p]) - idx[p]
+			if k < remaining {
+				out = append(out, Observation{Alarm: perPeer[p][idx[p]], Peer: p})
+				idx[p]++
+				break
+			}
+			k -= remaining
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package petri
+
+import "fmt"
+
+// Pad2 returns a behaviorally equivalent net in which every transition has
+// exactly two parent places — the shape the Section 4.1 Datalog encoding
+// assumes ("we assume below that every transition node has exactly two
+// parents"). A transition t with a single parent gains a private place
+// pad.t, initially marked, that t both consumes and reproduces. In a safe
+// net this preserves executions, alarms and configurations exactly: two
+// instances of t are never concurrent (that would need two tokens on t's
+// real parent), so the private place never constrains anything that was
+// not already constrained.
+//
+// Transitions with more than two parents are rejected: the paper's
+// encoding does not cover them and no silent transformation preserves
+// their alarm semantics. Use nets with presets of size one or two for the
+// Datalog pipeline.
+func Pad2(pn *PetriNet) (*PetriNet, error) {
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		if len(t.Pre) > 2 {
+			return nil, fmt.Errorf("petri: transition %q has %d parents; the Datalog encoding supports at most 2", tid, len(t.Pre))
+		}
+	}
+	out := NewNet()
+	for _, pid := range pn.Net.Places() {
+		out.AddPlace(pid, pn.Net.Place(pid).Peer)
+	}
+	m0 := pn.M0.Clone()
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		pre := append([]NodeID(nil), t.Pre...)
+		post := append([]NodeID(nil), t.Post...)
+		if len(pre) == 1 {
+			pad := NodeID("pad." + string(tid))
+			out.AddPlace(pad, t.Peer)
+			m0[pad] = true
+			pre = append(pre, pad)
+			post = append(post, pad)
+		}
+		out.AddTransition(tid, t.Peer, t.Alarm, pre, post)
+	}
+	return New(out, m0)
+}
+
+// IsTwoParent reports whether every transition of the net has exactly two
+// parent places.
+func IsTwoParent(pn *PetriNet) bool {
+	for _, tid := range pn.Net.Transitions() {
+		if len(pn.Net.Transition(tid).Pre) != 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// PadPlace reports whether a place was introduced by Pad2.
+func PadPlace(id NodeID) bool {
+	return len(id) > 4 && id[:4] == "pad."
+}

@@ -1,0 +1,342 @@
+// Package petri implements the system model of Section 2: safe Petri nets
+// whose places and transitions are distributed over peers, with an alarm
+// symbol on every transition (Definitions 1-2).
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a place or transition of the net. The paper uses
+// numbers for places and roman numerals for transitions; any distinct
+// strings work.
+type NodeID string
+
+// Alarm is an alarm symbol (the α labeling of transitions). The empty
+// alarm marks an unobservable ("hidden") transition, used by the Section
+// 4.4 extension.
+type Alarm string
+
+// Silent is the alarm of unobservable transitions.
+const Silent Alarm = ""
+
+// Peer names the owner of a node (the φ labeling).
+type Peer string
+
+// Place is a place node.
+type Place struct {
+	ID   NodeID
+	Peer Peer
+}
+
+// Transition is a transition node with its preset (parent places), postset
+// (child places) and alarm symbol.
+type Transition struct {
+	ID    NodeID
+	Peer  Peer
+	Alarm Alarm
+	Pre   []NodeID // parent places, in declaration order
+	Post  []NodeID // child places
+}
+
+// Net is the static structure (Definition 1) of a finite net.
+type Net struct {
+	places     map[NodeID]*Place
+	trans      map[NodeID]*Transition
+	placeOrder []NodeID
+	transOrder []NodeID
+	consumers  map[NodeID][]NodeID // place -> transitions with it in Pre
+	producers  map[NodeID][]NodeID // place -> transitions with it in Post
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net {
+	return &Net{
+		places:    make(map[NodeID]*Place),
+		trans:     make(map[NodeID]*Transition),
+		consumers: make(map[NodeID][]NodeID),
+		producers: make(map[NodeID][]NodeID),
+	}
+}
+
+// AddPlace adds a place. It panics on duplicate IDs — net construction
+// errors are programming errors.
+func (n *Net) AddPlace(id NodeID, peer Peer) {
+	if _, ok := n.places[id]; ok {
+		panic(fmt.Sprintf("petri: duplicate place %q", id))
+	}
+	if _, ok := n.trans[id]; ok {
+		panic(fmt.Sprintf("petri: id %q already names a transition", id))
+	}
+	n.places[id] = &Place{ID: id, Peer: peer}
+	n.placeOrder = append(n.placeOrder, id)
+}
+
+// AddTransition adds a transition with its preset and postset places.
+func (n *Net) AddTransition(id NodeID, peer Peer, alarm Alarm, pre, post []NodeID) {
+	if _, ok := n.trans[id]; ok {
+		panic(fmt.Sprintf("petri: duplicate transition %q", id))
+	}
+	if _, ok := n.places[id]; ok {
+		panic(fmt.Sprintf("petri: id %q already names a place", id))
+	}
+	t := &Transition{ID: id, Peer: peer, Alarm: alarm,
+		Pre: append([]NodeID(nil), pre...), Post: append([]NodeID(nil), post...)}
+	n.trans[id] = t
+	n.transOrder = append(n.transOrder, id)
+	for _, p := range pre {
+		n.consumers[p] = append(n.consumers[p], id)
+	}
+	for _, p := range post {
+		n.producers[p] = append(n.producers[p], id)
+	}
+}
+
+// Place returns the place with the given ID, or nil.
+func (n *Net) Place(id NodeID) *Place { return n.places[id] }
+
+// Transition returns the transition with the given ID, or nil.
+func (n *Net) Transition(id NodeID) *Transition { return n.trans[id] }
+
+// Places returns place IDs in declaration order.
+func (n *Net) Places() []NodeID { return append([]NodeID(nil), n.placeOrder...) }
+
+// Transitions returns transition IDs in declaration order.
+func (n *Net) Transitions() []NodeID { return append([]NodeID(nil), n.transOrder...) }
+
+// Consumers returns the transitions that have place p in their preset.
+func (n *Net) Consumers(p NodeID) []NodeID { return n.consumers[p] }
+
+// Producers returns the transitions that have place p in their postset.
+func (n *Net) Producers(p NodeID) []NodeID { return n.producers[p] }
+
+// Peers returns the peers of the net, in first-appearance order.
+func (n *Net) Peers() []Peer {
+	seen := map[Peer]bool{}
+	var out []Peer
+	for _, id := range n.placeOrder {
+		if p := n.places[id].Peer; !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, id := range n.transOrder {
+		if p := n.trans[id].Peer; !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Validate checks structural sanity: every edge endpoint exists, every
+// transition has at least one parent (a parentless transition could fire
+// unboundedly), and alarms of observable transitions are nonempty strings.
+func (n *Net) Validate() error {
+	for _, id := range n.transOrder {
+		t := n.trans[id]
+		if len(t.Pre) == 0 {
+			return fmt.Errorf("petri: transition %q has no parent places", id)
+		}
+		for _, p := range append(append([]NodeID(nil), t.Pre...), t.Post...) {
+			if _, ok := n.places[p]; !ok {
+				return fmt.Errorf("petri: transition %q references unknown place %q", id, p)
+			}
+		}
+		seen := map[NodeID]bool{}
+		for _, p := range t.Pre {
+			if seen[p] {
+				return fmt.Errorf("petri: transition %q lists parent %q twice", id, p)
+			}
+			seen[p] = true
+		}
+	}
+	return nil
+}
+
+// Marking is a set of marked places.
+type Marking map[NodeID]bool
+
+// NewMarking builds a marking from place IDs.
+func NewMarking(ids ...NodeID) Marking {
+	m := make(Marking, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+// Clone copies the marking.
+func (m Marking) Clone() Marking {
+	out := make(Marking, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Key renders the marking canonically, for state dedup.
+func (m Marking) Key() string {
+	ids := make([]string, 0, len(m))
+	for k := range m {
+		ids = append(ids, string(k))
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ",")
+}
+
+// PetriNet is a net with an initial marking (Definition 2).
+type PetriNet struct {
+	Net *Net
+	M0  Marking
+}
+
+// New pairs a net with its initial marking, validating both.
+func New(n *Net, m0 Marking) (*PetriNet, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	for p := range m0 {
+		if n.Place(p) == nil {
+			return nil, fmt.Errorf("petri: initial marking contains unknown place %q", p)
+		}
+	}
+	return &PetriNet{Net: n, M0: m0}, nil
+}
+
+// Enabled reports whether transition t is enabled in m.
+func (pn *PetriNet) Enabled(m Marking, t NodeID) bool {
+	tr := pn.Net.Transition(t)
+	if tr == nil {
+		return false
+	}
+	for _, p := range tr.Pre {
+		if !m[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledSet returns the enabled transitions in declaration order.
+func (pn *PetriNet) EnabledSet(m Marking) []NodeID {
+	var out []NodeID
+	for _, t := range pn.Net.Transitions() {
+		if pn.Enabled(m, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fire fires t in m and returns the successor marking M' = M - pre(t) +
+// post(t). It returns an error if t is not enabled or if firing would
+// violate safety (a post place already marked and not consumed).
+func (pn *PetriNet) Fire(m Marking, t NodeID) (Marking, error) {
+	if !pn.Enabled(m, t) {
+		return nil, fmt.Errorf("petri: transition %q not enabled", t)
+	}
+	tr := pn.Net.Transition(t)
+	next := m.Clone()
+	for _, p := range tr.Pre {
+		delete(next, p)
+	}
+	for _, p := range tr.Post {
+		if next[p] {
+			return nil, fmt.Errorf("petri: firing %q violates safety at place %q", t, p)
+		}
+		next[p] = true
+	}
+	return next, nil
+}
+
+// CheckSafe explores reachable markings (up to maxStates) and verifies
+// the net is safe, i.e. no firing ever puts a second token on a place.
+// It returns the number of states explored and whether exploration was
+// exhaustive.
+func (pn *PetriNet) CheckSafe(maxStates int) (states int, exhaustive bool, err error) {
+	seen := map[string]bool{pn.M0.Key(): true}
+	queue := []Marking{pn.M0}
+	for len(queue) > 0 {
+		if len(seen) > maxStates {
+			return len(seen), false, nil
+		}
+		m := queue[0]
+		queue = queue[1:]
+		for _, t := range pn.EnabledSet(m) {
+			next, err := pn.Fire(m, t)
+			if err != nil {
+				return len(seen), false, err
+			}
+			if k := next.Key(); !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return len(seen), true, nil
+}
+
+// Neighbors returns N eighb(p): the peers p' holding a transition that is
+// a grandparent of some transition of p (Section 4.1), i.e. p' produces a
+// place consumed by p. A peer is always its own neighbor if it has such
+// internal wiring; the initial-marking "virtual root" also makes peers of
+// root places relevant, so peers of preset places with no producer are
+// included via the place's own peer.
+func (pn *PetriNet) Neighbors(p Peer) []Peer {
+	seen := map[Peer]bool{}
+	var out []Peer
+	add := func(q Peer) {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		if t.Peer != p {
+			continue
+		}
+		for _, pl := range t.Pre {
+			producers := pn.Net.Producers(pl)
+			if len(producers) == 0 {
+				add(pn.Net.Place(pl).Peer)
+			}
+			for _, prod := range producers {
+				add(pn.Net.Transition(prod).Peer)
+			}
+		}
+	}
+	return out
+}
+
+// Mates returns M ates(p): the peers that hold a transition that is a
+// grandparent of a grandchild of some transition at p (Section 4.1's
+// notConf rules).
+func (pn *PetriNet) Mates(p Peer) []Peer {
+	seen := map[Peer]bool{}
+	var out []Peer
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		if t.Peer != p {
+			continue
+		}
+		for _, pl := range t.Post {
+			for _, child := range pn.Net.Consumers(pl) {
+				ct := pn.Net.Transition(child)
+				for _, cpl := range ct.Pre {
+					for _, gp := range pn.Net.Producers(cpl) {
+						q := pn.Net.Transition(gp).Peer
+						if !seen[q] {
+							seen[q] = true
+							out = append(out, q)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

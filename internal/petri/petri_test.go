@@ -1,0 +1,328 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExampleMatchesPaperProse(t *testing.T) {
+	pn := Example()
+
+	// α(i) = b, φ(i) = P1, •i = {1,7}, i• = {2,3}.
+	i := pn.Net.Transition("i")
+	if i.Alarm != "b" || i.Peer != "p1" {
+		t.Fatalf("transition i: alarm=%q peer=%q", i.Alarm, i.Peer)
+	}
+	if len(i.Pre) != 2 || i.Pre[0] != "1" || i.Pre[1] != "7" {
+		t.Fatalf("•i = %v", i.Pre)
+	}
+	if len(i.Post) != 2 || i.Post[0] != "2" || i.Post[1] != "3" {
+		t.Fatalf("i• = %v", i.Post)
+	}
+
+	// "Transition i, ii and v are enabled."
+	enabled := pn.EnabledSet(pn.M0)
+	if len(enabled) != 3 || enabled[0] != "i" || enabled[1] != "ii" || enabled[2] != "v" {
+		t.Fatalf("initially enabled = %v, want [i ii v]", enabled)
+	}
+
+	// "If transition i fires, the marking from places 1, 7 is removed and
+	// places 2, 3 become marked."
+	m, err := pn.Fire(pn.M0, "i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["1"] || m["7"] || !m["2"] || !m["3"] || !m["4"] {
+		t.Fatalf("after i: %v", m)
+	}
+
+	// Two peers as in the figure.
+	if peers := pn.Net.Peers(); len(peers) != 2 {
+		t.Fatalf("peers = %v", peers)
+	}
+}
+
+func TestExampleIsSafe(t *testing.T) {
+	pn := Example()
+	states, exhaustive, err := pn.CheckSafe(10000)
+	if err != nil {
+		t.Fatalf("safety violated: %v", err)
+	}
+	if !exhaustive {
+		t.Fatalf("state space not exhausted in %d states", states)
+	}
+	if states < 4 {
+		t.Fatalf("suspiciously small state space: %d", states)
+	}
+}
+
+func TestExampleCrossPeerNeighbors(t *testing.T) {
+	pn := Example()
+	// P2's transition iv consumes place 3, produced by i at P1.
+	found := false
+	for _, p := range pn.Neighbors("p2") {
+		if p == "p1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("p1 not a neighbor of p2: %v", pn.Neighbors("p2"))
+	}
+	// P1's transition i consumes place 7, produced by vi at P2.
+	found = false
+	for _, p := range pn.Neighbors("p1") {
+		if p == "p2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("p2 not a neighbor of p1: %v", pn.Neighbors("p1"))
+	}
+}
+
+func TestFireNotEnabled(t *testing.T) {
+	pn := Example()
+	if _, err := pn.Fire(pn.M0, "iv"); err == nil {
+		t.Fatal("fired disabled transition")
+	}
+	if _, err := pn.Fire(pn.M0, "nope"); err == nil {
+		t.Fatal("fired unknown transition")
+	}
+}
+
+func TestUnsafeNetDetected(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("a", "p")
+	n.AddPlace("b", "p")
+	n.AddPlace("c", "p")
+	n.AddTransition("t1", "p", "x", []NodeID{"a"}, []NodeID{"c"})
+	n.AddTransition("t2", "p", "y", []NodeID{"b"}, []NodeID{"c"})
+	pn, err := New(n, NewMarking("a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := pn.CheckSafe(100); err == nil {
+		t.Fatal("double marking of c not detected")
+	}
+}
+
+func TestValidateRejectsBadNets(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("a", "p")
+	n.AddTransition("t", "p", "x", nil, nil)
+	if err := n.Validate(); err == nil {
+		t.Fatal("parentless transition accepted")
+	}
+
+	n2 := NewNet()
+	n2.AddPlace("a", "p")
+	n2.AddTransition("t", "p", "x", []NodeID{"missing"}, nil)
+	if err := n2.Validate(); err == nil {
+		t.Fatal("dangling edge accepted")
+	}
+
+	n3 := NewNet()
+	n3.AddPlace("a", "p")
+	n3.AddTransition("t", "p", "x", []NodeID{"a", "a"}, nil)
+	if err := n3.Validate(); err == nil {
+		t.Fatal("duplicate parent accepted")
+	}
+}
+
+func TestDuplicateIDsPanic(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("a", "p")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	n.AddTransition("a", "p", "x", nil, nil)
+}
+
+func TestPad2(t *testing.T) {
+	pn := Example()
+	padded, err := Pad2(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsTwoParent(padded) {
+		t.Fatal("Pad2 left a non-2-parent transition")
+	}
+	// Padding preserves safety.
+	if _, exhaustive, err := padded.CheckSafe(10000); err != nil || !exhaustive {
+		t.Fatalf("padded net unsafe or too large: %v", err)
+	}
+	// Same initially enabled transitions.
+	a := pn.EnabledSet(pn.M0)
+	b := padded.EnabledSet(padded.M0)
+	if len(a) != len(b) {
+		t.Fatalf("enabled sets differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enabled sets differ: %v vs %v", a, b)
+		}
+	}
+	if !PadPlace("pad.ii") || PadPlace("2") {
+		t.Fatal("PadPlace misclassifies")
+	}
+}
+
+func TestPad2RejectsWidePresets(t *testing.T) {
+	n := NewNet()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		n.AddPlace(id, "p")
+	}
+	n.AddTransition("t", "p", "x", []NodeID{"a", "b", "c"}, nil)
+	pn, err := New(n, NewMarking("a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pad2(pn); err == nil {
+		t.Fatal("3-parent transition accepted")
+	}
+}
+
+// Property: padded and original nets produce identical observable alarm
+// streams under the same random choices (pad transitions never change the
+// enabled set of original transitions).
+func TestQuickPad2PreservesExecutions(t *testing.T) {
+	f := func(seed int64) bool {
+		pn := Example()
+		padded, err := Pad2(pn)
+		if err != nil {
+			return false
+		}
+		e1, _ := pn.RandomExecution(rand.New(rand.NewSource(seed)), 12)
+		e2, _ := padded.RandomExecution(rand.New(rand.NewSource(seed)), 12)
+		if len(e1) != len(e2) {
+			return false
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomExecutionRespectsEnabledness(t *testing.T) {
+	pn := Example()
+	rng := rand.New(rand.NewSource(7))
+	exec, _ := pn.RandomExecution(rng, 20)
+	if len(exec) == 0 {
+		t.Fatal("no firings")
+	}
+	// Replay and verify every firing was legal.
+	m := pn.M0.Clone()
+	for _, f := range exec {
+		if !pn.Enabled(m, f.Trans) {
+			t.Fatalf("illegal firing %v", f)
+		}
+		var err error
+		m, err = pn.Fire(m, f.Trans)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestObservedAlarmsAndInterleave(t *testing.T) {
+	exec := Execution{
+		{Trans: "i", Alarm: "b", Peer: "p1"},
+		{Trans: "h", Alarm: Silent, Peer: "p1"},
+		{Trans: "iv", Alarm: "a", Peer: "p2"},
+		{Trans: "iii", Alarm: "c", Peer: "p1"},
+	}
+	per := exec.ObservedAlarms()
+	if len(per["p1"]) != 2 || per["p1"][0] != "b" || per["p1"][1] != "c" {
+		t.Fatalf("p1 alarms %v", per["p1"])
+	}
+	if len(per["p2"]) != 1 {
+		t.Fatalf("p2 alarms %v", per["p2"])
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	seq := Interleave(rng, per)
+	if len(seq) != 3 {
+		t.Fatalf("interleaving %v", seq)
+	}
+	// Per-peer order must be preserved.
+	var p1 []Alarm
+	for _, o := range seq {
+		if o.Peer == "p1" {
+			p1 = append(p1, o.Alarm)
+		}
+	}
+	if len(p1) != 2 || p1[0] != "b" || p1[1] != "c" {
+		t.Fatalf("p1 order broken: %v", p1)
+	}
+}
+
+// Property: any interleaving preserves per-peer subsequences.
+func TestQuickInterleavePreservesPeerOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		per := map[Peer][]Alarm{
+			"p1": []Alarm{"a", "b", "c", "d"}[:1+rng.Intn(4)],
+			"p2": []Alarm{"x", "y", "z"}[:1+rng.Intn(3)],
+		}
+		seq := Interleave(rng, per)
+		got := map[Peer][]Alarm{}
+		for _, o := range seq {
+			got[o.Peer] = append(got[o.Peer], o.Alarm)
+		}
+		for p, want := range per {
+			if len(got[p]) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[p][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkingKeyCanonical(t *testing.T) {
+	m1 := NewMarking("b", "a")
+	m2 := NewMarking("a", "b")
+	if m1.Key() != m2.Key() {
+		t.Fatal("marking key not canonical")
+	}
+	if m1.Key() == NewMarking("a").Key() {
+		t.Fatal("distinct markings share key")
+	}
+}
+
+func TestMatesOfExample(t *testing.T) {
+	pn := Example()
+	// i@p1 produces 3, consumed by iv@p2 whose other grandparents trace
+	// back through producers of 3 = {i}. So p1 is a mate of p1 (via its
+	// own grandchildren) and mates sets are nonempty.
+	if len(pn.Mates("p1")) == 0 {
+		t.Fatal("p1 has no mates")
+	}
+}
+
+func BenchmarkFireExample(b *testing.B) {
+	pn := Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := pn.Fire(pn.M0, "i")
+		if err != nil || len(m) != 3 {
+			b.Fatal("fire failed")
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package product
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/petri"
+)
+
+var (
+	seqA1 = alarm.S("b", "p1", "a", "p2", "c", "p1")
+	seqA2 = alarm.S("b", "p1", "c", "p1", "a", "p2")
+	seqA3 = alarm.S("c", "p1", "b", "p1", "a", "p2")
+)
+
+const (
+	evI   = "f(i,g(r,1),g(r,7))"
+	evII  = "f(ii,g(r,4))"
+	evIII = "f(iii,g(f(i,g(r,1),g(r,7)),2))"
+	evIV  = "f(iv,g(f(i,g(r,1),g(r,7)),3))"
+	evV   = "f(v,g(r,7))"
+)
+
+func diagKeys(d [][]string) []string {
+	out := make([]string, 0, len(d))
+	for _, cfg := range d {
+		out = append(out, strings.Join(cfg, ";"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestProductNetStructure(t *testing.T) {
+	pn := petri.Example()
+	prod, err := Build(pn, seqA1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A_p1 = (b, c): transition i (alarm b) synchronizes at position 0;
+	// ii and iii (alarm c) at position 1; iv and v (alarm a) at p2's
+	// position 0; vi (alarm b) has no occurrence in A_p2 and disappears.
+	wantTrans := map[string]bool{
+		"i×0": true, "ii×1": true, "iii×1": true, "iv×0": true, "v×0": true,
+	}
+	got := prod.Net.Transitions()
+	if len(got) != len(wantTrans) {
+		t.Fatalf("product transitions %v", got)
+	}
+	for _, id := range got {
+		if !wantTrans[string(id)] {
+			t.Fatalf("unexpected product transition %s", id)
+		}
+	}
+	// Position chains: p1 has 3 position places, p2 has 2.
+	for _, pl := range []string{"pos.p1.0", "pos.p1.1", "pos.p1.2", "pos.p2.0", "pos.p2.1"} {
+		if prod.Net.Place(petri.NodeID(pl)) == nil {
+			t.Fatalf("missing position place %s", pl)
+		}
+	}
+	// Initial marking includes both position starts.
+	if !prod.M0["pos.p1.0"] || !prod.M0["pos.p2.0"] {
+		t.Fatal("position chains not initially marked")
+	}
+	// The product is safe.
+	if _, exhaustive, err := prod.CheckSafe(100000); err != nil || !exhaustive {
+		t.Fatalf("product not safe/finite: %v", err)
+	}
+}
+
+func TestDiagnosesOfRunningExample(t *testing.T) {
+	pn := petri.Example()
+	res, err := Run(pn, seqA1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("product unfolding truncated")
+	}
+	keys := diagKeys(res.Diagnoses)
+	want := []string{
+		evI + ";" + evII + ";" + evIV,
+		evI + ";" + evIII + ";" + evIV,
+	}
+	sort.Strings(want)
+	if strings.Join(keys, "|") != strings.Join(want, "|") {
+		t.Fatalf("diagnoses:\n%v\nwant:\n%v", keys, want)
+	}
+}
+
+func TestEquivalentSequencesSameDiagnoses(t *testing.T) {
+	// A1 and A2 differ only in cross-peer interleaving; the supervisor must
+	// compute identical diagnosis sets (Section 2's example).
+	pn := petri.Example()
+	r1, err := Run(pn, seqA1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(pn, seqA2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(diagKeys(r1.Diagnoses), "|") != strings.Join(diagKeys(r2.Diagnoses), "|") {
+		t.Fatalf("A1 diagnoses %v != A2 diagnoses %v", diagKeys(r1.Diagnoses), diagKeys(r2.Diagnoses))
+	}
+}
+
+func TestSwappedPeerOrderChangesDiagnoses(t *testing.T) {
+	// A3 swaps b and c within p1: the shaded configuration {i,iii,iv} must
+	// no longer be a diagnosis, while {i,ii,iv} still is (ii ‖ i).
+	pn := petri.Example()
+	res, err := Run(pn, seqA3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := diagKeys(res.Diagnoses)
+	shaded := evI + ";" + evIII + ";" + evIV
+	concurrent := evI + ";" + evII + ";" + evIV
+	for _, k := range keys {
+		if k == shaded {
+			t.Fatal("shaded configuration wrongly explains A3")
+		}
+	}
+	found := false
+	for _, k := range keys {
+		if k == concurrent {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("{i,ii,iv} missing from A3 diagnoses: %v", keys)
+	}
+}
+
+func TestPrefixContainsOnlyRelevantNodes(t *testing.T) {
+	pn := petri.Example()
+	res, err := Run(pn, seqA1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The prefix contains the five events that explain some prefix of A
+	// (v explains the a-prefix of A_p2 even though it extends no complete
+	// explanation) and nothing else — in particular no vi instance.
+	want := map[string]bool{evI: true, evII: true, evIII: true, evIV: true, evV: true}
+	if len(res.PrefixEvents) != len(want) {
+		t.Fatalf("prefix events = %v", res.PrefixEvents)
+	}
+	for e := range want {
+		if !res.PrefixEvents[e] {
+			t.Fatalf("missing prefix event %s", e)
+		}
+	}
+	for e := range res.PrefixEvents {
+		if strings.HasPrefix(e, "f(vi") {
+			t.Fatalf("irrelevant event %s materialized", e)
+		}
+	}
+	// Conditions: the three roots plus the posts of i, ii, iv, v.
+	if len(res.PrefixConditions) != 3+2+1+1+1 {
+		t.Fatalf("prefix conditions = %v", res.PrefixConditions)
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	pn := petri.Example()
+	res, err := Run(pn, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only explanation of the empty sequence is the empty configuration.
+	if len(res.Diagnoses) != 1 || len(res.Diagnoses[0]) != 0 {
+		t.Fatalf("diagnoses of empty sequence: %v", res.Diagnoses)
+	}
+	if len(res.PrefixEvents) != 0 {
+		t.Fatalf("prefix events for empty sequence: %v", res.PrefixEvents)
+	}
+}
+
+func TestUnexplainableSequence(t *testing.T) {
+	pn := petri.Example()
+	// p1 never emits alarm "z".
+	res, err := Run(pn, alarm.S("z", "p1"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Diagnoses) != 0 {
+		t.Fatalf("impossible sequence explained: %v", res.Diagnoses)
+	}
+}
+
+func TestLongerSequenceUsesCycle(t *testing.T) {
+	// a then b at p2 exercises v (a) then vi (b) through the 7->6->7 loop.
+	pn := petri.Example()
+	res, err := Run(pn, alarm.S("a", "p2", "b", "p2"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "f(v,g(r,7));f(vi,g(f(v,g(r,7)),6))"
+	keys := diagKeys(res.Diagnoses)
+	if len(keys) != 1 || keys[0] != want {
+		t.Fatalf("diagnoses %v, want [%s]", keys, want)
+	}
+}
+
+func TestPadded2ParentFormAgrees(t *testing.T) {
+	// Diagnoses on the padded net project to the same transition multisets.
+	pn := petri.Example()
+	padded, err := petri.Pad2(pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(pn, seqA1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(padded, seqA1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare by fired transition multiset (names differ due to pads).
+	toTrans := func(d [][]string) []string {
+		var out []string
+		for _, cfg := range d {
+			var ts []string
+			for _, name := range cfg {
+				end := strings.IndexByte(name, ',')
+				ts = append(ts, name[2:end])
+			}
+			sort.Strings(ts)
+			out = append(out, strings.Join(ts, ";"))
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := toTrans(r1.Diagnoses), toTrans(r2.Diagnoses)
+	if strings.Join(a, "|") != strings.Join(b, "|") {
+		t.Fatalf("padded diagnoses differ: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkProductExampleA1(b *testing.B) {
+	pn := petri.Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(pn, seqA1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package product
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+// TestRandomPrefixContainedInUnfolding: the projected prefix of the
+// product unfolding is always a subset of the full (depth-bounded)
+// unfolding of the original net — U\nfold(N,M,A) ⊑ Unfold(N,M).
+func TestRandomPrefixContainedInUnfolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	checked := 0
+	for i := 0; i < 40 && checked < 10; i++ {
+		pn := gen.RandomSafe(rng, gen.Params{Peers: 2, Places: 5, Transitions: 4, Alarms: 2})
+		if pn == nil {
+			continue
+		}
+		exec, _ := pn.RandomExecution(rng, 3)
+		if len(exec) == 0 {
+			continue
+		}
+		seq := petri.Interleave(rng, exec.ObservedAlarms())
+		res, err := Run(pn, seq, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Truncated {
+			continue
+		}
+		checked++
+
+		full := unfold.Build(pn, unfold.Options{MaxDepth: len(seq) + 1, MaxEvents: 100000})
+		names := map[string]bool{}
+		for _, e := range full.Events {
+			names[e.Name] = true
+		}
+		for e := range res.PrefixEvents {
+			if !names[e] {
+				t.Fatalf("net %d: prefix event %s not in the full unfolding", i, e)
+			}
+		}
+		// The observed execution itself is among the diagnoses.
+		if len(res.Diagnoses) == 0 {
+			t.Fatalf("net %d: observed execution unexplained", i)
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("only %d nets checked", checked)
+	}
+}
+
+// TestDiagnosesDependOnlyOnPerPeerOrder: the supervisor cannot distinguish
+// equivalent interleavings (Section 2), so the diagnosis set is invariant
+// under cross-peer reshuffling.
+func TestDiagnosesDependOnlyOnPerPeerOrder(t *testing.T) {
+	pn := petri.Example()
+	base := seqA1
+	rng := rand.New(rand.NewSource(5))
+	want, err := Run(pn, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		shuffled := petri.Interleave(rng, alarmSeqPerPeer(base))
+		res, err := Run(pn, shuffled, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := diagKeys(want.Diagnoses)
+		b := diagKeys(res.Diagnoses)
+		if len(a) != len(b) {
+			t.Fatalf("interleaving %v changed diagnoses", shuffled)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("interleaving %v changed diagnoses", shuffled)
+			}
+		}
+	}
+}
+
+func alarmSeqPerPeer(seq []petri.Observation) map[petri.Peer][]petri.Alarm {
+	out := map[petri.Peer][]petri.Alarm{}
+	for _, o := range seq {
+		out[o.Peer] = append(out[o.Peer], o.Alarm)
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package rel implements the storage layer shared by every Datalog
+// evaluator in this repository: append-only relations of ground tuples
+// with hash indexes built lazily per binding pattern.
+//
+// Relations are append-only (Datalog is monotone), so a "delta" for
+// semi-naive evaluation is just a watermark pair [lo,hi) of positions, and
+// index posting lists — which are ascending position slices — support
+// delta-restricted scans by binary search.
+package rel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Name identifies a relation. Distributed code composes names like
+// "trans@p1" or adorned names like "R#bf"; the storage layer is agnostic.
+type Name string
+
+// Relation is a set of ground tuples of a fixed arity. It is append-only;
+// Insert ignores duplicates. Not safe for concurrent use — peers own their
+// relations.
+type Relation struct {
+	arity  int
+	tuples [][]term.ID
+	seen   map[string]struct{}          // full-tuple dedup
+	idx    map[uint64]map[string][]int  // bound-column mask -> key -> ascending positions
+	built  map[uint64]int               // how many tuples each index has absorbed
+}
+
+// New returns an empty relation of the given arity. Arity 0 is allowed and
+// models propositional facts; arity must be < 64 so binding masks fit a
+// word.
+func New(arity int) *Relation {
+	if arity < 0 || arity >= 64 {
+		panic(fmt.Sprintf("rel: unsupported arity %d", arity))
+	}
+	return &Relation{
+		arity: arity,
+		seen:  make(map[string]struct{}),
+		idx:   make(map[uint64]map[string][]int),
+		built: make(map[uint64]int),
+	}
+}
+
+// Arity reports the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len reports the number of distinct tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// encode writes the IDs at the positions selected by mask into a string key.
+func encode(tuple []term.ID, mask uint64) string {
+	var b strings.Builder
+	b.Grow(4 * len(tuple))
+	var buf [4]byte
+	for i, t := range tuple {
+		if mask&(1<<uint(i)) != 0 {
+			binary.LittleEndian.PutUint32(buf[:], uint32(t))
+			b.Write(buf[:])
+		}
+	}
+	return b.String()
+}
+
+// fullMask is the mask selecting every column of the relation.
+func (r *Relation) fullMask() uint64 {
+	return (uint64(1) << uint(r.arity)) - 1
+}
+
+// Insert adds a ground tuple, returning true if it was new. The tuple is
+// copied. It panics on arity mismatch.
+func (r *Relation) Insert(tuple []term.ID) bool {
+	if len(tuple) != r.arity {
+		panic(fmt.Sprintf("rel: arity mismatch: inserting %d-tuple into %d-ary relation", len(tuple), r.arity))
+	}
+	key := encode(tuple, r.fullMask())
+	if _, ok := r.seen[key]; ok {
+		return false
+	}
+	r.seen[key] = struct{}{}
+	cp := make([]term.ID, len(tuple))
+	copy(cp, tuple)
+	r.tuples = append(r.tuples, cp)
+	return true
+}
+
+// Contains reports whether the ground tuple is present.
+func (r *Relation) Contains(tuple []term.ID) bool {
+	if len(tuple) != r.arity {
+		return false
+	}
+	_, ok := r.seen[encode(tuple, r.fullMask())]
+	return ok
+}
+
+// At returns the tuple at position pos (insertion order). The returned
+// slice must not be modified.
+func (r *Relation) At(pos int) []term.ID { return r.tuples[pos] }
+
+// ensureIndex brings the index for mask up to date with all tuples.
+func (r *Relation) ensureIndex(mask uint64) map[string][]int {
+	m, ok := r.idx[mask]
+	if !ok {
+		m = make(map[string][]int)
+		r.idx[mask] = m
+	}
+	for pos := r.built[mask]; pos < len(r.tuples); pos++ {
+		k := encode(r.tuples[pos], mask)
+		m[k] = append(m[k], pos)
+	}
+	r.built[mask] = len(r.tuples)
+	return m
+}
+
+// Scan calls f for each tuple position in [lo,hi) whose columns selected by
+// mask equal the corresponding entries of key (a full-width tuple; columns
+// outside mask are ignored). Iteration stops early if f returns false.
+// A zero mask scans the whole window.
+func (r *Relation) Scan(mask uint64, key []term.ID, lo, hi int, f func(pos int, tuple []term.ID) bool) {
+	if hi > len(r.tuples) {
+		hi = len(r.tuples)
+	}
+	if lo >= hi {
+		return
+	}
+	if mask == 0 {
+		for pos := lo; pos < hi; pos++ {
+			if !f(pos, r.tuples[pos]) {
+				return
+			}
+		}
+		return
+	}
+	m := r.ensureIndex(mask)
+	posting := m[encode(key, mask)]
+	// posting is ascending; restrict to [lo,hi).
+	start := sort.SearchInts(posting, lo)
+	for _, pos := range posting[start:] {
+		if pos >= hi {
+			return
+		}
+		if !f(pos, r.tuples[pos]) {
+			return
+		}
+	}
+}
+
+// All returns the backing tuple slice (insertion order). Neither the slice
+// nor its tuples may be modified.
+func (r *Relation) All() [][]term.ID { return r.tuples }
+
+// DB is a named collection of relations sharing one term store.
+type DB struct {
+	Store *term.Store
+	rels  map[Name]*Relation
+	order []Name // creation order, for deterministic dumps
+}
+
+// NewDB returns an empty database over the given store.
+func NewDB(store *term.Store) *DB {
+	return &DB{Store: store, rels: make(map[Name]*Relation)}
+}
+
+// Rel returns the relation called name, creating it with the given arity on
+// first use. It panics if the name exists with a different arity.
+func (db *DB) Rel(name Name, arity int) *Relation {
+	if r, ok := db.rels[name]; ok {
+		if r.arity != arity {
+			panic(fmt.Sprintf("rel: %s has arity %d, requested %d", name, r.arity, arity))
+		}
+		return r
+	}
+	r := New(arity)
+	db.rels[name] = r
+	db.order = append(db.order, name)
+	return r
+}
+
+// Lookup returns the relation called name, or nil.
+func (db *DB) Lookup(name Name) *Relation { return db.rels[name] }
+
+// Names returns the relation names in creation order.
+func (db *DB) Names() []Name {
+	out := make([]Name, len(db.order))
+	copy(out, db.order)
+	return out
+}
+
+// FactCount returns the total number of tuples across all relations — the
+// materialization metric used throughout the experiments.
+func (db *DB) FactCount() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Dump renders the database deterministically, one fact per line, sorted by
+// relation name then tuple order, for golden tests and CLI output.
+func (db *DB) Dump() string {
+	names := db.Names()
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	var b strings.Builder
+	for _, n := range names {
+		r := db.rels[n]
+		lines := make([]string, 0, r.Len())
+		for _, tup := range r.All() {
+			lines = append(lines, formatFact(db.Store, n, tup))
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func formatFact(s *term.Store, n Name, tuple []term.ID) string {
+	var b strings.Builder
+	b.WriteString(string(n))
+	b.WriteByte('(')
+	for i, t := range tuple {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String(t))
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,258 @@
+// Package term implements the term algebra underlying dDatalog: constants,
+// variables and compound terms built from function symbols (the paper's
+// Skolem functions f, g, h that name unfolding nodes).
+//
+// Terms are hash-consed: each structurally distinct term is stored exactly
+// once in a Store and is identified by a dense ID. Tuples, atoms and
+// substitutions all manipulate IDs, so equality is integer comparison and
+// joins hash machine words rather than strings.
+package term
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID identifies a term within its Store. IDs are dense, starting at 0, in
+// insertion order. The zero Store has no terms, so any ID must come from
+// the Store it is used with.
+type ID int32
+
+// None is the invalid ID. It is returned by lookups that find nothing and
+// is never a valid index into a Store.
+const None ID = -1
+
+// Kind discriminates the three term shapes.
+type Kind uint8
+
+// The three kinds of terms.
+const (
+	Const Kind = iota // an uninterpreted constant, e.g. p1, "1", c7
+	Var               // a variable, e.g. X, Y
+	Comp              // a compound term f(t1, ..., tn) with n >= 1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Const:
+		return "const"
+	case Var:
+		return "var"
+	case Comp:
+		return "comp"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// cell is the interned representation of one term.
+type cell struct {
+	kind   Kind
+	name   string // constant symbol, variable name, or functor
+	args   []ID   // nil unless kind == Comp
+	ground bool   // no variable occurs anywhere inside
+	depth  int32  // 0 for constants and variables, 1+max(args) for compounds
+}
+
+// Store hash-conses terms. It is not safe for concurrent mutation; the
+// distributed runtime gives each peer its own Store and exchanges terms in
+// a portable wire form (see Extern/Intern).
+type Store struct {
+	cells  []cell
+	consts map[string]ID
+	vars   map[string]ID
+	comps  map[string]ID
+	fresh  int // counter for FreshVar
+}
+
+// NewStore returns an empty term store.
+func NewStore() *Store {
+	return &Store{
+		consts: make(map[string]ID),
+		vars:   make(map[string]ID),
+		comps:  make(map[string]ID),
+	}
+}
+
+// Len reports the number of distinct terms interned so far.
+func (s *Store) Len() int { return len(s.cells) }
+
+// Constant interns the constant with the given symbol.
+func (s *Store) Constant(symbol string) ID {
+	if id, ok := s.consts[symbol]; ok {
+		return id
+	}
+	id := ID(len(s.cells))
+	s.cells = append(s.cells, cell{kind: Const, name: symbol, ground: true})
+	s.consts[symbol] = id
+	return id
+}
+
+// Variable interns the variable with the given name.
+func (s *Store) Variable(name string) ID {
+	if id, ok := s.vars[name]; ok {
+		return id
+	}
+	id := ID(len(s.cells))
+	s.cells = append(s.cells, cell{kind: Var, name: name})
+	s.vars[name] = id
+	return id
+}
+
+// FreshVar interns a variable guaranteed not to clash with any variable
+// interned so far. The prefix is cosmetic.
+func (s *Store) FreshVar(prefix string) ID {
+	for {
+		s.fresh++
+		name := fmt.Sprintf("%s_%d", prefix, s.fresh)
+		if _, ok := s.vars[name]; !ok {
+			return s.Variable(name)
+		}
+	}
+}
+
+// compKey builds the hash-consing key for a compound term.
+func compKey(functor string, args []ID) string {
+	var b strings.Builder
+	b.Grow(len(functor) + 1 + 4*len(args))
+	b.WriteString(functor)
+	b.WriteByte(0)
+	var buf [4]byte
+	for _, a := range args {
+		binary.LittleEndian.PutUint32(buf[:], uint32(a))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// Compound interns the term functor(args...). It panics if args is empty:
+// zero-ary function symbols are constants.
+func (s *Store) Compound(functor string, args ...ID) ID {
+	if len(args) == 0 {
+		panic("term: Compound with no arguments; use Constant")
+	}
+	key := compKey(functor, args)
+	if id, ok := s.comps[key]; ok {
+		return id
+	}
+	ground := true
+	depth := int32(0)
+	for _, a := range args {
+		c := &s.cells[a]
+		ground = ground && c.ground
+		if c.depth+1 > depth {
+			depth = c.depth + 1
+		}
+	}
+	cp := make([]ID, len(args))
+	copy(cp, args)
+	id := ID(len(s.cells))
+	s.cells = append(s.cells, cell{kind: Comp, name: functor, args: cp, ground: ground, depth: depth})
+	s.comps[key] = id
+	return id
+}
+
+// Kind reports the kind of t.
+func (s *Store) Kind(t ID) Kind { return s.cells[t].kind }
+
+// Name returns the constant symbol, variable name or functor of t.
+func (s *Store) Name(t ID) string { return s.cells[t].name }
+
+// Args returns the argument list of a compound term, or nil for constants
+// and variables. The returned slice must not be modified.
+func (s *Store) Args(t ID) []ID { return s.cells[t].args }
+
+// IsGround reports whether no variable occurs in t.
+func (s *Store) IsGround(t ID) bool { return s.cells[t].ground }
+
+// Depth returns the nesting depth of t: 0 for constants and variables,
+// 1 + max over arguments for compounds. Used to bound Skolem growth.
+func (s *Store) Depth(t ID) int { return int(s.cells[t].depth) }
+
+// LookupConstant returns the ID of an already-interned constant, or None.
+func (s *Store) LookupConstant(symbol string) ID {
+	if id, ok := s.consts[symbol]; ok {
+		return id
+	}
+	return None
+}
+
+// Vars appends to dst the set of distinct variables occurring in t, in
+// first-occurrence order, and returns the extended slice.
+func (s *Store) Vars(dst []ID, t ID) []ID {
+	switch c := &s.cells[t]; c.kind {
+	case Var:
+		for _, v := range dst {
+			if v == t {
+				return dst
+			}
+		}
+		return append(dst, t)
+	case Comp:
+		if c.ground {
+			return dst
+		}
+		for _, a := range c.args {
+			dst = s.Vars(dst, a)
+		}
+	}
+	return dst
+}
+
+// String renders t in standard Datalog syntax. Variables print as their
+// name; constants likewise; compounds as functor(arg, ...).
+func (s *Store) String(t ID) string {
+	var b strings.Builder
+	s.writeTerm(&b, t)
+	return b.String()
+}
+
+func (s *Store) writeTerm(b *strings.Builder, t ID) {
+	c := &s.cells[t]
+	b.WriteString(c.name)
+	if c.kind == Comp {
+		b.WriteByte('(')
+		for i, a := range c.args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			s.writeTerm(b, a)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Compare orders two terms structurally: constants < variables < compounds,
+// then by name, then lexicographically by arguments. It induces a total
+// order suitable for canonical printing of relations.
+func (s *Store) Compare(a, b ID) int {
+	if a == b {
+		return 0
+	}
+	ca, cb := &s.cells[a], &s.cells[b]
+	if ca.kind != cb.kind {
+		return int(ca.kind) - int(cb.kind)
+	}
+	if ca.name != cb.name {
+		if ca.name < cb.name {
+			return -1
+		}
+		return 1
+	}
+	if len(ca.args) != len(cb.args) {
+		return len(ca.args) - len(cb.args)
+	}
+	for i := range ca.args {
+		if c := s.Compare(ca.args[i], cb.args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SortIDs sorts ids in the canonical structural order of the store.
+func (s *Store) SortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return s.Compare(ids[i], ids[j]) < 0 })
+}

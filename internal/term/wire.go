@@ -1,0 +1,128 @@
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Extern is the store-independent form of a tuple of terms, used to ship
+// facts between peers (each peer owns a private Store). It preserves the
+// sharing of the hash-consed representation: nodes are listed once, in an
+// order where arguments precede their users, so encoding and decoding are
+// linear in the DAG size even for terms whose tree expansion is
+// exponential (deep Skolem terms of the unfolding programs).
+type Extern struct {
+	Nodes []ExternNode
+	Roots []int32 // indexes into Nodes, one per tuple column
+}
+
+// ExternNode is one shared term node.
+type ExternNode struct {
+	Kind Kind
+	Name string
+	Args []int32 // indexes of earlier nodes; nil unless Kind == Comp
+}
+
+// externBuilder deduplicates nodes during encoding.
+type externBuilder struct {
+	s     *Store
+	e     *Extern
+	index map[ID]int32
+}
+
+func (b *externBuilder) visit(t ID) int32 {
+	if i, ok := b.index[t]; ok {
+		return i
+	}
+	c := &b.s.cells[t]
+	var args []int32
+	if c.kind == Comp {
+		args = make([]int32, len(c.args))
+		for i, a := range c.args {
+			args[i] = b.visit(a)
+		}
+	}
+	i := int32(len(b.e.Nodes))
+	b.e.Nodes = append(b.e.Nodes, ExternNode{Kind: c.kind, Name: c.name, Args: args})
+	b.index[t] = i
+	return i
+}
+
+// ExternalizeTuple encodes a tuple of terms.
+func (s *Store) ExternalizeTuple(tuple []ID) Extern {
+	b := &externBuilder{s: s, e: &Extern{}, index: make(map[ID]int32)}
+	for _, t := range tuple {
+		b.e.Roots = append(b.e.Roots, b.visit(t))
+	}
+	return *b.e
+}
+
+// Externalize encodes a single term.
+func (s *Store) Externalize(t ID) Extern {
+	return s.ExternalizeTuple([]ID{t})
+}
+
+// InternalizeTuple interns the encoded tuple into s and returns the local
+// IDs of its columns.
+func (s *Store) InternalizeTuple(e Extern) []ID {
+	ids := make([]ID, len(e.Nodes))
+	for i, n := range e.Nodes {
+		switch n.Kind {
+		case Const:
+			ids[i] = s.Constant(n.Name)
+		case Var:
+			ids[i] = s.Variable(n.Name)
+		case Comp:
+			args := make([]ID, len(n.Args))
+			for j, a := range n.Args {
+				if a >= int32(i) {
+					panic(fmt.Sprintf("term: extern node %d references later node %d", i, a))
+				}
+				args[j] = ids[a]
+			}
+			ids[i] = s.Compound(n.Name, args...)
+		default:
+			panic(fmt.Sprintf("term: bad extern kind %v", n.Kind))
+		}
+	}
+	out := make([]ID, len(e.Roots))
+	for i, r := range e.Roots {
+		out[i] = ids[r]
+	}
+	return out
+}
+
+// Internalize interns a single encoded term.
+func (s *Store) Internalize(e Extern) ID {
+	ids := s.InternalizeTuple(e)
+	if len(ids) != 1 {
+		panic(fmt.Sprintf("term: Internalize on %d-root extern", len(ids)))
+	}
+	return ids[0]
+}
+
+// String renders the first root in Datalog syntax (tree-expanded; intended
+// for small terms and debugging).
+func (e Extern) String() string {
+	if len(e.Roots) == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	e.write(&b, e.Roots[0])
+	return b.String()
+}
+
+func (e Extern) write(b *strings.Builder, i int32) {
+	n := e.Nodes[i]
+	b.WriteString(n.Name)
+	if n.Kind == Comp {
+		b.WriteByte('(')
+		for j, a := range n.Args {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			e.write(b, a)
+		}
+		b.WriteByte(')')
+	}
+}

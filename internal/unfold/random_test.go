@@ -1,0 +1,136 @@
+package unfold
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/petri"
+)
+
+// TestRandomNetsCoRelation validates the incremental co-set maintenance
+// against the definitional oracle on random safe nets — the example-based
+// test widened to arbitrary structure.
+func TestRandomNetsCoRelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	checked := 0
+	for i := 0; i < 30 && checked < 8; i++ {
+		pn := gen.RandomSafe(rng, gen.Params{Peers: 2, Places: 5, Transitions: 4, Alarms: 2})
+		if pn == nil {
+			continue
+		}
+		u := Build(pn, Options{MaxDepth: 4, MaxEvents: 400})
+		if len(u.Events) == 0 {
+			continue
+		}
+		checked++
+		for _, a := range u.Conditions {
+			for _, b := range u.Conditions {
+				if a == b {
+					continue
+				}
+				want := !slowCausalCond(a, b) && !slowCausalCond(b, a) && !slowConflictCond(u, a, b)
+				if got := u.ConcurrentConditions(a, b); got != want {
+					t.Fatalf("net %d: co(%s, %s) = %v, definition says %v", i, a.Name, b.Name, got, want)
+				}
+			}
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("only %d random nets checked", checked)
+	}
+}
+
+// TestRandomNetsHomomorphism validates Definition 3 on random nets: the
+// map to the original net preserves labels and preset/postset bijections.
+func TestRandomNetsHomomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	checked := 0
+	for i := 0; i < 30 && checked < 8; i++ {
+		pn := gen.RandomSafe(rng, gen.Params{Peers: 3, Places: 6, Transitions: 5, Alarms: 3})
+		if pn == nil {
+			continue
+		}
+		u := Build(pn, Options{MaxDepth: 4, MaxEvents: 400})
+		if len(u.Events) == 0 {
+			continue
+		}
+		checked++
+		for _, e := range u.Events {
+			tr := pn.Net.Transition(e.Trans)
+			if tr == nil || e.Alarm != tr.Alarm || e.Peer != tr.Peer {
+				t.Fatalf("event %s: labels not preserved", e.Name)
+			}
+			if len(e.Pre) != len(tr.Pre) || len(e.Post) != len(tr.Post) {
+				t.Fatalf("event %s: arity not preserved", e.Name)
+			}
+			// Preset bijection: each preset place appears exactly once.
+			seen := map[petri.NodeID]int{}
+			for _, c := range e.Pre {
+				seen[c.Place]++
+			}
+			for _, p := range tr.Pre {
+				if seen[p] != 1 {
+					t.Fatalf("event %s: preset not bijective at %s", e.Name, p)
+				}
+			}
+		}
+		// Conditions have at most one producer, and names are unique.
+		names := map[string]bool{}
+		for _, c := range u.Conditions {
+			if names[c.Name] {
+				t.Fatalf("duplicate condition name %s", c.Name)
+			}
+			names[c.Name] = true
+		}
+		for _, e := range u.Events {
+			if names[e.Name] {
+				t.Fatalf("event name %s collides", e.Name)
+			}
+			names[e.Name] = true
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("only %d random nets checked", checked)
+	}
+}
+
+// TestRandomExecutionsEmbedInUnfolding: every random execution of the net
+// corresponds to a configuration of the (sufficiently deep) unfolding,
+// with event names matching the token-tracking construction.
+func TestRandomExecutionsEmbedInUnfolding(t *testing.T) {
+	pn := petri.Example()
+	u := Build(pn, Options{MaxDepth: 6, MaxEvents: 20000})
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		exec, _ := pn.RandomExecution(rng, 5)
+		// Replay with token identity to reconstruct the event names.
+		tokens := map[petri.NodeID]string{}
+		for pl := range pn.M0 {
+			tokens[pl] = "g(" + Root + "," + string(pl) + ")"
+		}
+		events := map[*Event]bool{}
+		for _, f := range exec {
+			tr := pn.Net.Transition(f.Trans)
+			name := "f(" + string(tr.ID)
+			for _, p := range tr.Pre {
+				name += "," + tokens[p]
+			}
+			name += ")"
+			e := u.EventByName(name)
+			if e == nil {
+				t.Fatalf("seed %d: executed event %s absent from unfolding", seed, name)
+			}
+			events[e] = true
+			for _, p := range tr.Pre {
+				delete(tokens, p)
+			}
+			for _, p := range tr.Post {
+				tokens[p] = "g(" + name + "," + string(p) + ")"
+			}
+		}
+		if len(events) > 0 && !u.IsConfiguration(events) {
+			t.Fatalf("seed %d: executed events are not a configuration", seed)
+		}
+	}
+}

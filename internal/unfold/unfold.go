@@ -1,0 +1,363 @@
+// Package unfold implements branching processes and unfoldings of safe
+// Petri nets (Definitions 3-4, Figure 2), with the incremental
+// concurrency-relation algorithm of the net-unfolding literature the paper
+// builds on ([13], [24]).
+//
+// Nodes carry canonical Skolem names that coincide, by construction, with
+// the terms the Section 4.1 Datalog program derives: a root condition for
+// place c is g(r,c); an event firing transition c from parent conditions
+// u, v is f(c,u,v) (parents in the transition's declared preset order);
+// a condition for place c' produced by event x is g(x,c'). Theorem 2's
+// bijection between the two representations is therefore literal name
+// equality, which the test suite checks.
+package unfold
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/petri"
+)
+
+// Root is the virtual parent of root conditions (the paper's node id r).
+const Root = "r"
+
+// Event is a transition instance of the unfolding.
+type Event struct {
+	Index int
+	Trans petri.NodeID // ρ(event)
+	Peer  petri.Peer
+	Alarm petri.Alarm
+	Name  string // canonical Skolem name f(trans, parents...)
+	Pre   []*Condition
+	Post  []*Condition
+	// Depth is the event nesting level (root events have depth 1).
+	Depth int
+	// TermDepth is the nesting depth of Name seen as a term, aligning
+	// unfolding bounds with the Datalog MaxTermDepth budget.
+	TermDepth int
+}
+
+// Condition is a place instance of the unfolding.
+type Condition struct {
+	Index     int
+	Place     petri.NodeID // ρ(condition)
+	Peer      petri.Peer
+	Name      string // canonical Skolem name g(parent, place)
+	Pre       *Event // producing event; nil for roots
+	Post      []*Event
+	TermDepth int
+}
+
+// Options bounds construction: unfoldings of cyclic nets are infinite.
+type Options struct {
+	MaxDepth  int // maximum event depth; 0 = unlimited
+	MaxEvents int // maximum number of events; 0 = 100000
+}
+
+// Unfolding is a branching process of a Petri net, maximal up to the
+// options' bounds.
+type Unfolding struct {
+	Net        *petri.PetriNet
+	Events     []*Event
+	Conditions []*Condition
+	// Truncated reports that a bound stopped construction; the result is
+	// then a proper prefix of the full unfolding.
+	Truncated bool
+
+	co      []map[int]bool // condition index -> concurrent condition indexes
+	byName  map[string]*Event
+	condsOf map[petri.NodeID][]*Condition // place -> instances
+}
+
+// Build constructs the bounded unfolding of pn.
+func Build(pn *petri.PetriNet, opt Options) *Unfolding {
+	if opt.MaxEvents == 0 {
+		opt.MaxEvents = 100000
+	}
+	u := &Unfolding{
+		Net:     pn,
+		byName:  make(map[string]*Event),
+		condsOf: make(map[petri.NodeID][]*Condition),
+	}
+
+	// Roots: one condition per initially marked place, pairwise concurrent.
+	for _, pl := range pn.Net.Places() {
+		if pn.M0[pl] {
+			u.addCondition(pl, nil)
+		}
+	}
+	for i := range u.Conditions {
+		for j := range u.Conditions {
+			if i != j {
+				u.co[i][j] = true
+			}
+		}
+	}
+
+	// Saturate: repeatedly add every possible extension. A simple
+	// round-based saturation is sufficient (and deterministic); each round
+	// scans all transitions against current condition sets.
+	for {
+		added := false
+		for _, tid := range pn.Net.Transitions() {
+			t := pn.Net.Transition(tid)
+			if u.extend(t, opt) {
+				added = true
+			}
+			if len(u.Events) >= opt.MaxEvents {
+				u.Truncated = true
+				return u
+			}
+		}
+		if !added {
+			return u
+		}
+	}
+}
+
+func (u *Unfolding) addCondition(place petri.NodeID, pre *Event) *Condition {
+	name := fmt.Sprintf("g(%s,%s)", Root, place)
+	depth := 1
+	if pre != nil {
+		name = fmt.Sprintf("g(%s,%s)", pre.Name, place)
+		depth = pre.TermDepth + 1
+	}
+	c := &Condition{
+		Index:     len(u.Conditions),
+		Place:     place,
+		Peer:      u.Net.Net.Place(place).Peer,
+		Name:      name,
+		Pre:       pre,
+		TermDepth: depth,
+	}
+	u.Conditions = append(u.Conditions, c)
+	u.co = append(u.co, make(map[int]bool))
+	u.condsOf[place] = append(u.condsOf[place], c)
+	return c
+}
+
+// extend adds every currently possible instance of transition t; reports
+// whether anything was added.
+func (u *Unfolding) extend(t *petri.Transition, opt Options) bool {
+	preset := make([]*Condition, len(t.Pre))
+	added := false
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(t.Pre) {
+			if u.addEvent(t, preset, opt) {
+				added = true
+			}
+			return len(u.Events) < opt.MaxEvents
+		}
+		for _, c := range u.condsOf[t.Pre[i]] {
+			ok := true
+			for j := 0; j < i; j++ {
+				if !u.co[preset[j].Index][c.Index] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			preset[i] = c
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return added
+}
+
+// addEvent materializes the event t fired from preset, unless it already
+// exists or exceeds the depth bound. Reports whether it was added.
+func (u *Unfolding) addEvent(t *petri.Transition, preset []*Condition, opt Options) bool {
+	parts := make([]string, 0, len(preset)+1)
+	parts = append(parts, string(t.ID))
+	depth, termDepth := 0, 0
+	for _, c := range preset {
+		parts = append(parts, c.Name)
+		d := 0
+		if c.Pre != nil {
+			d = c.Pre.Depth
+		}
+		if d+1 > depth {
+			depth = d + 1
+		}
+		if c.TermDepth+1 > termDepth {
+			termDepth = c.TermDepth + 1
+		}
+	}
+	name := "f(" + strings.Join(parts, ",") + ")"
+	if _, ok := u.byName[name]; ok {
+		return false
+	}
+	if opt.MaxDepth > 0 && depth > opt.MaxDepth {
+		u.Truncated = true
+		return false
+	}
+	e := &Event{
+		Index:     len(u.Events),
+		Trans:     t.ID,
+		Peer:      t.Peer,
+		Alarm:     t.Alarm,
+		Name:      name,
+		Pre:       append([]*Condition(nil), preset...),
+		Depth:     depth,
+		TermDepth: termDepth,
+	}
+	u.Events = append(u.Events, e)
+	u.byName[name] = e
+	for _, c := range preset {
+		c.Post = append(c.Post, e)
+	}
+
+	// Concurrency maintenance: the common co-set of the preset.
+	common := make(map[int]bool)
+	if len(preset) > 0 {
+		for x := range u.co[preset[0].Index] {
+			ok := true
+			for _, c := range preset[1:] {
+				if !u.co[c.Index][x] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				common[x] = true
+			}
+		}
+	}
+
+	for _, pl := range t.Post {
+		c := u.addCondition(pl, e)
+		e.Post = append(e.Post, c)
+	}
+	for _, c := range e.Post {
+		for x := range common {
+			u.co[c.Index][x] = true
+			u.co[x][c.Index] = true
+		}
+		for _, sib := range e.Post {
+			if sib != c {
+				u.co[c.Index][sib.Index] = true
+			}
+		}
+	}
+	return true
+}
+
+// EventByName returns the event with the given canonical name, or nil.
+func (u *Unfolding) EventByName(name string) *Event { return u.byName[name] }
+
+// ConcurrentConditions reports whether two conditions are concurrent.
+func (u *Unfolding) ConcurrentConditions(a, b *Condition) bool {
+	return u.co[a.Index][b.Index]
+}
+
+// causes returns the set of events strictly below e, plus e itself.
+func causes(e *Event, out map[*Event]bool) {
+	if out[e] {
+		return
+	}
+	out[e] = true
+	for _, c := range e.Pre {
+		if c.Pre != nil {
+			causes(c.Pre, out)
+		}
+	}
+}
+
+// LocalConfig returns [e]: e and all its causal ancestors.
+func (u *Unfolding) LocalConfig(e *Event) map[*Event]bool {
+	out := make(map[*Event]bool)
+	causes(e, out)
+	return out
+}
+
+// Causal reports a ⪯ b for events (Definition 4; reflexive).
+func (u *Unfolding) Causal(a, b *Event) bool {
+	return u.LocalConfig(b)[a]
+}
+
+// Conflict reports a # b: two distinct events in their causal pasts
+// consume a common condition (Definition 4).
+func (u *Unfolding) Conflict(a, b *Event) bool {
+	ca, cb := u.LocalConfig(a), u.LocalConfig(b)
+	// For every condition, collect its consumers inside each local config.
+	consumerIn := func(cfg map[*Event]bool, c *Condition) *Event {
+		for _, ev := range c.Post {
+			if cfg[ev] {
+				return ev
+			}
+		}
+		return nil
+	}
+	for _, c := range u.Conditions {
+		ea := consumerIn(ca, c)
+		eb := consumerIn(cb, c)
+		if ea != nil && eb != nil && ea != eb {
+			return true
+		}
+	}
+	return false
+}
+
+// Concurrent reports a ‖ b for events: neither causal nor in conflict.
+func (u *Unfolding) Concurrent(a, b *Event) bool {
+	if a == b {
+		return false
+	}
+	return !u.Causal(a, b) && !u.Causal(b, a) && !u.Conflict(a, b)
+}
+
+// IsConfiguration reports whether the event set is downward closed and
+// conflict-free (the two configuration conditions of Definition 4).
+func (u *Unfolding) IsConfiguration(events map[*Event]bool) bool {
+	for e := range events {
+		for _, c := range e.Pre {
+			if c.Pre != nil && !events[c.Pre] {
+				return false
+			}
+		}
+	}
+	evs := make([]*Event, 0, len(events))
+	for e := range events {
+		evs = append(evs, e)
+	}
+	for i := 0; i < len(evs); i++ {
+		for j := i + 1; j < len(evs); j++ {
+			if u.Conflict(evs[i], evs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NamesSorted returns the sorted canonical names of a set of events — the
+// canonical form of a configuration for comparisons.
+func NamesSorted(events map[*Event]bool) []string {
+	out := make([]string, 0, len(events))
+	for e := range events {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats summarizes an unfolding's size.
+type Stats struct {
+	Events     int
+	Conditions int
+	Truncated  bool
+}
+
+// Stats returns size statistics.
+func (u *Unfolding) Stats() Stats {
+	return Stats{Events: len(u.Events), Conditions: len(u.Conditions), Truncated: u.Truncated}
+}

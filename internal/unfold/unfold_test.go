@@ -1,0 +1,324 @@
+package unfold
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/petri"
+)
+
+func buildExample(t *testing.T, maxDepth int) *Unfolding {
+	t.Helper()
+	u := Build(petri.Example(), Options{MaxDepth: maxDepth, MaxEvents: 5000})
+	if len(u.Events) == 0 {
+		t.Fatal("empty unfolding")
+	}
+	return u
+}
+
+func TestFigure2RootsAndFirstEvents(t *testing.T) {
+	u := buildExample(t, 3)
+
+	// Root conditions for the marked places 1, 4, 7.
+	roots := map[string]bool{}
+	for _, c := range u.Conditions {
+		if c.Pre == nil {
+			roots[c.Name] = true
+		}
+	}
+	for _, want := range []string{"g(r,1)", "g(r,4)", "g(r,7)"} {
+		if !roots[want] {
+			t.Fatalf("missing root %s; have %v", want, roots)
+		}
+	}
+	if len(roots) != 3 {
+		t.Fatalf("roots = %v", roots)
+	}
+
+	// The initially enabled transitions i, ii, v appear as depth-1 events
+	// with the canonical Skolem names.
+	for _, want := range []string{
+		"f(i,g(r,1),g(r,7))",
+		"f(ii,g(r,4))",
+		"f(v,g(r,7))",
+	} {
+		if u.EventByName(want) == nil {
+			t.Fatalf("missing event %s", want)
+		}
+	}
+}
+
+func TestFigure2Relations(t *testing.T) {
+	u := buildExample(t, 3)
+	ei := u.EventByName("f(i,g(r,1),g(r,7))")
+	eii := u.EventByName("f(ii,g(r,4))")
+	ev := u.EventByName("f(v,g(r,7))")
+	eiv := u.EventByName("f(iv,g(f(i,g(r,1),g(r,7)),3))")
+	eiii := u.EventByName("f(iii,g(f(i,g(r,1),g(r,7)),2))")
+	if eiv == nil || eiii == nil {
+		t.Fatal("missing depth-2 events for iv/iii")
+	}
+
+	// i and v conflict on the shared root condition of place 7.
+	if !u.Conflict(ei, ev) {
+		t.Fatal("i and v must be in conflict")
+	}
+	// i and ii are concurrent.
+	if !u.Concurrent(ei, eii) {
+		t.Fatal("i and ii must be concurrent")
+	}
+	// i is causally below iv and iii.
+	if !u.Causal(ei, eiv) || !u.Causal(ei, eiii) {
+		t.Fatal("i must precede iv and iii")
+	}
+	// Conflict is inherited: v conflicts with iv (descendant of i).
+	if !u.Conflict(ev, eiv) {
+		t.Fatal("v and iv must be in conflict")
+	}
+	// iii and iv are concurrent (branches of i's two output places).
+	if !u.Concurrent(eiii, eiv) {
+		t.Fatal("iii and iv must be concurrent")
+	}
+}
+
+func TestFigure2ShadedConfiguration(t *testing.T) {
+	u := buildExample(t, 3)
+	ei := u.EventByName("f(i,g(r,1),g(r,7))")
+	eiii := u.EventByName("f(iii,g(f(i,g(r,1),g(r,7)),2))")
+	eiv := u.EventByName("f(iv,g(f(i,g(r,1),g(r,7)),3))")
+	ev := u.EventByName("f(v,g(r,7))")
+
+	shaded := map[*Event]bool{ei: true, eiii: true, eiv: true}
+	if !u.IsConfiguration(shaded) {
+		t.Fatal("the shaded node set {i,iii,iv} must be a configuration")
+	}
+	// Not downward closed without i.
+	if u.IsConfiguration(map[*Event]bool{eiii: true, eiv: true}) {
+		t.Fatal("configuration without its causes accepted")
+	}
+	// Not conflict-free with v.
+	if u.IsConfiguration(map[*Event]bool{ei: true, ev: true}) {
+		t.Fatal("conflicting configuration accepted")
+	}
+
+	names := NamesSorted(shaded)
+	if len(names) != 3 || !strings.HasPrefix(names[0], "f(i,") {
+		t.Fatalf("NamesSorted = %v", names)
+	}
+}
+
+func TestCyclicNetTruncates(t *testing.T) {
+	// The example net loops through v/vi, so deep unfoldings keep growing.
+	shallow := Build(petri.Example(), Options{MaxDepth: 2, MaxEvents: 5000})
+	deep := Build(petri.Example(), Options{MaxDepth: 6, MaxEvents: 5000})
+	if !shallow.Truncated || !deep.Truncated {
+		t.Fatal("cyclic net unfolding must report truncation at any depth bound")
+	}
+	if len(deep.Events) <= len(shallow.Events) {
+		t.Fatalf("deeper bound produced fewer events: %d <= %d", len(deep.Events), len(shallow.Events))
+	}
+}
+
+func TestAcyclicNetComplete(t *testing.T) {
+	// a -t1-> b -t2-> c: three conditions, two events, no truncation.
+	n := petri.NewNet()
+	n.AddPlace("a", "p")
+	n.AddPlace("b", "p")
+	n.AddPlace("c", "p")
+	n.AddTransition("t1", "p", "x", []petri.NodeID{"a"}, []petri.NodeID{"b"})
+	n.AddTransition("t2", "p", "y", []petri.NodeID{"b"}, []petri.NodeID{"c"})
+	pn, err := petri.New(n, petri.NewMarking("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Build(pn, Options{})
+	st := u.Stats()
+	if st.Truncated {
+		t.Fatal("acyclic unfolding truncated")
+	}
+	if st.Events != 2 || st.Conditions != 3 {
+		t.Fatalf("stats = %+v, want 2 events / 3 conditions", st)
+	}
+	if u.EventByName("f(t2,g(f(t1,g(r,a)),b))") == nil {
+		t.Fatal("missing chained event name")
+	}
+}
+
+func TestBranchingDuplicatesPlaces(t *testing.T) {
+	// Two transitions compete for one token; the unfolding forks.
+	n := petri.NewNet()
+	n.AddPlace("a", "p")
+	n.AddPlace("b", "p")
+	n.AddPlace("c", "p")
+	n.AddTransition("t1", "p", "x", []petri.NodeID{"a"}, []petri.NodeID{"b"})
+	n.AddTransition("t2", "p", "y", []petri.NodeID{"a"}, []petri.NodeID{"c"})
+	pn, err := petri.New(n, petri.NewMarking("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Build(pn, Options{})
+	if len(u.Events) != 2 {
+		t.Fatalf("%d events, want 2", len(u.Events))
+	}
+	e1 := u.EventByName("f(t1,g(r,a))")
+	e2 := u.EventByName("f(t2,g(r,a))")
+	if !u.Conflict(e1, e2) {
+		t.Fatal("alternatives must conflict")
+	}
+}
+
+func TestHomomorphismProperties(t *testing.T) {
+	// Definition 3: the map to the net preserves peer, alarm and node type,
+	// and is a bijection on presets/postsets.
+	u := buildExample(t, 4)
+	pn := petri.Example()
+	for _, e := range u.Events {
+		tr := pn.Net.Transition(e.Trans)
+		if tr == nil {
+			t.Fatalf("event %s maps to unknown transition", e.Name)
+		}
+		if e.Peer != tr.Peer || e.Alarm != tr.Alarm {
+			t.Fatalf("event %s: labels not preserved", e.Name)
+		}
+		if len(e.Pre) != len(tr.Pre) || len(e.Post) != len(tr.Post) {
+			t.Fatalf("event %s: preset/postset sizes not preserved", e.Name)
+		}
+		seen := map[petri.NodeID]bool{}
+		for _, c := range e.Pre {
+			seen[c.Place] = true
+		}
+		for _, p := range tr.Pre {
+			if !seen[p] {
+				t.Fatalf("event %s: preset not bijective on %s", e.Name, p)
+			}
+		}
+	}
+	// Each condition has at most one producer (places in unfoldings have
+	// at most one incoming edge).
+	for _, c := range u.Conditions {
+		if c.Pre != nil && c.Pre.Post[0] != c && c.Pre.Post[len(c.Pre.Post)-1] != c {
+			found := false
+			for _, p := range c.Pre.Post {
+				if p == c {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("condition %s not in its producer's postset", c.Name)
+			}
+		}
+	}
+}
+
+// slow reference implementations of the condition relations, computed from
+// first principles, to validate the incremental co-set maintenance.
+func slowCausalCond(a, b *Condition) bool {
+	if a == b {
+		return false
+	}
+	// BFS from a downward.
+	queue := []*Condition{a}
+	seen := map[*Condition]bool{a: true}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, e := range c.Post {
+			for _, nc := range e.Post {
+				if nc == b {
+					return true
+				}
+				if !seen[nc] {
+					seen[nc] = true
+					queue = append(queue, nc)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func hist(c *Condition) map[*Event]bool {
+	out := make(map[*Event]bool)
+	if c.Pre != nil {
+		causes(c.Pre, out)
+	}
+	return out
+}
+
+func slowConflictCond(u *Unfolding, a, b *Condition) bool {
+	ha, hb := hist(a), hist(b)
+	for _, c := range u.Conditions {
+		var ea, eb *Event
+		for _, e := range c.Post {
+			if ha[e] {
+				ea = e
+			}
+			if hb[e] {
+				eb = e
+			}
+		}
+		if ea != nil && eb != nil && ea != eb {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCoRelationMatchesDefinition(t *testing.T) {
+	u := buildExample(t, 3)
+	for _, a := range u.Conditions {
+		for _, b := range u.Conditions {
+			if a == b {
+				if u.ConcurrentConditions(a, b) {
+					t.Fatalf("co reflexive at %s", a.Name)
+				}
+				continue
+			}
+			want := !slowCausalCond(a, b) && !slowCausalCond(b, a) && !slowConflictCond(u, a, b)
+			if got := u.ConcurrentConditions(a, b); got != want {
+				t.Fatalf("co(%s,%s) = %v, definition says %v", a.Name, b.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestPaddedExampleUnfolds(t *testing.T) {
+	padded, err := petri.Pad2(petri.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := Build(padded, Options{MaxDepth: 3, MaxEvents: 5000})
+	// The padded form renames nothing: transition i keeps its 2-parent
+	// Skolem name, and ii gains its pad place as second parent.
+	if u.EventByName("f(i,g(r,1),g(r,7))") == nil {
+		t.Fatal("missing padded i event")
+	}
+	if u.EventByName("f(ii,g(r,4),g(r,pad.ii))") == nil {
+		names := []string{}
+		for _, e := range u.Events {
+			names = append(names, e.Name)
+		}
+		t.Fatalf("missing padded ii event; have %v", names)
+	}
+}
+
+func TestMaxEventsBound(t *testing.T) {
+	u := Build(petri.Example(), Options{MaxDepth: 50, MaxEvents: 10})
+	if !u.Truncated {
+		t.Fatal("event bound not reported")
+	}
+	if len(u.Events) > 10 {
+		t.Fatalf("%d events exceed bound", len(u.Events))
+	}
+}
+
+func BenchmarkUnfoldExampleDepth5(b *testing.B) {
+	pn := petri.Example()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		u := Build(pn, Options{MaxDepth: 5, MaxEvents: 100000})
+		if len(u.Events) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

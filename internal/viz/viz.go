@@ -1,0 +1,131 @@
+// Package viz renders nets, unfoldings and diagnoses as Graphviz DOT —
+// the paper's own requirement: "In practice, this set will have to be
+// 'explained' to a human supervisor and represented (preferably
+// graphically) in a compact form" (Section 2).
+//
+// Diagnoses render as the unfolding prefix with the explanation's events
+// shaded, mirroring Figure 2's shaded configuration.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+// escape quotes a DOT identifier.
+func escape(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// Net renders a Petri net: circles for places (doubled when initially
+// marked), boxes for transitions labeled with their alarm, clustered by
+// peer.
+func Net(pn *petri.PetriNet) string {
+	var b strings.Builder
+	b.WriteString("digraph net {\n  rankdir=LR;\n")
+	byPeer := map[petri.Peer][]string{}
+	for _, pl := range pn.Net.Places() {
+		p := pn.Net.Place(pl)
+		shape := "circle"
+		if pn.M0[pl] {
+			shape = "doublecircle"
+		}
+		byPeer[p.Peer] = append(byPeer[p.Peer],
+			fmt.Sprintf("    %s [shape=%s];", escape(string(pl)), shape))
+	}
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		label := fmt.Sprintf("%s\\n%s", tid, t.Alarm)
+		if t.Alarm == petri.Silent {
+			label = fmt.Sprintf("%s\\n(silent)", tid)
+		}
+		byPeer[t.Peer] = append(byPeer[t.Peer],
+			fmt.Sprintf("    %s [shape=box,label=%s];", escape(string(tid)), escape(label)))
+	}
+	peers := make([]string, 0, len(byPeer))
+	for p := range byPeer {
+		peers = append(peers, string(p))
+	}
+	sort.Strings(peers)
+	for i, p := range peers {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%s;\n", i, escape(p))
+		for _, line := range byPeer[petri.Peer(p)] {
+			b.WriteString(line + "\n")
+		}
+		b.WriteString("  }\n")
+	}
+	for _, tid := range pn.Net.Transitions() {
+		t := pn.Net.Transition(tid)
+		for _, pl := range t.Pre {
+			fmt.Fprintf(&b, "  %s -> %s;\n", escape(string(pl)), escape(string(tid)))
+		}
+		for _, pl := range t.Post {
+			fmt.Fprintf(&b, "  %s -> %s;\n", escape(string(tid)), escape(string(pl)))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Unfolding renders a branching process, optionally shading a set of
+// events (by canonical name) — Figure 2's presentation. Conditions render
+// as circles labeled with their place, events as boxes labeled with their
+// transition and alarm.
+func Unfolding(u *unfold.Unfolding, shaded map[string]bool) string {
+	var b strings.Builder
+	b.WriteString("digraph unfolding {\n  rankdir=TB;\n")
+	condID := func(c *unfold.Condition) string { return fmt.Sprintf("c%d", c.Index) }
+	eventID := func(e *unfold.Event) string { return fmt.Sprintf("e%d", e.Index) }
+
+	for _, c := range u.Conditions {
+		fmt.Fprintf(&b, "  %s [shape=circle,label=%s];\n", condID(c), escape(string(c.Place)))
+	}
+	for _, e := range u.Events {
+		style := ""
+		if shaded[e.Name] {
+			style = ",style=filled,fillcolor=gray80"
+		}
+		label := fmt.Sprintf("%s\\n%s@%s", e.Trans, e.Alarm, e.Peer)
+		fmt.Fprintf(&b, "  %s [shape=box,label=%s%s];\n", eventID(e), escape(label), style)
+	}
+	for _, e := range u.Events {
+		for _, c := range e.Pre {
+			fmt.Fprintf(&b, "  %s -> %s;\n", condID(c), eventID(e))
+		}
+		for _, c := range e.Post {
+			fmt.Fprintf(&b, "  %s -> %s;\n", eventID(e), condID(c))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Diagnosis renders one explanation over a bounded unfolding of the net:
+// the configuration's events are shaded, everything else is context — the
+// compact graphical form the supervisor reads.
+func Diagnosis(pn *petri.PetriNet, cfg []string, maxDepth int) string {
+	if maxDepth == 0 {
+		maxDepth = len(cfg) + 2
+	}
+	u := unfold.Build(pn, unfold.Options{MaxDepth: maxDepth, MaxEvents: 20000})
+	shaded := map[string]bool{}
+	for _, name := range cfg {
+		shaded[name] = true
+	}
+	return Unfolding(u, shaded)
+}
+
+// Report renders every explanation of a diagnosis report as a DOT digraph
+// separated by blank lines (one graph per explanation).
+func Report(pn *petri.PetriNet, rep *diagnosis.Report) string {
+	var parts []string
+	for _, cfg := range rep.Diagnoses {
+		parts = append(parts, Diagnosis(pn, cfg, 0))
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+	"repro/internal/petri"
+	"repro/internal/unfold"
+)
+
+func TestNetDOT(t *testing.T) {
+	dot := Net(petri.Example())
+	for _, want := range []string{
+		"digraph net",
+		`"1" [shape=doublecircle]`, // marked place
+		`"2" [shape=circle]`,       // unmarked place
+		`"i" [shape=box`,
+		`"1" -> "i"`,
+		`"i" -> "2"`,
+		"cluster_0", "cluster_1", // one per peer
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Fatal("unbalanced braces")
+	}
+}
+
+func TestNetDOTSilent(t *testing.T) {
+	n := petri.NewNet()
+	n.AddPlace("a", "p")
+	n.AddPlace("b", "p")
+	n.AddTransition("h", "p", petri.Silent, []petri.NodeID{"a"}, []petri.NodeID{"b"})
+	pn, err := petri.New(n, petri.NewMarking("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Net(pn), "(silent)") {
+		t.Fatal("silent transition not marked")
+	}
+}
+
+func TestUnfoldingDOTShading(t *testing.T) {
+	u := unfold.Build(petri.Example(), unfold.Options{MaxDepth: 2, MaxEvents: 1000})
+	shaded := map[string]bool{"f(i,g(r,1),g(r,7))": true}
+	dot := Unfolding(u, shaded)
+	if strings.Count(dot, "fillcolor=gray80") != 1 {
+		t.Fatalf("expected exactly one shaded event:\n%s", dot)
+	}
+	if !strings.Contains(dot, `label="i\nb@p1"`) {
+		t.Fatalf("event label missing:\n%s", dot)
+	}
+}
+
+func TestDiagnosisAndReportDOT(t *testing.T) {
+	pn := petri.Example()
+	rep, err := diagnosis.Run(pn, alarm.S("b", "p1", "a", "p2", "c", "p1"),
+		diagnosis.EngineDirect, diagnosis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Report(pn, rep)
+	// Two explanations -> two digraphs, each with three shaded events.
+	if strings.Count(out, "digraph unfolding") != 2 {
+		t.Fatalf("expected 2 graphs:\n%s", out)
+	}
+	if strings.Count(out, "fillcolor=gray80") != 6 {
+		t.Fatalf("expected 6 shaded events total, got %d", strings.Count(out, "fillcolor=gray80"))
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a"b`) != `"a\"b"` {
+		t.Fatalf("escape = %s", escape(`a"b`))
+	}
+}
