@@ -7,23 +7,35 @@
 //
 //	benchreport                 # every experiment at default sizes
 //	benchreport -exp s1 -max 5  # one experiment, custom size
+//	benchreport -json           # also write BENCH_<exp>.json per experiment
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
 )
 
+// benchDir is where -json drops the BENCH_<exp>.json files ("." in the
+// binary; tests point it at a temp dir).
+var benchDir = "."
+
+// emitJSON mirrors the -json flag.
+var emitJSON = false
+
 func main() {
 	var (
-		exp = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement")
-		max = flag.Int("max", 0, "sweep size override (0 = defaults)")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement")
+		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
 	flag.Parse()
+	emitJSON = *jsonOut
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -59,7 +71,31 @@ func reportPlacement(max int) error {
 	for _, r := range rows {
 		row(r.ChainLen, r.AtDataMsgs, r.AtDataRepl, r.AtHeadMsgs, r.AtHeadRepl, r.SameAnswers)
 	}
+	return maybeBench("placement", rows)
+}
+
+// writeBench writes one experiment's rows as an indented JSON array to
+// dir/BENCH_<name>.json. Durations serialize as nanoseconds (Go's
+// time.Duration JSON default).
+func writeBench(dir, name string, rows any) error {
+	b, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchreport: wrote %s\n", path)
 	return nil
+}
+
+// maybeBench is writeBench gated on the -json flag.
+func maybeBench(name string, rows any) error {
+	if !emitJSON {
+		return nil
+	}
+	return writeBench(benchDir, name, rows)
 }
 
 func header(title string, cols ...string) {
@@ -97,7 +133,7 @@ func reportT1(max int) error {
 	for _, r := range rows {
 		row(r.ChainLen, r.Answers, r.QSQDerived, r.DQSQDerived, r.NaiveDerived, r.Equal)
 	}
-	return nil
+	return maybeBench("t1", rows)
 }
 
 func reportS1(max int) error {
@@ -115,7 +151,7 @@ func reportS1(max int) error {
 		row(r.SeqLen, r.Diagnoses, r.ProductEvents, r.DQSQEvents, r.NaiveEvents,
 			r.DQSQDerived, r.NaiveDerived, r.ExactPrefixEq)
 	}
-	return nil
+	return maybeBench("s1", rows)
 }
 
 func reportS2(max int) error {
@@ -137,7 +173,7 @@ func reportS2(max int) error {
 		row(r.Peers, r.Diagnoses, r.DQSQDerived, r.DQSQMessages, r.NaiveDerived, r.NaiveMsgs,
 			r.DQSQElapsed.Milliseconds(), r.NaiveElapsed.Milliseconds())
 	}
-	return nil
+	return maybeBench("s2", rows)
 }
 
 func reportS3(max int) error {
@@ -158,7 +194,7 @@ func reportS3(max int) error {
 		row(r.Branches, r.SeqLen, r.Diagnoses, r.ProductEvents, r.DQSQEvents,
 			r.DirectElapsed.Milliseconds(), r.DQSQElapsed.Milliseconds())
 	}
-	return nil
+	return maybeBench("s3", rows)
 }
 
 func reportAblation(max int) error {
@@ -178,5 +214,5 @@ func reportAblation(max int) error {
 	for _, r := range rows {
 		row(r.ChainLen, r.QSQDerived, r.MagicDerived, r.SameAnswers)
 	}
-	return nil
+	return maybeBench("ablation", rows)
 }

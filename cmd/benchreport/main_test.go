@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestWriteBenchS1S2 runs a small S1 and S2 sweep and round-trips their
+// rows through the -json output files.
+func TestWriteBenchS1S2(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, err := experiments.MaterializationSweep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBench(dir, "s1", s1); err != nil {
+		t.Fatal(err)
+	}
+	var gotS1 []experiments.MaterializationRow
+	readJSON(t, filepath.Join(dir, "BENCH_s1.json"), &gotS1)
+	if len(gotS1) != len(s1) || gotS1[0].SeqLen != s1[0].SeqLen || gotS1[0].DQSQDerived != s1[0].DQSQDerived {
+		t.Fatalf("S1 rows did not round-trip: %+v vs %+v", gotS1, s1)
+	}
+
+	s2, err := experiments.PipelineSweep([]int{2}, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeBench(dir, "s2", s2); err != nil {
+		t.Fatal(err)
+	}
+	var gotS2 []experiments.PipelineRow
+	readJSON(t, filepath.Join(dir, "BENCH_s2.json"), &gotS2)
+	if len(gotS2) != len(s2) || gotS2[0].Peers != s2[0].Peers || gotS2[0].DQSQDerived != s2[0].DQSQDerived {
+		t.Fatalf("S2 rows did not round-trip: %+v vs %+v", gotS2, s2)
+	}
+}
+
+// TestMaybeBenchGate: without -json nothing is written.
+func TestMaybeBenchGate(t *testing.T) {
+	dir := t.TempDir()
+	benchDir = dir
+	emitJSON = false
+	defer func() { benchDir = "."; emitJSON = false }()
+	if err := maybeBench("t1", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_t1.json")); !os.IsNotExist(err) {
+		t.Fatal("file written without -json")
+	}
+	emitJSON = true
+	if err := maybeBench("t1", []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_t1.json")); err != nil {
+		t.Fatal("file not written with -json")
+	}
+}
+
+func readJSON(t *testing.T, path string, out any) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}

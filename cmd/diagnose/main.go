@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,15 @@ import (
 	"repro/internal/viz"
 )
 
+// Exit statuses. exitBudget is distinct so scripts can tell "the answer
+// may be incomplete — raise -depth or the budget" from "the input is
+// wrong": an evaluation that hit its budget is NOT a successful
+// diagnosis.
+const (
+	exitErr    = 1
+	exitBudget = 3
+)
+
 func main() {
 	var (
 		netFile = flag.String("net", "", "net description file (see docs for format)")
@@ -32,6 +42,7 @@ func main() {
 		alarms  = flag.String("alarms", "", `observed alarm sequence, e.g. "b@p1 a@p2 c@p1"`)
 		engine  = flag.String("engine", "dqsq", "direct | product | naive | dqsq | all")
 		depth   = flag.Int("depth", 0, "term-depth bound (Section 4.4 gadget); 0 = engine default")
+		facts   = flag.Int("facts", 0, "materialized-fact budget; 0 = engine default")
 		timeout = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
 		quiet   = flag.Bool("q", false, "print only the diagnoses")
 		dot     = flag.String("dot", "", "write the explanations as Graphviz DOT to this file ('-' for stdout)")
@@ -53,16 +64,18 @@ func main() {
 	}
 	opt := core.Options{
 		Timeout: *timeout,
-		Budget:  datalog.Budget{MaxTermDepth: *depth},
+		Budget:  datalog.Budget{MaxTermDepth: *depth, MaxFacts: *facts},
 	}
 
 	var prev *core.Report
+	truncated := false
 	for _, e := range engines {
 		rep, err := sys.Diagnose(seq, e, opt)
 		if err != nil {
-			fatal(fmt.Errorf("%v: %w", e, err))
+			exit(fmt.Errorf("%v: %w", e, err), exitStatus(err, false))
 		}
 		printReport(rep, *quiet)
+		truncated = truncated || rep.Truncated
 		if prev != nil && !prev.Diagnoses.Equal(rep.Diagnoses) {
 			fatal(fmt.Errorf("engines %v and %v disagree", prev.Engine, rep.Engine))
 		}
@@ -76,6 +89,22 @@ func main() {
 			fatal(err)
 		}
 	}
+	if truncated {
+		exit(errors.New("evaluation hit a budget or depth bound; the diagnosis above may be incomplete"),
+			exitBudget)
+	}
+}
+
+// exitStatus classifies a run outcome: budget exhaustion (by error or by
+// a truncated report) gets the distinct exitBudget status.
+func exitStatus(err error, truncated bool) int {
+	if truncated || errors.Is(err, datalog.ErrBudget) {
+		return exitBudget
+	}
+	if err != nil {
+		return exitErr
+	}
+	return 0
 }
 
 func loadSystem(netFile string, example bool) (*core.System, error) {
@@ -140,7 +169,9 @@ func printReport(rep *diagnosis.Report, quiet bool) {
 	fmt.Println()
 }
 
-func fatal(err error) {
+func fatal(err error) { exit(err, exitErr) }
+
+func exit(err error, status int) {
 	fmt.Fprintln(os.Stderr, "diagnose:", err)
-	os.Exit(1)
+	os.Exit(status)
 }

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/datalog"
 	"repro/internal/parser"
 )
 
@@ -46,5 +49,21 @@ func TestLoadSystem(t *testing.T) {
 	}
 	if _, err := loadSystem(filepath.Join(dir, "missing.txt"), false); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestExitStatus(t *testing.T) {
+	if got := exitStatus(nil, false); got != 0 {
+		t.Fatalf("clean run: %d", got)
+	}
+	if got := exitStatus(nil, true); got != exitBudget {
+		t.Fatalf("truncated report: %d, want %d", got, exitBudget)
+	}
+	err := fmt.Errorf("eval: %w", datalog.ErrBudget)
+	if got := exitStatus(err, false); got != exitBudget {
+		t.Fatalf("budget error: %d, want %d", got, exitBudget)
+	}
+	if got := exitStatus(errors.New("parse"), false); got != exitErr {
+		t.Fatalf("plain error: %d, want %d", got, exitErr)
 	}
 }

@@ -1,0 +1,93 @@
+// Command diagnosed is the streaming diagnosis server: it keeps warm
+// incremental diagnosis sessions (internal/serve) behind an HTTP/JSON
+// API, so a supervisor can open a session on a net once and stream
+// alarms to it as they are observed.
+//
+//	diagnosed -addr :8344
+//
+//	POST   /v1/sessions             {"net": "...", "engine": "dqsq", "max_facts": 0}
+//	POST   /v1/sessions/{id}/alarms {"alarms": "b@p1 a@p2"}
+//	GET    /v1/sessions/{id}
+//	DELETE /v1/sessions/{id}
+//	GET    /healthz
+//	GET    /metrics
+//
+// SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
+// in-flight evaluations finish (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8344", "listen address")
+		maxSessions  = flag.Int("max-sessions", 64, "session table cap (LRU eviction past it)")
+		sessionFacts = flag.Int("session-facts", 1<<20, "default per-session fact budget")
+		globalFacts  = flag.Int("global-facts", 64<<20, "global reserved-fact budget (503 past it)")
+		ttl          = flag.Duration("ttl", 15*time.Minute, "idle session expiry")
+		sweepEvery   = flag.Duration("sweep", 30*time.Second, "TTL sweep period")
+		evalTimeout  = flag.Duration("eval-timeout", 30*time.Second, "per-append evaluation timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{
+		Store: serve.StoreConfig{
+			MaxSessions:  *maxSessions,
+			SessionFacts: *sessionFacts,
+			GlobalFacts:  *globalFacts,
+			TTL:          *ttl,
+		},
+		EvalTimeout: *evalTimeout,
+		SweepEvery:  *sweepEvery,
+	})
+	start := time.Now()
+	srv.Metrics().Gauge("diagnosed_uptime_seconds", func() int64 {
+		return int64(time.Since(start).Seconds())
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "diagnosed: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "diagnosed: %v, draining (up to %v)\n", sig, *drainTimeout)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "diagnosed: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain in-flight evaluations.
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "diagnosed: http shutdown: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "diagnosed: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "diagnosed: drained cleanly")
+}

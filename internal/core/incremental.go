@@ -1,0 +1,87 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+)
+
+// Incremental is a long-lived diagnosis handle: alarms are appended as
+// the supervisor observes them, and after every append the handle holds
+// the diagnosis of the whole sequence so far.
+//
+// For the DQSQ engine the handle is genuinely incremental: it keeps a
+// warm online dQSQ session (the paper's Remark 2 machinery), so append
+// k+1 extends the already-materialized unfolding prefix instead of
+// re-running from scratch. The other engines re-evaluate the accumulated
+// sequence on each append, but reuse the parsed, safety-checked net and
+// keep the previous report for delta inspection.
+//
+// An Incremental is not safe for concurrent use; callers serialize
+// access (internal/serve wraps one mutex per session).
+type Incremental struct {
+	sys    *System
+	engine Engine
+	opt    Options
+	online *diagnosis.OnlineDiagnoser // DQSQ only
+	seq    alarm.Seq
+	last   *Report
+}
+
+// NewIncremental opens an incremental diagnosis handle on the system.
+// opt.Budget bounds the session's lifetime for the DQSQ engine (each
+// append shares one warm evaluation) and each re-evaluation for the
+// other engines.
+func (s *System) NewIncremental(engine Engine, opt Options) (*Incremental, error) {
+	inc := &Incremental{sys: s, engine: engine, opt: opt}
+	if engine == DQSQ {
+		d, err := diagnosis.NewOnlineDiagnoser(s.PN, opt.Budget)
+		if err != nil {
+			return nil, err
+		}
+		inc.online = d
+	}
+	return inc, nil
+}
+
+// Engine returns the handle's engine.
+func (inc *Incremental) Engine() Engine { return inc.engine }
+
+// Seq returns the alarms appended so far.
+func (inc *Incremental) Seq() alarm.Seq {
+	if inc.online != nil {
+		return inc.online.Seq()
+	}
+	return append(alarm.Seq(nil), inc.seq...)
+}
+
+// Report returns the report of the last Append (nil before the first).
+func (inc *Incremental) Report() *Report {
+	if inc.online != nil {
+		return inc.online.Report()
+	}
+	return inc.last
+}
+
+// Append extends the observed sequence and returns the diagnosis of the
+// full sequence so far. A zero timeout falls back to the handle's
+// Options.Timeout.
+func (inc *Incremental) Append(obs []alarm.Obs, timeout time.Duration) (*Report, error) {
+	if timeout <= 0 {
+		timeout = inc.opt.Timeout
+	}
+	if inc.online != nil {
+		return inc.online.Append(obs, timeout)
+	}
+	seq := append(append(alarm.Seq(nil), inc.seq...), obs...)
+	opt := inc.opt
+	opt.Timeout = timeout
+	rep, err := inc.sys.Diagnose(seq, inc.engine, opt)
+	if err != nil {
+		return nil, err
+	}
+	inc.seq = seq
+	inc.last = rep
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+)
+
+// TestIncrementalEnginesAgree: for every engine, appending the quickstart
+// alarms one at a time ends at the same diagnosis set as a batch run.
+func TestIncrementalEnginesAgree(t *testing.T) {
+	seq, err := ParseAlarms("b@p1 a@p2 c@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Example()
+	batch, err := sys.Diagnose(seq, Direct, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{Direct, Product, Naive, DQSQ} {
+		inc, err := sys.NewIncremental(engine, Options{Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		var last *Report
+		for _, o := range seq {
+			if last, err = inc.Append([]alarm.Obs{o}, 0); err != nil {
+				t.Fatalf("%v: %v", engine, err)
+			}
+		}
+		if !last.Diagnoses.Equal(batch.Diagnoses) {
+			t.Fatalf("%v incremental %v != batch %v", engine, last.Diagnoses.Keys(), batch.Diagnoses.Keys())
+		}
+		if got := inc.Seq(); len(got) != len(seq) {
+			t.Fatalf("%v: Seq() = %v", engine, got)
+		}
+		if inc.Report() != last {
+			t.Fatalf("%v: Report() is not the last report", engine)
+		}
+	}
+}

@@ -28,6 +28,15 @@ type msgFacts struct {
 	Tuple term.Extern
 }
 
+// msgInject delivers a new base fact to its owner peer at runtime (an
+// incremental append between evaluation rounds). Unlike msgFacts — a
+// replica shipped to a subscriber — the owner derives it, so it reaches
+// subscribers and delta joins like any rule-derived fact.
+type msgInject struct {
+	Rel   rel.Name // unqualified: a relation owned by the receiver
+	Tuple term.Extern
+}
+
 // Stats summarizes a distributed run.
 type Stats struct {
 	Net        dist.Stats
@@ -38,7 +47,15 @@ type Stats struct {
 }
 
 // Engine evaluates a distributed program naively. Create with NewEngine,
-// run once with Run, then inspect per-peer databases with PeerDB.
+// evaluate with Run, then inspect per-peer databases with PeerDB.
+//
+// An engine is re-entrant: Run (and RunDelta, which also injects new
+// facts and rules) may be called repeatedly, each call evaluating on a
+// fresh network while keeping every peer's materialized state warm. This
+// is the substrate for incremental diagnosis sessions: round k+1 only
+// derives what round k did not already materialize. Calls must not
+// overlap; after a run fails (budget, timeout), the warm state is safe to
+// read but further runs are best-effort.
 type Engine struct {
 	prog    *Program
 	budget  datalog.Budget
@@ -48,25 +65,29 @@ type Engine struct {
 	aborted atomic.Bool  // set when the budget trips; stops in-handler work
 	hook    ActivationHook
 	stats   Stats
+	// The collector persists across runs so that answers accumulated in
+	// earlier rounds remain extractable in later ones.
+	colStore *term.Store
+	colDB    *rel.DB
 }
 
 // peerState is the private state of one peer; only its own goroutine
 // touches it after Run starts.
 type peerState struct {
-	eng       *Engine
-	id        dist.PeerID
-	store     *term.Store
-	db        *rel.DB
-	bnd       *term.Bindings
-	rules     []PRule                 // hosted rules, re-interned into store
-	active    map[rel.Name]bool       // qualified local relations activated
-	requested map[rel.Name]bool       // qualified remote relations already activated
-	subs      map[rel.Name][]dist.PeerID
-	bodyIdx   map[rel.Name][]ruleAt // qualified relation -> occurrences in hosted rule bodies
-	arity     map[rel.Name]int      // qualified relation -> arity
-	hooked    map[rel.Name]bool     // relations whose activation hook already ran
-	pending   []pendingFact         // derived facts awaiting their delta joins
-	derived   int
+	eng        *Engine
+	id         dist.PeerID
+	store      *term.Store
+	db         *rel.DB
+	bnd        *term.Bindings
+	rules      []PRule           // hosted rules, re-interned into store
+	active     map[rel.Name]bool // qualified local relations activated
+	requested  map[rel.Name]bool // qualified remote relations already activated
+	subs       map[rel.Name][]dist.PeerID
+	bodyIdx    map[rel.Name][]ruleAt // qualified relation -> occurrences in hosted rule bodies
+	arity      map[rel.Name]int      // qualified relation -> arity
+	hooked     map[rel.Name]bool     // relations whose activation hook already ran
+	pending    []pendingFact         // derived facts awaiting their delta joins
+	derived    int
 	replicated int
 }
 
@@ -93,6 +114,8 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 		budget.MaxFacts = datalog.DefaultBudget.MaxFacts
 	}
 	e := &Engine{prog: prog, budget: budget, peers: make(map[dist.PeerID]*peerState)}
+	e.colStore = term.NewStore()
+	e.colDB = rel.NewDB(e.colStore)
 	for _, id := range prog.Peers() {
 		ps := &peerState{
 			eng:       e,
@@ -181,6 +204,14 @@ func (ps *peerState) handle(ctx *dist.Context, m dist.Message) {
 			ps.replicated++
 			ps.pending = append(ps.pending, pendingFact{q: msg.Qual, args: tuple})
 		}
+	case msgInject:
+		// A base fact arriving at its owner mid-session (an incremental
+		// append): derive it like a rule head so it reaches subscribers and
+		// triggers delta joins.
+		tuple := ps.store.InternalizeTuple(msg.Tuple)
+		q := Qualify(msg.Rel, ps.id)
+		ps.noteArity(q, len(tuple))
+		ps.deriveFact(ctx, q, tuple)
 	default:
 		panic(fmt.Sprintf("ddatalog: unknown message %T", m.Payload))
 	}
@@ -394,30 +425,57 @@ type Result struct {
 // the tuples matching the query pattern are extracted. A zero timeout
 // means one minute.
 func (e *Engine) Run(q PAtom, timeout time.Duration) (*Result, error) {
+	return e.RunDelta(q, nil, nil, timeout)
+}
+
+// RunDelta re-enters evaluation: it injects new base facts (delivered to
+// their owner peers, forwarded to subscribers, delta-joined) and new rules
+// (installed at their host peers), then evaluates q on a fresh network
+// over the warm per-peer state of earlier runs. Facts and rules must be
+// built over the engine's program store. Stats are cumulative across
+// runs: Derived and Replicated count everything materialized since
+// NewEngine, which is what incremental sessions report.
+func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Duration) (*Result, error) {
 	if _, ok := e.peers[q.Peer]; !ok {
 		return nil, fmt.Errorf("ddatalog: query peer %q not in program", q.Peer)
 	}
+	src := e.prog.Store
+	initial := make([]dist.Message, 0, len(facts)+len(rules)+1)
+	for _, r := range rules {
+		if _, ok := e.peers[r.Head.Peer]; !ok {
+			return nil, fmt.Errorf("ddatalog: rule host %q not in program", r.Head.Peer)
+		}
+		initial = append(initial, dist.Message{
+			From: collectorID, To: r.Head.Peer, Payload: msgInstall{Rule: externRule(src, r)},
+		})
+	}
+	for _, f := range facts {
+		if _, ok := e.peers[f.Peer]; !ok {
+			return nil, fmt.Errorf("ddatalog: fact owner %q not in program", f.Peer)
+		}
+		initial = append(initial, dist.Message{
+			From: collectorID, To: f.Peer, Payload: msgInject{Rel: f.Rel, Tuple: src.ExternalizeTuple(f.Args)},
+		})
+	}
+	initial = append(initial, dist.Message{From: collectorID, To: q.Peer, Payload: msgActivate{Rel: q.Rel}})
+
 	net := dist.NewNetwork()
 	for _, id := range e.order {
 		ps := e.peers[id]
 		net.AddPeer(id, ps.handle)
 	}
-	colStore := term.NewStore()
-	colDB := rel.NewDB(colStore)
 	qual := q.Qualified()
 	net.AddPeer(collectorID, func(ctx *dist.Context, m dist.Message) {
 		msg, ok := m.Payload.(msgFacts)
 		if !ok {
 			return
 		}
-		colDB.Rel(msg.Qual, msg.Arity).Insert(colStore.InternalizeTuple(msg.Tuple))
+		e.colDB.Rel(msg.Qual, msg.Arity).Insert(e.colStore.InternalizeTuple(msg.Tuple))
 	})
 
-	netStats, err := net.Run([]dist.Message{
-		{From: collectorID, To: q.Peer, Payload: msgActivate{Rel: q.Rel}},
-	}, timeout)
+	netStats, err := net.Run(initial, timeout)
 
-	res := &Result{Store: colStore}
+	res := &Result{Store: e.colStore}
 	res.Stats.Net = netStats
 	for _, id := range e.order {
 		ps := e.peers[id]
@@ -432,8 +490,8 @@ func (e *Engine) Run(q PAtom, timeout time.Duration) (*Result, error) {
 
 	// Extract answers by matching the query pattern against the collected
 	// relation (re-interning the pattern into the collector's store).
-	pattern := colStore.InternalizeTuple(e.prog.Store.ExternalizeTuple(q.Args))
-	res.Answers = datalog.Answers(colDB, colStore, datalog.Atom{Rel: qual, Args: pattern})
+	pattern := e.colStore.InternalizeTuple(src.ExternalizeTuple(q.Args))
+	res.Answers = datalog.Answers(e.colDB, e.colStore, datalog.Atom{Rel: qual, Args: pattern})
 	return res, nil
 }
 

@@ -166,8 +166,8 @@ func runDatalog(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Options, r
 		// Adorned trans/places relations count distinct materialized
 		// unfolding nodes: collect distinct first arguments across all
 		// adornments and peers.
-		rep.TransFacts = countAdornedNodes(res, RelTrans)
-		rep.PlaceFacts = countAdornedNodes(res, RelPlaces)
+		rep.TransFacts = countAdornedNodes(res.Engine, RelTrans)
+		rep.PlaceFacts = countAdornedNodes(res.Engine, RelPlaces)
 	}
 	rep.Diagnoses = ExtractDiagnoses(store, rows, true)
 	return nil
@@ -209,13 +209,13 @@ func isPadNode(st *term.Store, t term.ID) bool {
 }
 
 // countAdornedNodes counts the distinct unfolding nodes materialized by a
-// dQSQ run: the distinct first arguments of every adorned variant of the
-// given relation, across peers.
-func countAdornedNodes(res *dqsq.Result, base rel.Name) int {
+// dQSQ engine: the distinct first arguments of every adorned variant of
+// the given relation, across peers.
+func countAdornedNodes(eng *ddatalog.Engine, base rel.Name) int {
 	nodes := map[string]bool{}
-	for _, id := range res.Engine.Peers() {
-		db := res.Engine.PeerDB(id)
-		st := res.Engine.PeerStore(id)
+	for _, id := range eng.Peers() {
+		db := eng.PeerDB(id)
+		st := eng.PeerStore(id)
 		if db == nil {
 			continue
 		}

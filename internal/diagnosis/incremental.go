@@ -1,0 +1,188 @@
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/ddatalog"
+	"repro/internal/dqsq"
+	"repro/internal/petri"
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// This file implements the online supervisor: the paper's setting is
+// inherently incremental — "the supervisor ... receives alarms one at a
+// time" (Section 2) — and Remark 2 observes that dQSQ evaluation may
+// interleave with rewriting. OnlineDiagnoser turns that into a long-lived
+// handle: alarms are appended one (or a few) at a time, and each append
+// extends the already-materialized unfolding prefix instead of re-running
+// the whole diagnosis.
+//
+// The incremental encoding differs from BuildDiagnosisProgram in two ways:
+//
+//   - The k-ary configPrefixes index ranges over EVERY net peer (sorted),
+//     not just the peers that happen to emit in the sequence — the arity
+//     must not change as alarms arrive. Peers that never emit keep their
+//     index column pinned at position 0 by an inert extension rule.
+//
+//   - The completion query is versioned: appending the n-th alarm batch
+//     installs q.v<n>(z,x) :- configPrefixes(z,w,y,final_n...),
+//     transInConf(z,x) with the new final-position constants, and queries
+//     it. Earlier versions stay installed (they are cheap single joins);
+//     the warm dqsq.OnlineSession reuses every configPrefixes /
+//     trans / places fact already derived.
+type OnlineDiagnoser struct {
+	pn      *petri.PetriNet // original net (diagnosis names are reported on it)
+	padded  *petri.PetriNet
+	sess    *dqsq.OnlineSession
+	prog    *ddatalog.Program
+	peers   []petri.Peer // fixed index order: all net peers, sorted
+	counts  map[petri.Peer]int
+	seq     alarm.Seq
+	version int
+	last    *Report
+}
+
+// indexPeers returns every peer of the net, sorted — the fixed k-ary
+// index order of the incremental supervisor program.
+func indexPeers(pn *petri.PetriNet) []petri.Peer {
+	peers := append([]petri.Peer(nil), pn.Net.Peers()...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return peers
+}
+
+// NewOnlineDiagnoser builds the alarm-independent part of P_A(N,M,·) —
+// Prog(N,M), the petriNet facts, the initial configuration and the
+// extension/membership rules over the fixed all-peer index — and starts a
+// warm online dQSQ session over it. The budget bounds the session's
+// lifetime fact count; once exhausted, every later Append fails with
+// datalog.ErrBudget.
+func NewOnlineDiagnoser(pn *petri.PetriNet, budget datalog.Budget) (*OnlineDiagnoser, error) {
+	padded, err := petri.Pad2(pn)
+	if err != nil {
+		return nil, err
+	}
+	for _, peer := range padded.Net.Peers() {
+		if string(peer) == string(SupervisorPeer) {
+			return nil, fmt.Errorf("diagnosis: peer name %q collides with the supervisor", peer)
+		}
+	}
+	p, err := BuildUnfoldingProgram(padded)
+	if err != nil {
+		return nil, err
+	}
+	s := p.Store
+	addPetriNetFacts(padded, p)
+
+	peers := indexPeers(padded)
+	k := len(peers)
+
+	// Initial configuration: configPrefixes(h(r), h(r), r, c0...).
+	r := s.Constant(RootConst)
+	hr := s.Compound("h", r)
+	init := []term.ID{hr, hr, r}
+	for _, peer := range peers {
+		init = append(init, s.Constant(idxConst(peer, 0)))
+	}
+	p.AddFact(ddatalog.PAtom{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: init})
+
+	addExtensionRules(padded, p, peers, k, false)
+	if hasSilentTransitions(padded) {
+		addExtensionRules(padded, p, peers, k, true)
+	}
+	addMembershipRules(p, k)
+
+	sess, err := dqsq.NewOnlineSession(p, budget)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineDiagnoser{
+		pn:     pn,
+		padded: padded,
+		sess:   sess,
+		prog:   p,
+		peers:  peers,
+		counts: make(map[petri.Peer]int),
+	}, nil
+}
+
+// Seq returns the alarms appended so far.
+func (d *OnlineDiagnoser) Seq() alarm.Seq {
+	return append(alarm.Seq(nil), d.seq...)
+}
+
+// Report returns the report of the last Append (nil before the first).
+func (d *OnlineDiagnoser) Report() *Report { return d.last }
+
+// versionedQuery names the completion relation of the current version.
+func (d *OnlineDiagnoser) versionedQuery() string {
+	return fmt.Sprintf("%s.v%d", RelQuery, d.version)
+}
+
+// Append extends the observed sequence and returns the diagnosis of the
+// full sequence so far. The report's materialization metrics (TransFacts,
+// PlaceFacts, Derived) are cumulative over the session — the substance of
+// incrementality is that they grow by the new frontier only. A zero
+// timeout means one minute.
+func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Report, error) {
+	s := d.prog.Store
+	var facts []ddatalog.PAtom
+	for _, o := range obs {
+		if !hasPeer(d.padded, o.Peer) {
+			return nil, fmt.Errorf("diagnosis: alarm from unknown peer %q", o.Peer)
+		}
+		i := d.counts[o.Peer]
+		facts = append(facts, ddatalog.At(RelAlarmSeq, SupervisorPeer,
+			s.Constant(idxConst(o.Peer, i)),
+			s.Constant(string(o.Alarm)),
+			s.Constant(string(o.Peer)),
+			s.Constant(idxConst(o.Peer, i+1)),
+		))
+		d.counts[o.Peer] = i + 1
+		d.seq = append(d.seq, o)
+	}
+
+	d.version++
+	z, w, y, x := s.Variable("Qz"), s.Variable("Qw"), s.Variable("Qy"), s.Variable("Qx")
+	final := []term.ID{z, w, y}
+	for _, peer := range d.peers {
+		final = append(final, s.Constant(idxConst(peer, d.counts[peer])))
+	}
+	qRel := rel.Name(d.versionedQuery())
+	rule := ddatalog.PRule{
+		Head: ddatalog.At(qRel, SupervisorPeer, z, x),
+		Body: []ddatalog.PAtom{
+			{Rel: RelConfigPrefixes, Peer: SupervisorPeer, Args: final},
+			ddatalog.At(RelTransInConf, SupervisorPeer, z, x),
+		},
+	}
+	if err := d.sess.Extend(facts, []ddatalog.PRule{rule}); err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	query := ddatalog.At(qRel, SupervisorPeer, s.Variable("AnsZ"), s.Variable("AnsX"))
+	res, err := d.sess.Query(query, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Engine:    EngineDQSQ,
+		Diagnoses: ExtractDiagnoses(res.Store, res.Answers, true),
+		Derived:   res.Stats.Derived,
+		Truncated: res.Stats.Truncated,
+		Elapsed:   time.Since(start),
+	}
+	if d.last != nil {
+		rep.Messages = d.last.Messages
+	}
+	rep.Messages += res.Stats.Net.MessagesSent
+	rep.TransFacts = countAdornedNodes(res.Engine, RelTrans)
+	rep.PlaceFacts = countAdornedNodes(res.Engine, RelPlaces)
+	d.last = rep
+	return rep, nil
+}

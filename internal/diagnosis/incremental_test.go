@@ -1,0 +1,111 @@
+package diagnosis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/petri"
+)
+
+// TestOnlineDiagnoserMatchesBatch: appending the paper's quickstart
+// sequences one alarm at a time yields, after every prefix, exactly the
+// batch diagnosis of that prefix — and the final answer matches the
+// direct-search ground truth.
+func TestOnlineDiagnoserMatchesBatch(t *testing.T) {
+	pn := petri.Example()
+	for _, seq := range []alarm.Seq{seqA1, seqA2, seqA3} {
+		d, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range seq {
+			rep, err := d.Append([]alarm.Obs{o}, time.Minute)
+			if err != nil {
+				t.Fatalf("append %d: %v", i, err)
+			}
+			want := Direct(pn, seq[:i+1], DirectOptions{})
+			if !rep.Diagnoses.Equal(want) {
+				t.Fatalf("prefix %v: online %v != direct %v", seq[:i+1], rep.Diagnoses.Keys(), want.Keys())
+			}
+		}
+		if got := d.Seq(); len(got) != len(seq) {
+			t.Fatalf("Seq() = %v", got)
+		}
+	}
+}
+
+// TestOnlineDiagnoserIncrementality: the cumulative facts materialized by
+// the alarm-at-a-time session stay within 2x of the one-shot dQSQ run on
+// the full sequence — the session extends the warm prefix rather than
+// re-deriving it.
+func TestOnlineDiagnoserIncrementality(t *testing.T) {
+	pn := petri.Example()
+	seq := seqA1
+
+	oneshot, err := Run(pn, seq, EngineDQSQ, Options{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep *Report
+	for _, o := range seq {
+		if rep, err = d.Append([]alarm.Obs{o}, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rep.Diagnoses.Equal(oneshot.Diagnoses) {
+		t.Fatalf("online %v != one-shot %v", rep.Diagnoses.Keys(), oneshot.Diagnoses.Keys())
+	}
+	if rep.Derived > 2*oneshot.Derived {
+		t.Fatalf("incremental derived %d > 2x one-shot %d", rep.Derived, oneshot.Derived)
+	}
+	if rep.TransFacts > 2*oneshot.TransFacts {
+		t.Fatalf("incremental trans facts %d > 2x one-shot %d", rep.TransFacts, oneshot.TransFacts)
+	}
+}
+
+// TestOnlineDiagnoserBatchAppend: alarms may arrive in batches; a single
+// multi-alarm append equals per-alarm appends.
+func TestOnlineDiagnoserBatchAppend(t *testing.T) {
+	pn := petri.Example()
+	d, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.Append(seqA1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Direct(pn, seqA1, DirectOptions{})
+	if !rep.Diagnoses.Equal(want) {
+		t.Fatalf("batch append %v != direct %v", rep.Diagnoses.Keys(), want.Keys())
+	}
+	if d.Report() != rep {
+		t.Fatal("Report() is not the last report")
+	}
+}
+
+// TestOnlineDiagnoserUnknownPeer: appending an alarm from a peer the net
+// does not have fails cleanly without corrupting the session.
+func TestOnlineDiagnoserUnknownPeer(t *testing.T) {
+	d, err := NewOnlineDiagnoser(petri.Example(), datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]alarm.Obs{{Alarm: "b", Peer: "nope"}}, time.Minute); err == nil {
+		t.Fatal("unknown peer accepted")
+	}
+	rep, err := d.Append(seqA1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diagnoses.Equal(Direct(petri.Example(), seqA1, DirectOptions{})) {
+		t.Fatal("session corrupted after rejected append")
+	}
+}

@@ -1,0 +1,75 @@
+package diagnosis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/petri"
+)
+
+// TestNetRoundTrip: the testdata net is the canonical rendering of the
+// Figure 1 example, and parse∘format is the identity on it — so nets
+// shipped to the diagnosis server (which only speaks the textual format)
+// mean exactly what the library builds in memory.
+func TestNetRoundTrip(t *testing.T) {
+	path := filepath.Join("testdata", "example.net")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := parser.FormatNet(petri.Example()); got != string(want) {
+		t.Fatalf("testdata/example.net is stale:\n--- file ---\n%s--- FormatNet(Example) ---\n%s", want, got)
+	}
+
+	pn, err := parser.Net(string(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parser.FormatNet(pn); got != string(want) {
+		t.Fatalf("parse/format round trip drifted:\n--- in ---\n%s--- out ---\n%s", want, got)
+	}
+
+	// The round-tripped net is semantically the example: same diagnoses
+	// on the quickstart sequence.
+	want1 := Direct(petri.Example(), seqA1, DirectOptions{})
+	got1 := Direct(pn, seqA1, DirectOptions{})
+	if !got1.Equal(want1) {
+		t.Fatalf("round-tripped net diagnoses %v != %v", got1.Keys(), want1.Keys())
+	}
+}
+
+// TestAlarmsRoundTrip: each quickstart sequence in testdata survives
+// parse∘format∘parse unchanged.
+func TestAlarmsRoundTrip(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "quickstart.alarms"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want the three Section 2 sequences, got %d lines", len(lines))
+	}
+	wantSeqs := []any{seqA1, seqA2, seqA3}
+	for i, line := range lines {
+		seq, err := parser.Alarms(line)
+		if err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(any(seq), wantSeqs[i]) {
+			t.Fatalf("line %d parses to %v, want %v", i, seq, wantSeqs[i])
+		}
+		formatted := parser.FormatAlarms(seq)
+		if formatted != line {
+			t.Fatalf("line %d formats to %q, want %q", i, formatted, line)
+		}
+		again, err := parser.Alarms(formatted)
+		if err != nil || !reflect.DeepEqual(again, seq) {
+			t.Fatalf("line %d re-parse drifted: %v (%v)", i, again, err)
+		}
+	}
+}

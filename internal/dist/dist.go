@@ -201,6 +201,31 @@ func (n *Network) quiescentLocked() bool {
 	return n.inflight == 0 && n.idle == len(n.peers)
 }
 
+// Stopped reports whether the network has stopped (quiesced, aborted, or
+// timed out). It is safe from any goroutine, including after Run has
+// returned.
+//
+// Post-Run contract (relied on by long-lived sessions that re-enter
+// evaluation with a fresh Network per round): when Run returns, every
+// peer goroutine has exited and Stopped() is true, so the state the
+// handlers built — and Err(), Stats() — may be read without further
+// synchronization. A late timeout firing after quiescence is a no-op:
+// abort never overwrites the stopped flag or a nil error of an already
+// stopped network.
+func (n *Network) Stopped() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped
+}
+
+// Err returns the abort or timeout error of a stopped network (nil after
+// clean quiescence). Safe after Run has returned; see Stopped.
+func (n *Network) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
 func (p *peer) loop(n *Network) {
 	defer close(p.done)
 	ctx := &Context{net: n, self: p.id}

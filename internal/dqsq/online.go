@@ -67,17 +67,35 @@ func splitAdorned(name rel.Name) (rel.Name, adorn.Adornment, bool) {
 	return rel.Name(s[:i]), adorn.Adornment(s[i+1:]), true
 }
 
-// RunOnline evaluates prog for q with lazy per-peer rewriting. It returns
-// the same answers as Run (Theorem 1 extends: the installed program is
-// identical, only its arrival order differs) plus the rewriting trace.
-func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, timeout time.Duration) (*Result, *OnlineTrace, error) {
+// OnlineSession is a long-lived online dQSQ evaluation: the per-peer lazy
+// rewriters and the distributed engine stay warm between queries, so a
+// supervisor can extend the program — new extensional facts (alarms), new
+// rules (a re-indexed query) — and re-query, paying only for the frontier
+// the extension opens up. This is the paper's Remark 2 machinery turned
+// into a service substrate: "the dQSQ computation, and the generation of
+// results, may start even before the rewriting is complete" — here it
+// also continues after the first answers have been served.
+//
+// Sessions are not safe for concurrent use; callers serialize Extend and
+// Query (internal/serve wraps one mutex per session).
+type OnlineSession struct {
+	prog      *ddatalog.Program
+	eng       *ddatalog.Engine
+	trace     *OnlineTrace
+	rewriters map[dist.PeerID]*peerRewriter
+	pending   []ddatalog.PAtom // base-fact appends queued for the next Query
+}
+
+// NewOnlineSession prepares a session over prog: the engine starts with
+// the extensional facts only; every rule arrives at runtime through the
+// lazy-rewriting activation hook. The budget is the session's lifetime
+// fact budget — once exhausted, every later Query fails.
+func NewOnlineSession(prog *ddatalog.Program, budget datalog.Budget) (*OnlineSession, error) {
 	if err := prog.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	s := prog.Store
 
-	// The base program: extensional facts and the query's in-seed only.
-	// All rules arrive at runtime through the activation hook.
 	base := ddatalog.NewProgram(s)
 	base.Facts = append(base.Facts, prog.Facts...)
 	for _, id := range prog.Peers() {
@@ -96,7 +114,7 @@ func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, 
 			edbArity: make(map[rel.Name]int),
 			facts:    make(map[rel.Name][][]term.ID),
 			done:     make(map[adorn.Key]bool),
-			out:      ddatalog.NewProgram(s), // per-call buffer, drained below
+			out:      ddatalog.NewProgram(s), // per-call buffer, drained by the hook
 		}
 	}
 	for _, r := range prog.Rules {
@@ -110,32 +128,14 @@ func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, 
 		pr.facts[f.Rel] = append(pr.facts[f.Rel], f.Args)
 	}
 
-	ad := adorn.Compute(s, adorn.VarSet{}, q.Args)
-	qr, ok := rewriters[q.Peer]
-	if !ok {
-		return nil, nil, errUnknownPeer(q.Peer)
-	}
-	if !qr.hasRules[q.Rel] {
-		// Extensional query: evaluate directly, nothing to rewrite.
-		res, _, err := ddatalog.Run(base, q, budget, timeout)
-		if res == nil {
-			return nil, nil, err
-		}
-		return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats}, &OnlineTrace{}, err
-	}
-	base.AddFact(ddatalog.PAtom{
-		Rel: adorn.InputName(q.Rel, ad), Peer: q.Peer,
-		Args: adorn.BoundArgs(ad, q.Args),
-	})
-
-	trace := &OnlineTrace{}
+	sess := &OnlineSession{prog: prog, rewriters: rewriters, trace: &OnlineTrace{}}
 	eng, err := ddatalog.NewEngine(base, budget)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	// The hook runs under the engine's store lock (hooks of different
-	// peers share the program store and their rewriters' output buffer
-	// handling below).
+	// The hook runs on peer goroutines under the engine's hook lock
+	// (hooks of different peers share the program store and their
+	// rewriters' output buffer handling below).
 	eng.SetActivationHook(func(peer dist.PeerID, relName rel.Name) []ddatalog.PRule {
 		baseRel, adr, ok := splitAdorned(relName)
 		if !ok {
@@ -153,17 +153,93 @@ func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, 
 		pr.handle(key) // follow-up requests are ignored: activation drives them
 		rules := pr.out.Rules[before:]
 		if len(rules) > 0 {
-			trace.add(peer, key)
+			sess.trace.add(peer, key)
 		}
 		return rules
 	})
+	sess.eng = eng
+	return sess, nil
+}
 
-	queryAtom := ddatalog.PAtom{Rel: adorn.Name(q.Rel, ad), Peer: q.Peer, Args: q.Args}
-	res, err := eng.Run(queryAtom, timeout)
-	if res == nil {
-		return nil, trace, err
+// Extend grows the running program: facts are extensional appends
+// (delivered to their owners on the next Query), rules join their host
+// peer's rewriter and are rewritten lazily when their head relation is
+// first activated. A rule whose head relation has already been queried
+// under some adornment is not re-rewritten for it — extend with fresh
+// (e.g. versioned) head relations instead. Terms must come from the
+// session program's store. Not safe concurrently with Query.
+func (s *OnlineSession) Extend(facts []ddatalog.PAtom, rules []ddatalog.PRule) error {
+	for _, r := range rules {
+		pr, ok := s.rewriters[r.Head.Peer]
+		if !ok {
+			return errUnknownPeer(r.Head.Peer)
+		}
+		pr.rules = append(pr.rules, r)
+		pr.hasRules[r.Head.Rel] = true
+		s.prog.Rules = append(s.prog.Rules, r)
 	}
-	return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats, Engine: eng}, trace, err
+	for _, f := range facts {
+		pr, ok := s.rewriters[f.Peer]
+		if !ok {
+			return errUnknownPeer(f.Peer)
+		}
+		pr.edbArity[f.Rel] = len(f.Args)
+		s.pending = append(s.pending, f)
+		s.prog.Facts = append(s.prog.Facts, f)
+	}
+	return nil
+}
+
+// Query evaluates the located atom q over the warm session state,
+// injecting any facts queued by Extend first. Repeated queries (same or
+// different atoms) reuse everything already materialized; Stats are
+// cumulative over the session's lifetime.
+func (s *OnlineSession) Query(q ddatalog.PAtom, timeout time.Duration) (*Result, error) {
+	st := s.prog.Store
+	injects := s.pending
+	s.pending = nil
+
+	qr, ok := s.rewriters[q.Peer]
+	if !ok {
+		return nil, errUnknownPeer(q.Peer)
+	}
+	queryAtom := q
+	if qr.hasRules[q.Rel] {
+		// Intensional query: seed the in-relation and ask for the adorned
+		// answers (re-seeding an already-known in-fact deduplicates away).
+		ad := adorn.Compute(st, adorn.VarSet{}, q.Args)
+		injects = append(injects, ddatalog.PAtom{
+			Rel: adorn.InputName(q.Rel, ad), Peer: q.Peer,
+			Args: adorn.BoundArgs(ad, q.Args),
+		})
+		queryAtom = ddatalog.PAtom{Rel: adorn.Name(q.Rel, ad), Peer: q.Peer, Args: q.Args}
+	}
+	res, err := s.eng.RunDelta(queryAtom, injects, nil, timeout)
+	if res == nil {
+		return nil, err
+	}
+	return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats, Engine: s.eng}, err
+}
+
+// Trace returns the session's lazy-rewriting trace.
+func (s *OnlineSession) Trace() *OnlineTrace { return s.trace }
+
+// Engine exposes the warm engine for materialization metrics.
+func (s *OnlineSession) Engine() *ddatalog.Engine { return s.eng }
+
+// RunOnline evaluates prog for q with lazy per-peer rewriting. It returns
+// the same answers as Run (Theorem 1 extends: the installed program is
+// identical, only its arrival order differs) plus the rewriting trace.
+func RunOnline(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, timeout time.Duration) (*Result, *OnlineTrace, error) {
+	sess, err := NewOnlineSession(prog, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sess.Query(q, timeout)
+	if res == nil {
+		return nil, sess.trace, err
+	}
+	return res, sess.trace, err
 }
 
 func errUnknownPeer(p dist.PeerID) error {

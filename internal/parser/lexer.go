@@ -24,10 +24,10 @@ import (
 type tokKind int
 
 const (
-	tokEOF tokKind = iota
-	tokIdent        // constant or functor
-	tokVar          // variable
-	tokString       // quoted constant
+	tokEOF    tokKind = iota
+	tokIdent          // constant or functor
+	tokVar            // variable
+	tokString         // quoted constant
 	tokLParen
 	tokRParen
 	tokComma

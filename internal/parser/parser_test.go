@@ -100,15 +100,15 @@ func TestParseNeqWithCompoundAndConstant(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	s := term.NewStore()
 	for _, src := range []string{
-		`edge(a, b)`,            // missing dot
-		`edge(a, .`,             // bad term
-		`tc(X) :- .`,            // empty body
-		`tc(X) :- edge(X, Y)`,   // missing dot
-		`r(X) :- e(X), X != .`,  // bad constraint
-		`r("unterminated) .`,    // bad string
-		`r(x) :- ! e(x).`,       // stray !
-		`R@p(x) :- R@p(x).`,     // located atom in centralized program
-		`head(X) :- e(Y).`,      // range restriction (validation)
+		`edge(a, b)`,           // missing dot
+		`edge(a, .`,            // bad term
+		`tc(X) :- .`,           // empty body
+		`tc(X) :- edge(X, Y)`,  // missing dot
+		`r(X) :- e(X), X != .`, // bad constraint
+		`r("unterminated) .`,   // bad string
+		`r(x) :- ! e(x).`,      // stray !
+		`R@p(x) :- R@p(x).`,    // located atom in centralized program
+		`head(X) :- e(Y).`,     // range restriction (validation)
 	} {
 		if _, err := Program(src, s); err == nil {
 			t.Errorf("no error for %q", src)
@@ -227,11 +227,11 @@ func TestNetSilentTransitions(t *testing.T) {
 
 func TestNetErrors(t *testing.T) {
 	for _, src := range []string{
-		"place a",                  // missing peer
-		"trans t p x : a",          // missing arrow
-		"trans t p x a -> b",       // missing colon
-		"bogus directive",          // unknown
-		"place a p\ninit a b",      // unknown init place
+		"place a",                               // missing peer
+		"trans t p x : a",                       // missing arrow
+		"trans t p x a -> b",                    // missing colon
+		"bogus directive",                       // unknown
+		"place a p\ninit a b",                   // unknown init place
 		"place a p\ntrans t p x : -> a\ninit a", // no preset
 	} {
 		if _, err := Net(src); err == nil {

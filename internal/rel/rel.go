@@ -27,9 +27,9 @@ type Name string
 type Relation struct {
 	arity  int
 	tuples [][]term.ID
-	seen   map[string]struct{}          // full-tuple dedup
-	idx    map[uint64]map[string][]int  // bound-column mask -> key -> ascending positions
-	built  map[uint64]int               // how many tuples each index has absorbed
+	seen   map[string]struct{}         // full-tuple dedup
+	idx    map[uint64]map[string][]int // bound-column mask -> key -> ascending positions
+	built  map[uint64]int              // how many tuples each index has absorbed
 }
 
 // New returns an empty relation of the given arity. Arity 0 is allowed and

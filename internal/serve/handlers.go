@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Store bounds the session table.
+	Store StoreConfig
+	// EvalTimeout caps each evaluation; a shorter request-context deadline
+	// wins. 0 means 30s.
+	EvalTimeout time.Duration
+	// SweepEvery is the TTL sweep period. 0 means 30s; negative disables
+	// the background sweeper (tests drive Sweep directly).
+	SweepEvery time.Duration
+	// MaxBody caps request bodies. 0 means 1MiB.
+	MaxBody int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.EvalTimeout == 0 {
+		c.EvalTimeout = 30 * time.Second
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = 30 * time.Second
+	}
+	if c.MaxBody == 0 {
+		c.MaxBody = 1 << 20
+	}
+	return c
+}
+
+// Server is the streaming diagnosis service: session CRUD, incremental
+// alarm appends, health and metrics, with graceful shutdown draining
+// in-flight evaluations.
+type Server struct {
+	cfg     Config
+	store   *Store
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewServer builds the service and starts its TTL sweeper (unless
+// disabled). Callers must Shutdown it to stop the sweeper.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics()
+	s := &Server{
+		cfg:       cfg,
+		store:     NewStore(cfg.Store, m),
+		metrics:   m,
+		mux:       http.NewServeMux(),
+		sweepStop: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/alarms", s.handleAppend)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	if cfg.SweepEvery > 0 {
+		go s.sweeper()
+	} else {
+		close(s.sweepDone)
+	}
+	return s
+}
+
+// Metrics exposes the registry (cmd/diagnosed adds process gauges).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Store exposes the session table (tests drive Sweep directly).
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) sweeper() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case now := <-t.C:
+			s.store.Sweep(now)
+		}
+	}
+}
+
+// ServeHTTP implements http.Handler. Every request except health and
+// metrics counts as in-flight work for graceful shutdown; once draining,
+// new work is load-shed with 503 while /healthz reports the drain and
+// /metrics stays readable.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	if !s.enter() {
+		s.fail(w, ErrDraining)
+		return
+	}
+	defer s.inflight.Done()
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter registers an in-flight request, refusing once draining. The
+// mutex closes the Add/Wait race: Shutdown flips draining under the same
+// lock before waiting.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Shutdown drains the server: new requests are refused with 503, the TTL
+// sweeper stops, in-flight evaluations run to completion (or until ctx
+// expires), then every session is closed. Idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.drainMu.Unlock()
+	if !already {
+		close(s.sweepStop)
+	}
+	<-s.sweepDone
+
+	done := make(chan struct{})
+	go func() { s.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.store.Clear()
+	return nil
+}
+
+// evalTimeout derives the evaluation budget for one request: the
+// configured cap, shortened by any request-context deadline.
+func (s *Server) evalTimeout(r *http.Request) time.Duration {
+	d := s.cfg.EvalTimeout
+	if deadline, ok := r.Context().Deadline(); ok {
+		if rem := time.Until(deadline); rem < d {
+			d = rem
+		}
+	}
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// ---- wire types ----
+
+type createRequest struct {
+	// Net is the textual net format (parser.Net); required.
+	Net string `json:"net"`
+	// Engine is direct | product | naive | dqsq (default dqsq).
+	Engine string `json:"engine"`
+	// MaxFacts is the session's fact budget; 0 takes the server default.
+	MaxFacts int `json:"max_facts"`
+}
+
+type createResponse struct {
+	ID       string   `json:"id"`
+	Engine   string   `json:"engine"`
+	Peers    []string `json:"peers"`
+	MaxFacts int      `json:"max_facts"`
+}
+
+type appendRequest struct {
+	// Alarms is one or many observations in the textual format, e.g.
+	// "b@p1 a@p2".
+	Alarms string `json:"alarms"`
+}
+
+type reportJSON struct {
+	Engine     string     `json:"engine"`
+	Diagnoses  [][]string `json:"diagnoses"`
+	TransFacts int        `json:"trans_facts"`
+	PlaceFacts int        `json:"place_facts"`
+	Derived    int        `json:"derived"`
+	Messages   int        `json:"messages"`
+	ElapsedMS  float64    `json:"elapsed_ms"`
+	Truncated  bool       `json:"truncated"`
+}
+
+func toReportJSON(rep *core.Report) *reportJSON {
+	if rep == nil {
+		return nil
+	}
+	diags := rep.Diagnoses
+	if diags == nil {
+		diags = [][]string{}
+	}
+	return &reportJSON{
+		Engine:     EngineName(rep.Engine),
+		Diagnoses:  diags,
+		TransFacts: rep.TransFacts,
+		PlaceFacts: rep.PlaceFacts,
+		Derived:    rep.Derived,
+		Messages:   rep.Messages,
+		ElapsedMS:  float64(rep.Elapsed.Microseconds()) / 1000,
+		Truncated:  rep.Truncated,
+	}
+}
+
+type appendResponse struct {
+	Alarms       int         `json:"alarms"`
+	Added        []string    `json:"added"`
+	Removed      []string    `json:"removed"`
+	DerivedDelta int         `json:"derived_delta"`
+	Report       *reportJSON `json:"report"`
+}
+
+type sessionResponse struct {
+	ID        string      `json:"id"`
+	Engine    string      `json:"engine"`
+	MaxFacts  int         `json:"max_facts"`
+	Created   time.Time   `json:"created"`
+	LastUsed  time.Time   `json:"last_used"`
+	Alarms    int         `json:"alarms"`
+	Exhausted bool        `json:"exhausted"`
+	Seq       string      `json:"seq"`
+	Report    *reportJSON `json:"report"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Net == "" {
+		s.badRequest(w, errors.New("missing net"))
+		return
+	}
+	engine, err := ParseEngine(req.Engine)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sys, err := core.LoadNet(req.Net)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	sess, err := s.store.Create(sys, engine, req.MaxFacts, time.Now())
+	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			s.fail(w, err)
+		} else {
+			// Engine warm-up rejected the net (e.g. a peer name that
+			// collides with the supervisor) — the client's fault.
+			s.badRequest(w, err)
+		}
+		return
+	}
+	peers := []string{}
+	for _, p := range sys.Peers() {
+		peers = append(peers, string(p))
+	}
+	s.metrics.Observe("diagnosed_create_seconds", time.Since(start))
+	s.writeJSON(w, http.StatusCreated, createResponse{
+		ID: sess.ID, Engine: EngineName(engine), Peers: peers, MaxFacts: sess.Facts,
+	})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.notFound(w)
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.badRequest(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	seq, err := core.ParseAlarms(req.Alarms)
+	if err != nil {
+		s.badRequest(w, err)
+		return
+	}
+	if len(seq) == 0 {
+		s.badRequest(w, errors.New("no alarms in request"))
+		return
+	}
+	for _, o := range seq {
+		if !sess.HasPeer(string(o.Peer)) {
+			s.badRequest(w, fmt.Errorf("alarm from unknown peer %q", o.Peer))
+			return
+		}
+	}
+
+	start := time.Now()
+	res, err := sess.Append(seq, s.evalTimeout(r))
+	s.metrics.Observe("diagnosed_append_seconds", time.Since(start))
+	if err != nil {
+		s.metrics.Add("diagnosed_append_errors_total", 1)
+		s.fail(w, err)
+		return
+	}
+	s.metrics.Add("diagnosed_alarms_total", int64(len(seq)))
+	s.metrics.Add("diagnosed_appends_total", 1)
+	s.metrics.Add("diagnosed_facts_materialized_total", int64(res.DerivedDelta))
+	s.metrics.Add("diagnosed_messages_total", int64(res.Report.Messages))
+
+	added, removed := res.Added, res.Removed
+	if added == nil {
+		added = []string{}
+	}
+	if removed == nil {
+		removed = []string{}
+	}
+	s.writeJSON(w, http.StatusOK, appendResponse{
+		Alarms:       res.Alarms,
+		Added:        added,
+		Removed:      removed,
+		DerivedDelta: res.DerivedDelta,
+		Report:       toReportJSON(res.Report),
+	})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.notFound(w)
+		return
+	}
+	st, err := sess.Snapshot()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sessionResponse{
+		ID:        st.ID,
+		Engine:    EngineName(st.Engine),
+		MaxFacts:  st.Facts,
+		Created:   st.Created,
+		LastUsed:  st.LastUsed,
+		Alarms:    st.Alarms,
+		Exhausted: st.Exhausted,
+		Seq:       parser.FormatAlarms(st.Seq),
+		Report:    toReportJSON(st.Report),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.store.Delete(r.PathValue("id")) {
+		s.notFound(w)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.drainMu.Lock()
+	draining := s.draining
+	s.drainMu.Unlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+// ---- error mapping ----
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a dead client
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, err error) {
+	s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) notFound(w http.ResponseWriter) {
+	s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "no such session"})
+}
+
+// fail maps service errors to statuses: exhausted per-session budget 429,
+// overload or drain 503, evaluation timeout 504, vanished session 404.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrExhausted):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, ErrClosed):
+		status = http.StatusNotFound
+	case timeoutErr(err):
+		status = http.StatusGatewayTimeout
+	}
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,128 @@
+// Package serve is the streaming diagnosis service: a concurrent session
+// manager over core.Incremental handles (warm online dQSQ sessions, per
+// the paper's Remark 2), wrapped in a stdlib-only HTTP/JSON API. It is
+// the serving substrate of the production roadmap: bounded session
+// tables with LRU eviction and TTL sweeping, per-session and global fact
+// budgets with 429/503 load-shedding, request timeouts, graceful
+// shutdown draining in-flight evaluations, and a plain-text /metrics
+// endpoint exporting the counters the diagnosis engines already carry.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds, in seconds.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+const numBuckets = 8 // len(latencyBuckets); arrays need a constant
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	counts [numBuckets + 1]int64 // one per bucket, last is +Inf
+	sum    float64
+	total  int64
+}
+
+// Metrics is a concurrency-safe registry of counters, gauges and latency
+// histograms, rendered in the Prometheus text exposition format (plain
+// counters and gauges; histograms as _bucket/_sum/_count).
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]func() int64
+	hists    map[string]*histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+// Add increments a counter.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Counter reads a counter's current value.
+func (m *Metrics) Counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge registers a live gauge, sampled at render time.
+func (m *Metrics) Gauge(name string, read func() int64) {
+	m.mu.Lock()
+	m.gauges[name] = read
+	m.mu.Unlock()
+}
+
+// Observe records one duration into the named histogram.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &histogram{}
+		m.hists[name] = h
+	}
+	i := 0
+	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+	m.mu.Unlock()
+}
+
+// WriteText renders every metric, sorted by name, in the text format.
+func (m *Metrics) WriteText(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(m.counters)+len(m.gauges))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if read, ok := m.gauges[n]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, read())
+			continue
+		}
+		fmt.Fprintf(w, "%s %d\n", n, m.counters[n])
+	}
+
+	hnames := make([]string, 0, len(m.hists))
+	for n := range m.hists {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		h := m.hists[n]
+		cum := int64(0)
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", n, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", n, h.sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.total)
+	}
+}

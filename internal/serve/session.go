@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dist"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers.
+var (
+	// ErrExhausted: the session's fact budget is spent; the warm engine
+	// state is unusable and the session only accepts GET/DELETE (429).
+	ErrExhausted = errors.New("serve: session budget exhausted")
+	// ErrClosed: the session was deleted or evicted mid-request (404).
+	ErrClosed = errors.New("serve: session closed")
+	// ErrOverloaded: the global fact budget or session table cannot admit
+	// a new session (503).
+	ErrOverloaded = errors.New("serve: server overloaded")
+	// ErrDraining: the server is shutting down (503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// ParseEngine maps the wire names onto engines. Empty defaults to dQSQ —
+// the engine with a genuinely incremental warm session.
+func ParseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "", "dqsq":
+		return core.DQSQ, nil
+	case "direct":
+		return core.Direct, nil
+	case "product":
+		return core.Product, nil
+	case "naive":
+		return core.Naive, nil
+	default:
+		return 0, fmt.Errorf("unknown engine %q (want direct | product | naive | dqsq)", name)
+	}
+}
+
+// EngineName is the inverse of ParseEngine (Engine.String formats for
+// humans, not for the wire).
+func EngineName(e core.Engine) string {
+	switch e {
+	case core.Direct:
+		return "direct"
+	case core.Product:
+		return "product"
+	case core.Naive:
+		return "naive"
+	default:
+		return "dqsq"
+	}
+}
+
+// Session is one streaming diagnosis conversation: a pinned, parsed,
+// safety-checked net plus a warm incremental handle. Appends are
+// serialized per session by its mutex; metadata reads (State) are safe
+// concurrently with an in-flight append.
+type Session struct {
+	ID      string
+	Engine  core.Engine
+	Facts   int // reserved per-session fact budget (counts against the global budget)
+	Created time.Time
+	peers   map[string]bool // net peers, fixed at creation
+
+	lastUsed atomic.Int64 // unix nanoseconds; TTL sweeps and GET read it
+	closed   atomic.Bool  // set lock-free by eviction, so the store never waits on an evaluation
+
+	mu          sync.Mutex
+	inc         *core.Incremental
+	alarms      int
+	exhausted   bool
+	prevKeys    map[string]bool // diagnosis keys of the previous report, for deltas
+	prevDerived int             // cumulative Derived after the previous append (DQSQ)
+}
+
+func newSession(id string, sys *core.System, engine core.Engine, facts int, now time.Time) (*Session, error) {
+	inc, err := sys.NewIncremental(engine, core.Options{Budget: datalog.Budget{MaxFacts: facts}})
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{ID: id, Engine: engine, Facts: facts, Created: now, inc: inc,
+		peers: make(map[string]bool)}
+	for _, p := range sys.Peers() {
+		s.peers[string(p)] = true
+	}
+	s.lastUsed.Store(now.UnixNano())
+	return s, nil
+}
+
+// HasPeer reports whether the session's net has the peer — handlers
+// reject alarms from unknown peers as bad requests before evaluating.
+func (s *Session) HasPeer(peer string) bool { return s.peers[peer] }
+
+// Touch records use for TTL accounting.
+func (s *Session) Touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
+
+// LastUsed returns the last time the session served a request.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// Close marks the session dead. Idempotent and lock-free: the store
+// calls it under its own lock during eviction, so it must never wait on
+// an evaluation in flight. That append finishes normally; later calls
+// fail with ErrClosed.
+func (s *Session) Close() { s.closed.Store(true) }
+
+// AppendResult is the outcome of one append: the report over the whole
+// sequence so far, plus the delta against the previous report.
+type AppendResult struct {
+	Report  *core.Report
+	Added   []string // diagnosis keys new in this report
+	Removed []string // diagnosis keys the new alarms ruled out
+	Alarms  int      // total alarms appended over the session's lifetime
+	// DerivedDelta counts the facts this append materialized: the growth
+	// of the cumulative count for the warm DQSQ session, the whole run
+	// for the re-evaluating engines. Feeds the
+	// diagnosed_facts_materialized_total metric.
+	DerivedDelta int
+}
+
+// Append feeds alarms to the warm handle and computes the diagnosis of
+// the full sequence so far. Budget exhaustion poisons the session
+// (ErrExhausted now and on every later call); timeouts and input errors
+// leave it usable.
+func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed.Load():
+		return nil, ErrClosed
+	case s.exhausted:
+		return nil, ErrExhausted
+	}
+	rep, err := s.inc.Append(obs, timeout)
+	if err != nil {
+		if errors.Is(err, datalog.ErrBudget) {
+			s.exhausted = true
+			return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
+		}
+		return nil, err
+	}
+	if rep.Truncated {
+		s.exhausted = true
+		return nil, fmt.Errorf("%w: evaluation truncated", ErrExhausted)
+	}
+	s.alarms += len(obs)
+
+	delta := rep.Derived
+	if s.Engine == core.DQSQ {
+		delta = rep.Derived - s.prevDerived
+	}
+	s.prevDerived = rep.Derived
+
+	keys := make(map[string]bool, len(rep.Diagnoses))
+	res := &AppendResult{Report: rep, Alarms: s.alarms, DerivedDelta: delta}
+	for _, k := range rep.Diagnoses.Keys() {
+		keys[k] = true
+		if !s.prevKeys[k] {
+			res.Added = append(res.Added, k)
+		}
+	}
+	for k := range s.prevKeys {
+		if !keys[k] {
+			res.Removed = append(res.Removed, k)
+		}
+	}
+	s.prevKeys = keys
+	return res, nil
+}
+
+// State is a point-in-time snapshot for GET responses.
+type State struct {
+	ID        string
+	Engine    core.Engine
+	Facts     int
+	Created   time.Time
+	LastUsed  time.Time
+	Alarms    int
+	Exhausted bool
+	Seq       alarm.Seq
+	Report    *core.Report // nil before the first append
+}
+
+// Snapshot reads the session state. It takes the session mutex, so it
+// serializes against appends (an evaluation in flight delays it).
+func (s *Session) Snapshot() (State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed.Load() {
+		return State{}, ErrClosed
+	}
+	return State{
+		ID:        s.ID,
+		Engine:    s.Engine,
+		Facts:     s.Facts,
+		Created:   s.Created,
+		LastUsed:  s.LastUsed(),
+		Alarms:    s.alarms,
+		Exhausted: s.exhausted,
+		Seq:       s.inc.Seq(),
+		Report:    s.inc.Report(),
+	}, nil
+}
+
+// timeoutErr reports whether err is an evaluation timeout (mapped to 504).
+func timeoutErr(err error) bool { return errors.Is(err, dist.ErrTimeout) }

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/core"
+)
+
+// StoreConfig bounds the session table.
+type StoreConfig struct {
+	// MaxSessions caps the table; creating one past the cap evicts the
+	// least-recently-used session. 0 means 64.
+	MaxSessions int
+	// SessionFacts is the default per-session fact budget when a create
+	// request does not name one. 0 means 1<<20.
+	SessionFacts int
+	// GlobalFacts caps the sum of reserved per-session budgets; a create
+	// that would overflow it is load-shed with ErrOverloaded, even below
+	// MaxSessions. 0 means 64 << 20.
+	GlobalFacts int
+	// TTL expires sessions idle longer than this on Sweep. 0 means 15min.
+	TTL time.Duration
+}
+
+func (c StoreConfig) withDefaults() StoreConfig {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionFacts == 0 {
+		c.SessionFacts = 1 << 20
+	}
+	if c.GlobalFacts == 0 {
+		c.GlobalFacts = 64 << 20
+	}
+	if c.TTL == 0 {
+		c.TTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Store is the bounded session table: a map plus an LRU list, a global
+// reserved-fact budget, and TTL sweeping. All methods are safe for
+// concurrent use. Eviction only unlinks a session from the table — an
+// append already in flight on the evicted session finishes on its own
+// mutex and the session is collected afterwards.
+type Store struct {
+	cfg     StoreConfig
+	metrics *Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*list.Element // value: *Session
+	lru      *list.List               // front = most recently used
+	reserved int                      // sum of live sessions' fact budgets
+	nextID   uint64
+}
+
+// NewStore builds an empty table. metrics may be nil.
+func NewStore(cfg StoreConfig, metrics *Metrics) *Store {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	st := &Store{
+		cfg:      cfg.withDefaults(),
+		metrics:  metrics,
+		sessions: make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+	metrics.Gauge("diagnosed_sessions_active", func() int64 { return int64(st.Len()) })
+	metrics.Gauge("diagnosed_facts_reserved", func() int64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return int64(st.reserved)
+	})
+	return st
+}
+
+// Len counts live sessions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sessions)
+}
+
+func (st *Store) newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to
+		// the counter alone rather than crashing the server.
+		return fmt.Sprintf("s%06d", st.nextID)
+	}
+	st.nextID++
+	return fmt.Sprintf("s%06d-%s", st.nextID, hex.EncodeToString(b[:]))
+}
+
+// Create admits a new session or load-sheds with ErrOverloaded. facts=0
+// takes the configured per-session default. The expensive part — parsing
+// the net and warming the engine — runs outside the table lock; the
+// budget is reserved first and released if setup fails.
+func (st *Store) Create(sys *core.System, engine core.Engine, facts int, now time.Time) (*Session, error) {
+	if facts <= 0 {
+		facts = st.cfg.SessionFacts
+	}
+
+	st.mu.Lock()
+	if st.reserved+facts > st.cfg.GlobalFacts {
+		st.mu.Unlock()
+		st.metrics.Add("diagnosed_sessions_shed_total", 1)
+		return nil, fmt.Errorf("%w: global fact budget exhausted (%d reserved of %d)",
+			ErrOverloaded, st.reserved, st.cfg.GlobalFacts)
+	}
+	st.reserved += facts
+	for len(st.sessions) >= st.cfg.MaxSessions {
+		st.evictOldestLocked("diagnosed_sessions_evicted_total")
+	}
+	id := st.newID()
+	st.mu.Unlock()
+
+	sess, err := newSession(id, sys, engine, facts, now)
+	if err != nil {
+		st.mu.Lock()
+		st.reserved -= facts
+		st.mu.Unlock()
+		return nil, err
+	}
+
+	st.mu.Lock()
+	st.sessions[id] = st.lru.PushFront(sess)
+	st.mu.Unlock()
+	st.metrics.Add("diagnosed_sessions_created_total", 1)
+	return sess, nil
+}
+
+// Get looks a session up and marks it most-recently-used.
+func (st *Store) Get(id string, now time.Time) (*Session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(el)
+	sess := el.Value.(*Session)
+	sess.Touch(now)
+	return sess, true
+}
+
+// Delete removes a session, releasing its reserved budget.
+func (st *Store) Delete(id string) bool {
+	st.mu.Lock()
+	el, ok := st.sessions[id]
+	if ok {
+		st.removeLocked(el)
+	}
+	st.mu.Unlock()
+	if ok {
+		st.metrics.Add("diagnosed_sessions_deleted_total", 1)
+	}
+	return ok
+}
+
+// Sweep expires sessions idle past the TTL; returns how many it evicted.
+func (st *Store) Sweep(now time.Time) int {
+	cutoff := now.Add(-st.cfg.TTL)
+	st.mu.Lock()
+	var expired []*list.Element
+	for el := st.lru.Back(); el != nil; el = el.Prev() {
+		if el.Value.(*Session).LastUsed().After(cutoff) {
+			break // LRU order: everything nearer the front is younger
+		}
+		expired = append(expired, el)
+	}
+	for _, el := range expired {
+		st.removeLocked(el)
+	}
+	st.mu.Unlock()
+	if n := len(expired); n > 0 {
+		st.metrics.Add("diagnosed_sessions_expired_total", int64(n))
+		return n
+	}
+	return 0
+}
+
+// Clear closes every session (shutdown).
+func (st *Store) Clear() {
+	st.mu.Lock()
+	for st.lru.Len() > 0 {
+		st.removeLocked(st.lru.Back())
+	}
+	st.mu.Unlock()
+}
+
+func (st *Store) evictOldestLocked(counter string) {
+	el := st.lru.Back()
+	if el == nil {
+		return
+	}
+	st.removeLocked(el)
+	st.metrics.Add(counter, 1)
+}
+
+func (st *Store) removeLocked(el *list.Element) {
+	sess := el.Value.(*Session)
+	delete(st.sessions, sess.ID)
+	st.lru.Remove(el)
+	st.reserved -= sess.Facts
+	sess.Close()
+}

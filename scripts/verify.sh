@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Repo verification gate: formatting, vet, full build, full tests, and a
+# race pass over the concurrency-heavy packages (the distributed runtime
+# and the session server). CI and pre-commit both run this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/serve ./internal/dist"
+go test -race ./internal/serve ./internal/dist
+
+echo "verify: OK"
