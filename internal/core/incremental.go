@@ -7,6 +7,11 @@ import (
 	"repro/internal/diagnosis"
 )
 
+// ErrPoisoned wraps every Append on a DQSQ handle after an evaluation
+// failure (e.g. a timeout): the warm engine state is ambiguous, so the
+// handle refuses to serve further answers. See diagnosis.ErrPoisoned.
+var ErrPoisoned = diagnosis.ErrPoisoned
+
 // Incremental is a long-lived diagnosis handle: alarms are appended as
 // the supervisor observes them, and after every append the handle holds
 // the diagnosis of the whole sequence so far.

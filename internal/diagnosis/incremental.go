@@ -1,6 +1,7 @@
 package diagnosis
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -45,7 +46,15 @@ type OnlineDiagnoser struct {
 	seq     alarm.Seq
 	version int
 	last    *Report
+	broken  error // first evaluation failure; poisons every later Append
 }
+
+// ErrPoisoned wraps every Append after an evaluation failure: once a
+// query has timed out (or the engine otherwise failed mid-evaluation),
+// the queued alarm facts may have been partially injected into the warm
+// distributed state, so no later answer over this session is trustworthy.
+// Callers open a fresh diagnoser and replay the sequence.
+var ErrPoisoned = errors.New("diagnosis: online session poisoned by earlier failure")
 
 // indexPeers returns every peer of the net, sorted — the fixed k-ary
 // index order of the incremental supervisor program.
@@ -118,41 +127,49 @@ func (d *OnlineDiagnoser) Seq() alarm.Seq {
 // Report returns the report of the last Append (nil before the first).
 func (d *OnlineDiagnoser) Report() *Report { return d.last }
 
-// versionedQuery names the completion relation of the current version.
-func (d *OnlineDiagnoser) versionedQuery() string {
-	return fmt.Sprintf("%s.v%d", RelQuery, d.version)
-}
-
 // Append extends the observed sequence and returns the diagnosis of the
 // full sequence so far. The report's materialization metrics (TransFacts,
 // PlaceFacts, Derived) are cumulative over the session — the substance of
 // incrementality is that they grow by the new frontier only. A zero
 // timeout means one minute.
+//
+// Append is transactional on the diagnoser's durable state: counts, seq
+// and version commit only after the query succeeds, so a failed append
+// never leaves Seq claiming alarms the evaluation did not cover. The warm
+// engine itself cannot be rolled back — a timed-out query may have
+// partially injected the new alarm facts — so an evaluation failure
+// poisons the session: every later Append fails with ErrPoisoned.
 func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Report, error) {
+	if d.broken != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPoisoned, d.broken)
+	}
 	s := d.prog.Store
+	counts := make(map[petri.Peer]int, len(d.counts))
+	for p, n := range d.counts {
+		counts[p] = n
+	}
 	var facts []ddatalog.PAtom
 	for _, o := range obs {
 		if !hasPeer(d.padded, o.Peer) {
 			return nil, fmt.Errorf("diagnosis: alarm from unknown peer %q", o.Peer)
 		}
-		i := d.counts[o.Peer]
+		i := counts[o.Peer]
 		facts = append(facts, ddatalog.At(RelAlarmSeq, SupervisorPeer,
 			s.Constant(idxConst(o.Peer, i)),
 			s.Constant(string(o.Alarm)),
 			s.Constant(string(o.Peer)),
 			s.Constant(idxConst(o.Peer, i+1)),
 		))
-		d.counts[o.Peer] = i + 1
-		d.seq = append(d.seq, o)
+		counts[o.Peer] = i + 1
 	}
 
-	d.version++
+	version := d.version + 1
 	z, w, y, x := s.Variable("Qz"), s.Variable("Qw"), s.Variable("Qy"), s.Variable("Qx")
 	final := []term.ID{z, w, y}
 	for _, peer := range d.peers {
-		final = append(final, s.Constant(idxConst(peer, d.counts[peer])))
+		final = append(final, s.Constant(idxConst(peer, counts[peer])))
 	}
-	qRel := rel.Name(d.versionedQuery())
+	qRel := rel.Name(fmt.Sprintf("%s.v%d", RelQuery, version))
 	rule := ddatalog.PRule{
 		Head: ddatalog.At(qRel, SupervisorPeer, z, x),
 		Body: []ddatalog.PAtom{
@@ -161,6 +178,10 @@ func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Repor
 		},
 	}
 	if err := d.sess.Extend(facts, []ddatalog.PRule{rule}); err != nil {
+		// Extend queues facts and rules without touching the running
+		// engine, but a partial extension (rules in, facts rejected)
+		// still desynchronizes the program from the diagnoser.
+		d.broken = err
 		return nil, err
 	}
 
@@ -168,8 +189,12 @@ func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Repor
 	query := ddatalog.At(qRel, SupervisorPeer, s.Variable("AnsZ"), s.Variable("AnsX"))
 	res, err := d.sess.Query(query, timeout)
 	if err != nil {
+		d.broken = err
 		return nil, err
 	}
+	d.counts = counts
+	d.seq = append(d.seq, obs...)
+	d.version = version
 	rep := &Report{
 		Engine:    EngineDQSQ,
 		Diagnoses: ExtractDiagnoses(res.Store, res.Answers, true),

@@ -1,6 +1,7 @@
 package diagnosis
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -88,6 +89,35 @@ func TestOnlineDiagnoserBatchAppend(t *testing.T) {
 	}
 	if d.Report() != rep {
 		t.Fatal("Report() is not the last report")
+	}
+}
+
+// TestOnlineDiagnoserPoisonedAfterFailure: an evaluation failure (here a
+// budget blow-up mid-query) must not commit the append's durable state —
+// Seq() may not claim alarms the evaluation did not cover — and must
+// poison the session: the warm engine may have partially absorbed the
+// queued facts, so every later Append fails with ErrPoisoned instead of
+// serving an answer that silently omits alarms.
+func TestOnlineDiagnoserPoisonedAfterFailure(t *testing.T) {
+	d, err := NewOnlineDiagnoser(petri.Example(), datalog.Budget{MaxFacts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(seqA1[:1], time.Minute); err == nil {
+		t.Fatal("append under an 8-fact budget succeeded")
+	}
+	if got := d.Seq(); len(got) != 0 {
+		t.Fatalf("failed append committed its alarms: Seq() = %v", got)
+	}
+	if d.Report() != nil {
+		t.Fatal("failed append committed a report")
+	}
+	_, err = d.Append(seqA1[1:2], time.Minute)
+	if !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after failure: %v, want ErrPoisoned", err)
+	}
+	if got := d.Seq(); len(got) != 0 {
+		t.Fatalf("poisoned append committed its alarms: Seq() = %v", got)
 	}
 }
 

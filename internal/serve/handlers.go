@@ -336,7 +336,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Add("diagnosed_alarms_total", int64(len(seq)))
 	s.metrics.Add("diagnosed_appends_total", 1)
 	s.metrics.Add("diagnosed_facts_materialized_total", int64(res.DerivedDelta))
-	s.metrics.Add("diagnosed_messages_total", int64(res.Report.Messages))
+	s.metrics.Add("diagnosed_messages_total", int64(res.MessagesDelta))
 
 	added, removed := res.Added, res.Removed
 	if added == nil {

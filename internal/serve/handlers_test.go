@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -213,6 +214,48 @@ func TestAPIIncrementality(t *testing.T) {
 		t.Fatalf("streamed materialization %d > 2x one-shot %d", total, oneshot.Derived)
 	}
 	t.Logf("streamed facts %d vs one-shot %d", total, oneshot.Derived)
+
+	// Report.Messages is cumulative over a dQSQ session, so the counter —
+	// which adds one delta per append — must equal the final cumulative
+	// figure, not the sum of the per-append cumulative figures.
+	if got := metricValue(t, ts, "diagnosed_messages_total"); got != int64(last.Report.Messages) {
+		t.Fatalf("diagnosed_messages_total = %d, want final cumulative %d", got, last.Report.Messages)
+	}
+}
+
+// TestTimeoutPoisonsDQSQSession: a timed-out append leaves the warm dQSQ
+// state ambiguous (the queued alarm facts may be partially injected), so
+// the session must refuse later appends with ErrExhausted instead of
+// serving reports that silently omit the lost alarms.
+func TestTimeoutPoisonsDQSQSession(t *testing.T) {
+	sess, err := newSession("s1", core.Example(), core.DQSQ, 0, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	obs, err := core.ParseAlarms("b@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(obs, time.Nanosecond); err == nil {
+		// The evaluation would have to quiesce before a 1ns timer fires.
+		t.Skip("append beat the 1ns timeout")
+	} else if !timeoutErr(err) {
+		t.Fatalf("append with 1ns timeout: %v, want timeout", err)
+	}
+	if _, err := sess.Append(obs, time.Minute); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("append after timeout: %v, want ErrExhausted", err)
+	}
+	st, err := sess.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Exhausted {
+		t.Fatal("timed-out session not marked exhausted")
+	}
+	if len(st.Seq) != 0 {
+		t.Fatalf("timed-out append committed its alarms: %v", st.Seq)
+	}
 }
 
 // diagnoses lifts a wire report's diagnosis set back into the library

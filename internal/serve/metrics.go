@@ -88,33 +88,49 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 }
 
 // WriteText renders every metric, sorted by name, in the text format.
+// Gauge readers run AFTER m.mu is released: gauges reach into other
+// subsystems (e.g. the session store's mutex), and those subsystems call
+// Add/Observe — sampling them under m.mu would order the two locks both
+// ways and deadlock a scrape against a concurrent store operation.
 func (m *Metrics) WriteText(w io.Writer) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	counters := make(map[string]int64, len(m.counters))
+	for n, v := range m.counters {
+		counters[n] = v
+	}
+	gauges := make(map[string]func() int64, len(m.gauges))
+	for n, read := range m.gauges {
+		gauges[n] = read
+	}
+	hists := make(map[string]histogram, len(m.hists))
+	for n, h := range m.hists {
+		hists[n] = *h
+	}
+	m.mu.Unlock()
 
-	names := make([]string, 0, len(m.counters)+len(m.gauges))
-	for n := range m.counters {
+	names := make([]string, 0, len(counters)+len(gauges))
+	for n := range counters {
 		names = append(names, n)
 	}
-	for n := range m.gauges {
+	for n := range gauges {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
-		if read, ok := m.gauges[n]; ok {
+		if read, ok := gauges[n]; ok {
 			fmt.Fprintf(w, "%s %d\n", n, read())
 			continue
 		}
-		fmt.Fprintf(w, "%s %d\n", n, m.counters[n])
+		fmt.Fprintf(w, "%s %d\n", n, counters[n])
 	}
 
-	hnames := make([]string, 0, len(m.hists))
-	for n := range m.hists {
+	hnames := make([]string, 0, len(hists))
+	for n := range hists {
 		hnames = append(hnames, n)
 	}
 	sort.Strings(hnames)
 	for _, n := range hnames {
-		h := m.hists[n]
+		h := hists[n]
 		cum := int64(0)
 		for i, ub := range latencyBuckets {
 			cum += h.counts[i]

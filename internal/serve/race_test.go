@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/parser"
 	"repro/internal/petri"
 )
@@ -96,6 +98,43 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 	if n := s.Store().Len(); n != 0 {
 		t.Fatalf("%d sessions survive shutdown", n)
+	}
+}
+
+// TestMetricsScrapeDuringEviction: scraping /metrics samples gauges that
+// acquire the store mutex, while creates that evict used to bump counters
+// (acquiring the metrics mutex) from inside the store's locked section —
+// a lock-order inversion that deadlocked both paths. This test hammers
+// the two concurrently; under the old ordering it hangs.
+func TestMetricsScrapeDuringEviction(t *testing.T) {
+	m := NewMetrics()
+	st := NewStore(StoreConfig{MaxSessions: 2}, m)
+	defer st.Clear()
+	sys := core.Example()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 40; i++ {
+			if _, err := st.Create(sys, core.Direct, 0, time.Now()); err != nil {
+				t.Errorf("create %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		m.WriteText(io.Discard)
+	}
+	if got := m.Counter("diagnosed_sessions_evicted_total"); got != 38 {
+		t.Fatalf("evicted counter = %d, want 38", got)
+	}
+	if n := st.Len(); n != 2 {
+		t.Fatalf("store holds %d sessions, want 2", n)
 	}
 }
 

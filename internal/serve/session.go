@@ -73,12 +73,13 @@ type Session struct {
 	lastUsed atomic.Int64 // unix nanoseconds; TTL sweeps and GET read it
 	closed   atomic.Bool  // set lock-free by eviction, so the store never waits on an evaluation
 
-	mu          sync.Mutex
-	inc         *core.Incremental
-	alarms      int
-	exhausted   bool
-	prevKeys    map[string]bool // diagnosis keys of the previous report, for deltas
-	prevDerived int             // cumulative Derived after the previous append (DQSQ)
+	mu           sync.Mutex
+	inc          *core.Incremental
+	alarms       int
+	exhausted    bool
+	prevKeys     map[string]bool // diagnosis keys of the previous report, for deltas
+	prevDerived  int             // cumulative Derived after the previous append (DQSQ)
+	prevMessages int             // cumulative Messages after the previous append (DQSQ)
 }
 
 func newSession(id string, sys *core.System, engine core.Engine, facts int, now time.Time) (*Session, error) {
@@ -123,12 +124,21 @@ type AppendResult struct {
 	// for the re-evaluating engines. Feeds the
 	// diagnosed_facts_materialized_total metric.
 	DerivedDelta int
+	// MessagesDelta counts the peer messages this append exchanged, on
+	// the same cumulative-vs-whole-run split as DerivedDelta. Feeds the
+	// diagnosed_messages_total metric (adding the cumulative Report
+	// figure every round would double-count all earlier rounds).
+	MessagesDelta int
 }
 
 // Append feeds alarms to the warm handle and computes the diagnosis of
 // the full sequence so far. Budget exhaustion poisons the session
-// (ErrExhausted now and on every later call); timeouts and input errors
-// leave it usable.
+// (ErrExhausted now and on every later call). For the re-evaluating
+// engines a timeout leaves the session usable (the next append re-runs
+// from scratch); for DQSQ any evaluation failure poisons it too — the
+// warm engine may have partially absorbed the queued alarm facts, so no
+// later answer would be trustworthy. Input errors always leave the
+// session usable.
 func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -140,9 +150,18 @@ func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult,
 	}
 	rep, err := s.inc.Append(obs, timeout)
 	if err != nil {
-		if errors.Is(err, datalog.ErrBudget) {
+		switch {
+		case errors.Is(err, datalog.ErrBudget):
 			s.exhausted = true
 			return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
+		case errors.Is(err, core.ErrPoisoned):
+			s.exhausted = true
+			return nil, fmt.Errorf("%w: %v", ErrExhausted, err)
+		case s.Engine == core.DQSQ && timeoutErr(err):
+			// First failure: surface the timeout (504) but mark the
+			// session exhausted so later appends 429 immediately
+			// instead of re-entering the poisoned handle.
+			s.exhausted = true
 		}
 		return nil, err
 	}
@@ -153,13 +172,16 @@ func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult,
 	s.alarms += len(obs)
 
 	delta := rep.Derived
+	msgDelta := rep.Messages
 	if s.Engine == core.DQSQ {
 		delta = rep.Derived - s.prevDerived
+		msgDelta = rep.Messages - s.prevMessages
 	}
 	s.prevDerived = rep.Derived
+	s.prevMessages = rep.Messages
 
 	keys := make(map[string]bool, len(rep.Diagnoses))
-	res := &AppendResult{Report: rep, Alarms: s.alarms, DerivedDelta: delta}
+	res := &AppendResult{Report: rep, Alarms: s.alarms, DerivedDelta: delta, MessagesDelta: msgDelta}
 	for _, k := range rep.Diagnoses.Keys() {
 		keys[k] = true
 		if !s.prevKeys[k] {

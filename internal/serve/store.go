@@ -88,13 +88,14 @@ func (st *Store) Len() int {
 }
 
 func (st *Store) newID() string {
+	st.nextID++
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand never fails on supported platforms; fall back to
-		// the counter alone rather than crashing the server.
+		// the counter alone rather than crashing the server. The counter
+		// still advances, so fallback IDs stay unique.
 		return fmt.Sprintf("s%06d", st.nextID)
 	}
-	st.nextID++
 	return fmt.Sprintf("s%06d-%s", st.nextID, hex.EncodeToString(b[:]))
 }
 
@@ -115,11 +116,18 @@ func (st *Store) Create(sys *core.System, engine core.Engine, facts int, now tim
 			ErrOverloaded, st.reserved, st.cfg.GlobalFacts)
 	}
 	st.reserved += facts
+	evicted := 0
 	for len(st.sessions) >= st.cfg.MaxSessions {
-		st.evictOldestLocked("diagnosed_sessions_evicted_total")
+		if !st.evictOldestLocked() {
+			break
+		}
+		evicted++
 	}
 	id := st.newID()
 	st.mu.Unlock()
+	if evicted > 0 {
+		st.metrics.Add("diagnosed_sessions_evicted_total", int64(evicted))
+	}
 
 	sess, err := newSession(id, sys, engine, facts, now)
 	if err != nil {
@@ -129,9 +137,22 @@ func (st *Store) Create(sys *core.System, engine core.Engine, facts int, now tim
 		return nil, err
 	}
 
+	// Setup ran unlocked, so concurrent creates may have refilled the
+	// table; evict again before inserting so MaxSessions holds at all
+	// times, not just transiently.
 	st.mu.Lock()
+	evicted = 0
+	for len(st.sessions) >= st.cfg.MaxSessions {
+		if !st.evictOldestLocked() {
+			break
+		}
+		evicted++
+	}
 	st.sessions[id] = st.lru.PushFront(sess)
 	st.mu.Unlock()
+	if evicted > 0 {
+		st.metrics.Add("diagnosed_sessions_evicted_total", int64(evicted))
+	}
 	st.metrics.Add("diagnosed_sessions_created_total", 1)
 	return sess, nil
 }
@@ -195,13 +216,18 @@ func (st *Store) Clear() {
 	st.mu.Unlock()
 }
 
-func (st *Store) evictOldestLocked(counter string) {
+// evictOldestLocked drops the LRU session, reporting whether one existed.
+// It must not touch metrics: the registered gauges acquire st.mu from
+// inside Metrics.WriteText, so calling metrics.Add while holding st.mu
+// would order the two mutexes both ways and deadlock a concurrent
+// /metrics scrape. Callers count evictions and Add after unlocking.
+func (st *Store) evictOldestLocked() bool {
 	el := st.lru.Back()
 	if el == nil {
-		return
+		return false
 	}
 	st.removeLocked(el)
-	st.metrics.Add(counter, 1)
+	return true
 }
 
 func (st *Store) removeLocked(el *list.Element) {
