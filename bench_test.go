@@ -22,6 +22,7 @@ import (
 	"repro/internal/dqsq"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/product"
 	"repro/internal/qsq"
@@ -314,4 +315,29 @@ func BenchmarkQSQRewriteOnly(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkQuickstartDiagnosis measures the quickstart diagnosis with the
+// tracer off (the default no-op path every untraced run pays) and on (a
+// full ChromeTraceWriter capture, as cmd/diagnose -trace uses). The
+// verify.sh overhead guard compares the two: the no-op path must not cost
+// more than a traced run — if it does, instrumentation leaked onto the
+// hot path.
+func BenchmarkQuickstartDiagnosis(b *testing.B) {
+	pn := petri.Example()
+	run := func(b *testing.B, opt diagnosis.Options) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := diagnosis.Run(pn, seqA1, diagnosis.EngineDQSQ, opt)
+			if err != nil || len(rep.Diagnoses) == 0 {
+				b.Fatalf("err=%v", err)
+			}
+		}
+	}
+	b.Run("TracerOff", func(b *testing.B) {
+		run(b, diagnosis.Options{Timeout: 2 * time.Minute})
+	})
+	b.Run("TracerOn", func(b *testing.B) {
+		run(b, diagnosis.Options{Timeout: 2 * time.Minute, Tracer: obs.NewChromeTraceWriter(-1)})
+	})
 }

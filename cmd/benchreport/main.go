@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -52,6 +52,19 @@ func main() {
 	run("s3", func() error { return reportS3(*max) })
 	run("ablation", func() error { return reportAblation(*max) })
 	run("placement", func() error { return reportPlacement(*max) })
+	run("trace_overhead", func() error { return reportTraceOverhead(*max) })
+}
+
+func reportTraceOverhead(max int) error {
+	rows, err := experiments.TraceOverhead(max) // max doubles as the iteration count
+	if err != nil {
+		return err
+	}
+	header("Tracing overhead — quickstart diagnosis, no-op tracer vs ChromeTraceWriter capture",
+		"iters", "nop ns/op", "traced ns/op", "overhead %", "trace events")
+	row(rows.Iters, rows.NopNsPerOp, rows.TracedNsPerOp,
+		fmt.Sprintf("%.1f", rows.OverheadPct), rows.TraceEvents)
+	return maybeBench("trace_overhead", []experiments.TraceOverheadRow{*rows})
 }
 
 func reportPlacement(max int) error {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/diagnosis"
+	"repro/internal/obs"
 	"repro/internal/viz"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		timeout = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
 		quiet   = flag.Bool("q", false, "print only the diagnoses")
 		dot     = flag.String("dot", "", "write the explanations as Graphviz DOT to this file ('-' for stdout)")
+		trace   = flag.String("trace", "", "write the evaluation as Chrome trace-event JSON to this file ('-' for stdout); open in chrome://tracing or Perfetto")
 	)
 	flag.Parse()
 
@@ -66,7 +69,13 @@ func main() {
 		Timeout: *timeout,
 		Budget:  datalog.Budget{MaxTermDepth: *depth, MaxFacts: *facts},
 	}
+	var tw *obs.ChromeTraceWriter
+	if *trace != "" {
+		tw = obs.NewChromeTraceWriter(-1) // a one-shot CLI run keeps everything
+		opt.Tracer = tw
+	}
 
+	start := time.Now()
 	var prev *core.Report
 	truncated := false
 	for _, e := range engines {
@@ -88,6 +97,16 @@ func main() {
 		} else if err := os.WriteFile(*dot, []byte(out), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+	if tw != nil {
+		if err := writeTrace(tw, *trace); err != nil {
+			fatal(err)
+		}
+	}
+	if prev != nil {
+		fmt.Fprintf(os.Stderr, "diagnose: %d peers, %d messages, %d facts derived, %.1fms elapsed\n",
+			len(sys.Peers()), prev.Messages, prev.Derived,
+			float64(time.Since(start).Microseconds())/1000)
 	}
 	if truncated {
 		exit(errors.New("evaluation hit a budget or depth bound; the diagnosis above may be incomplete"),
@@ -167,6 +186,19 @@ func printReport(rep *diagnosis.Report, quiet bool) {
 		fmt.Println("warning: a budget bound was hit; the answer may be incomplete")
 	}
 	fmt.Println()
+}
+
+// writeTrace exports the captured evaluation trace.
+func writeTrace(tw *obs.ChromeTraceWriter, dest string) error {
+	var buf bytes.Buffer
+	if err := tw.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if dest == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(dest, buf.Bytes(), 0o644)
 }
 
 func fatal(err error) { exit(err, exitErr) }

@@ -14,16 +14,24 @@
 //
 // SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
 // in-flight evaluations finish (bounded by -drain-timeout).
+//
+// Every request is access-logged to stderr as structured log/slog lines
+// (method, path, session, status, duration; /healthz and /metrics polls
+// log at debug level and are hidden unless -v). Per-session evaluation
+// traces are exported at GET /v1/sessions/{id}/trace; -pprof additionally
+// serves the runtime profiles at /debug/pprof/.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,8 +48,16 @@ func main() {
 		sweepEvery   = flag.Duration("sweep", 30*time.Second, "TTL sweep period")
 		evalTimeout  = flag.Duration("eval-timeout", 30*time.Second, "per-append evaluation timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		withPprof    = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/")
+		verbose      = flag.Bool("v", false, "log /healthz and /metrics polls too")
 	)
 	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	srv := serve.NewServer(serve.Config{
 		Store: serve.StoreConfig{
@@ -58,24 +74,37 @@ func main() {
 		return int64(time.Since(start).Seconds())
 	})
 
+	var handler http.Handler = srv
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+	handler = accessLog(logger, handler)
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "diagnosed: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "pprof", *withPprof)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "diagnosed: %v, draining (up to %v)\n", sig, *drainTimeout)
+		logger.Info("draining", "signal", sig.String(), "timeout", *drainTimeout)
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "diagnosed: serve: %v\n", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	}
 
@@ -83,11 +112,60 @@ func main() {
 	defer cancel()
 	// Stop accepting connections first, then drain in-flight evaluations.
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		fmt.Fprintf(os.Stderr, "diagnosed: http shutdown: %v\n", err)
+		logger.Error("http shutdown", "err", err)
 	}
 	if err := srv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "diagnosed: drain incomplete: %v\n", err)
+		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "diagnosed: drained cleanly")
+	logger.Info("drained cleanly")
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps h with structured request logging: method, path,
+// session (when the path names one), status and duration. Health and
+// metrics polls log at debug so they do not drown the interesting lines.
+func accessLog(logger *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(sw, r)
+
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start).Round(time.Microsecond).String(),
+		}
+		if id := sessionID(r.URL.Path); id != "" {
+			attrs = append(attrs, "session", id)
+		}
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			logger.Debug("request", attrs...)
+			return
+		}
+		logger.Info("request", attrs...)
+	})
+}
+
+// sessionID extracts the {id} segment of /v1/sessions/{id}[/...] paths.
+func sessionID(path string) string {
+	rest, ok := strings.CutPrefix(path, "/v1/sessions/")
+	if !ok || rest == "" {
+		return ""
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
 }

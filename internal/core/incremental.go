@@ -45,6 +45,9 @@ func (s *System) NewIncremental(engine Engine, opt Options) (*Incremental, error
 		if err != nil {
 			return nil, err
 		}
+		// The other engines pick opt.Tracer up per-Diagnose; the warm
+		// session needs it installed once, up front.
+		d.SetTracer(opt.Tracer)
 		inc.online = d
 	}
 	return inc, nil

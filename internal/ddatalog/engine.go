@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/datalog"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/term"
 )
@@ -65,6 +66,14 @@ type Engine struct {
 	aborted atomic.Bool  // set when the budget trips; stops in-handler work
 	hook    ActivationHook
 	stats   Stats
+	tracer  obs.Tracer // never nil; obs.Nop by default
+	traceOn bool       // tracer.Enabled() snapshot, set per run
+	// Cumulative figures after the previous run, so each RunDelta can
+	// emit the run's own delta as counter events.
+	lastDerived    int
+	lastReplicated int
+	lastInstalled  int
+	lastByRel      map[rel.Name]int
 	// The collector persists across runs so that answers accumulated in
 	// earlier rounds remain extractable in later ones.
 	colStore *term.Store
@@ -89,6 +98,8 @@ type peerState struct {
 	pending    []pendingFact         // derived facts awaiting their delta joins
 	derived    int
 	replicated int
+	installed  int              // rules installed at runtime (hook or msgInstall)
+	derivedBy  map[rel.Name]int // facts per head relation; tracked only while tracing
 }
 
 // pendingFact is a newly materialized fact whose delta joins have not run
@@ -113,7 +124,13 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 	if budget.MaxFacts == 0 {
 		budget.MaxFacts = datalog.DefaultBudget.MaxFacts
 	}
-	e := &Engine{prog: prog, budget: budget, peers: make(map[dist.PeerID]*peerState)}
+	e := &Engine{
+		prog:      prog,
+		budget:    budget,
+		peers:     make(map[dist.PeerID]*peerState),
+		tracer:    obs.Nop,
+		lastByRel: make(map[rel.Name]int),
+	}
 	e.colStore = term.NewStore()
 	e.colDB = rel.NewDB(e.colStore)
 	for _, id := range prog.Peers() {
@@ -127,6 +144,7 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 			bodyIdx:   make(map[rel.Name][]ruleAt),
 			arity:     make(map[rel.Name]int),
 			hooked:    make(map[rel.Name]bool),
+			derivedBy: make(map[rel.Name]int),
 		}
 		ps.db = rel.NewDB(ps.store)
 		ps.bnd = term.NewBindings(ps.store)
@@ -223,6 +241,9 @@ func (ps *peerState) handle(ctx *dist.Context, m dist.Message) {
 // where a budget abort must take effect: network aborts stop message
 // delivery but cannot interrupt a handler.
 func (ps *peerState) drain(ctx *dist.Context) {
+	if ps.eng.traceOn && len(ps.pending) > 0 {
+		ps.eng.tracer.Gauge(string(ps.id), "ddatalog_pending_delta", int64(len(ps.pending)))
+	}
 	for len(ps.pending) > 0 && !ps.eng.aborted.Load() && !ctx.Stopped() {
 		f := ps.pending[0]
 		ps.pending = ps.pending[1:]
@@ -396,6 +417,9 @@ func (ps *peerState) deriveFact(ctx *dist.Context, q rel.Name, args []term.ID) {
 		return
 	}
 	ps.derived++
+	if ps.eng.traceOn {
+		ps.derivedBy[q]++
+	}
 	if int(ps.eng.derived.Add(1)) > ps.eng.budget.MaxFacts {
 		ps.eng.aborted.Store(true)
 		ctx.Abort(fmt.Errorf("%w: more than %d facts", datalog.ErrBudget, ps.eng.budget.MaxFacts))
@@ -420,6 +444,49 @@ type Result struct {
 	Stats Stats
 }
 
+// SetTracer installs the engine's tracer (obs.Nop when t is nil). It is
+// threaded into each run's network, so every RunDelta gets per-peer spans
+// and message-hop flow events for free; the engine adds its own counters
+// (facts derived, facts replicated, rules installed, per-head-relation
+// detail) at the end of each run. Must not be called during a run.
+func (e *Engine) SetTracer(t obs.Tracer) {
+	e.tracer = obs.Or(t)
+}
+
+// finishRun emits the run's engine counters (as per-run deltas, so a
+// metrics sink accumulates them into cumulative totals) and rolls the
+// cumulative snapshots forward.
+func (e *Engine) finishRun(res *Result) {
+	installed := 0
+	for _, id := range e.order {
+		installed += e.peers[id].installed
+	}
+	if e.traceOn {
+		e.tracer.Counter("ddatalog", "ddatalog_facts_derived_total", int64(res.Stats.Derived-e.lastDerived))
+		e.tracer.Counter("ddatalog", "ddatalog_facts_replicated_total", int64(res.Stats.Replicated-e.lastReplicated))
+		if d := installed - e.lastInstalled; d > 0 {
+			e.tracer.Counter("ddatalog", "ddatalog_rules_installed_total", int64(d))
+		}
+		// Per-head-relation derivation counts: display-only names (the
+		// space keeps them out of /metrics — unbounded cardinality).
+		byRel := make(map[rel.Name]int, len(e.lastByRel))
+		for _, id := range e.order {
+			for r, c := range e.peers[id].derivedBy {
+				byRel[r] += c
+			}
+		}
+		for r, c := range byRel {
+			if d := c - e.lastByRel[r]; d > 0 {
+				e.tracer.Counter("ddatalog", "derived "+string(r), int64(d))
+			}
+		}
+		e.lastByRel = byRel
+	}
+	e.lastDerived = res.Stats.Derived
+	e.lastReplicated = res.Stats.Replicated
+	e.lastInstalled = installed
+}
+
 // Run evaluates the program for the located query atom q: the collector
 // activates q's relation at q's peer, the network runs to quiescence, and
 // the tuples matching the query pattern are extracted. A zero timeout
@@ -438,6 +505,11 @@ func (e *Engine) Run(q PAtom, timeout time.Duration) (*Result, error) {
 func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Duration) (*Result, error) {
 	if _, ok := e.peers[q.Peer]; !ok {
 		return nil, fmt.Errorf("ddatalog: query peer %q not in program", q.Peer)
+	}
+	e.traceOn = e.tracer.Enabled()
+	if e.traceOn {
+		sp := e.tracer.Begin("ddatalog", fmt.Sprintf("run %s", q.Qualified()))
+		defer sp.End()
 	}
 	src := e.prog.Store
 	initial := make([]dist.Message, 0, len(facts)+len(rules)+1)
@@ -460,6 +532,7 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 	initial = append(initial, dist.Message{From: collectorID, To: q.Peer, Payload: msgActivate{Rel: q.Rel}})
 
 	net := dist.NewNetwork()
+	net.SetTracer(e.tracer)
 	for _, id := range e.order {
 		ps := e.peers[id]
 		net.AddPeer(id, ps.handle)
@@ -482,6 +555,7 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 		res.Stats.Derived += ps.derived
 		res.Stats.Replicated += ps.replicated
 	}
+	e.finishRun(res)
 	if err != nil {
 		res.Stats.Truncated = true
 		res.Stats.Reason = err.Error()

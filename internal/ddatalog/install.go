@@ -129,6 +129,10 @@ func (ps *peerState) internRule(w wireRule) PRule {
 // the rule evaluated over current data; otherwise activation will pick it
 // up when the relation is requested.
 func (ps *peerState) installRule(ctx *dist.Context, r PRule) {
+	ps.installed++
+	if ps.eng.traceOn {
+		ps.eng.tracer.Instant(string(ps.id), "install "+string(r.Head.Qualified()))
+	}
 	ri := len(ps.rules)
 	ps.rules = append(ps.rules, r)
 	ps.noteArity(r.Head.Qualified(), len(r.Head.Args))

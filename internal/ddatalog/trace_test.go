@@ -1,0 +1,94 @@
+package ddatalog
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/datalog"
+	"repro/internal/obs"
+)
+
+// traceCounters decodes the writer and returns the final (accumulated)
+// value of every counter series plus the names of all complete spans.
+func traceCounters(t *testing.T, w *obs.ChromeTraceWriter) (map[string]float64, []string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	counters := map[string]float64{}
+	var spans []string
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "C":
+			// Samples are running totals; the last one is the cumulative value.
+			counters[e.Name] = e.Args["value"].(float64)
+		case "X":
+			spans = append(spans, e.Name)
+		}
+	}
+	return counters, spans
+}
+
+// TestEngineTraceCounters runs Figure 3 under a trace writer and checks
+// the engine-level counters agree with the run's own Stats.
+func TestEngineTraceCounters(t *testing.T) {
+	p := figure3(
+		[][2]string{{"1", "2"}, {"2", "3"}},
+		[][2]string{{"2", "ok"}, {"3", "ok"}},
+		[][2]string{{"2", "4"}, {"3", "5"}},
+	)
+	s := p.Store
+	q := At("R", "r", s.Constant("1"), s.Variable("Y"))
+
+	w := obs.NewChromeTraceWriter(0)
+	e, err := NewEngine(p, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetTracer(w)
+	res, err := e.Run(q, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counters, spans := traceCounters(t, w)
+	if got := counters["ddatalog_facts_derived_total"]; got != float64(res.Stats.Derived) {
+		t.Fatalf("ddatalog_facts_derived_total = %v, Stats.Derived = %d", got, res.Stats.Derived)
+	}
+	if got := counters["ddatalog_facts_replicated_total"]; got != float64(res.Stats.Replicated) {
+		t.Fatalf("ddatalog_facts_replicated_total = %v, Stats.Replicated = %d", got, res.Stats.Replicated)
+	}
+	found := false
+	for _, name := range spans {
+		if name == "run R@r" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no run span in %v", spans)
+	}
+
+	// A second run over the warm state derives nothing new; the emitted
+	// delta keeps the accumulated counter equal to cumulative Stats.
+	res2, err := e.RunDelta(q, nil, nil, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counters, _ = traceCounters(t, w)
+	if got := counters["ddatalog_facts_derived_total"]; got != float64(res2.Stats.Derived) {
+		t.Fatalf("after rerun: counter = %v, cumulative Derived = %d", got, res2.Stats.Derived)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ddatalog"
 	"repro/internal/dist"
 	"repro/internal/dqsq"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/product"
 	"repro/internal/rel"
@@ -63,7 +64,14 @@ type Options struct {
 	MaxEvents int
 	// Direct bounds the direct search (EngineDirect).
 	Direct DirectOptions
+	// Tracer observes the distributed engines (per-peer spans, message
+	// flows, engine counters). Nil means no tracing; the direct and
+	// product engines ignore it.
+	Tracer obs.Tracer
 }
+
+// tracer returns the configured tracer, obs.Nop when unset.
+func (o Options) tracer() obs.Tracer { return obs.Or(o.Tracer) }
 
 // Report is the outcome of a diagnosis run, with the materialization
 // metrics the experiments compare (Section 4.3, Theorem 4).
@@ -144,7 +152,12 @@ func runDatalog(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Options, r
 	var store *term.Store
 	switch engine {
 	case EngineNaive:
-		res, eng, err := ddatalog.Run(prog, query, budget, opt.Timeout)
+		eng, err := ddatalog.NewEngine(prog, budget)
+		if err != nil {
+			return err
+		}
+		eng.SetTracer(opt.Tracer)
+		res, err := eng.Run(query, opt.Timeout)
 		if err != nil {
 			return err
 		}
@@ -155,7 +168,7 @@ func runDatalog(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Options, r
 		rep.TransFacts = countPlainNodes(eng, padded, RelTrans)
 		rep.PlaceFacts = countPlainNodes(eng, padded, RelPlaces)
 	case EngineDQSQ:
-		res, err := dqsq.Run(prog, query, budget, opt.Timeout)
+		res, err := dqsq.RunWith(prog, query, budget, opt.Timeout, opt.Tracer)
 		if err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/ddatalog"
 	"repro/internal/dqsq"
+	"repro/internal/obs"
 	"repro/internal/petri"
 	"repro/internal/rel"
 	"repro/internal/term"
@@ -46,7 +47,8 @@ type OnlineDiagnoser struct {
 	seq     alarm.Seq
 	version int
 	last    *Report
-	broken  error // first evaluation failure; poisons every later Append
+	broken  error      // first evaluation failure; poisons every later Append
+	tracer  obs.Tracer // never nil; obs.Nop by default
 }
 
 // ErrPoisoned wraps every Append after an evaluation failure: once a
@@ -116,7 +118,18 @@ func NewOnlineDiagnoser(pn *petri.PetriNet, budget datalog.Budget) (*OnlineDiagn
 		prog:   p,
 		peers:  peers,
 		counts: make(map[petri.Peer]int),
+		tracer: obs.Nop,
 	}, nil
+}
+
+// SetTracer installs the diagnoser's tracer (obs.Nop when t is nil) and
+// threads it through the warm dQSQ session and its engine: each Append
+// gets a span on the "diagnosis" track, the unfolding-node count is
+// sampled as a gauge after every evaluation, and the session contributes
+// its subquery/engine/network events. Call before the first Append.
+func (d *OnlineDiagnoser) SetTracer(t obs.Tracer) {
+	d.tracer = obs.Or(t)
+	d.sess.SetTracer(d.tracer)
 }
 
 // Seq returns the alarms appended so far.
@@ -139,7 +152,7 @@ func (d *OnlineDiagnoser) Report() *Report { return d.last }
 // engine itself cannot be rolled back — a timed-out query may have
 // partially injected the new alarm facts — so an evaluation failure
 // poisons the session: every later Append fails with ErrPoisoned.
-func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Report, error) {
+func (d *OnlineDiagnoser) Append(batch []alarm.Obs, timeout time.Duration) (*Report, error) {
 	if d.broken != nil {
 		return nil, fmt.Errorf("%w: %v", ErrPoisoned, d.broken)
 	}
@@ -149,7 +162,7 @@ func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Repor
 		counts[p] = n
 	}
 	var facts []ddatalog.PAtom
-	for _, o := range obs {
+	for _, o := range batch {
 		if !hasPeer(d.padded, o.Peer) {
 			return nil, fmt.Errorf("diagnosis: alarm from unknown peer %q", o.Peer)
 		}
@@ -186,14 +199,19 @@ func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Repor
 	}
 
 	start := time.Now()
+	var sp obs.Span
+	if d.tracer.Enabled() {
+		sp = d.tracer.Begin("diagnosis", fmt.Sprintf("append.v%d (%d alarms)", version, len(batch)))
+	}
 	query := ddatalog.At(qRel, SupervisorPeer, s.Variable("AnsZ"), s.Variable("AnsX"))
 	res, err := d.sess.Query(query, timeout)
+	sp.End()
 	if err != nil {
 		d.broken = err
 		return nil, err
 	}
 	d.counts = counts
-	d.seq = append(d.seq, obs...)
+	d.seq = append(d.seq, batch...)
 	d.version = version
 	rep := &Report{
 		Engine:    EngineDQSQ,
@@ -208,6 +226,7 @@ func (d *OnlineDiagnoser) Append(obs []alarm.Obs, timeout time.Duration) (*Repor
 	rep.Messages += res.Stats.Net.MessagesSent
 	rep.TransFacts = countAdornedNodes(res.Engine, RelTrans)
 	rep.PlaceFacts = countAdornedNodes(res.Engine, RelPlaces)
+	d.tracer.Gauge("diagnosis", "diagnosis_unfolding_nodes", int64(rep.TransFacts+rep.PlaceFacts))
 	d.last = rep
 	return rep, nil
 }

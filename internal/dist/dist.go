@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // PeerID names a peer.
@@ -30,6 +32,10 @@ type Message struct {
 	From    PeerID
 	To      PeerID
 	Payload any
+
+	// seq is the network-wide send sequence number, correlating the
+	// send-side and delivery-side trace events of one hop.
+	seq uint64
 }
 
 // Handler processes one message on behalf of a peer. It runs on the peer's
@@ -65,11 +71,21 @@ func (c *Context) Stopped() bool {
 	return c.net.stopped
 }
 
+// Pair names a directed sender→receiver channel.
+type Pair struct {
+	From PeerID
+	To   PeerID
+}
+
 // Stats summarizes a network run.
 type Stats struct {
 	MessagesSent int
 	Processed    map[PeerID]int // messages handled per peer
-	Elapsed      time.Duration
+	// MessagesByPair counts sends per (sender, receiver) channel; the
+	// values sum to MessagesSent (initial seed messages count under their
+	// synthetic sender).
+	MessagesByPair map[Pair]int
+	Elapsed        time.Duration
 }
 
 // ErrTimeout is returned by Run when the deadline passes before quiescence.
@@ -95,14 +111,24 @@ type Network struct {
 	stopped  bool
 	err      error
 	stats    Stats
+	seq      uint64     // send sequence number (trace flow IDs)
+	tracer   obs.Tracer // never nil; obs.Nop by default
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	n := &Network{peers: make(map[PeerID]*peer)}
+	n := &Network{peers: make(map[PeerID]*peer), tracer: obs.Nop}
 	n.cond = sync.NewCond(&n.mu)
 	n.stats.Processed = make(map[PeerID]int)
+	n.stats.MessagesByPair = make(map[Pair]int)
 	return n
+}
+
+// SetTracer installs the network's tracer (obs.Nop when t is nil). Must
+// be called before Run; the default no-op tracer costs nothing on the
+// message-dispatch hot path.
+func (n *Network) SetTracer(t obs.Tracer) {
+	n.tracer = obs.Or(t)
 }
 
 // AddPeer registers a peer. It panics if the ID is taken or the network has
@@ -129,18 +155,24 @@ func (n *Network) Peers() []PeerID {
 
 func (n *Network) send(m Message) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	p, ok := n.peers[m.To]
 	if !ok {
+		n.mu.Unlock()
 		panic(fmt.Sprintf("dist: send to unknown peer %q", m.To))
 	}
 	if n.stopped {
+		n.mu.Unlock()
 		return // late sends during shutdown are dropped
 	}
 	n.inflight++
 	n.stats.MessagesSent++
+	n.stats.MessagesByPair[Pair{From: m.From, To: m.To}]++
+	n.seq++
+	m.seq = n.seq
 	p.queue = append(p.queue, m)
 	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.tracer.FlowBegin(string(m.From), "msg", m.seq)
 }
 
 func (n *Network) abort(err error) {
@@ -229,12 +261,22 @@ func (n *Network) Err() error {
 func (p *peer) loop(n *Network) {
 	defer close(p.done)
 	ctx := &Context{net: n, self: p.id}
+	tr := n.tracer
+	life := tr.Begin(string(p.id), "peer")
+	defer life.End()
 	for {
 		m, ok := n.receive(p)
 		if !ok {
 			return
 		}
-		p.handler(ctx, m)
+		if tr.Enabled() {
+			tr.FlowEnd(string(p.id), "msg", m.seq)
+			sp := tr.Begin(string(p.id), fmt.Sprintf("handle %T", m.Payload))
+			p.handler(ctx, m)
+			sp.End()
+		} else {
+			p.handler(ctx, m)
+		}
 		n.finish(p)
 	}
 }
@@ -259,7 +301,11 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 		}
 		n.inflight++
 		n.stats.MessagesSent++
+		n.stats.MessagesByPair[Pair{From: m.From, To: m.To}]++
+		n.seq++
+		m.seq = n.seq
 		p.queue = append(p.queue, m)
+		n.tracer.FlowBegin(string(m.From), "msg", m.seq)
 	}
 	if len(initial) == 0 {
 		// Nothing to do: already quiescent.
@@ -278,7 +324,18 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 	timer.Stop()
 
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.stats.Elapsed = time.Since(start)
-	return n.stats, n.err
+	stats, err := n.stats, n.err
+	n.mu.Unlock()
+
+	// Per-channel message counts, one counter sample per (from, to) pair.
+	// Emitted once per run, so a metrics sink accumulates them into the
+	// cumulative dist_messages_total{from,to} series.
+	if n.tracer.Enabled() {
+		for pair, c := range stats.MessagesByPair {
+			n.tracer.Counter("dist",
+				fmt.Sprintf("dist_messages_total{from=%q,to=%q}", pair.From, pair.To), int64(c))
+		}
+	}
+	return stats, err
 }

@@ -1,0 +1,142 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMessagesByPairConsistency asserts the per-channel counts sum to the
+// global MessagesSent and attribute each channel correctly.
+func TestMessagesByPairConsistency(t *testing.T) {
+	n := NewNetwork()
+	handler := func(ctx *Context, m Message) {
+		k := m.Payload.(int)
+		if k > 0 {
+			ctx.Send(m.From, k-1)
+		}
+	}
+	n.AddPeer("a", handler)
+	n.AddPeer("b", handler)
+	st, err := n.Run([]Message{{From: "a", To: "b", Payload: 10}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, c := range st.MessagesByPair {
+		sum += c
+	}
+	if sum != st.MessagesSent {
+		t.Fatalf("sum(MessagesByPair) = %d, MessagesSent = %d", sum, st.MessagesSent)
+	}
+	// Seed a→b plus 10 replies alternating b→a (5) and a→b (5).
+	if st.MessagesByPair[Pair{From: "a", To: "b"}] != 6 || st.MessagesByPair[Pair{From: "b", To: "a"}] != 5 {
+		t.Fatalf("channels: %v", st.MessagesByPair)
+	}
+}
+
+// TestSendNopTracerZeroAllocs pins the hot-path contract of the ISSUE:
+// with the default no-op tracer, dispatching a message through send
+// allocates nothing (beyond the amortized queue array, which the warmup
+// grows and the loop body reuses).
+func TestSendNopTracerZeroAllocs(t *testing.T) {
+	n := NewNetwork()
+	n.AddPeer("a", func(ctx *Context, m Message) {})
+	p := n.peers["a"]
+	m := Message{From: "b", To: "a", Payload: nil}
+	n.send(m) // warm the queue array and the pair-count map entry
+	p.queue = p.queue[:0]
+	n.inflight = 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		n.send(m)
+		p.queue = p.queue[:0]
+		n.inflight = 0
+	}); allocs != 0 {
+		t.Fatalf("send with Nop tracer allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestRunTraceEvents drives a small network under a ChromeTraceWriter and
+// checks the trace shape the acceptance criteria name: at least one span
+// per peer, one flow-begin event per sent message, one flow-end per
+// delivery, all consistent with Stats.
+func TestRunTraceEvents(t *testing.T) {
+	w := obs.NewChromeTraceWriter(0)
+	n := NewNetwork()
+	n.SetTracer(w)
+	handler := func(ctx *Context, m Message) {
+		k := m.Payload.(int)
+		if k > 0 {
+			ctx.Send(m.From, k-1)
+		}
+	}
+	n.AddPeer("a", handler)
+	n.AddPeer("b", handler)
+	n.AddPeer("idle", func(ctx *Context, m Message) {})
+	st, err := n.Run([]Message{{From: "b", To: "a", Payload: 6}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+
+	tracks := map[int]string{}
+	spansPerTrack := map[string]int{}
+	flowBegins, flowEnds := 0, 0
+	pairCounters := 0
+	for _, e := range file.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			tracks[e.TID] = e.Args["name"].(string)
+		}
+	}
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spansPerTrack[tracks[e.TID]]++
+		case "s":
+			flowBegins++
+		case "f":
+			flowEnds++
+		case "C":
+			if strings.HasPrefix(e.Name, "dist_messages_total{") {
+				pairCounters++
+			}
+		}
+	}
+	for _, peer := range []string{"a", "b", "idle"} {
+		if spansPerTrack[peer] < 1 {
+			t.Fatalf("no span on peer track %q: %v", peer, spansPerTrack)
+		}
+	}
+	if flowBegins != st.MessagesSent {
+		t.Fatalf("flow-begin events = %d, MessagesSent = %d", flowBegins, st.MessagesSent)
+	}
+	delivered := 0
+	for _, c := range st.Processed {
+		delivered += c
+	}
+	if flowEnds != delivered {
+		t.Fatalf("flow-end events = %d, delivered = %d", flowEnds, delivered)
+	}
+	if pairCounters != len(st.MessagesByPair) {
+		t.Fatalf("pair counter samples = %d, pairs = %d", pairCounters, len(st.MessagesByPair))
+	}
+}

@@ -364,13 +364,5 @@ type Result struct {
 // propagate as in-relation tuples, answers stream back asynchronously, and
 // the network quiesces at the fixpoint.
 func Run(prog *ddatalog.Program, q ddatalog.PAtom, budget datalog.Budget, timeout time.Duration) (*Result, error) {
-	rw, err := Rewrite(prog, q)
-	if err != nil {
-		return nil, err
-	}
-	res, eng, err := ddatalog.Run(rw.Program, rw.Query, budget, timeout)
-	if res == nil {
-		return nil, err
-	}
-	return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats, Engine: eng}, err
+	return RunWith(prog, q, budget, timeout, nil)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/ddatalog"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/term"
 )
@@ -82,6 +83,7 @@ type OnlineSession struct {
 	prog      *ddatalog.Program
 	eng       *ddatalog.Engine
 	trace     *OnlineTrace
+	tracer    obs.Tracer // never nil; obs.Nop by default
 	rewriters map[dist.PeerID]*peerRewriter
 	pending   []ddatalog.PAtom // base-fact appends queued for the next Query
 }
@@ -128,7 +130,7 @@ func NewOnlineSession(prog *ddatalog.Program, budget datalog.Budget) (*OnlineSes
 		pr.facts[f.Rel] = append(pr.facts[f.Rel], f.Args)
 	}
 
-	sess := &OnlineSession{prog: prog, rewriters: rewriters, trace: &OnlineTrace{}}
+	sess := &OnlineSession{prog: prog, rewriters: rewriters, trace: &OnlineTrace{}, tracer: obs.Nop}
 	eng, err := ddatalog.NewEngine(base, budget)
 	if err != nil {
 		return nil, err
@@ -154,6 +156,10 @@ func NewOnlineSession(prog *ddatalog.Program, budget datalog.Budget) (*OnlineSes
 		rules := pr.out.Rules[before:]
 		if len(rules) > 0 {
 			sess.trace.add(peer, key)
+			sess.tracer.Counter("dqsq", "dqsq_subqueries_total", 1)
+			if sess.tracer.Enabled() {
+				sess.tracer.Instant(string(peer), "subquery "+string(key.Rel)+"#"+string(key.Ad))
+			}
 		}
 		return rules
 	})
@@ -218,6 +224,7 @@ func (s *OnlineSession) Query(q ddatalog.PAtom, timeout time.Duration) (*Result,
 	if res == nil {
 		return nil, err
 	}
+	emitSupStats(s.tracer, s.eng)
 	return &Result{Answers: res.Answers, Store: res.Store, Stats: res.Stats, Engine: s.eng}, err
 }
 

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+	"repro/internal/obs"
+	"repro/internal/petri"
+)
+
+var errNoDiagnosis = errors.New("quickstart diagnosis returned no explanation")
+
+// TraceOverheadRow quantifies what the observability layer costs on the
+// quickstart diagnosis (running example, sequence A1 of Section 2): the
+// default no-op tracer path against a full ChromeTraceWriter capture.
+// The no-op path is the one every untraced run pays, so it must stay
+// indistinguishable from not having the layer at all — verify.sh guards
+// that with a benchmark ratio, and the zero-alloc tests in internal/obs
+// pin the per-call cost.
+type TraceOverheadRow struct {
+	Iters         int
+	NopNsPerOp    int64
+	TracedNsPerOp int64
+	OverheadPct   float64 // (traced-nop)/nop, in percent; noisy but indicative
+	TraceEvents   int     // events one traced run records
+}
+
+// TraceOverhead times iters quickstart diagnoses with the tracer off and
+// on. Each traced iteration gets a fresh unbounded writer, matching what
+// cmd/diagnose -trace does.
+func TraceOverhead(iters int) (*TraceOverheadRow, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	pn := petri.Example()
+	seq := alarm.S("b", "p1", "a", "p2", "c", "p1")
+	opt := diagnosis.Options{Timeout: 2 * time.Minute}
+
+	run := func(o diagnosis.Options) error {
+		rep, err := diagnosis.Run(pn, seq, diagnosis.EngineDQSQ, o)
+		if err != nil {
+			return err
+		}
+		if len(rep.Diagnoses) == 0 {
+			return errNoDiagnosis
+		}
+		return nil
+	}
+
+	// One warm-up of each configuration before timing.
+	if err := run(opt); err != nil {
+		return nil, err
+	}
+	traced := opt
+	traced.Tracer = obs.NewChromeTraceWriter(-1)
+	if err := run(traced); err != nil {
+		return nil, err
+	}
+
+	row := &TraceOverheadRow{Iters: iters}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(opt); err != nil {
+			return nil, err
+		}
+	}
+	row.NopNsPerOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	start = time.Now()
+	var last *obs.ChromeTraceWriter
+	for i := 0; i < iters; i++ {
+		o := opt
+		last = obs.NewChromeTraceWriter(-1)
+		o.Tracer = last
+		if err := run(o); err != nil {
+			return nil, err
+		}
+	}
+	row.TracedNsPerOp = time.Since(start).Nanoseconds() / int64(iters)
+	row.TraceEvents = last.Len()
+	if row.NopNsPerOp > 0 {
+		row.OverheadPct = 100 * float64(row.TracedNsPerOp-row.NopNsPerOp) / float64(row.NopNsPerOp)
+	}
+	return row, nil
+}

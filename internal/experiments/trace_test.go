@@ -1,0 +1,19 @@
+package experiments
+
+import "testing"
+
+func TestTraceOverheadShape(t *testing.T) {
+	row, err := TraceOverhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Iters != 1 {
+		t.Fatalf("iters = %d", row.Iters)
+	}
+	if row.NopNsPerOp <= 0 || row.TracedNsPerOp <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	if row.TraceEvents == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+}

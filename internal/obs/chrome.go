@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// ChromeTraceWriter is a Tracer that records the event stream in memory
+// and exports it in the Chrome trace-event JSON format, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Each track becomes a named thread of one synthetic process; spans are
+// complete ("X") events, message hops are flow ("s"/"f") event pairs,
+// counters and gauges are counter ("C") samples. The buffer is bounded:
+// past MaxEvents the writer drops new events and counts them, so a
+// long-lived session's trace costs bounded memory.
+type ChromeTraceWriter struct {
+	mu      sync.Mutex
+	start   time.Time
+	max     int
+	dropped int64
+	events  []chromeEvent
+	tids    map[string]int
+	tracks  []string // track names in first-seen order, index+1 = tid
+}
+
+// DefaultMaxEvents bounds a trace buffer when NewChromeTraceWriter is
+// given 0.
+const DefaultMaxEvents = 1 << 16
+
+// chromeEvent is one recorded event; the JSON field set depends on ph.
+type chromeEvent struct {
+	name  string
+	ph    byte // X, i, C, s, f
+	tid   int
+	ts    int64 // microseconds since trace start
+	dur   int64 // X only
+	value int64 // C only
+	id    uint64
+}
+
+// NewChromeTraceWriter returns an empty trace buffer holding at most
+// maxEvents events (0 means DefaultMaxEvents, negative means unbounded).
+func NewChromeTraceWriter(maxEvents int) *ChromeTraceWriter {
+	if maxEvents == 0 {
+		maxEvents = DefaultMaxEvents
+	}
+	return &ChromeTraceWriter{
+		start: time.Now(),
+		max:   maxEvents,
+		tids:  make(map[string]int),
+	}
+}
+
+// Enabled reports true: call sites should format real event names.
+func (w *ChromeTraceWriter) Enabled() bool { return true }
+
+func (w *ChromeTraceWriter) since(t time.Time) int64 {
+	return t.Sub(w.start).Microseconds()
+}
+
+// tidLocked maps a track name to its thread ID, registering it on first
+// sight. Caller holds w.mu.
+func (w *ChromeTraceWriter) tidLocked(track string) int {
+	if tid, ok := w.tids[track]; ok {
+		return tid
+	}
+	tid := len(w.tracks) + 1
+	w.tids[track] = tid
+	w.tracks = append(w.tracks, track)
+	return tid
+}
+
+func (w *ChromeTraceWriter) record(track string, ev chromeEvent) {
+	w.mu.Lock()
+	if w.max > 0 && len(w.events) >= w.max {
+		w.dropped++
+		w.mu.Unlock()
+		return
+	}
+	ev.tid = w.tidLocked(track)
+	w.events = append(w.events, ev)
+	w.mu.Unlock()
+}
+
+// Begin opens a span; nothing is recorded until End.
+func (w *ChromeTraceWriter) Begin(track, name string) Span {
+	return Span{tr: w, Track: track, Name: name, Start: time.Now()}
+}
+
+// End records the completed span as an "X" event.
+func (w *ChromeTraceWriter) End(s Span) {
+	if s.Start.IsZero() {
+		return
+	}
+	w.record(s.Track, chromeEvent{
+		name: s.Name, ph: 'X',
+		ts: w.since(s.Start), dur: time.Since(s.Start).Microseconds(),
+	})
+}
+
+// Instant records a zero-duration event.
+func (w *ChromeTraceWriter) Instant(track, name string) {
+	w.record(track, chromeEvent{name: name, ph: 'i', ts: w.since(time.Now())})
+}
+
+// Counter records a counter increment. The export accumulates deltas per
+// (track, name) so the rendered counter track shows the running total.
+func (w *ChromeTraceWriter) Counter(track, name string, delta int64) {
+	w.record(track, chromeEvent{name: name, ph: 'C', ts: w.since(time.Now()), value: delta})
+}
+
+// Gauge records a level sample, exported as an absolute counter value.
+func (w *ChromeTraceWriter) Gauge(track, name string, value int64) {
+	// ph 'G' is internal shorthand; exported as a "C" sample holding the
+	// absolute value rather than an accumulated delta.
+	w.record(track, chromeEvent{name: name, ph: 'G', ts: w.since(time.Now()), value: value})
+}
+
+// FlowBegin records the sending half of a hop.
+func (w *ChromeTraceWriter) FlowBegin(track, name string, id uint64) {
+	w.record(track, chromeEvent{name: name, ph: 's', ts: w.since(time.Now()), id: id})
+}
+
+// FlowEnd records the receiving half of a hop.
+func (w *ChromeTraceWriter) FlowEnd(track, name string, id uint64) {
+	w.record(track, chromeEvent{name: name, ph: 'f', ts: w.since(time.Now()), id: id})
+}
+
+// Len reports how many events are buffered.
+func (w *ChromeTraceWriter) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.events)
+}
+
+// Dropped reports how many events the bound discarded.
+func (w *ChromeTraceWriter) Dropped() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// jsonEvent is the wire form of one trace event.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   *uint64        `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level Chrome trace JSON object.
+type traceFile struct {
+	TraceEvents     []jsonEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteJSON renders the buffered trace. The writer stays usable — a
+// session trace can be exported mid-flight and again later.
+func (w *ChromeTraceWriter) WriteJSON(out io.Writer) error {
+	w.mu.Lock()
+	events := append([]chromeEvent(nil), w.events...)
+	tracks := append([]string(nil), w.tracks...)
+	dropped := w.dropped
+	w.mu.Unlock()
+
+	const pid = 1
+	file := traceFile{DisplayTimeUnit: "ms", TraceEvents: []jsonEvent{
+		{Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": "diagnosis"}},
+	}}
+	for i, track := range tracks {
+		file.TraceEvents = append(file.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: pid, TID: i + 1,
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	// Counter deltas accumulate per (tid, name) so the exported samples
+	// form a running total; gauges pass through as absolute levels.
+	type counterKey struct {
+		tid  int
+		name string
+	}
+	totals := make(map[counterKey]int64)
+	for _, ev := range events {
+		je := jsonEvent{Name: ev.name, TS: ev.ts, PID: pid, TID: ev.tid}
+		switch ev.ph {
+		case 'X':
+			dur := ev.dur
+			je.Ph = "X"
+			je.Dur = &dur
+		case 'i':
+			je.Ph = "i"
+			je.Args = map[string]any{}
+		case 'C':
+			k := counterKey{ev.tid, ev.name}
+			totals[k] += ev.value
+			je.Ph = "C"
+			je.Args = map[string]any{"value": totals[k]}
+		case 'G':
+			je.Ph = "C"
+			je.Args = map[string]any{"value": ev.value}
+		case 's', 'f':
+			id := ev.id
+			je.Ph = string(ev.ph)
+			je.Cat = "msg"
+			je.ID = &id
+			if ev.ph == 'f' {
+				je.BP = "e" // bind to the enclosing slice's end
+			}
+		}
+		file.TraceEvents = append(file.TraceEvents, je)
+	}
+	if dropped > 0 {
+		file.OtherData = map[string]any{"droppedEvents": dropped}
+	}
+
+	enc := json.NewEncoder(out)
+	return enc.Encode(file)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import "time"
+
+// Registry is the metrics surface MetricsSink folds events into.
+// internal/serve's *Metrics implements it; the indirection keeps obs
+// import-free (serve sits above the whole evaluation stack).
+type Registry interface {
+	// Add increments a counter.
+	Add(name string, delta int64)
+	// SetGauge records an absolute level.
+	SetGauge(name string, value int64)
+	// Observe records a latency sample into a histogram.
+	Observe(name string, d time.Duration)
+}
+
+// MetricsSink is a Tracer that folds the event stream into a Registry:
+// Counter events become counter increments, Gauge events become gauge
+// levels, and spans on configured tracks become latency histogram
+// samples. Only events whose name is a valid Prometheus series name
+// (letters, digits, '_' and ':', optionally followed by a {label,...}
+// suffix) are forwarded — display-only names (anything with a space)
+// stay in the trace and out of /metrics, which keeps high-cardinality
+// per-rule detail from polluting the exposition.
+type MetricsSink struct {
+	reg Registry
+	// spanHists maps a span track to the histogram its durations feed.
+	spanHists map[string]string
+}
+
+// NewMetricsSink builds a sink over reg. By default, spans on the
+// "diagnosis" track (one per OnlineDiagnoser.Append evaluation) feed the
+// diagnosis_append_engine_seconds histogram; ObserveSpans adds more.
+func NewMetricsSink(reg Registry) *MetricsSink {
+	return &MetricsSink{
+		reg:       reg,
+		spanHists: map[string]string{"diagnosis": "diagnosis_append_engine_seconds"},
+	}
+}
+
+// ObserveSpans routes the durations of spans on track into the named
+// histogram. Not safe concurrently with event delivery; configure before
+// tracing starts.
+func (s *MetricsSink) ObserveSpans(track, histogram string) {
+	s.spanHists[track] = histogram
+}
+
+// MetricName reports whether name is a well-formed Prometheus series
+// name, optionally carrying a {...} label suffix.
+func MetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	c := name[0]
+	if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c == '{' {
+			return name[len(name)-1] == '}'
+		}
+		if !(c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+// Enabled reports true: the sink wants real event names.
+func (s *MetricsSink) Enabled() bool { return true }
+
+// Begin opens a span; only End reports anything.
+func (s *MetricsSink) Begin(track, name string) Span {
+	return Span{tr: s, Track: track, Name: name, Start: time.Now()}
+}
+
+// End folds the span into its track's histogram, if one is configured.
+func (s *MetricsSink) End(sp Span) {
+	if sp.Start.IsZero() {
+		return
+	}
+	if hist, ok := s.spanHists[sp.Track]; ok {
+		s.reg.Observe(hist, time.Since(sp.Start))
+	}
+}
+
+// Instant is ignored: instants carry no measurable quantity.
+func (s *MetricsSink) Instant(track, name string) {}
+
+// Counter increments the named counter.
+func (s *MetricsSink) Counter(track, name string, delta int64) {
+	if MetricName(name) {
+		s.reg.Add(name, delta)
+	}
+}
+
+// Gauge sets the named gauge.
+func (s *MetricsSink) Gauge(track, name string, value int64) {
+	if MetricName(name) {
+		s.reg.SetGauge(name, value)
+	}
+}
+
+// FlowBegin is ignored; per-pair message counts arrive as Counter events.
+func (s *MetricsSink) FlowBegin(track, name string, id uint64) {}
+
+// FlowEnd is ignored.
+func (s *MetricsSink) FlowEnd(track, name string, id uint64) {}

@@ -73,6 +73,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/alarms", s.handleAppend)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -376,6 +377,21 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		Seq:       parser.FormatAlarms(st.Seq),
 		Report:    toReportJSON(st.Report),
 	})
+}
+
+// handleTrace exports the session's evaluation trace as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
+	if !ok {
+		s.notFound(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := sess.WriteTrace(w); err != nil {
+		// Headers are gone; nothing to report but the connection state.
+		return
+	}
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

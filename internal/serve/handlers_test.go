@@ -228,7 +228,7 @@ func TestAPIIncrementality(t *testing.T) {
 // the session must refuse later appends with ErrExhausted instead of
 // serving reports that silently omit the lost alarms.
 func TestTimeoutPoisonsDQSQSession(t *testing.T) {
-	sess, err := newSession("s1", core.Example(), core.DQSQ, 0, time.Now())
+	sess, err := newSession("s1", core.Example(), core.DQSQ, 0, time.Now(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

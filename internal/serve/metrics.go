@@ -35,6 +35,7 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]func() int64
+	levels   map[string]int64 // settable gauges (obs.Registry.SetGauge)
 	hists    map[string]*histogram
 }
 
@@ -43,6 +44,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]func() int64),
+		levels:   make(map[string]int64),
 		hists:    make(map[string]*histogram),
 	}
 }
@@ -65,6 +67,16 @@ func (m *Metrics) Counter(name string) int64 {
 func (m *Metrics) Gauge(name string, read func() int64) {
 	m.mu.Lock()
 	m.gauges[name] = read
+	m.mu.Unlock()
+}
+
+// SetGauge records an absolute level, rendered like a gauge. Together
+// with Add and Observe it makes *Metrics an obs.Registry, so an
+// obs.MetricsSink can fold engine trace events (derivation counters,
+// unfolding-node levels, append-latency spans) into this registry.
+func (m *Metrics) SetGauge(name string, value int64) {
+	m.mu.Lock()
+	m.levels[name] = value
 	m.mu.Unlock()
 }
 
@@ -102,17 +114,30 @@ func (m *Metrics) WriteText(w io.Writer) {
 	for n, read := range m.gauges {
 		gauges[n] = read
 	}
+	levels := make(map[string]int64, len(m.levels))
+	for n, v := range m.levels {
+		levels[n] = v
+	}
 	hists := make(map[string]histogram, len(m.hists))
 	for n, h := range m.hists {
 		hists[n] = *h
 	}
 	m.mu.Unlock()
 
-	names := make([]string, 0, len(counters)+len(gauges))
+	names := make([]string, 0, len(counters)+len(gauges)+len(levels))
 	for n := range counters {
 		names = append(names, n)
 	}
 	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range levels {
+		if _, dup := counters[n]; dup {
+			continue
+		}
+		if _, dup := gauges[n]; dup {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
@@ -121,7 +146,11 @@ func (m *Metrics) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "%s %d\n", n, read())
 			continue
 		}
-		fmt.Fprintf(w, "%s %d\n", n, counters[n])
+		if v, ok := counters[n]; ok {
+			fmt.Fprintf(w, "%s %d\n", n, v)
+			continue
+		}
+		fmt.Fprintf(w, "%s %d\n", n, levels[n])
 	}
 
 	hnames := make([]string, 0, len(hists))

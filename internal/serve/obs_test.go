@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsWriteTextGolden pins the exposition format: plain counters,
+// func gauges and settable levels interleaved in one sorted block
+// (labeled series sort after their plain siblings), then histograms as
+// cumulative _bucket/_sum/_count.
+func TestMetricsWriteTextGolden(t *testing.T) {
+	m := NewMetrics()
+	m.Add("ddatalog_facts_derived_total", 40)
+	m.Add("ddatalog_facts_derived_total", 2)
+	m.Add(`dist_messages_total{from="p1",to="p2"}`, 7)
+	m.Gauge("diagnosed_sessions_active", func() int64 { return 3 })
+	m.SetGauge("diagnosis_unfolding_nodes", 19)
+	m.SetGauge("diagnosis_unfolding_nodes", 11) // levels overwrite
+	m.Observe("h_seconds", 3*time.Millisecond)
+	m.Observe("h_seconds", 2*time.Second)
+
+	var buf bytes.Buffer
+	m.WriteText(&buf)
+	want := `ddatalog_facts_derived_total 42
+diagnosed_sessions_active 3
+diagnosis_unfolding_nodes 11
+dist_messages_total{from="p1",to="p2"} 7
+h_seconds_bucket{le="0.001"} 0
+h_seconds_bucket{le="0.005"} 1
+h_seconds_bucket{le="0.025"} 1
+h_seconds_bucket{le="0.1"} 1
+h_seconds_bucket{le="0.5"} 1
+h_seconds_bucket{le="1"} 1
+h_seconds_bucket{le="5"} 2
+h_seconds_bucket{le="30"} 2
+h_seconds_bucket{le="+Inf"} 2
+h_seconds_sum 2.003
+h_seconds_count 2
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("WriteText mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestEngineSeriesExported drives a session end to end and checks the
+// engine-level series the tracer feeds into /metrics.
+func TestEngineSeriesExported(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sess := createSession(t, ts, createRequest{Net: exampleNetText(t)})
+	for _, a := range quickstartAlarms {
+		var resp appendResponse
+		if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/alarms",
+			appendRequest{Alarms: a}, &resp); code != http.StatusOK {
+			t.Fatalf("append %q: status %d", a, code)
+		}
+	}
+
+	for _, name := range []string{
+		"ddatalog_facts_derived_total",
+		"dqsq_subqueries_total",
+		"diagnosis_unfolding_nodes",
+	} {
+		if got := metricValue(t, ts, name); got <= 0 {
+			t.Errorf("%s = %d, want > 0", name, got)
+		}
+	}
+	if got := metricValue(t, ts, "diagnosis_append_engine_seconds_count"); got != int64(len(quickstartAlarms)) {
+		t.Errorf("diagnosis_append_engine_seconds_count = %d, want %d", got, len(quickstartAlarms))
+	}
+
+	// At least one per-channel message series, and the channel totals must
+	// agree with the aggregate message counter.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	pairTotal := int64(0)
+	pairs := 0
+	for _, line := range strings.Split(body.String(), "\n") {
+		if !strings.HasPrefix(line, "dist_messages_total{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad series line %q", line)
+		}
+		pairs++
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		pairTotal += v
+	}
+	if pairs == 0 {
+		t.Fatal("no dist_messages_total{from,to} series exported")
+	}
+	if agg := metricValue(t, ts, "diagnosed_messages_total"); pairTotal != agg {
+		t.Errorf("sum of per-channel series = %d, diagnosed_messages_total = %d", pairTotal, agg)
+	}
+}
+
+// TestTraceEndpoint checks GET /v1/sessions/{id}/trace returns loadable
+// Chrome trace-event JSON with spans and message-flow events.
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sess := createSession(t, ts, createRequest{Net: exampleNetText(t)})
+	var resp appendResponse
+	if code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+sess.ID+"/alarms",
+		appendRequest{Alarms: quickstartAlarms[0]}, &resp); code != http.StatusOK {
+		t.Fatalf("append: status %d", code)
+	}
+
+	httpResp, err := http.Get(ts.URL + "/v1/sessions/" + sess.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace: status %d", httpResp.StatusCode)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&file); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	spans, flows := 0, 0
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans++
+		case "s":
+			flows++
+		}
+	}
+	if spans == 0 || flows == 0 {
+		t.Fatalf("trace has %d spans, %d flow events; want both > 0", spans, flows)
+	}
+
+	if r2, err := http.Get(ts.URL + "/v1/sessions/nope/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusNotFound {
+			t.Fatalf("trace of unknown session: status %d", r2.StatusCode)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // Sentinel errors mapped to HTTP statuses by the handlers.
@@ -73,6 +75,12 @@ type Session struct {
 	lastUsed atomic.Int64 // unix nanoseconds; TTL sweeps and GET read it
 	closed   atomic.Bool  // set lock-free by eviction, so the store never waits on an evaluation
 
+	// trace buffers the session's evaluation events (per-peer spans,
+	// message flows, engine counters) for GET /v1/sessions/{id}/trace.
+	// The writer is internally locked, so exporting is safe concurrently
+	// with an append in flight.
+	trace *obs.ChromeTraceWriter
+
 	mu           sync.Mutex
 	inc          *core.Incremental
 	alarms       int
@@ -82,13 +90,29 @@ type Session struct {
 	prevMessages int             // cumulative Messages after the previous append (DQSQ)
 }
 
-func newSession(id string, sys *core.System, engine core.Engine, facts int, now time.Time) (*Session, error) {
-	inc, err := sys.NewIncremental(engine, core.Options{Budget: datalog.Budget{MaxFacts: facts}})
+// newSession warms an incremental handle instrumented with two tracer
+// consumers: the session's own bounded Chrome trace buffer, and (when reg
+// is non-nil) a metrics sink folding engine counters into the server
+// registry — that is how /metrics gains ddatalog_facts_derived_total,
+// dist_messages_total{from,to}, dqsq_subqueries_total,
+// diagnosis_unfolding_nodes and the diagnosis_append_engine_seconds
+// histogram. Counters accumulate across sessions; gauges report the most
+// recently evaluated session.
+func newSession(id string, sys *core.System, engine core.Engine, facts int, now time.Time, reg *Metrics) (*Session, error) {
+	trace := obs.NewChromeTraceWriter(0)
+	tracer := obs.Tracer(trace)
+	if reg != nil {
+		tracer = obs.Multi(trace, obs.NewMetricsSink(reg))
+	}
+	inc, err := sys.NewIncremental(engine, core.Options{
+		Budget: datalog.Budget{MaxFacts: facts},
+		Tracer: tracer,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{ID: id, Engine: engine, Facts: facts, Created: now, inc: inc,
-		peers: make(map[string]bool)}
+		trace: trace, peers: make(map[string]bool)}
 	for _, p := range sys.Peers() {
 		s.peers[string(p)] = true
 	}
@@ -99,6 +123,10 @@ func newSession(id string, sys *core.System, engine core.Engine, facts int, now 
 // HasPeer reports whether the session's net has the peer — handlers
 // reject alarms from unknown peers as bad requests before evaluating.
 func (s *Session) HasPeer(peer string) bool { return s.peers[peer] }
+
+// WriteTrace exports the session's trace buffer as Chrome trace-event
+// JSON (chrome://tracing, Perfetto). Safe concurrently with appends.
+func (s *Session) WriteTrace(w io.Writer) error { return s.trace.WriteJSON(w) }
 
 // Touch records use for TTL accounting.
 func (s *Session) Touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }

@@ -129,7 +129,7 @@ func (st *Store) Create(sys *core.System, engine core.Engine, facts int, now tim
 		st.metrics.Add("diagnosed_sessions_evicted_total", int64(evicted))
 	}
 
-	sess, err := newSession(id, sys, engine, facts, now)
+	sess, err := newSession(id, sys, engine, facts, now, st.metrics)
 	if err != nil {
 		st.mu.Lock()
 		st.reserved -= facts

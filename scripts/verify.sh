@@ -26,4 +26,25 @@ go test ./...
 echo "== go test -race ./internal/serve ./internal/dist"
 go test -race ./internal/serve ./internal/dist
 
+echo "== tracing-overhead guard"
+# The no-op tracer is what every untraced run pays, so it must never cost
+# more than a run that records a full Chrome trace. Compare the two
+# quickstart benchmarks with a generous noise margin (the zero-alloc tests
+# in internal/obs pin the per-call cost; this catches gross leaks of
+# instrumentation work onto the disabled path).
+bench_out=$(go test -run '^$' -bench 'BenchmarkQuickstartDiagnosis' -benchtime 5x .)
+echo "$bench_out"
+echo "$bench_out" | awk '
+    /BenchmarkQuickstartDiagnosis\/TracerOff/ { off = $3 }
+    /BenchmarkQuickstartDiagnosis\/TracerOn/  { on  = $3 }
+    END {
+        if (off == "" || on == "") { print "guard: benchmarks missing" > "/dev/stderr"; exit 1 }
+        if (off > 1.5 * on) {
+            printf "guard: no-op tracer path (%s ns/op) is >1.5x the traced path (%s ns/op)\n", off, on > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (off %s ns/op, on %s ns/op)\n", off, on
+    }'
+go run ./cmd/benchreport -exp trace_overhead -max 3 -json
+
 echo "verify: OK"
