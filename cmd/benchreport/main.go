@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -53,6 +53,19 @@ func main() {
 	run("ablation", func() error { return reportAblation(*max) })
 	run("placement", func() error { return reportPlacement(*max) })
 	run("trace_overhead", func() error { return reportTraceOverhead(*max) })
+	run("transport_overhead", func() error { return reportTransportOverhead(*max) })
+}
+
+func reportTransportOverhead(max int) error {
+	rows, err := experiments.TransportOverhead(max) // max doubles as the iteration count
+	if err != nil {
+		return err
+	}
+	header("Transport overhead — quickstart distributed diagnosis, in-process mesh vs TCP loopback",
+		"iters", "msgs/op", "inproc ns/op", "tcp ns/op", "overhead %", "tcp bytes/op")
+	row(rows.Iters, rows.Messages, rows.InProcNsPerOp, rows.TCPNsPerOp,
+		fmt.Sprintf("%.1f", rows.OverheadPct), rows.TCPBytesPerOp)
+	return maybeBench("transport_overhead", []experiments.TransportOverheadRow{*rows})
 }
 
 func reportTraceOverhead(max int) error {

@@ -47,6 +47,8 @@ func main() {
 		facts   = flag.Int("facts", 0, "materialized-fact budget; 0 = engine default")
 		timeout = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
 		quiet   = flag.Bool("q", false, "print only the diagnoses")
+		peers   = flag.String("peers", "", `run the Datalog evaluation across peerd processes: "n1=host:port,n2=host:port"`)
+		listen  = flag.String("listen", "127.0.0.1:0", "driver listen address for -peers mode")
 		dot     = flag.String("dot", "", "write the explanations as Graphviz DOT to this file ('-' for stdout)")
 		trace   = flag.String("trace", "", "write the evaluation as Chrome trace-event JSON to this file ('-' for stdout); open in chrome://tracing or Perfetto")
 	)
@@ -75,11 +77,28 @@ func main() {
 		opt.Tracer = tw
 	}
 
+	diagnose := func(e core.Engine) (*core.Report, error) { return sys.Diagnose(seq, e, opt) }
+	if *peers != "" {
+		cl, err := dialPeers(*peers, *listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer cl.Close()
+		for _, e := range engines {
+			if e != core.Naive && e != core.DQSQ {
+				fatal(fmt.Errorf("engine %v cannot run distributed; -peers supports naive and dqsq", e))
+			}
+		}
+		diagnose = func(e core.Engine) (*core.Report, error) {
+			return diagnosis.RunDistributed(sys.PN, seq, e, opt, cl)
+		}
+	}
+
 	start := time.Now()
 	var prev *core.Report
 	truncated := false
 	for _, e := range engines {
-		rep, err := sys.Diagnose(seq, e, opt)
+		rep, err := diagnose(e)
 		if err != nil {
 			exit(fmt.Errorf("%v: %w", e, err), exitStatus(err, false))
 		}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMultiProcessSmoke builds peerd and diagnose, starts two peerd
+// processes on ephemeral ports, diagnoses the running example across
+// them, and checks the output — diagnoses, message count, fact count —
+// against a single-process run of the same binary.
+func TestMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	build := func(name, pkg string) string {
+		t.Helper()
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	peerd := build("peerd", "repro/cmd/peerd")
+	diagnose := build("diagnose", "repro/cmd/diagnose")
+
+	startPeer := func(name string) string {
+		t.Helper()
+		cmd := exec.Command(peerd, "-name", name, "-listen", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		// The ready line is printed once the socket is bound.
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			t.Fatalf("peerd %s exited before announcing its address", name)
+		}
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "peerd" || fields[1] != "listening" {
+			t.Fatalf("unexpected peerd ready line %q", line)
+		}
+		return fields[2]
+	}
+	addr1 := startPeer("n1")
+	addr2 := startPeer("n2")
+
+	run := func(args ...string) string {
+		t.Helper()
+		// Compare stdout only: the stderr summary line carries wall-clock
+		// timing, which of course differs run to run.
+		out, err := exec.Command(diagnose, args...).Output()
+		if err != nil {
+			var stderr []byte
+			if ee, ok := err.(*exec.ExitError); ok {
+				stderr = ee.Stderr
+			}
+			t.Fatalf("diagnose %v: %v\n%s%s", args, err, out, stderr)
+		}
+		return string(out)
+	}
+	base := []string{"-example", "-alarms", "b@p1 a@p2 c@p1"}
+	for _, engine := range []string{"naive", "dqsq"} {
+		single := run(append(base, "-engine", engine, "-q")...)
+		multi := run(append(base, "-engine", engine, "-q", "-peers", "n1="+addr1+",n2="+addr2)...)
+		if single != multi {
+			t.Errorf("engine %s: multi-process diagnoses differ\nsingle:\n%s\nmulti:\n%s", engine, single, multi)
+		}
+		// The full (non-quiet) report prints "derived facts: N, messages: M";
+		// those counts must survive the process split too.
+		singleFull := run(append(base, "-engine", engine)...)
+		multiFull := run(append(base, "-engine", engine, "-peers", "n1="+addr1+",n2="+addr2)...)
+		want := statsLine(t, singleFull)
+		got := statsLine(t, multiFull)
+		if want != got {
+			t.Errorf("engine %s: stats line = %q, want %q", engine, got, want)
+		}
+	}
+}
+
+func statsLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "derived facts:") {
+			return line
+		}
+	}
+	t.Fatalf("no stats line in output:\n%s", out)
+	return ""
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/diagnosis"
+	"repro/internal/transport"
+)
+
+// dialPeers builds the driver side of a peerd cluster from a
+// "name=host:port,name=host:port" spec: it binds the driver's own socket
+// on listenAddr and routes each named node to its address. The peers are
+// spread over the nodes round-robin (diagnosis.RoundRobinAssign).
+func dialPeers(spec, listenAddr string) (*diagnosis.Cluster, error) {
+	var nodes []string
+	addrs := make(map[string]string)
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -peers entry %q: want name=host:port", entry)
+		}
+		if _, dup := addrs[name]; dup {
+			return nil, fmt.Errorf("duplicate -peers node %q", name)
+		}
+		nodes = append(nodes, name)
+		addrs[name] = addr
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers lists no nodes")
+	}
+	tr, err := transport.ListenTCP("driver", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	addrs["driver"] = tr.Addr()
+	for _, n := range nodes {
+		tr.AddRoute(n, addrs[n])
+	}
+	return &diagnosis.Cluster{Transport: tr, Nodes: nodes, Addrs: addrs}, nil
+}

@@ -1,0 +1,47 @@
+// Command peerd hosts a share of the peers of a distributed diagnosis in
+// its own process. A driver (diagnose -peers, or code using
+// diagnosis.RunDistributed) ships it the system description and the peer
+// assignment; peerd rebuilds the Datalog program locally and evaluates
+// its peers' share of every round over TCP.
+//
+// Usage:
+//
+//	peerd -name n1                          # pick a free port
+//	peerd -name n2 -listen 127.0.0.1:7402
+//
+// It prints "peerd listening ADDR" once the socket is bound, then serves
+// until killed. The -name must match the name the driver uses for this
+// node in its -peers list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/diagnosis"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "this node's name in the cluster (required)")
+		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		driver = flag.String("driver", "driver", "the driver node's name")
+	)
+	flag.Parse()
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "peerd: -name is required")
+		os.Exit(2)
+	}
+	tr, err := transport.ListenTCP(*name, *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("peerd listening %s\n", tr.Addr())
+	if err := diagnosis.ServeNode(tr, *driver); err != nil {
+		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
+		os.Exit(1)
+	}
+}

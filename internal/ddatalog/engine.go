@@ -10,33 +10,16 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rel"
 	"repro/internal/term"
+	"repro/internal/wire"
 )
 
-// Messages exchanged by the naive distributed evaluation (Section 3.2):
-// a peer activates a remote relation and thereby subscribes to its tuple
-// stream; the owner streams every current and future tuple back.
-
-// msgActivate asks the receiver to activate relation Rel (unqualified, a
-// relation of the receiver) and subscribe the sender to its tuples.
-type msgActivate struct {
-	Rel rel.Name
-}
-
-// msgFacts carries ground tuples of a (qualified) relation to a subscriber.
-type msgFacts struct {
-	Qual  rel.Name // qualified name "R@owner"
-	Arity int
-	Tuple term.Extern
-}
-
-// msgInject delivers a new base fact to its owner peer at runtime (an
-// incremental append between evaluation rounds). Unlike msgFacts — a
-// replica shipped to a subscriber — the owner derives it, so it reaches
-// subscribers and delta joins like any rule-derived fact.
-type msgInject struct {
-	Rel   rel.Name // unqualified: a relation owned by the receiver
-	Tuple term.Extern
-}
+// The messages exchanged by the naive distributed evaluation (Section
+// 3.2) are the wire package's payload types — wire.Activate (a peer
+// activates a remote relation and thereby subscribes to its tuple
+// stream), wire.Facts (the owner streams every current and future tuple
+// back), wire.Inject (an incremental base-fact append), and wire.Install
+// (runtime rule installation) — so the same evaluation runs unchanged
+// whether its peers share a process or are spread across peerd nodes.
 
 // Stats summarizes a distributed run.
 type Stats struct {
@@ -58,16 +41,20 @@ type Stats struct {
 // overlap; after a run fails (budget, timeout), the warm state is safe to
 // read but further runs are best-effort.
 type Engine struct {
-	prog    *Program
-	budget  datalog.Budget
-	peers   map[dist.PeerID]*peerState
-	order   []dist.PeerID
-	derived atomic.Int64 // global fact counter for the budget
-	aborted atomic.Bool  // set when the budget trips; stops in-handler work
-	hook    ActivationHook
-	stats   Stats
-	tracer  obs.Tracer // never nil; obs.Nop by default
-	traceOn bool       // tracer.Enabled() snapshot, set per run
+	prog      *Program
+	budget    datalog.Budget
+	peers     map[dist.PeerID]*peerState
+	order     []dist.PeerID
+	progPeers map[dist.PeerID]bool // all program peers, hosted here or not
+	// netFactory builds the per-round network; nil means dist.NewNetwork
+	// (single process). A cluster driver installs its round constructor.
+	netFactory func() dist.Net
+	derived    atomic.Int64 // global fact counter for the budget
+	aborted    atomic.Bool  // set when the budget trips; stops in-handler work
+	hook       ActivationHook
+	stats      Stats
+	tracer     obs.Tracer // never nil; obs.Nop by default
+	traceOn    bool       // tracer.Enabled() snapshot, set per run
 	// Cumulative figures after the previous run, so each RunDelta can
 	// emit the run's own delta as counter events.
 	lastDerived    int
@@ -98,7 +85,7 @@ type peerState struct {
 	pending    []pendingFact         // derived facts awaiting their delta joins
 	derived    int
 	replicated int
-	installed  int              // rules installed at runtime (hook or msgInstall)
+	installed  int              // rules installed at runtime (hook or wire.Install)
 	derivedBy  map[rel.Name]int // facts per head relation; tracked only while tracing
 }
 
@@ -116,8 +103,23 @@ type ruleAt struct {
 	atom int // body position
 }
 
-// NewEngine prepares a naive distributed evaluation of prog under budget.
+// NewEngine prepares a naive distributed evaluation of prog under budget,
+// hosting every peer of the program.
 func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
+	return NewEngineHosted(prog, budget, nil)
+}
+
+// NewEngineHosted prepares an evaluation that hosts only the given subset
+// of the program's peers — one member node of a multi-process cluster.
+// Every node of the cluster builds the engine from the identical program
+// (the program construction is deterministic, so shipping the system
+// description and rebuilding locally yields the same rules everywhere)
+// and hosts a disjoint subset; messages between peers on different nodes
+// travel through the cluster's routed network. nil hosted means all
+// peers. In a cluster the fact budget is enforced per node: each node
+// aborts when its own share of materialized facts exceeds MaxFacts, and
+// the abort propagates cluster-wide through the coordinator.
+func NewEngineHosted(prog *Program, budget datalog.Budget, hosted []dist.PeerID) (*Engine, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,12 +130,25 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 		prog:      prog,
 		budget:    budget,
 		peers:     make(map[dist.PeerID]*peerState),
+		progPeers: make(map[dist.PeerID]bool),
 		tracer:    obs.Nop,
 		lastByRel: make(map[rel.Name]int),
 	}
 	e.colStore = term.NewStore()
 	e.colDB = rel.NewDB(e.colStore)
+	hostHere := func(id dist.PeerID) bool { return true }
+	if hosted != nil {
+		set := make(map[dist.PeerID]bool, len(hosted))
+		for _, id := range hosted {
+			set[id] = true
+		}
+		hostHere = func(id dist.PeerID) bool { return set[id] }
+	}
 	for _, id := range prog.Peers() {
+		e.progPeers[id] = true
+		if !hostHere(id) {
+			continue
+		}
 		ps := &peerState{
 			eng:       e,
 			id:        id,
@@ -154,9 +169,14 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 
 	// Ship rules and facts to their hosts, re-interning terms into each
 	// peer's private store (the wire conversion the real system would do).
+	// Rules and facts of peers hosted elsewhere are simply skipped: their
+	// node does the same and keeps its own share.
 	src := prog.Store
 	for _, r := range prog.Rules {
 		ps := e.peers[r.Head.Peer]
+		if ps == nil {
+			continue
+		}
 		ps.rules = append(ps.rules, reintern(src, ps.store, r))
 	}
 	for i := range e.order {
@@ -172,6 +192,9 @@ func NewEngine(prog *Program, budget datalog.Budget) (*Engine, error) {
 	}
 	for _, f := range prog.Facts {
 		ps := e.peers[f.Peer]
+		if ps == nil {
+			continue
+		}
 		args := ps.store.InternalizeTuple(src.ExternalizeTuple(f.Args))
 		q := f.Qualified()
 		ps.noteArity(q, len(args))
@@ -211,18 +234,18 @@ func (ps *peerState) rel(q rel.Name, arity int) *rel.Relation {
 // handle processes one network message for the peer.
 func (ps *peerState) handle(ctx *dist.Context, m dist.Message) {
 	switch msg := m.Payload.(type) {
-	case msgActivate:
+	case wire.Activate:
 		ps.activateLocal(ctx, msg.Rel, m.From)
-	case msgInstall:
+	case wire.Install:
 		ps.installRule(ctx, ps.internRule(msg.Rule))
-	case msgFacts:
+	case wire.Facts:
 		tuple := ps.store.InternalizeTuple(msg.Tuple)
 		ps.noteArity(msg.Qual, msg.Arity)
 		if ps.rel(msg.Qual, msg.Arity).Insert(tuple) {
 			ps.replicated++
 			ps.pending = append(ps.pending, pendingFact{q: msg.Qual, args: tuple})
 		}
-	case msgInject:
+	case wire.Inject:
 		// A base fact arriving at its owner mid-session (an incremental
 		// append): derive it like a rule head so it reaches subscribers and
 		// triggers delta joins.
@@ -254,7 +277,7 @@ func (ps *peerState) drain(ctx *dist.Context) {
 // activateLocal activates relation r (owned by this peer) and subscribes
 // subscriber (unless it is the pseudo-peer marker ""). Activation recurses
 // into the body relations of every defining rule — remote ones via
-// msgActivate, local ones directly.
+// wire.Activate, local ones directly.
 func (ps *peerState) activateLocal(ctx *dist.Context, r rel.Name, subscriber dist.PeerID) {
 	q := Qualify(r, ps.id)
 	if subscriber != "" && subscriber != ps.id {
@@ -270,7 +293,7 @@ func (ps *peerState) activateLocal(ctx *dist.Context, r rel.Name, subscriber dis
 			// Stream everything known so far.
 			if relation := ps.db.Lookup(q); relation != nil {
 				for _, tuple := range relation.All() {
-					ctx.Send(subscriber, msgFacts{Qual: q, Arity: relation.Arity(), Tuple: ps.store.ExternalizeTuple(tuple)})
+					ctx.Send(subscriber, wire.Facts{Qual: q, Arity: relation.Arity(), Tuple: ps.store.ExternalizeTuple(tuple)})
 				}
 			}
 		}
@@ -303,7 +326,7 @@ func (ps *peerState) activateBody(ctx *dist.Context, a PAtom) {
 	q := a.Qualified()
 	if !ps.requested[q] {
 		ps.requested[q] = true
-		ctx.Send(a.Peer, msgActivate{Rel: a.Rel})
+		ctx.Send(a.Peer, wire.Activate{Rel: a.Rel})
 	}
 }
 
@@ -426,7 +449,7 @@ func (ps *peerState) deriveFact(ctx *dist.Context, q rel.Name, args []term.ID) {
 		return
 	}
 	for _, sub := range ps.subs[q] {
-		ctx.Send(sub, msgFacts{Qual: q, Arity: len(args), Tuple: ps.store.ExternalizeTuple(args)})
+		ctx.Send(sub, wire.Facts{Qual: q, Arity: len(args), Tuple: ps.store.ExternalizeTuple(args)})
 	}
 	ps.pending = append(ps.pending, pendingFact{q: q, args: args})
 }
@@ -451,6 +474,40 @@ type Result struct {
 // detail) at the end of each run. Must not be called during a run.
 func (e *Engine) SetTracer(t obs.Tracer) {
 	e.tracer = obs.Or(t)
+}
+
+// SetNetFactory installs the constructor for each run's network. A
+// cluster driver uses this to evaluate over routed member nodes instead
+// of the default in-process dist.NewNetwork. Must not be called during a
+// run.
+func (e *Engine) SetNetFactory(f func() dist.Net) {
+	e.netFactory = f
+}
+
+// RunMember participates in one evaluation round as a cluster member: it
+// registers the hosted peers on the member-side network and blocks until
+// the driver stops the round (or the timeout trips). The driver seeds the
+// round; members only react. Returns the node's local network stats.
+func (e *Engine) RunMember(net dist.Net, timeout time.Duration) (dist.Stats, error) {
+	e.traceOn = e.tracer.Enabled()
+	net.SetTracer(e.tracer)
+	for _, id := range e.order {
+		ps := e.peers[id]
+		net.AddPeer(id, ps.handle)
+	}
+	return net.Run(nil, timeout)
+}
+
+// Totals reports the cumulative materialization counters of the hosted
+// peers — a member node's contribution to the cluster-wide Derived and
+// Replicated stats. Must not be called during a run.
+func (e *Engine) Totals() (derived, replicated int) {
+	for _, id := range e.order {
+		ps := e.peers[id]
+		derived += ps.derived
+		replicated += ps.replicated
+	}
+	return derived, replicated
 }
 
 // finishRun emits the run's engine counters (as per-run deltas, so a
@@ -503,7 +560,7 @@ func (e *Engine) Run(q PAtom, timeout time.Duration) (*Result, error) {
 // runs: Derived and Replicated count everything materialized since
 // NewEngine, which is what incremental sessions report.
 func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Duration) (*Result, error) {
-	if _, ok := e.peers[q.Peer]; !ok {
+	if !e.progPeers[q.Peer] {
 		return nil, fmt.Errorf("ddatalog: query peer %q not in program", q.Peer)
 	}
 	e.traceOn = e.tracer.Enabled()
@@ -514,24 +571,29 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 	src := e.prog.Store
 	initial := make([]dist.Message, 0, len(facts)+len(rules)+1)
 	for _, r := range rules {
-		if _, ok := e.peers[r.Head.Peer]; !ok {
+		if !e.progPeers[r.Head.Peer] {
 			return nil, fmt.Errorf("ddatalog: rule host %q not in program", r.Head.Peer)
 		}
 		initial = append(initial, dist.Message{
-			From: collectorID, To: r.Head.Peer, Payload: msgInstall{Rule: externRule(src, r)},
+			From: collectorID, To: r.Head.Peer, Payload: wire.Install{Rule: externRule(src, r)},
 		})
 	}
 	for _, f := range facts {
-		if _, ok := e.peers[f.Peer]; !ok {
+		if !e.progPeers[f.Peer] {
 			return nil, fmt.Errorf("ddatalog: fact owner %q not in program", f.Peer)
 		}
 		initial = append(initial, dist.Message{
-			From: collectorID, To: f.Peer, Payload: msgInject{Rel: f.Rel, Tuple: src.ExternalizeTuple(f.Args)},
+			From: collectorID, To: f.Peer, Payload: wire.Inject{Rel: f.Rel, Tuple: src.ExternalizeTuple(f.Args)},
 		})
 	}
-	initial = append(initial, dist.Message{From: collectorID, To: q.Peer, Payload: msgActivate{Rel: q.Rel}})
+	initial = append(initial, dist.Message{From: collectorID, To: q.Peer, Payload: wire.Activate{Rel: q.Rel}})
 
-	net := dist.NewNetwork()
+	net := dist.Net(nil)
+	if e.netFactory != nil {
+		net = e.netFactory()
+	} else {
+		net = dist.NewNetwork()
+	}
 	net.SetTracer(e.tracer)
 	for _, id := range e.order {
 		ps := e.peers[id]
@@ -539,7 +601,7 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 	}
 	qual := q.Qualified()
 	net.AddPeer(collectorID, func(ctx *dist.Context, m dist.Message) {
-		msg, ok := m.Payload.(msgFacts)
+		msg, ok := m.Payload.(wire.Facts)
 		if !ok {
 			return
 		}
@@ -554,6 +616,13 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 		ps := e.peers[id]
 		res.Stats.Derived += ps.derived
 		res.Stats.Replicated += ps.replicated
+	}
+	// In a cluster, the member nodes' shares of the materialization
+	// arrive with their end-of-round reports.
+	if ce, ok := net.(interface{ ClusterExtras() map[string]uint64 }); ok {
+		extras := ce.ClusterExtras()
+		res.Stats.Derived += int(extras["derived"])
+		res.Stats.Replicated += int(extras["replicated"])
 	}
 	e.finishRun(res)
 	if err != nil {

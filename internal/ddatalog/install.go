@@ -7,19 +7,20 @@ import (
 	"repro/internal/dist"
 	"repro/internal/rel"
 	"repro/internal/term"
+	"repro/internal/wire"
 )
 
 // This file adds dynamic rule installation to the engine: rules may arrive
 // while the network is running, either from an activation hook (a peer
-// extending its own program lazily) or as msgInstall messages from another
-// peer. It is the substrate for online dQSQ (the paper's Remark 2: "the
-// dQSQ computation, and the generation of results, may start even before
-// the rewriting is complete").
+// extending its own program lazily) or as wire.Install messages from
+// another peer. It is the substrate for online dQSQ (the paper's Remark 2:
+// "the dQSQ computation, and the generation of results, may start even
+// before the rewriting is complete").
 
 // ActivationHook is consulted the first time a relation is activated at a
 // peer. It returns rules to add to the running program; rules hosted at
 // the activating peer are installed immediately, rules hosted elsewhere
-// are shipped as msgInstall messages. The returned rules must be built
+// are shipped as wire.Install messages. The returned rules must be built
 // over the engine's program store. Hooks run on peer goroutines and must
 // be safe for concurrent use.
 type ActivationHook func(peer dist.PeerID, relName rel.Name) []PRule
@@ -27,26 +28,6 @@ type ActivationHook func(peer dist.PeerID, relName rel.Name) []PRule
 // SetActivationHook installs the hook. Must be called before Run.
 func (e *Engine) SetActivationHook(h ActivationHook) {
 	e.hook = h
-}
-
-// wireAtom is the store-independent form of a located atom.
-type wireAtom struct {
-	Rel  rel.Name
-	Peer dist.PeerID
-	Args term.Extern
-}
-
-// wireRule is the store-independent form of a rule, shipped to its host.
-type wireRule struct {
-	Head wireAtom
-	Body []wireAtom
-	NeqX term.Extern // tuple of constraint left sides
-	NeqY term.Extern // tuple of constraint right sides
-}
-
-// msgInstall delivers a rule to its host peer at runtime.
-type msgInstall struct {
-	Rule wireRule
 }
 
 // hookStore serializes access to the shared program store during hook
@@ -69,13 +50,13 @@ func (ps *peerState) runHook(ctx *dist.Context, relName rel.Name) {
 	hookMu.Lock()
 	rules := ps.eng.hook(ps.id, relName)
 	var local []PRule
-	var remote []msgInstall
+	var remote []wire.Install
 	src := ps.eng.prog.Store
 	for _, r := range rules {
 		if r.Head.Peer == ps.id {
 			local = append(local, reintern(src, ps.store, r))
 		} else {
-			remote = append(remote, msgInstall{Rule: externRule(src, r)})
+			remote = append(remote, wire.Install{Rule: externRule(src, r)})
 		}
 	}
 	hookMu.Unlock()
@@ -84,16 +65,16 @@ func (ps *peerState) runHook(ctx *dist.Context, relName rel.Name) {
 		ps.installRule(ctx, r)
 	}
 	for _, m := range remote {
-		ctx.Send(m.Rule.Head.Peer, m)
+		ctx.Send(dist.PeerID(m.Rule.Head.Peer), m)
 	}
 }
 
 // externRule encodes a rule for the wire.
-func externRule(s *term.Store, r PRule) wireRule {
-	conv := func(a PAtom) wireAtom {
-		return wireAtom{Rel: a.Rel, Peer: a.Peer, Args: s.ExternalizeTuple(a.Args)}
+func externRule(s *term.Store, r PRule) wire.Rule {
+	conv := func(a PAtom) wire.Atom {
+		return wire.Atom{Rel: a.Rel, Peer: string(a.Peer), Args: s.ExternalizeTuple(a.Args)}
 	}
-	out := wireRule{Head: conv(r.Head)}
+	out := wire.Rule{Head: conv(r.Head)}
 	for _, a := range r.Body {
 		out.Body = append(out.Body, conv(a))
 	}
@@ -108,9 +89,9 @@ func externRule(s *term.Store, r PRule) wireRule {
 }
 
 // internRule decodes a wire rule into the peer's private store.
-func (ps *peerState) internRule(w wireRule) PRule {
-	conv := func(a wireAtom) PAtom {
-		return PAtom{Rel: a.Rel, Peer: a.Peer, Args: ps.store.InternalizeTuple(a.Args)}
+func (ps *peerState) internRule(w wire.Rule) PRule {
+	conv := func(a wire.Atom) PAtom {
+		return PAtom{Rel: a.Rel, Peer: dist.PeerID(a.Peer), Args: ps.store.InternalizeTuple(a.Args)}
 	}
 	out := PRule{Head: conv(w.Head)}
 	for _, a := range w.Body {

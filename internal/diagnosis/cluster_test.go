@@ -1,0 +1,210 @@
+package diagnosis
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/transport"
+)
+
+type clusterCase struct {
+	name string
+	pn   *petri.PetriNet
+	seq  alarm.Seq
+}
+
+func clusterCases() []clusterCase {
+	return []clusterCase{
+		{"quickstart", petri.Example(), alarm.S("b", "p1", "a", "p2", "c", "p1")},
+		{"telecom", gen.Telecom(3), gen.TelecomSeqFixed()},
+	}
+}
+
+// serveOn starts a member node serving on tr and wires its shutdown into
+// the test cleanup.
+func serveOn(t *testing.T, tr transport.Transport, driver string) {
+	t.Helper()
+	n, err := NewNode(tr, driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		n.Serve() //nolint:errcheck
+	}()
+	t.Cleanup(func() {
+		n.Close()
+		<-done
+	})
+}
+
+// startMesh builds a driver plus two member nodes over an in-process mesh.
+func startMesh(t *testing.T) *Cluster {
+	t.Helper()
+	mesh := transport.NewMesh()
+	cl := &Cluster{Transport: mesh.Node("driver"), Nodes: []string{"n1", "n2"}}
+	t.Cleanup(func() { cl.Close() })
+	for _, name := range cl.Nodes {
+		serveOn(t, mesh.Node(name), "driver")
+	}
+	return cl
+}
+
+// startTCP builds the same topology over loopback sockets. Members learn
+// every route from the shipped job's address book; only the driver's own
+// routes are configured up front.
+func startTCP(t *testing.T) (*Cluster, []*transport.TCP) {
+	t.Helper()
+	names := []string{"driver", "n1", "n2"}
+	trs := make(map[string]*transport.TCP, len(names))
+	addrs := make(map[string]string, len(names))
+	for _, name := range names {
+		tr, err := transport.ListenTCP(name, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		trs[name] = tr
+		addrs[name] = tr.Addr()
+	}
+	cl := &Cluster{Transport: trs["driver"], Nodes: []string{"n1", "n2"}, Addrs: addrs}
+	t.Cleanup(func() { cl.Close() })
+	for _, name := range cl.Nodes {
+		trs["driver"].AddRoute(name, addrs[name])
+		serveOn(t, trs[name], "driver")
+	}
+	return cl, []*transport.TCP{trs["driver"], trs["n1"], trs["n2"]}
+}
+
+// TestDistributedEquivalence is the subsystem's acceptance test: for both
+// example systems and both Datalog engines, a distributed run — over the
+// in-process mesh and over real TCP loopback — must return exactly the
+// configuration set, materialized-fact count and message count of the
+// single-process evaluation. The counts are sets (per distinct tuple, per
+// subscription), so they are insensitive to scheduling and rule order and
+// any loss or duplication in the cluster runtime would show.
+func TestDistributedEquivalence(t *testing.T) {
+	for _, c := range clusterCases() {
+		for _, engine := range []Engine{EngineNaive, EngineDQSQ} {
+			base, err := Run(c.pn, c.seq, engine, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(base.Diagnoses) == 0 {
+				t.Fatalf("%s/%v: baseline found no diagnoses", c.name, engine)
+			}
+			for _, substrate := range []string{"mesh", "tcp"} {
+				t.Run(fmt.Sprintf("%s/%v/%s", c.name, engine, substrate), func(t *testing.T) {
+					var cl *Cluster
+					if substrate == "mesh" {
+						cl = startMesh(t)
+					} else {
+						cl, _ = startTCP(t)
+					}
+					rep, err := RunDistributed(c.pn, c.seq, engine, Options{}, cl)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.Diagnoses.Equal(base.Diagnoses) {
+						t.Errorf("diagnoses = %v, want %v", rep.Diagnoses, base.Diagnoses)
+					}
+					if rep.Derived != base.Derived {
+						t.Errorf("derived = %d, want %d", rep.Derived, base.Derived)
+					}
+					if rep.Messages != base.Messages {
+						t.Errorf("messages = %d, want %d", rep.Messages, base.Messages)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDistributedClusterReuse runs several jobs through one cluster: the
+// job hand-over (round preemption, fresh engines, backlog replay) must
+// leave each evaluation as exact as a fresh cluster's. The telecom job
+// also exercises empty member rounds: its peers are not in the first
+// net's assignment, so the members host nothing and the driver evaluates
+// alone while the coordinator still polls them.
+func TestDistributedClusterReuse(t *testing.T) {
+	cl := startMesh(t)
+	cases := clusterCases()
+	for _, run := range []struct {
+		c      clusterCase
+		engine Engine
+	}{
+		{cases[0], EngineNaive},
+		{cases[0], EngineDQSQ},
+		{cases[1], EngineNaive},
+		{cases[0], EngineNaive},
+	} {
+		base, err := Run(run.c.pn, run.c.seq, run.engine, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := RunDistributed(run.c.pn, run.c.seq, run.engine, Options{}, cl)
+		if err != nil {
+			t.Fatalf("%s/%v: %v", run.c.name, run.engine, err)
+		}
+		if !rep.Diagnoses.Equal(base.Diagnoses) || rep.Derived != base.Derived || rep.Messages != base.Messages {
+			t.Errorf("%s/%v: got %d diagnoses/%d derived/%d messages, want %d/%d/%d",
+				run.c.name, run.engine, len(rep.Diagnoses), rep.Derived, rep.Messages,
+				len(base.Diagnoses), base.Derived, base.Messages)
+		}
+	}
+}
+
+// TestDistributedSurvivesConnDrops drops every live TCP connection —
+// repeatedly, while frames are in flight — during an evaluation. The
+// transport's replay must deliver every frame exactly once, so the run
+// still returns the exact single-process results: a lost fact would
+// change the counts (or hang quiescence), a duplicated one would
+// double-count a message.
+func TestDistributedSurvivesConnDrops(t *testing.T) {
+	c := clusterCases()[1] // telecom: the longer evaluation
+	base, err := Run(c.pn, c.seq, EngineNaive, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, trs := startTCP(t)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			// Wait (event-driven, on the transport's own counters) until
+			// more traffic flowed, so each drop lands mid-conversation.
+			target := trs[0].Stats().FramesReceived + 10
+			for trs[0].Stats().FramesReceived < target {
+				select {
+				case <-stop:
+					return
+				case <-time.After(time.Millisecond):
+				}
+			}
+			for _, tr := range trs {
+				tr.DropConns()
+			}
+		}
+	}()
+	rep, err := RunDistributed(c.pn, c.seq, EngineNaive, Options{}, cl)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diagnoses.Equal(base.Diagnoses) {
+		t.Errorf("diagnoses = %v, want %v", rep.Diagnoses, base.Diagnoses)
+	}
+	if rep.Derived != base.Derived {
+		t.Errorf("derived = %d, want %d", rep.Derived, base.Derived)
+	}
+	if rep.Messages != base.Messages {
+		t.Errorf("messages = %d, want %d", rep.Messages, base.Messages)
+	}
+}

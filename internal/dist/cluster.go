@@ -1,0 +1,699 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// This file runs a Network as one node of a multi-process cluster. One
+// node is the driver: it seeds each evaluation round, runs the
+// termination-detection coordinator, and aggregates the round statistics.
+// Every other node is a member: it hosts a subset of the peers and reacts
+// to messages until the driver stops the round.
+//
+// Termination is the same message-counting argument the single-process
+// Network uses, run over sampled per-node counters (the "standard
+// termination detection algorithms" the paper defers to): the coordinator
+// polls every node for (messages sent, messages processed, locally idle)
+// and declares quiescence after two consecutive waves in which every node
+// was idle, the samples did not change between the waves, and the sends
+// balance the processings globally. The second wave starts only after all
+// first-wave replies arrived, so the constant monotonic counters pin both
+// samples to a common instant: nothing was in flight anywhere.
+
+// ErrClusterClosed is returned when a round is started on a closed member.
+var ErrClusterClosed = errors.New("dist: cluster endpoint closed")
+
+// ErrRoundPreempted stops a member round when a new job arrives. The
+// driver only ships jobs between evaluations, so the round it preempts
+// has already ended everywhere else — the member was merely parked in it
+// waiting for traffic.
+var ErrRoundPreempted = errors.New("dist: round preempted by a new job")
+
+// pollInterval is the coordinator's fallback re-poll period; waves are
+// normally triggered by idle notifications, the timer only covers lost
+// nudges.
+const pollInterval = 5 * time.Millisecond
+
+// doneGrace bounds how long a round waits for member end-of-round reports
+// after the evaluation itself has ended.
+const doneGrace = 10 * time.Second
+
+// Driver is the long-lived driver endpoint of a cluster: it owns the
+// driver side of the transport and hands out one DriverRound per
+// evaluation. Create it with NewDriver (which installs the transport
+// handler), ship the job with ShipJob, then install NewRound as the
+// evaluator's network factory.
+type Driver struct {
+	tr     transport.Transport
+	nodes  []string
+	assign map[PeerID]string
+
+	mu     sync.Mutex
+	cur    *DriverRound
+	jobOKs map[string]wire.JobOK
+}
+
+// NewDriver creates the driver endpoint over tr, coordinating the given
+// member nodes, with assign routing each remotely hosted peer to its
+// node. It starts the transport.
+func NewDriver(tr transport.Transport, nodes []string, assign map[PeerID]string) (*Driver, error) {
+	d := &Driver{
+		tr:     tr,
+		nodes:  append([]string(nil), nodes...),
+		assign: assign,
+		jobOKs: make(map[string]wire.JobOK),
+	}
+	if err := tr.Start(d.handle); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Driver) handle(from string, f wire.Frame) {
+	if ok, isJobOK := f.(wire.JobOK); isJobOK {
+		d.mu.Lock()
+		d.jobOKs[from] = ok
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Lock()
+	cur := d.cur
+	d.mu.Unlock()
+	if cur != nil {
+		cur.dispatch(from, f)
+	}
+	// Frames with no active round are stale (a late Status after the round
+	// ended); dropping them is safe — every round starts from fresh state.
+}
+
+// ShipJob sends each node its job and waits for every acknowledgement.
+func (d *Driver) ShipJob(jobs map[string]wire.Job, timeout time.Duration) error {
+	d.mu.Lock()
+	d.jobOKs = make(map[string]wire.JobOK)
+	d.mu.Unlock()
+	for _, node := range d.nodes {
+		job, ok := jobs[node]
+		if !ok {
+			return fmt.Errorf("dist: no job for node %q", node)
+		}
+		if err := d.tr.Send(node, job); err != nil {
+			return err
+		}
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		d.mu.Lock()
+		got := len(d.jobOKs)
+		for node, ok := range d.jobOKs {
+			if ok.Err != "" {
+				d.mu.Unlock()
+				return fmt.Errorf("dist: node %q refused job: %s", node, ok.Err)
+			}
+		}
+		d.mu.Unlock()
+		if got == len(d.nodes) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: %d of %d nodes acknowledged the job before deadline", got, len(d.nodes))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// NewRound creates the next evaluation round. Install it as the network
+// factory: each call to the evaluator's Run gets a fresh round whose
+// unknown-peer sends are routed to their assigned nodes and whose
+// termination is decided by the cluster-wide coordinator.
+func (d *Driver) NewRound() *DriverRound {
+	r := &DriverRound{
+		d:        d,
+		net:      NewNetwork(),
+		wake:     make(chan struct{}, 1),
+		statuses: make(map[string]wire.Status),
+		dones:    make(map[string]wire.Done),
+		extras:   make(map[string]uint64),
+	}
+	r.net.SetRoute(func(m Message) {
+		node, ok := d.assign[m.To]
+		if !ok {
+			panic(fmt.Sprintf("dist: peer %q hosted nowhere (not local, not assigned)", m.To))
+		}
+		if err := d.tr.Send(node, wire.Data{From: string(m.From), To: string(m.To), Payload: m.Payload.(wire.Payload)}); err != nil {
+			// The transport is closing; the round is ending anyway.
+			r.net.Stop(err)
+		}
+	})
+	r.net.SetExternal(r.wakeUp)
+	return r
+}
+
+// DriverRound is one cluster-wide evaluation: a dist.Net whose Run seeds
+// the cluster, detects global quiescence, stops every member, and folds
+// the members' statistics into its own.
+type DriverRound struct {
+	d   *Driver
+	net *Network
+
+	wake chan struct{}
+
+	mu       sync.Mutex
+	epoch    uint64
+	statuses map[string]wire.Status
+	dones    map[string]wire.Done
+	stopSent bool
+	extras   map[string]uint64
+	memErr   error
+}
+
+// AddPeer registers a locally hosted peer.
+func (r *DriverRound) AddPeer(id PeerID, h Handler) { r.net.AddPeer(id, h) }
+
+// SetTracer forwards the tracer to the local network.
+func (r *DriverRound) SetTracer(t obs.Tracer) { r.net.SetTracer(t) }
+
+func (r *DriverRound) wakeUp() {
+	select {
+	case r.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (r *DriverRound) dispatch(from string, f wire.Frame) {
+	switch fr := f.(type) {
+	case wire.Data:
+		r.net.Inject(Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload})
+	case wire.Status:
+		r.mu.Lock()
+		if fr.Epoch != 0 && fr.Epoch == r.epoch {
+			r.statuses[from] = fr
+		}
+		r.mu.Unlock()
+		r.wakeUp()
+	case wire.Done:
+		r.mu.Lock()
+		if _, dup := r.dones[from]; !dup {
+			r.dones[from] = fr
+		}
+		early := !r.stopSent
+		r.mu.Unlock()
+		if early {
+			// A member ended the round unilaterally (budget abort, member
+			// timeout): end it everywhere.
+			if fr.Err != "" {
+				r.fail(errors.New(fr.Err))
+			} else {
+				r.fail(errors.New("dist: member finished round early"))
+			}
+		}
+		r.wakeUp()
+	}
+}
+
+// fail records the first member-reported error and stops the local net.
+func (r *DriverRound) fail(err error) {
+	r.mu.Lock()
+	if r.memErr == nil {
+		r.memErr = err
+	}
+	r.mu.Unlock()
+	r.net.Stop(err)
+}
+
+// Run seeds the round (remote seeds route through the transport), runs
+// the coordinator until the cluster quiesces, stops every member, and
+// returns the cluster-wide statistics: the local run's stats plus every
+// member's reported share.
+func (r *DriverRound) Run(initial []Message, timeout time.Duration) (Stats, error) {
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	d := r.d
+	d.mu.Lock()
+	d.cur = r
+	d.mu.Unlock()
+
+	coordDone := make(chan struct{})
+	coordStop := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		r.coordinate(coordStop)
+	}()
+
+	stats, err := r.net.Run(initial, timeout)
+
+	close(coordStop)
+	<-coordDone
+	r.broadcastStop(err)
+
+	derr := r.collectDones(timeout)
+	d.mu.Lock()
+	d.cur = nil
+	d.mu.Unlock()
+
+	r.mu.Lock()
+	if err == nil {
+		err = r.memErr
+	}
+	if err == nil {
+		err = derr
+	}
+	for _, done := range r.dones {
+		stats.MessagesSent += int(done.Sent)
+		for _, pc := range done.Processed {
+			stats.Processed[PeerID(pc.Peer)] += int(pc.Count)
+		}
+		for _, pc := range done.ByPair {
+			stats.MessagesByPair[Pair{From: PeerID(pc.From), To: PeerID(pc.To)}] += int(pc.Count)
+		}
+		for _, pc := range done.BytesSent {
+			stats.BytesSentByPair[Pair{From: PeerID(pc.From), To: PeerID(pc.To)}] += int(pc.Count)
+		}
+		for _, kv := range done.Extras {
+			r.extras[kv.Key] += kv.Val
+		}
+	}
+	r.mu.Unlock()
+	return stats, err
+}
+
+// ClusterExtras returns the evaluator-defined extras summed over every
+// member's end-of-round report. Valid after Run returns.
+func (r *DriverRound) ClusterExtras() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.extras))
+	for k, v := range r.extras {
+		out[k] = v
+	}
+	return out
+}
+
+// broadcastStop tells every member the round is over (idempotent).
+func (r *DriverRound) broadcastStop(err error) {
+	r.mu.Lock()
+	if r.stopSent {
+		r.mu.Unlock()
+		return
+	}
+	r.stopSent = true
+	r.mu.Unlock()
+	msg := wire.Stop{}
+	if err != nil {
+		msg.Err = err.Error()
+	}
+	for _, node := range r.d.nodes {
+		r.d.tr.Send(node, msg) //nolint:errcheck // closing transport ends the round anyway
+	}
+}
+
+// collectDones waits for every member's end-of-round report.
+func (r *DriverRound) collectDones(timeout time.Duration) error {
+	if timeout < doneGrace {
+		timeout = doneGrace
+	}
+	deadline := time.After(timeout)
+	for {
+		r.mu.Lock()
+		got := len(r.dones)
+		r.mu.Unlock()
+		if got == len(r.d.nodes) {
+			return nil
+		}
+		select {
+		case <-r.wake:
+		case <-deadline:
+			return fmt.Errorf("dist: %d of %d members reported before deadline", got, len(r.d.nodes))
+		}
+	}
+}
+
+// nodeCount is one node's counter sample within a wave.
+type nodeCount struct {
+	node      string
+	sent      uint64
+	processed uint64
+}
+
+// coordinate runs quiescence waves until two consecutive all-idle waves
+// sample identical, globally balanced counters, then stops the round.
+func (r *DriverRound) coordinate(stop <-chan struct{}) {
+	var prev []nodeCount
+	epoch := uint64(0)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-r.wake:
+		case <-time.After(pollInterval):
+		}
+		epoch++
+		r.mu.Lock()
+		r.epoch = epoch
+		r.statuses = make(map[string]wire.Status)
+		r.mu.Unlock()
+		for _, node := range r.d.nodes {
+			if err := r.d.tr.Send(node, wire.Poll{Epoch: epoch}); err != nil {
+				return
+			}
+		}
+		if !r.awaitStatuses(stop, epoch) {
+			return
+		}
+		wave := r.waveVector()
+		if wave != nil && prev != nil && wavesEqual(prev, wave) && balanced(wave) {
+			r.broadcastStop(nil)
+			r.net.Stop(nil)
+			return
+		}
+		prev = wave
+	}
+}
+
+// awaitStatuses blocks until every member replied to the given epoch.
+// Returns false if the round was stopped first.
+func (r *DriverRound) awaitStatuses(stop <-chan struct{}, epoch uint64) bool {
+	for {
+		r.mu.Lock()
+		got := len(r.statuses)
+		r.mu.Unlock()
+		if got == len(r.d.nodes) {
+			return true
+		}
+		if r.net.Stopped() {
+			return false
+		}
+		select {
+		case <-stop:
+			return false
+		case <-r.wake:
+		case <-time.After(pollInterval):
+		}
+	}
+}
+
+// waveVector assembles the wave's per-node samples (members first, the
+// driver's own network last). It returns nil unless every node — this one
+// included — was idle at its sample.
+func (r *DriverRound) waveVector() []nodeCount {
+	r.mu.Lock()
+	statuses := r.statuses
+	r.mu.Unlock()
+	wave := make([]nodeCount, 0, len(statuses)+1)
+	for _, node := range r.d.nodes {
+		st, ok := statuses[node]
+		if !ok || !st.Idle {
+			return nil
+		}
+		wave = append(wave, nodeCount{node: node, sent: st.Sent, processed: st.Processed})
+	}
+	// The driver samples itself after every reply arrived, so its counters
+	// are at least as fresh as the members'.
+	sent, processed, idle := r.net.Counters()
+	if !idle {
+		return nil
+	}
+	wave = append(wave, nodeCount{node: "", sent: sent, processed: processed})
+	return wave
+}
+
+func wavesEqual(a, b []nodeCount) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// balanced reports Σsent == Σprocessed over the wave: combined with two
+// identical all-idle waves, no message is in flight anywhere.
+func balanced(wave []nodeCount) bool {
+	var sent, processed uint64
+	for _, n := range wave {
+		sent += n.sent
+		processed += n.processed
+	}
+	return sent == processed
+}
+
+// Member is the long-lived member endpoint of one cluster node. Create it
+// with NewMember (which installs the transport handler), receive the job
+// from Jobs, set the peer assignment, then loop: NextRound → run the
+// evaluator on it → Finish.
+type Member struct {
+	tr     transport.Transport
+	driver string
+	jobs   chan wire.Job
+
+	mu      sync.Mutex
+	assign  map[PeerID]string
+	cur     *MemberRound
+	backlog []queuedFrame
+	closed  bool
+}
+
+type queuedFrame struct {
+	from string
+	f    wire.Frame
+}
+
+// NewMember creates the member endpoint over tr, reporting to the named
+// driver node. It starts the transport.
+func NewMember(tr transport.Transport, driver string) (*Member, error) {
+	m := &Member{tr: tr, driver: driver, jobs: make(chan wire.Job, 1)}
+	if err := tr.Start(m.handle); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Jobs delivers the jobs the driver ships. The channel is closed by Close.
+func (m *Member) Jobs() <-chan wire.Job { return m.jobs }
+
+// SetAssign installs the cluster's peer→node map, used to route sends to
+// peers hosted on other nodes (peers absent from the map route to the
+// driver — that is where synthetic peers like the collector live). Must
+// be set before the first round.
+func (m *Member) SetAssign(assign map[PeerID]string) {
+	m.mu.Lock()
+	m.assign = assign
+	m.mu.Unlock()
+}
+
+// SendJobOK acknowledges the current job to the driver; errText non-empty
+// refuses it.
+func (m *Member) SendJobOK(errText string) error {
+	return m.tr.Send(m.driver, wire.JobOK{Node: m.tr.Self(), Err: errText})
+}
+
+func (m *Member) handle(from string, f wire.Frame) {
+	if job, isJob := f.(wire.Job); isJob {
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		var cur *MemberRound
+		accepted := false
+		select {
+		case m.jobs <- job:
+			accepted = true
+			cur = m.cur
+		default:
+		}
+		m.mu.Unlock()
+		if !accepted {
+			m.SendJobOK("member busy with a previous job") //nolint:errcheck
+		} else if cur != nil {
+			cur.net.Stop(ErrRoundPreempted)
+		}
+		return
+	}
+	m.mu.Lock()
+	cur := m.cur
+	if cur == nil {
+		if !m.closed {
+			// No round is active (the member is between rounds); hold the
+			// frame for the next round so nothing is lost across the gap.
+			m.backlog = append(m.backlog, queuedFrame{from: from, f: f})
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.mu.Unlock()
+	cur.dispatch(from, f)
+}
+
+// Close shuts the member down: the current round (if any) is stopped, the
+// job channel is closed, and the transport is closed.
+func (m *Member) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	cur := m.cur
+	m.mu.Unlock()
+	close(m.jobs)
+	if cur != nil {
+		cur.net.Stop(ErrClusterClosed)
+	}
+	return m.tr.Close()
+}
+
+// NextRound creates the member side of the next evaluation round.
+func (m *Member) NextRound() *MemberRound {
+	r := &MemberRound{m: m, net: NewNetwork()}
+	r.net.SetRoute(func(msg Message) {
+		m.mu.Lock()
+		node, ok := m.assign[msg.To]
+		m.mu.Unlock()
+		if !ok {
+			node = m.driver
+		}
+		if err := m.tr.Send(node, wire.Data{From: string(msg.From), To: string(msg.To), Payload: msg.Payload.(wire.Payload)}); err != nil {
+			r.net.Stop(err)
+		}
+	})
+	r.net.SetExternal(func() {
+		// An unsolicited epoch-0 status nudges the coordinator to start a
+		// wave. Runs under the network lock: Counters would deadlock, and
+		// the nudge carries no sample — the coordinator polls for one.
+		m.tr.Send(m.driver, wire.Status{Epoch: 0, Idle: true}) //nolint:errcheck
+	})
+	return r
+}
+
+// MemberRound is one round's member side: a dist.Net whose Run reacts to
+// routed messages until the driver (or a local failure) stops the round.
+type MemberRound struct {
+	m   *Member
+	net *Network
+
+	stats Stats
+	err   error
+}
+
+// AddPeer registers a locally hosted peer.
+func (r *MemberRound) AddPeer(id PeerID, h Handler) { r.net.AddPeer(id, h) }
+
+// SetTracer forwards the tracer to the local network.
+func (r *MemberRound) SetTracer(t obs.Tracer) { r.net.SetTracer(t) }
+
+func (r *MemberRound) dispatch(from string, f wire.Frame) {
+	switch fr := f.(type) {
+	case wire.Data:
+		r.net.Inject(Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload})
+	case wire.Poll:
+		sent, processed, idle := r.net.Counters()
+		r.m.tr.Send(r.m.driver, wire.Status{Epoch: fr.Epoch, Sent: sent, Processed: processed, Idle: idle}) //nolint:errcheck
+	case wire.Stop:
+		if fr.Err != "" {
+			r.net.Stop(errors.New(fr.Err))
+		} else {
+			r.net.Stop(nil)
+		}
+	}
+}
+
+// Run blocks until the driver stops the round (or the timeout trips).
+// initial must be empty: rounds are seeded by the driver.
+func (r *MemberRound) Run(initial []Message, timeout time.Duration) (Stats, error) {
+	if len(initial) != 0 {
+		panic("dist: member rounds take no seeds")
+	}
+	m := r.m
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Stats{}, ErrClusterClosed
+	}
+	if len(m.jobs) > 0 {
+		// A fresh job is already waiting: don't park in a round the driver
+		// has abandoned.
+		m.mu.Unlock()
+		return Stats{}, ErrRoundPreempted
+	}
+	// Frames that arrived between rounds are replayed before live dispatch
+	// resumes. The replay holds m.mu — handle() blocks on it — so a frame
+	// arriving mid-replay cannot overtake its sender's backlogged frames;
+	// dispatch only takes other locks (the round's network, the transport),
+	// never m.mu again.
+	for _, q := range m.backlog {
+		r.dispatch(q.from, q.f)
+	}
+	m.backlog = nil
+	m.cur = r
+	m.mu.Unlock()
+
+	stats, err := r.net.Run(nil, timeout)
+
+	m.mu.Lock()
+	if m.cur == r {
+		m.cur = nil
+	}
+	m.mu.Unlock()
+	r.stats, r.err = stats, err
+	return stats, err
+}
+
+// Finish sends the member's end-of-round report to the driver. Call it
+// after Run returned; extras carries evaluator counters (e.g. facts
+// derived on this node) for the driver to aggregate.
+func (r *MemberRound) Finish(extras map[string]uint64) error {
+	done := wire.Done{Sent: uint64(r.stats.MessagesSent)}
+	if r.err != nil && !errors.Is(r.err, ErrClusterClosed) {
+		done.Err = r.err.Error()
+	}
+	peers := make([]string, 0, len(r.stats.Processed))
+	for id := range r.stats.Processed {
+		peers = append(peers, string(id))
+	}
+	sort.Strings(peers)
+	for _, p := range peers {
+		done.Processed = append(done.Processed, wire.PeerCount{Peer: p, Count: uint64(r.stats.Processed[PeerID(p)])})
+	}
+	done.ByPair = pairCounts(r.stats.MessagesByPair)
+	done.BytesSent = pairCounts(r.stats.BytesSentByPair)
+	keys := make([]string, 0, len(extras))
+	for k := range extras {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		done.Extras = append(done.Extras, wire.KV{Key: k, Val: extras[k]})
+	}
+	return r.m.tr.Send(r.m.driver, done)
+}
+
+// pairCounts flattens a per-pair counter map in deterministic order.
+func pairCounts(m map[Pair]int) []wire.PairCount {
+	pairs := make([]Pair, 0, len(m))
+	for p := range m {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return pairs[i].From < pairs[j].From
+		}
+		return pairs[i].To < pairs[j].To
+	})
+	out := make([]wire.PairCount, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.PairCount{From: string(p.From), To: string(p.To), Count: uint64(m[p])}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package dist
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rel"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ringCluster builds a driver hosting peer "a" and two members hosting
+// "b" and "c" over an in-process mesh. Each peer forwards
+// wire.Activate{Rel: k} as k-1 to the next peer of the ring until k
+// reaches zero, so one seed of k produces exactly k+1 messages
+// cluster-wide.
+func ringCluster(t *testing.T, handler func(self PeerID) Handler) (*Driver, []*Member) {
+	t.Helper()
+	mesh := transport.NewMesh()
+	assign := map[PeerID]string{"b": "n1", "c": "n2"}
+	drv, err := NewDriver(mesh.Node("drv"), []string{"n1", "n2"}, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Node("drv").Close() })
+	members := make([]*Member, 0, 2)
+	for node, peer := range map[string]PeerID{"n1": "b", "n2": "c"} {
+		m, err := NewMember(mesh.Node(node), "drv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetAssign(assign)
+		t.Cleanup(func() { m.Close() })
+		members = append(members, m)
+		go func(m *Member, peer PeerID) {
+			for {
+				r := m.NextRound()
+				r.AddPeer(peer, handler(peer))
+				stats, err := r.Run(nil, 30*time.Second)
+				if errors.Is(err, ErrClusterClosed) {
+					return
+				}
+				var processed uint64
+				for _, c := range stats.Processed {
+					processed += uint64(c)
+				}
+				r.Finish(map[string]uint64{"hops": processed})
+			}
+		}(m, peer)
+	}
+	return drv, members
+}
+
+func ringHandler(self PeerID) Handler {
+	next := map[PeerID]PeerID{"a": "b", "b": "c", "c": "a"}
+	return func(ctx *Context, m Message) {
+		k, err := strconv.Atoi(string(m.Payload.(wire.Activate).Rel))
+		if err != nil || k == 0 {
+			return
+		}
+		ctx.Send(next[self], wire.Activate{Rel: rel.Name(strconv.Itoa(k - 1))})
+	}
+}
+
+func TestClusterRing(t *testing.T) {
+	drv, _ := ringCluster(t, ringHandler)
+
+	r := drv.NewRound()
+	r.AddPeer("a", ringHandler("a"))
+	seed := []Message{{From: "seed", To: "a", Payload: wire.Activate{Rel: "10"}}}
+	stats, err := r.Run(seed, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesSent != 11 {
+		t.Errorf("MessagesSent = %d, want 11", stats.MessagesSent)
+	}
+	var processed int
+	for _, c := range stats.Processed {
+		processed += c
+	}
+	if processed != 11 {
+		t.Errorf("total processed = %d, want 11", processed)
+	}
+	// Members hosted b and c: of the 11 hops, a handles 4 (k=10,7,4,1),
+	// b handles 4 (9,6,3,0) and c handles 3 (8,5,2) — 7 member hops.
+	if got := r.ClusterExtras()["hops"]; got != 7 {
+		t.Errorf("member hops = %d, want 7", got)
+	}
+	// Per-pair counts from the members were folded in: the b→c channel
+	// lives entirely on member n1.
+	if got := stats.MessagesByPair[Pair{From: "b", To: "c"}]; got != 3 {
+		t.Errorf("b→c messages = %d, want 3", got)
+	}
+	if got := stats.BytesSentByPair[Pair{From: "b", To: "c"}]; got == 0 {
+		t.Error("b→c bytes not accounted")
+	}
+}
+
+// TestClusterTwoRounds reuses the same members for a second evaluation:
+// the round boundary (Stop, Done, fresh networks, backlog replay) must
+// not lose or duplicate anything.
+func TestClusterTwoRounds(t *testing.T) {
+	drv, _ := ringCluster(t, ringHandler)
+
+	for round, k := range []int{10, 5} {
+		r := drv.NewRound()
+		r.AddPeer("a", ringHandler("a"))
+		seed := []Message{{From: "seed", To: "a", Payload: wire.Activate{Rel: rel.Name(strconv.Itoa(k))}}}
+		stats, err := r.Run(seed, 30*time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if stats.MessagesSent != k+1 {
+			t.Errorf("round %d: MessagesSent = %d, want %d", round, stats.MessagesSent, k+1)
+		}
+	}
+}
+
+// TestClusterMemberAbort: a handler aborting on a member node must fail
+// the whole round at the driver with the member's error.
+func TestClusterMemberAbort(t *testing.T) {
+	boom := "member b exploded"
+	handler := func(self PeerID) Handler {
+		inner := ringHandler(self)
+		return func(ctx *Context, m Message) {
+			if self == "b" {
+				ctx.Abort(errors.New(boom))
+				return
+			}
+			inner(ctx, m)
+		}
+	}
+	drv, _ := ringCluster(t, handler)
+
+	r := drv.NewRound()
+	r.AddPeer("a", ringHandler("a"))
+	seed := []Message{{From: "seed", To: "a", Payload: wire.Activate{Rel: "10"}}}
+	_, err := r.Run(seed, 30*time.Second)
+	if err == nil || !strings.Contains(err.Error(), boom) {
+		t.Fatalf("driver error = %v, want %q", err, boom)
+	}
+}
+
+// TestClusterOverTCP runs the ring over real loopback sockets.
+func TestClusterOverTCP(t *testing.T) {
+	names := []string{"drv", "n1", "n2"}
+	trs := make(map[string]*transport.TCP, len(names))
+	for _, n := range names {
+		tr, err := transport.ListenTCP(n, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		trs[n] = tr
+	}
+	for _, a := range names {
+		for _, b := range names {
+			if a != b {
+				trs[a].AddRoute(b, trs[b].Addr())
+			}
+		}
+	}
+	assign := map[PeerID]string{"b": "n1", "c": "n2"}
+	drv, err := NewDriver(trs["drv"], []string{"n1", "n2"}, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for node, peer := range map[string]PeerID{"n1": "b", "n2": "c"} {
+		m, err := NewMember(trs[node], "drv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetAssign(assign)
+		wg.Add(1)
+		go func(m *Member, peer PeerID) {
+			defer wg.Done()
+			r := m.NextRound()
+			r.AddPeer(peer, ringHandler(peer))
+			if _, err := r.Run(nil, 30*time.Second); err == nil {
+				r.Finish(nil)
+			} else {
+				r.Finish(nil)
+			}
+		}(m, peer)
+	}
+
+	r := drv.NewRound()
+	r.AddPeer("a", ringHandler("a"))
+	seed := []Message{{From: "seed", To: "a", Payload: wire.Activate{Rel: "20"}}}
+	stats, err := r.Run(seed, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MessagesSent != 21 {
+		t.Errorf("MessagesSent = %d, want 21", stats.MessagesSent)
+	}
+	var processed int
+	for _, c := range stats.Processed {
+		processed += c
+	}
+	if processed != 21 {
+		t.Errorf("total processed = %d, want 21", processed)
+	}
+	wg.Wait()
+}

@@ -8,10 +8,17 @@
 // Termination ("the system reaches a fixpoint when no new relation may be
 // activated and no new fact derived at any peer", Section 3.2) is detected
 // by message counting: the network is quiescent exactly when every peer is
-// blocked waiting for input and no message is in flight. Because the whole
-// network runs in one process, the count is maintained under a single lock
-// and detection is exact — this stands in for the "standard termination
-// detection algorithms for distributed computing" the paper cites [19, 33].
+// blocked waiting for input and no message is in flight. Within one process
+// the count is maintained under a single lock and detection is exact — this
+// stands in for the "standard termination detection algorithms for
+// distributed computing" the paper cites [19, 33].
+//
+// A Network can also run as one node of a multi-process cluster (see
+// cluster.go): SetRoute diverts messages addressed to peers hosted
+// elsewhere, Inject delivers messages that arrived from other nodes, and
+// SetExternal switches off local self-termination so a cluster-wide
+// message-counting coordinator (the same counting argument, run over
+// sampled per-node counters) decides quiescence instead.
 package dist
 
 import (
@@ -21,7 +28,18 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
+
+// Net is the runtime surface the evaluators program against: a closed set
+// of peers exchanging asynchronous messages until quiescence. *Network is
+// the single-process implementation; the cluster rounds in cluster.go
+// implement it over a transport.
+type Net interface {
+	AddPeer(PeerID, Handler)
+	SetTracer(obs.Tracer)
+	Run(initial []Message, timeout time.Duration) (Stats, error)
+}
 
 // PeerID names a peer.
 type PeerID string
@@ -36,6 +54,11 @@ type Message struct {
 	// seq is the network-wide send sequence number, correlating the
 	// send-side and delivery-side trace events of one hop.
 	seq uint64
+
+	// size is the wire-encoded payload size in bytes (0 for payloads the
+	// wire codec does not know), charged to BytesReceivedByPair when the
+	// message finishes processing.
+	size int
 }
 
 // Handler processes one message on behalf of a peer. It runs on the peer's
@@ -85,7 +108,14 @@ type Stats struct {
 	// values sum to MessagesSent (initial seed messages count under their
 	// synthetic sender).
 	MessagesByPair map[Pair]int
-	Elapsed        time.Duration
+	// BytesSentByPair and BytesReceivedByPair count the wire-encoded
+	// payload bytes per channel — the same figure whether the message
+	// stays in-process or crosses a socket, so byte costs measured
+	// in-proc predict network traffic exactly. Payload types unknown to
+	// the wire codec (only found in toy tests) count zero bytes.
+	BytesSentByPair     map[Pair]int
+	BytesReceivedByPair map[Pair]int
+	Elapsed             time.Duration
 }
 
 // ErrTimeout is returned by Run when the deadline passes before quiescence.
@@ -113,6 +143,12 @@ type Network struct {
 	stats    Stats
 	seq      uint64     // send sequence number (trace flow IDs)
 	tracer   obs.Tracer // never nil; obs.Nop by default
+
+	// cluster-member state (see SetRoute / SetExternal / Inject).
+	route    func(Message) // non-nil: messages to unknown peers go here
+	external bool          // true: local quiescence does not stop the run
+	notify   func()        // fired on each transition into local idleness
+	wasIdle  bool          // suppresses duplicate notify calls
 }
 
 // NewNetwork returns an empty network.
@@ -121,7 +157,84 @@ func NewNetwork() *Network {
 	n.cond = sync.NewCond(&n.mu)
 	n.stats.Processed = make(map[PeerID]int)
 	n.stats.MessagesByPair = make(map[Pair]int)
+	n.stats.BytesSentByPair = make(map[Pair]int)
+	n.stats.BytesReceivedByPair = make(map[Pair]int)
 	return n
+}
+
+// SetRoute diverts messages addressed to peers this network does not host:
+// instead of panicking on an unknown destination, send hands the message
+// (already counted in MessagesSent/MessagesByPair/BytesSentByPair) to
+// route. route is called outside the network lock, sequentially per
+// sending peer — so a FIFO-per-destination transport preserves the
+// per-sender ordering guarantee across nodes. Must be set before Run.
+func (n *Network) SetRoute(route func(Message)) {
+	n.route = route
+}
+
+// SetExternal makes this network one member of a larger cluster: local
+// quiescence (every hosted peer idle, nothing in flight locally) no longer
+// stops the run — messages may still arrive via Inject — and notify fires
+// on each transition into local idleness so the member can report a
+// counter sample to the cluster's termination coordinator. notify runs
+// under the network lock: it must not block and must not call back into
+// the network (a transport enqueue is fine). The run then ends only via
+// Stop or timeout. Must be set before Run.
+func (n *Network) SetExternal(notify func()) {
+	n.external = true
+	n.notify = notify
+}
+
+// Inject delivers a message that arrived from another node of the
+// cluster. The destination must be hosted here (cluster peer assignments
+// are static, so a miss is a routing bug). Unlike send it does not count
+// toward MessagesSent — the sending node counted it — but it does count
+// toward Processed and BytesReceivedByPair when handled, which is what
+// makes the cluster-wide counting argument (Σsent == Σprocessed over all
+// nodes ⇒ nothing in flight) come out exact.
+func (n *Network) Inject(m Message) {
+	size, _ := wire.PayloadSize(m.Payload)
+	n.mu.Lock()
+	p, ok := n.peers[m.To]
+	if !ok {
+		n.mu.Unlock()
+		panic(fmt.Sprintf("dist: inject for peer %q not hosted here", m.To))
+	}
+	if n.stopped {
+		n.mu.Unlock()
+		return // late deliveries during shutdown are dropped
+	}
+	n.inflight++
+	n.seq++
+	m.seq = n.seq
+	m.size = size
+	p.queue = append(p.queue, m)
+	n.wasIdle = false
+	n.cond.Broadcast()
+	n.mu.Unlock()
+	n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+}
+
+// Counters samples this node's share of the cluster-wide message counts:
+// messages its peers have sent (local or remote destinations alike),
+// messages fully processed here, and whether the node is locally idle.
+// The two-wave coordinator terminates the cluster when consecutive waves
+// sample identical, globally balanced counters from idle nodes.
+func (n *Network) Counters() (sent, processed uint64, idle bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var pr int
+	for _, c := range n.stats.Processed {
+		pr += c
+	}
+	return uint64(n.stats.MessagesSent), uint64(pr), n.quiescentLocked() || n.stopped
+}
+
+// Stop stops the network from outside a handler: nil err records clean
+// (cluster-decided) quiescence, non-nil aborts the run with that error.
+// Safe from any goroutine; a second stop is a no-op.
+func (n *Network) Stop(err error) {
+	n.abort(err)
 }
 
 // SetTracer installs the network's tracer (obs.Nop when t is nil). Must
@@ -154,9 +267,10 @@ func (n *Network) Peers() []PeerID {
 }
 
 func (n *Network) send(m Message) {
+	size, _ := wire.PayloadSize(m.Payload)
 	n.mu.Lock()
 	p, ok := n.peers[m.To]
-	if !ok {
+	if !ok && n.route == nil {
 		n.mu.Unlock()
 		panic(fmt.Sprintf("dist: send to unknown peer %q", m.To))
 	}
@@ -164,12 +278,27 @@ func (n *Network) send(m Message) {
 		n.mu.Unlock()
 		return // late sends during shutdown are dropped
 	}
-	n.inflight++
 	n.stats.MessagesSent++
 	n.stats.MessagesByPair[Pair{From: m.From, To: m.To}]++
+	if size > 0 {
+		n.stats.BytesSentByPair[Pair{From: m.From, To: m.To}] += size
+	}
 	n.seq++
 	m.seq = n.seq
+	m.size = size
+	if !ok {
+		// The destination lives on another node: counted as sent here,
+		// processed wherever it lands. Routed outside the lock — the
+		// sender's handler runs sequentially, so its sends still reach
+		// the transport in order.
+		n.mu.Unlock()
+		n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+		n.route(m)
+		return
+	}
+	n.inflight++
 	p.queue = append(p.queue, m)
+	n.wasIdle = false
 	n.cond.Broadcast()
 	n.mu.Unlock()
 	n.tracer.FlowBegin(string(m.From), "msg", m.seq)
@@ -196,9 +325,10 @@ func (n *Network) receive(p *peer) (Message, bool) {
 			p.waiting = true
 			n.idle++
 			if n.quiescentLocked() {
-				n.stopped = true
-				n.cond.Broadcast()
-				return Message{}, false
+				n.quiesceLocked()
+				if n.stopped {
+					return Message{}, false
+				}
 			}
 		}
 		n.cond.Wait()
@@ -216,21 +346,42 @@ func (n *Network) receive(p *peer) (Message, bool) {
 }
 
 // finish marks one message as fully processed.
-func (n *Network) finish(p *peer) {
+func (n *Network) finish(p *peer, m Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.inflight--
 	n.stats.Processed[p.id]++
+	if m.size > 0 {
+		n.stats.BytesReceivedByPair[Pair{From: m.From, To: m.To}] += m.size
+	}
 	if n.quiescentLocked() {
-		n.stopped = true
-		n.cond.Broadcast()
+		n.quiesceLocked()
 	}
 }
 
-// quiescentLocked reports global quiescence: every peer idle, nothing in
+// quiescentLocked reports local quiescence: every peer idle, nothing in
 // flight. Caller holds n.mu.
 func (n *Network) quiescentLocked() bool {
 	return n.inflight == 0 && n.idle == len(n.peers)
+}
+
+// quiesceLocked reacts to local quiescence: a standalone network stops
+// itself (detection is exact in-process); a cluster member instead fires
+// notify once per idle transition and keeps running — remote messages may
+// still arrive, and only the cluster coordinator may declare the end.
+// Caller holds n.mu.
+func (n *Network) quiesceLocked() {
+	if !n.external {
+		n.stopped = true
+		n.cond.Broadcast()
+		return
+	}
+	if !n.wasIdle {
+		n.wasIdle = true
+		if n.notify != nil {
+			n.notify()
+		}
+	}
 }
 
 // Stopped reports whether the network has stopped (quiesced, aborted, or
@@ -277,7 +428,7 @@ func (p *peer) loop(n *Network) {
 		} else {
 			p.handler(ctx, m)
 		}
-		n.finish(p)
+		n.finish(p, m)
 	}
 }
 
@@ -292,26 +443,19 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 	}
 	start := time.Now()
 
-	n.mu.Lock()
+	// Seed through the regular send path so seeds addressed to peers
+	// hosted on other nodes route like any other message. The peer loops
+	// have not started, so nothing is handled before seeding completes.
 	for _, m := range initial {
-		p, ok := n.peers[m.To]
-		if !ok {
-			n.mu.Unlock()
-			panic(fmt.Sprintf("dist: initial message to unknown peer %q", m.To))
-		}
-		n.inflight++
-		n.stats.MessagesSent++
-		n.stats.MessagesByPair[Pair{From: m.From, To: m.To}]++
-		n.seq++
-		m.seq = n.seq
-		p.queue = append(p.queue, m)
-		n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+		n.send(m)
 	}
-	if len(initial) == 0 {
-		// Nothing to do: already quiescent.
+	if len(initial) == 0 && !n.external {
+		// Nothing to do: already quiescent. A cluster member instead
+		// waits for injected messages until the coordinator stops it.
+		n.mu.Lock()
 		n.stopped = true
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 
 	for _, id := range n.order {
 		go n.peers[id].loop(n)
@@ -320,6 +464,16 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 	timer := time.AfterFunc(timeout, func() { n.abort(ErrTimeout) })
 	for _, id := range n.order {
 		<-n.peers[id].done
+	}
+	if n.external {
+		// A member round only ends when the coordinator (or a failure)
+		// stops it — even a node hosting no peers must keep answering
+		// polls until then.
+		n.mu.Lock()
+		for !n.stopped {
+			n.cond.Wait()
+		}
+		n.mu.Unlock()
 	}
 	timer.Stop()
 
@@ -335,6 +489,10 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 		for pair, c := range stats.MessagesByPair {
 			n.tracer.Counter("dist",
 				fmt.Sprintf("dist_messages_total{from=%q,to=%q}", pair.From, pair.To), int64(c))
+		}
+		for pair, c := range stats.BytesSentByPair {
+			n.tracer.Counter("dist",
+				fmt.Sprintf("dist_bytes_total{from=%q,to=%q}", pair.From, pair.To), int64(c))
 		}
 	}
 	return stats, err

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+	"repro/internal/petri"
+	"repro/internal/transport"
+)
+
+// TransportOverheadRow quantifies what real sockets cost the distributed
+// evaluation: the quickstart diagnosis (running example, sequence A1 of
+// Section 2, dQSQ engine) over the in-process mesh against the same
+// cluster topology over TCP loopback. Both runs use the full cluster
+// protocol — jobs, rounds, two-wave quiescence — so the delta is the
+// wire codec plus the kernel socket path, nothing else.
+type TransportOverheadRow struct {
+	Iters         int
+	Messages      int // peer messages per evaluation (identical on both substrates)
+	InProcNsPerOp int64
+	TCPNsPerOp    int64
+	OverheadPct   float64 // (tcp-inproc)/inproc, in percent; noisy but indicative
+	TCPBytesPerOp uint64  // driver-side bytes sent+received per TCP evaluation
+}
+
+// TransportOverhead times iters quickstart diagnoses over each substrate.
+// Each substrate gets one long-lived cluster (as a deployment would) and
+// a warm-up evaluation before timing.
+func TransportOverhead(iters int) (*TransportOverheadRow, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	pn := petri.Example()
+	seq := alarm.S("b", "p1", "a", "p2", "c", "p1")
+	opt := diagnosis.Options{Timeout: 2 * time.Minute}
+
+	row := &TransportOverheadRow{Iters: iters}
+
+	run := func(cl *diagnosis.Cluster) error {
+		rep, err := diagnosis.RunDistributed(pn, seq, diagnosis.EngineDQSQ, opt, cl)
+		if err != nil {
+			return err
+		}
+		if len(rep.Diagnoses) == 0 {
+			return errNoDiagnosis
+		}
+		row.Messages = rep.Messages
+		return nil
+	}
+
+	// In-process mesh: two member nodes served from goroutines.
+	mesh := transport.NewMesh()
+	meshCl := &diagnosis.Cluster{Transport: mesh.Node("driver"), Nodes: []string{"n1", "n2"}}
+	defer meshCl.Close()
+	for _, name := range meshCl.Nodes {
+		node, err := diagnosis.NewNode(mesh.Node(name), "driver")
+		if err != nil {
+			return nil, err
+		}
+		defer node.Close()
+		go node.Serve() //nolint:errcheck
+	}
+	if err := run(meshCl); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(meshCl); err != nil {
+			return nil, err
+		}
+	}
+	row.InProcNsPerOp = time.Since(start).Nanoseconds() / int64(iters)
+
+	// TCP loopback: same topology over real sockets on ephemeral ports.
+	names := []string{"driver", "n1", "n2"}
+	trs := make(map[string]*transport.TCP, len(names))
+	addrs := make(map[string]string, len(names))
+	for _, name := range names {
+		tr, err := transport.ListenTCP(name, "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		trs[name] = tr
+		addrs[name] = tr.Addr()
+	}
+	tcpCl := &diagnosis.Cluster{Transport: trs["driver"], Nodes: []string{"n1", "n2"}, Addrs: addrs}
+	defer tcpCl.Close()
+	for _, name := range tcpCl.Nodes {
+		trs["driver"].AddRoute(name, addrs[name])
+		node, err := diagnosis.NewNode(trs[name], "driver")
+		if err != nil {
+			return nil, err
+		}
+		defer node.Close()
+		go node.Serve() //nolint:errcheck
+	}
+	if err := run(tcpCl); err != nil {
+		return nil, err
+	}
+	before := trs["driver"].Stats()
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := run(tcpCl); err != nil {
+			return nil, err
+		}
+	}
+	row.TCPNsPerOp = time.Since(start).Nanoseconds() / int64(iters)
+	after := trs["driver"].Stats()
+	row.TCPBytesPerOp = (after.BytesSent - before.BytesSent +
+		after.BytesReceived - before.BytesReceived) / uint64(iters)
+	if row.InProcNsPerOp > 0 {
+		row.OverheadPct = 100 * float64(row.TCPNsPerOp-row.InProcNsPerOp) / float64(row.InProcNsPerOp)
+	}
+	return row, nil
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestTransportOverheadShape(t *testing.T) {
+	row, err := TransportOverhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Iters != 1 {
+		t.Fatalf("iters = %d", row.Iters)
+	}
+	if row.InProcNsPerOp <= 0 || row.TCPNsPerOp <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	if row.Messages == 0 {
+		t.Fatal("distributed run reported no peer messages")
+	}
+	if row.TCPBytesPerOp == 0 {
+		t.Fatal("TCP run moved no bytes")
+	}
+}

@@ -87,26 +87,43 @@ func TestEngineSeriesExported(t *testing.T) {
 	}
 	pairTotal := int64(0)
 	pairs := 0
+	byteTotal := int64(0)
+	bytePairs := 0
 	for _, line := range strings.Split(body.String(), "\n") {
-		if !strings.HasPrefix(line, "dist_messages_total{") {
+		msgs := strings.HasPrefix(line, "dist_messages_total{")
+		if !msgs && !strings.HasPrefix(line, "dist_bytes_total{") {
 			continue
 		}
 		fields := strings.Fields(line)
 		if len(fields) != 2 {
 			t.Fatalf("bad series line %q", line)
 		}
-		pairs++
 		v, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			t.Fatalf("bad value in %q: %v", line, err)
 		}
-		pairTotal += v
+		if msgs {
+			pairs++
+			pairTotal += v
+		} else {
+			bytePairs++
+			byteTotal += v
+		}
 	}
 	if pairs == 0 {
 		t.Fatal("no dist_messages_total{from,to} series exported")
 	}
 	if agg := metricValue(t, ts, "diagnosed_messages_total"); pairTotal != agg {
 		t.Errorf("sum of per-channel series = %d, diagnosed_messages_total = %d", pairTotal, agg)
+	}
+	// Every channel that carried a message must also report a positive
+	// byte count: a tuple on the wire is never free.
+	if bytePairs != pairs {
+		t.Errorf("dist_bytes_total has %d series, dist_messages_total has %d", bytePairs, pairs)
+	}
+	if byteTotal <= pairTotal {
+		t.Errorf("dist_bytes_total sum = %d, want > message count %d (every message is >1 byte)",
+			byteTotal, pairTotal)
 	}
 }
 

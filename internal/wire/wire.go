@@ -1,0 +1,757 @@
+// Package wire is the binary codec of the peer transport: a stdlib-only,
+// varint-based, length-prefixed frame format that carries the distributed
+// evaluation's messages (relation activations, fact streams, runtime fact
+// and rule installation) plus the control frames of the multi-process
+// runtime (handshake, job shipping, quiescence waves, shutdown).
+//
+// Terms cross the wire in their hash-consed structural encoding
+// (term.Extern): nodes are listed once, arguments before users, so a term
+// whose tree expansion is exponential (deep Skolem terms of the unfolding
+// programs) still encodes in linear space.
+//
+// The decoder is total: any byte slice either decodes into a valid frame
+// or returns an error — it never panics and never allocates more than the
+// input could justify (every length is validated against the remaining
+// input before allocation). FuzzDecodeFrame enforces this.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rel"
+	"repro/internal/term"
+)
+
+// Version is the protocol version exchanged in the Hello handshake. Nodes
+// refuse to talk across versions: the codec has no compatibility shims.
+const Version = 2
+
+// MaxFrame bounds the encoded size of a single frame (64 MiB). The
+// transport rejects longer length prefixes before reading the body, so a
+// corrupt or hostile prefix cannot force a giant allocation.
+const MaxFrame = 1 << 26
+
+// ErrTruncated reports an input that ended mid-frame.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrCorrupt reports structurally invalid input.
+var ErrCorrupt = errors.New("wire: corrupt input")
+
+// frame type tags.
+const (
+	tagHello byte = iota + 1
+	tagAck
+	tagData
+	tagJob
+	tagJobOK
+	tagPoll
+	tagStatus
+	tagStop
+	tagDone
+)
+
+// payload kind tags (inside a Data frame).
+const (
+	tagActivate byte = iota + 1
+	tagFacts
+	tagInject
+	tagInstall
+)
+
+// Frame is one unit of the transport protocol.
+type Frame interface{ isFrame() }
+
+// Hello opens a connection: the dialer announces itself, the acceptor
+// replies with the highest sequence number it has already received from
+// the dialer so the dialer can resend exactly the lost tail. Boot
+// identifies the sender's transport incarnation: a restarted process
+// reuses its node name but draws a fresh Boot, telling the receiver to
+// discard the previous incarnation's duplicate-filter state instead of
+// dropping the newcomer's frames as replays.
+type Hello struct {
+	Version uint32
+	Node    string // sender's node ID
+	Boot    uint64 // sender's transport incarnation
+	LastSeq uint64 // acceptor→dialer only: last delivered seq from the dialer
+}
+
+// Ack tells the sending node that every sequenced frame up to Seq has
+// been delivered, letting it trim its resend buffer.
+type Ack struct {
+	Seq uint64
+}
+
+// Data carries one peer-to-peer evaluation message.
+type Data struct {
+	From    string // sending peer
+	To      string // receiving peer
+	Payload Payload
+}
+
+// Job ships a diagnosis job to a member node: the system description, the
+// observed alarms, the engine configuration, and the cluster layout.
+type Job struct {
+	NetText   string   // textual net description (parser.Net format)
+	Alarms    string   // observed alarm sequence (parser.Alarms format)
+	Engine    uint32   // diagnosis engine ordinal (naive or dqsq)
+	MaxDepth  uint32   // term-depth budget; 0 = engine default
+	MaxFacts  uint32   // materialized-fact budget; 0 = engine default
+	TimeoutMS uint32   // driver's evaluation timeout, for the member failsafe
+	Hosted    []string // peers this member hosts
+	Peers     []Assign // full peer→node assignment of the cluster
+	Nodes     []Assign // node→address book for member↔member dialing
+	Driver    string   // driver node ID
+}
+
+// Assign is one key→value entry of a Job map (peer→node or node→addr).
+type Assign struct {
+	Key, Val string
+}
+
+// JobOK acknowledges a Job (or reports why it was refused).
+type JobOK struct {
+	Node string
+	Err  string
+}
+
+// Poll asks a member for a quiescence status sample; Epoch matches the
+// reply to the wave that requested it.
+type Poll struct {
+	Epoch uint64
+}
+
+// Status is a member's counter sample: messages its peers have sent,
+// messages they have fully processed, and whether the node is locally
+// idle. Epoch 0 is an unsolicited idle notification.
+type Status struct {
+	Epoch     uint64
+	Sent      uint64
+	Processed uint64
+	Idle      bool
+}
+
+// Stop ends the current round at a member; an empty Err means clean
+// quiescence.
+type Stop struct {
+	Err string
+}
+
+// Done is a member's end-of-round report: its share of the global run
+// statistics plus evaluator-defined extras (e.g. facts derived).
+type Done struct {
+	Sent      uint64
+	Processed []PeerCount // messages handled, per hosted peer
+	ByPair    []PairCount // sends per (from, to) peer pair
+	BytesSent []PairCount // encoded payload bytes per (from, to) pair
+	Extras    []KV
+	Err       string
+}
+
+// PeerCount is a per-peer counter.
+type PeerCount struct {
+	Peer  string
+	Count uint64
+}
+
+// PairCount is a per-directed-pair counter.
+type PairCount struct {
+	From, To string
+	Count    uint64
+}
+
+// KV is one evaluator-defined extra counter.
+type KV struct {
+	Key string
+	Val uint64
+}
+
+func (Hello) isFrame()  {}
+func (Ack) isFrame()    {}
+func (Data) isFrame()   {}
+func (Job) isFrame()    {}
+func (JobOK) isFrame()  {}
+func (Poll) isFrame()   {}
+func (Status) isFrame() {}
+func (Stop) isFrame()   {}
+func (Done) isFrame()   {}
+
+// Payload is the evaluator-level content of a Data frame. The four kinds
+// mirror the messages of the naive distributed evaluation (Section 3.2)
+// and its online extension: activation/subscription, fact streaming,
+// runtime fact injection, runtime rule installation.
+type Payload interface{ isPayload() }
+
+// Activate asks the receiving peer to activate relation Rel and subscribe
+// the sender to its tuples.
+type Activate struct {
+	Rel rel.Name
+}
+
+// Facts carries one ground tuple of a qualified relation to a subscriber.
+type Facts struct {
+	Qual  rel.Name // qualified name "R@owner"
+	Arity int
+	Tuple term.Extern
+}
+
+// Inject delivers a new base fact to its owner peer at runtime.
+type Inject struct {
+	Rel   rel.Name // unqualified: a relation owned by the receiver
+	Tuple term.Extern
+}
+
+// Install delivers a rule to its host peer at runtime.
+type Install struct {
+	Rule Rule
+}
+
+// Atom is the store-independent form of a located atom.
+type Atom struct {
+	Rel  rel.Name
+	Peer string
+	Args term.Extern
+}
+
+// Rule is the store-independent form of a located rule.
+type Rule struct {
+	Head Atom
+	Body []Atom
+	NeqX term.Extern // tuple of constraint left sides
+	NeqY term.Extern // tuple of constraint right sides
+}
+
+func (Activate) isPayload() {}
+func (Facts) isPayload()    {}
+func (Inject) isPayload()   {}
+func (Install) isPayload()  {}
+
+// --- encoding ------------------------------------------------------------
+
+func putUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func putExtern(dst []byte, e term.Extern) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.Nodes)))
+	for _, n := range e.Nodes {
+		dst = append(dst, byte(n.Kind))
+		dst = putString(dst, n.Name)
+		if n.Kind == term.Comp {
+			dst = binary.AppendUvarint(dst, uint64(len(n.Args)))
+			for _, a := range n.Args {
+				dst = binary.AppendUvarint(dst, uint64(a))
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(e.Roots)))
+	for _, r := range e.Roots {
+		dst = binary.AppendUvarint(dst, uint64(r))
+	}
+	return dst
+}
+
+func putAtom(dst []byte, a Atom) []byte {
+	dst = putString(dst, string(a.Rel))
+	dst = putString(dst, a.Peer)
+	return putExtern(dst, a.Args)
+}
+
+// AppendPayload encodes p after dst and returns the extended slice.
+func AppendPayload(dst []byte, p Payload) []byte {
+	switch v := p.(type) {
+	case Activate:
+		dst = append(dst, tagActivate)
+		dst = putString(dst, string(v.Rel))
+	case Facts:
+		dst = append(dst, tagFacts)
+		dst = putString(dst, string(v.Qual))
+		dst = putUvarint(dst, uint64(v.Arity))
+		dst = putExtern(dst, v.Tuple)
+	case Inject:
+		dst = append(dst, tagInject)
+		dst = putString(dst, string(v.Rel))
+		dst = putExtern(dst, v.Tuple)
+	case Install:
+		dst = append(dst, tagInstall)
+		dst = putAtom(dst, v.Rule.Head)
+		dst = putUvarint(dst, uint64(len(v.Rule.Body)))
+		for _, a := range v.Rule.Body {
+			dst = putAtom(dst, a)
+		}
+		dst = putExtern(dst, v.Rule.NeqX)
+		dst = putExtern(dst, v.Rule.NeqY)
+	default:
+		panic(fmt.Sprintf("wire: unencodable payload %T", p))
+	}
+	return dst
+}
+
+// PayloadSize returns the exact encoded size of p in bytes, and whether p
+// is a wire payload at all. It is what the runtime charges to the
+// per-pair byte counters — the same for a message that stays in-process
+// and one that crosses a socket.
+func PayloadSize(p any) (int, bool) {
+	switch v := p.(type) {
+	case Activate:
+		return 1 + stringSize(string(v.Rel)), true
+	case Facts:
+		return 1 + stringSize(string(v.Qual)) + uvarintSize(uint64(v.Arity)) + externSize(v.Tuple), true
+	case Inject:
+		return 1 + stringSize(string(v.Rel)) + externSize(v.Tuple), true
+	case Install:
+		n := 1 + atomSize(v.Rule.Head) + uvarintSize(uint64(len(v.Rule.Body)))
+		for _, a := range v.Rule.Body {
+			n += atomSize(a)
+		}
+		return n + externSize(v.Rule.NeqX) + externSize(v.Rule.NeqY), true
+	default:
+		return 0, false
+	}
+}
+
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func stringSize(s string) int { return uvarintSize(uint64(len(s))) + len(s) }
+
+func externSize(e term.Extern) int {
+	n := uvarintSize(uint64(len(e.Nodes)))
+	for _, nd := range e.Nodes {
+		n += 1 + stringSize(nd.Name)
+		if nd.Kind == term.Comp {
+			n += uvarintSize(uint64(len(nd.Args)))
+			for _, a := range nd.Args {
+				n += uvarintSize(uint64(a))
+			}
+		}
+	}
+	n += uvarintSize(uint64(len(e.Roots)))
+	for _, r := range e.Roots {
+		n += uvarintSize(uint64(r))
+	}
+	return n
+}
+
+func atomSize(a Atom) int {
+	return stringSize(string(a.Rel)) + stringSize(a.Peer) + externSize(a.Args)
+}
+
+// AppendFrame encodes f, preceded by its sequence number, after dst.
+// Sequence numbers order the frames of one directed node-to-node stream;
+// unsequenced frames (Hello, Ack) use seq 0.
+func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	switch v := f.(type) {
+	case Hello:
+		dst = append(dst, tagHello)
+		dst = putUvarint(dst, uint64(v.Version))
+		dst = putString(dst, v.Node)
+		dst = putUvarint(dst, v.Boot)
+		dst = putUvarint(dst, v.LastSeq)
+	case Ack:
+		dst = append(dst, tagAck)
+		dst = putUvarint(dst, v.Seq)
+	case Data:
+		dst = append(dst, tagData)
+		dst = putString(dst, v.From)
+		dst = putString(dst, v.To)
+		dst = AppendPayload(dst, v.Payload)
+	case Job:
+		dst = append(dst, tagJob)
+		dst = putString(dst, v.NetText)
+		dst = putString(dst, v.Alarms)
+		dst = putUvarint(dst, uint64(v.Engine))
+		dst = putUvarint(dst, uint64(v.MaxDepth))
+		dst = putUvarint(dst, uint64(v.MaxFacts))
+		dst = putUvarint(dst, uint64(v.TimeoutMS))
+		dst = putUvarint(dst, uint64(len(v.Hosted)))
+		for _, h := range v.Hosted {
+			dst = putString(dst, h)
+		}
+		dst = putAssigns(dst, v.Peers)
+		dst = putAssigns(dst, v.Nodes)
+		dst = putString(dst, v.Driver)
+	case JobOK:
+		dst = append(dst, tagJobOK)
+		dst = putString(dst, v.Node)
+		dst = putString(dst, v.Err)
+	case Poll:
+		dst = append(dst, tagPoll)
+		dst = putUvarint(dst, v.Epoch)
+	case Status:
+		dst = append(dst, tagStatus)
+		dst = putUvarint(dst, v.Epoch)
+		dst = putUvarint(dst, v.Sent)
+		dst = putUvarint(dst, v.Processed)
+		dst = putBool(dst, v.Idle)
+	case Stop:
+		dst = append(dst, tagStop)
+		dst = putString(dst, v.Err)
+	case Done:
+		dst = append(dst, tagDone)
+		dst = putUvarint(dst, v.Sent)
+		dst = putUvarint(dst, uint64(len(v.Processed)))
+		for _, pc := range v.Processed {
+			dst = putString(dst, pc.Peer)
+			dst = putUvarint(dst, pc.Count)
+		}
+		dst = putPairs(dst, v.ByPair)
+		dst = putPairs(dst, v.BytesSent)
+		dst = putUvarint(dst, uint64(len(v.Extras)))
+		for _, kv := range v.Extras {
+			dst = putString(dst, kv.Key)
+			dst = putUvarint(dst, kv.Val)
+		}
+		dst = putString(dst, v.Err)
+	default:
+		panic(fmt.Sprintf("wire: unencodable frame %T", f))
+	}
+	return dst
+}
+
+func putAssigns(dst []byte, as []Assign) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(as)))
+	for _, a := range as {
+		dst = putString(dst, a.Key)
+		dst = putString(dst, a.Val)
+	}
+	return dst
+}
+
+func putPairs(dst []byte, ps []PairCount) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ps)))
+	for _, p := range ps {
+		dst = putString(dst, p.From)
+		dst = putString(dst, p.To)
+		dst = putUvarint(dst, p.Count)
+	}
+	return dst
+}
+
+// --- decoding ------------------------------------------------------------
+
+// reader is a bounds-checked cursor over one frame body.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		if r.off >= len(r.b) {
+			r.err = ErrTruncated
+		} else {
+			r.err = ErrCorrupt
+		}
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// count reads a collection length and validates it against the bytes
+// still available, given that each element occupies at least min bytes —
+// the guard that keeps a hostile length prefix from forcing a giant
+// allocation.
+func (r *reader) count(min int) int {
+	v := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(min)+1 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.err = ErrTruncated
+		return false
+	}
+	b := r.b[r.off]
+	r.off++
+	if b > 1 {
+		r.err = ErrCorrupt
+		return false
+	}
+	return b == 1
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) u32() uint32 {
+	v := r.uvarint()
+	if v > math.MaxUint32 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	return uint32(v)
+}
+
+// extern decodes a term.Extern, re-validating the DAG invariants that
+// term.InternalizeTuple would otherwise panic on: every compound argument
+// and every root must reference an earlier (already decoded) node, and
+// every kind must be one of the three real term kinds.
+func (r *reader) extern() term.Extern {
+	nNodes := r.count(2) // kind byte + name length byte minimum
+	if r.err != nil {
+		return term.Extern{}
+	}
+	e := term.Extern{}
+	if nNodes > 0 {
+		e.Nodes = make([]term.ExternNode, 0, nNodes)
+	}
+	for i := 0; i < nNodes; i++ {
+		kind := term.Kind(r.byte())
+		name := r.str()
+		var args []int32
+		switch kind {
+		case term.Const, term.Var:
+		case term.Comp:
+			nArgs := r.count(1)
+			if r.err != nil {
+				return term.Extern{}
+			}
+			if nArgs == 0 {
+				r.err = ErrCorrupt // zero-ary compounds are constants
+				return term.Extern{}
+			}
+			args = make([]int32, 0, nArgs)
+			for j := 0; j < nArgs; j++ {
+				a := r.uvarint()
+				if r.err != nil {
+					return term.Extern{}
+				}
+				if a >= uint64(i) {
+					r.err = ErrCorrupt // forward or self reference
+					return term.Extern{}
+				}
+				args = append(args, int32(a))
+			}
+		default:
+			r.err = ErrCorrupt
+			return term.Extern{}
+		}
+		if r.err != nil {
+			return term.Extern{}
+		}
+		e.Nodes = append(e.Nodes, term.ExternNode{Kind: kind, Name: name, Args: args})
+	}
+	nRoots := r.count(1)
+	if r.err != nil {
+		return term.Extern{}
+	}
+	if nRoots > 0 {
+		e.Roots = make([]int32, 0, nRoots)
+	}
+	for i := 0; i < nRoots; i++ {
+		v := r.uvarint()
+		if r.err != nil {
+			return term.Extern{}
+		}
+		if v >= uint64(len(e.Nodes)) {
+			r.err = ErrCorrupt
+			return term.Extern{}
+		}
+		e.Roots = append(e.Roots, int32(v))
+	}
+	return e
+}
+
+func (r *reader) atom() Atom {
+	a := Atom{Rel: rel.Name(r.str()), Peer: r.str()}
+	a.Args = r.extern()
+	return a
+}
+
+func (r *reader) payload() Payload {
+	switch tag := r.byte(); tag {
+	case tagActivate:
+		return Activate{Rel: rel.Name(r.str())}
+	case tagFacts:
+		f := Facts{Qual: rel.Name(r.str())}
+		ar := r.uvarint()
+		if ar > 63 { // rel.New rejects arity >= 64; refuse it here too
+			r.err = ErrCorrupt
+			return nil
+		}
+		f.Arity = int(ar)
+		f.Tuple = r.extern()
+		return f
+	case tagInject:
+		in := Inject{Rel: rel.Name(r.str())}
+		in.Tuple = r.extern()
+		return in
+	case tagInstall:
+		ru := Rule{Head: r.atom()}
+		n := r.count(1)
+		if r.err != nil {
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			ru.Body = append(ru.Body, r.atom())
+			if r.err != nil {
+				return nil
+			}
+		}
+		ru.NeqX = r.extern()
+		ru.NeqY = r.extern()
+		if len(ru.NeqX.Roots) != len(ru.NeqY.Roots) {
+			r.err = ErrCorrupt
+			return nil
+		}
+		return Install{Rule: ru}
+	default:
+		r.fail()
+		return nil
+	}
+}
+
+// DecodeFrame decodes one frame body (as framed by the transport: the
+// bytes after the length prefix). It returns the stream sequence number
+// and the frame, or an error; it never panics.
+func DecodeFrame(b []byte) (uint64, Frame, error) {
+	if len(b) > MaxFrame {
+		return 0, nil, fmt.Errorf("%w: frame of %d bytes exceeds MaxFrame", ErrCorrupt, len(b))
+	}
+	r := &reader{b: b}
+	seq := r.uvarint()
+	var f Frame
+	switch tag := r.byte(); tag {
+	case tagHello:
+		f = Hello{Version: r.u32(), Node: r.str(), Boot: r.uvarint(), LastSeq: r.uvarint()}
+	case tagAck:
+		f = Ack{Seq: r.uvarint()}
+	case tagData:
+		d := Data{From: r.str(), To: r.str()}
+		d.Payload = r.payload()
+		f = d
+	case tagJob:
+		j := Job{
+			NetText: r.str(), Alarms: r.str(),
+			Engine: r.u32(), MaxDepth: r.u32(), MaxFacts: r.u32(), TimeoutMS: r.u32(),
+		}
+		n := r.count(1)
+		for i := 0; i < n && r.err == nil; i++ {
+			j.Hosted = append(j.Hosted, r.str())
+		}
+		j.Peers = r.assigns()
+		j.Nodes = r.assigns()
+		j.Driver = r.str()
+		f = j
+	case tagJobOK:
+		f = JobOK{Node: r.str(), Err: r.str()}
+	case tagPoll:
+		f = Poll{Epoch: r.uvarint()}
+	case tagStatus:
+		f = Status{Epoch: r.uvarint(), Sent: r.uvarint(), Processed: r.uvarint(), Idle: r.bool()}
+	case tagStop:
+		f = Stop{Err: r.str()}
+	case tagDone:
+		d := Done{Sent: r.uvarint()}
+		n := r.count(2)
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Processed = append(d.Processed, PeerCount{Peer: r.str(), Count: r.uvarint()})
+		}
+		d.ByPair = r.pairs()
+		d.BytesSent = r.pairs()
+		n = r.count(2)
+		for i := 0; i < n && r.err == nil; i++ {
+			d.Extras = append(d.Extras, KV{Key: r.str(), Val: r.uvarint()})
+		}
+		d.Err = r.str()
+		f = d
+	default:
+		r.fail()
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.off != len(b) {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
+	}
+	return seq, f, nil
+}
+
+func (r *reader) assigns() []Assign {
+	n := r.count(2)
+	var out []Assign
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, Assign{Key: r.str(), Val: r.str()})
+	}
+	return out
+}
+
+func (r *reader) pairs() []PairCount {
+	n := r.count(3)
+	var out []PairCount
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, PairCount{From: r.str(), To: r.str(), Count: r.uvarint()})
+	}
+	return out
+}

@@ -23,8 +23,19 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist"
-go test -race ./internal/serve ./internal/dist
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire
+
+echo "== wire codec fuzz smoke"
+# The seed corpus runs under plain `go test` above; this also gives the
+# mutator a moment on each target to shake out decoder panics.
+go test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 3s ./internal/wire
+go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 3s ./internal/wire
+
+echo "== multi-process smoke"
+# Two peerd daemons on ephemeral ports, diagnosed against from a separate
+# diagnose process; output must match the single-process run exactly.
+go test -run '^TestMultiProcessSmoke$' -count 1 ./cmd/diagnose
 
 echo "== tracing-overhead guard"
 # The no-op tracer is what every untraced run pays, so it must never cost
@@ -46,5 +57,6 @@ echo "$bench_out" | awk '
         printf "guard: ok (off %s ns/op, on %s ns/op)\n", off, on
     }'
 go run ./cmd/benchreport -exp trace_overhead -max 3 -json
+go run ./cmd/benchreport -exp transport_overhead -max 3 -json
 
 echo "verify: OK"
