@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead | snapshot_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -54,6 +54,21 @@ func main() {
 	run("placement", func() error { return reportPlacement(*max) })
 	run("trace_overhead", func() error { return reportTraceOverhead(*max) })
 	run("transport_overhead", func() error { return reportTransportOverhead(*max) })
+	run("snapshot_overhead", func() error { return reportSnapshotOverhead(*max) })
+}
+
+func reportSnapshotOverhead(max int) error {
+	rows, err := experiments.SnapshotOverhead(max) // max doubles as the append count
+	if err != nil {
+		return err
+	}
+	header("Checkpoint overhead — warm dQSQ session, per-append checkpoint vs none; restore vs replay",
+		"appends", "plain ns/append", "ckpt ns/append", "overhead %", "snapshot bytes",
+		"restore ns", "replay ns", "equal?")
+	row(rows.Appends, rows.PlainNsPerAppend, rows.CkptNsPerAppend,
+		fmt.Sprintf("%.1f", rows.OverheadPct), rows.SnapshotBytes,
+		rows.RestoreNs, rows.ReplayNs, rows.Equal)
+	return maybeBench("snapshot_overhead", []experiments.SnapshotOverheadRow{*rows})
 }
 
 func reportTransportOverhead(max int) error {

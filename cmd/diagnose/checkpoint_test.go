@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDiagnoseCheckpointResume: a run checkpointed after a prefix of the
+// alarms and resumed with the rest must print exactly the diagnoses of
+// one uninterrupted run, and a checkpoint taken with one engine must
+// refuse to resume under another.
+func TestDiagnoseCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "diagnose")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/diagnose").CombinedOutput(); err != nil {
+		t.Fatalf("go build diagnose: %v\n%s", err, out)
+	}
+	ck := filepath.Join(dir, "ck.dsnp")
+
+	run := func(args ...string) string {
+		t.Helper()
+		out, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			var stderr []byte
+			if ee, ok := err.(*exec.ExitError); ok {
+				stderr = ee.Stderr
+			}
+			t.Fatalf("diagnose %v: %v\n%s", args, err, stderr)
+		}
+		return string(out)
+	}
+
+	run("-example", "-alarms", "b@p1 a@p2", "-checkpoint", ck, "-q")
+	resumed := run("-resume", ck, "-alarms", "c@p1", "-q")
+	full := run("-example", "-alarms", "b@p1 a@p2 c@p1", "-q")
+	if resumed != full {
+		t.Fatalf("resumed run diverges from the uninterrupted one:\nresumed:\n%s\nfull:\n%s", resumed, full)
+	}
+
+	// Engine mismatch is refused with a clear message.
+	out, err := exec.Command(bin, "-resume", ck, "-engine", "naive", "-alarms", "c@p1").CombinedOutput()
+	if err == nil {
+		t.Fatalf("resuming a dqsq checkpoint under -engine naive succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "cannot resume") {
+		t.Fatalf("engine-mismatch refusal lacks a clear message:\n%s", out)
+	}
+
+	// Corrupt checkpoints are refused, not half-restored.
+	bad := filepath.Join(dir, "bad.dsnp")
+	if out, err := exec.Command("cp", ck, bad).CombinedOutput(); err != nil {
+		t.Fatalf("cp: %v\n%s", err, out)
+	}
+	b, err := exec.Command("sh", "-c", "dd if=/dev/zero of="+bad+" bs=1 seek=200 count=64 conv=notrunc 2>/dev/null").CombinedOutput()
+	if err != nil {
+		t.Fatalf("corrupting checkpoint: %v\n%s", err, b)
+	}
+	if out, err := exec.Command(bin, "-resume", bad, "-alarms", "c@p1").CombinedOutput(); err == nil {
+		t.Fatalf("resuming a corrupted checkpoint succeeded:\n%s", out)
+	}
+}

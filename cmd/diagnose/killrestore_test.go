@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+	"repro/internal/gen"
+	"repro/internal/petri"
+	"repro/internal/transport"
+)
+
+// peerProc is one spawned peerd process.
+type peerProc struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *lockedBuffer
+}
+
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// kill sends SIGKILL and reaps the process.
+func (p *peerProc) kill() {
+	p.cmd.Process.Kill() //nolint:errcheck
+	p.cmd.Wait()         //nolint:errcheck
+}
+
+// waitForStderr polls for a substring in the process's stderr: the exec
+// package copies stderr through a pipe goroutine, so output ordered
+// before the stdout ready line can still arrive after it.
+func waitForStderr(t *testing.T, p *peerProc, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(p.stderr.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("peerd stderr never contained %q; stderr:\n%s", substr, p.stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// startPeerd spawns a peerd and waits for its ready line.
+func startPeerd(t *testing.T, bin, name, listen, dataDir string) *peerProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-name", name, "-listen", listen, "-data-dir", dataDir)
+	stderr := &lockedBuffer{}
+	cmd.Stderr = stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &peerProc{cmd: cmd, stderr: stderr}
+	t.Cleanup(p.kill)
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("peerd %s exited before announcing its address; stderr:\n%s", name, stderr.String())
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 3 || fields[0] != "peerd" || fields[1] != "listening" {
+		t.Fatalf("unexpected peerd ready line %q", sc.Text())
+	}
+	p.addr = fields[2]
+	return p
+}
+
+// TestPeerdKillRestore is the cluster half of the checkpoint subsystem's
+// acceptance: a peerd member killed with SIGKILL and restarted from its
+// -data-dir checkpoint must rejoin the cluster, and every evaluation —
+// including one that was mid-round when the member died — must end with
+// exactly the diagnoses, derived-fact count and message count of a
+// single-process run.
+func TestPeerdKillRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "peerd")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/peerd").CombinedOutput(); err != nil {
+		t.Fatalf("go build peerd: %v\n%s", err, out)
+	}
+	dataDir1 := filepath.Join(dir, "n1-data")
+	dataDir2 := filepath.Join(dir, "n2-data")
+	n1 := startPeerd(t, bin, "n1", "127.0.0.1:0", dataDir1)
+	n2 := startPeerd(t, bin, "n2", "127.0.0.1:0", dataDir2)
+
+	drv, err := transport.ListenTCP("driver", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.AddRoute("n1", n1.addr)
+	drv.AddRoute("n2", n2.addr)
+	cl := &diagnosis.Cluster{
+		Transport: drv,
+		Nodes:     []string{"n1", "n2"},
+		Addrs:     map[string]string{"driver": drv.Addr(), "n1": n1.addr, "n2": n2.addr},
+		Retries:   2,
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	check := func(phase string, pn *petri.PetriNet, seq alarm.Seq, base *diagnosis.Report) {
+		t.Helper()
+		rep, err := diagnosis.RunDistributed(pn, seq, diagnosis.EngineNaive,
+			diagnosis.Options{Timeout: 30 * time.Second}, cl)
+		if err != nil {
+			t.Fatalf("%s: %v", phase, err)
+		}
+		if !rep.Diagnoses.Equal(base.Diagnoses) || rep.Derived != base.Derived || rep.Messages != base.Messages {
+			t.Fatalf("%s: got %d diagnoses/%d derived/%d messages, want %d/%d/%d",
+				phase, len(rep.Diagnoses), rep.Derived, rep.Messages,
+				len(base.Diagnoses), base.Derived, base.Messages)
+		}
+	}
+
+	quickPN, quickSeq := petri.Example(), alarm.S("b", "p1", "a", "p2", "c", "p1")
+	quickBase, err := diagnosis.Run(quickPN, quickSeq, diagnosis.EngineNaive, diagnosis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fresh cluster", quickPN, quickSeq, quickBase)
+
+	// Kill n1 between evaluations and restart it on the same address from
+	// its checkpoint. The next evaluation ships a new job generation; the
+	// restarted member must accept it and the results stay exact.
+	n1.kill()
+	n1 = startPeerd(t, bin, "n1", n1.addr, dataDir1)
+	waitForStderr(t, n1, "restored checkpoint")
+	check("after idle kill+restore", quickPN, quickSeq, quickBase)
+
+	// Kill n1 mid-round: start the longer telecom evaluation, wait until
+	// round traffic is flowing, SIGKILL the member, restart it. The
+	// restored member refuses the dead round (the driver fails fast and
+	// retries under a fresh generation), and the retried evaluation must
+	// be exact.
+	telePN, teleSeq := gen.Telecom(3), gen.TelecomSeqFixed()
+	teleBase, err := diagnosis.Run(telePN, teleSeq, diagnosis.EngineNaive, diagnosis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		rep *diagnosis.Report
+		err error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		rep, err := diagnosis.RunDistributed(telePN, teleSeq, diagnosis.EngineNaive,
+			diagnosis.Options{Timeout: 30 * time.Second}, cl)
+		resCh <- result{rep, err}
+	}()
+	target := drv.Stats().FramesReceived + 15
+	killed := false
+	for !killed {
+		select {
+		case res := <-resCh:
+			// The evaluation outran the kill; results must still be exact,
+			// but the mid-round phase did not run — fail loudly so the
+			// traffic threshold gets fixed rather than silently skipped.
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			t.Fatalf("evaluation finished before the mid-round kill landed")
+		default:
+		}
+		if drv.Stats().FramesReceived >= target {
+			n1.kill()
+			killed = true
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	n1 = startPeerd(t, bin, "n1", n1.addr, dataDir1)
+	waitForStderr(t, n1, "restored checkpoint")
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("mid-round kill+restore: %v", res.err)
+	}
+	rep := res.rep
+	if !rep.Diagnoses.Equal(teleBase.Diagnoses) || rep.Derived != teleBase.Derived || rep.Messages != teleBase.Messages {
+		t.Fatalf("mid-round kill+restore: got %d diagnoses/%d derived/%d messages, want %d/%d/%d",
+			len(rep.Diagnoses), rep.Derived, rep.Messages,
+			len(teleBase.Diagnoses), teleBase.Derived, teleBase.Messages)
+	}
+	// One more evaluation on the healed cluster.
+	check("after mid-round kill+restore", quickPN, quickSeq, quickBase)
+	_ = n2
+}

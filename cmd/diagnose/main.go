@@ -7,6 +7,8 @@
 //
 //	diagnose -example -alarms "b@p1 a@p2 c@p1" -engine dqsq
 //	diagnose -net mynet.txt -alarms "fail@line1 overload@switch" -engine all
+//	diagnose -example -alarms "b@p1 a@p2" -checkpoint ck.dsnp
+//	diagnose -resume ck.dsnp -alarms "c@p1"
 //
 // Engines: direct (explicit search), product (the dedicated algorithm of
 // reference [8]), naive (naive distributed Datalog), dqsq (distributed
@@ -21,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/alarm"
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/diagnosis"
@@ -39,30 +42,27 @@ const (
 
 func main() {
 	var (
-		netFile = flag.String("net", "", "net description file (see docs for format)")
-		example = flag.Bool("example", false, "use the paper's running example net (Figure 1)")
-		alarms  = flag.String("alarms", "", `observed alarm sequence, e.g. "b@p1 a@p2 c@p1"`)
-		engine  = flag.String("engine", "dqsq", "direct | product | naive | dqsq | all")
-		depth   = flag.Int("depth", 0, "term-depth bound (Section 4.4 gadget); 0 = engine default")
-		facts   = flag.Int("facts", 0, "materialized-fact budget; 0 = engine default")
-		timeout = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
-		quiet   = flag.Bool("q", false, "print only the diagnoses")
-		peers   = flag.String("peers", "", `run the Datalog evaluation across peerd processes: "n1=host:port,n2=host:port"`)
-		listen  = flag.String("listen", "127.0.0.1:0", "driver listen address for -peers mode")
-		dot     = flag.String("dot", "", "write the explanations as Graphviz DOT to this file ('-' for stdout)")
-		trace   = flag.String("trace", "", "write the evaluation as Chrome trace-event JSON to this file ('-' for stdout); open in chrome://tracing or Perfetto")
+		netFile    = flag.String("net", "", "net description file (see docs for format)")
+		example    = flag.Bool("example", false, "use the paper's running example net (Figure 1)")
+		alarms     = flag.String("alarms", "", `observed alarm sequence, e.g. "b@p1 a@p2 c@p1"`)
+		engine     = flag.String("engine", "dqsq", "direct | product | naive | dqsq | all")
+		depth      = flag.Int("depth", 0, "term-depth bound (Section 4.4 gadget); 0 = engine default")
+		facts      = flag.Int("facts", 0, "materialized-fact budget; 0 = engine default")
+		timeout    = flag.Duration("timeout", time.Minute, "distributed evaluation timeout")
+		quiet      = flag.Bool("q", false, "print only the diagnoses")
+		peers      = flag.String("peers", "", `run the Datalog evaluation across peerd processes: "n1=host:port,n2=host:port"`)
+		listen     = flag.String("listen", "127.0.0.1:0", "driver listen address for -peers mode")
+		dot        = flag.String("dot", "", "write the explanations as Graphviz DOT to this file ('-' for stdout)")
+		trace      = flag.String("trace", "", "write the evaluation as Chrome trace-event JSON to this file ('-' for stdout); open in chrome://tracing or Perfetto")
+		checkpoint = flag.String("checkpoint", "", "write a session checkpoint to this file after the run (resume with -resume)")
+		resume     = flag.String("resume", "", "resume from a checkpoint file; the net and engine come from it and -alarms extend its sequence")
 	)
 	flag.Parse()
 
-	sys, err := loadSystem(*netFile, *example)
-	if err != nil {
-		fatal(err)
-	}
 	seq, err := core.ParseAlarms(*alarms)
 	if err != nil {
 		fatal(err)
 	}
-
 	engines, err := pickEngines(*engine)
 	if err != nil {
 		fatal(err)
@@ -75,6 +75,19 @@ func main() {
 	if *trace != "" {
 		tw = obs.NewChromeTraceWriter(-1) // a one-shot CLI run keeps everything
 		opt.Tracer = tw
+	}
+
+	if *checkpoint != "" || *resume != "" {
+		if *peers != "" {
+			fatal(errors.New("-checkpoint/-resume cannot combine with -peers"))
+		}
+		runCheckpointed(*resume, *checkpoint, *netFile, *example, engines, seq, opt, tw, *trace, *dot, *quiet)
+		return
+	}
+
+	sys, err := loadSystem(*netFile, *example)
+	if err != nil {
+		fatal(err)
 	}
 
 	diagnose := func(e core.Engine) (*core.Report, error) { return sys.Diagnose(seq, e, opt) }
@@ -128,6 +141,84 @@ func main() {
 			float64(time.Since(start).Microseconds())/1000)
 	}
 	if truncated {
+		exit(errors.New("evaluation hit a budget or depth bound; the diagnosis above may be incomplete"),
+			exitBudget)
+	}
+}
+
+// runCheckpointed is the -checkpoint/-resume path: a single-engine
+// incremental session that can be saved after the run and picked up
+// later. Resuming restores the net, engine, options and warm engine
+// state from the snapshot — a resumed dQSQ session continues exactly
+// where the checkpointed one stopped — and -alarms extend its sequence.
+func runCheckpointed(resume, checkpoint, netFile string, example bool,
+	engines []core.Engine, seq alarm.Seq, opt core.Options,
+	tw *obs.ChromeTraceWriter, tracePath, dot string, quiet bool) {
+	if len(engines) != 1 {
+		fatal(errors.New("-checkpoint/-resume need a single -engine, not all"))
+	}
+	engineSet := false
+	flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
+
+	var inc *core.Incremental
+	if resume != "" {
+		if netFile != "" || example {
+			fatal(errors.New("-resume carries its net; drop -net/-example"))
+		}
+		var err error
+		if inc, err = core.LoadIncremental(resume); err != nil {
+			fatal(err)
+		}
+		if engineSet && inc.Engine() != engines[0] {
+			fatal(fmt.Errorf("checkpoint %s was taken with engine %v; -engine %v cannot resume it",
+				resume, inc.Engine(), engines[0]))
+		}
+		if tw != nil {
+			inc.SetTracer(tw)
+		}
+	} else {
+		sys, err := loadSystem(netFile, example)
+		if err != nil {
+			fatal(err)
+		}
+		if inc, err = sys.NewIncremental(engines[0], opt); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep := inc.Report()
+	if len(seq) > 0 {
+		var err error
+		if rep, err = inc.Append(seq, 0); err != nil {
+			exit(fmt.Errorf("%v: %w", inc.Engine(), err), exitStatus(err, false))
+		}
+	}
+	if rep == nil {
+		fatal(errors.New("nothing to diagnose: the session has no alarms (give -alarms)"))
+	}
+	printReport(rep, quiet)
+	if dot != "" {
+		out := viz.Report(inc.System().PN, rep)
+		if dot == "-" {
+			fmt.Print(out)
+		} else if err := os.WriteFile(dot, []byte(out), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if tw != nil {
+		if err := writeTrace(tw, tracePath); err != nil {
+			fatal(err)
+		}
+	}
+	if checkpoint != "" {
+		n, err := core.SaveIncremental(checkpoint, inc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diagnose: checkpoint written to %s (%d bytes, %d alarms)\n",
+			checkpoint, n, len(inc.Seq()))
+	}
+	if rep.Truncated {
 		exit(errors.New("evaluation hit a budget or depth bound; the diagnosis above may be incomplete"),
 			exitBudget)
 	}

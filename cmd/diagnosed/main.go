@@ -4,6 +4,7 @@
 // alarms to it as they are observed.
 //
 //	diagnosed -addr :8344
+//	diagnosed -addr :8344 -data-dir /var/lib/diagnosed
 //
 //	POST   /v1/sessions             {"net": "...", "engine": "dqsq", "max_facts": 0}
 //	POST   /v1/sessions/{id}/alarms {"alarms": "b@p1 a@p2"}
@@ -12,8 +13,12 @@
 //	GET    /healthz
 //	GET    /metrics
 //
-// SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
-// in-flight evaluations finish (bounded by -drain-timeout).
+// SIGINT/SIGTERM drain gracefully: new work is refused with 503 (plus a
+// Retry-After header) while in-flight evaluations finish (bounded by
+// -drain-timeout). With -data-dir, sessions are snapshotted to disk on
+// every append (write-behind) and on drain, and a restarted server
+// restores them: even a kill -9 loses at most the appends that had not
+// been flushed yet.
 //
 // Every request is access-logged to stderr as structured log/slog lines
 // (method, path, session, status, duration; /healthz and /metrics polls
@@ -48,6 +53,7 @@ func main() {
 		sweepEvery   = flag.Duration("sweep", 30*time.Second, "TTL sweep period")
 		evalTimeout  = flag.Duration("eval-timeout", 30*time.Second, "per-append evaluation timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		dataDir      = flag.String("data-dir", "", "directory for session snapshots (enables restart recovery)")
 		withPprof    = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/")
 		verbose      = flag.Bool("v", false, "log /healthz and /metrics polls too")
 	)
@@ -68,6 +74,8 @@ func main() {
 		},
 		EvalTimeout: *evalTimeout,
 		SweepEvery:  *sweepEvery,
+		DataDir:     *dataDir,
+		Logger:      logger,
 	})
 	start := time.Now()
 	srv.Metrics().Gauge("diagnosed_uptime_seconds", func() int64 {

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/petri"
+	"repro/internal/serve"
+)
+
+// freeAddr reserves a TCP port and releases it for the server to take.
+// The restart must reuse one address, so :0 auto-assignment cannot work.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitReady polls /healthz until the server answers.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("diagnosed at %s never became ready: %v", base, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+type wireReport struct {
+	Diagnoses [][]string `json:"diagnoses"`
+	Derived   int        `json:"derived"`
+	Messages  int        `json:"messages"`
+}
+
+// TestDiagnosedRestartSmoke is the end-to-end durability acceptance for
+// the server: stream alarms into a session, kill the process with
+// SIGKILL once the write-behind snapshot is on disk, restart it on the
+// same address and data dir, and finish the sequence. The final report
+// must be byte-identical to an uninterrupted in-process run — same
+// diagnoses, same derived-fact count, same message count.
+func TestDiagnosedRestartSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and spawns processes")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "diagnosed")
+	if out, err := exec.Command("go", "build", "-o", bin, "repro/cmd/diagnosed").CombinedOutput(); err != nil {
+		t.Fatalf("go build diagnosed: %v\n%s", err, out)
+	}
+	dataDir := filepath.Join(dir, "data")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		waitReady(t, base)
+		return cmd
+	}
+
+	alarms := []string{"b@p1", "a@p2", "c@p1"}
+
+	// Uninterrupted reference: the same per-alarm appends on a warm
+	// in-process handle.
+	sys, err := core.LoadNet(parser.FormatNet(petri.Example()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sys.NewIncremental(core.DQSQ, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *core.Report
+	for _, a := range alarms {
+		seq, err := core.ParseAlarms(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, err = inc.Append(seq, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := start()
+	var created struct {
+		ID string `json:"id"`
+	}
+	code := postJSON(t, base+"/v1/sessions",
+		map[string]string{"net": parser.FormatNet(petri.Example()), "engine": "dqsq"}, &created)
+	if code != http.StatusCreated || created.ID == "" {
+		t.Fatalf("create: status %d id %q", code, created.ID)
+	}
+	for _, a := range alarms[:2] {
+		if code := postJSON(t, base+"/v1/sessions/"+created.ID+"/alarms",
+			map[string]string{"alarms": a}, nil); code != http.StatusOK {
+			t.Fatalf("append %q: status %d", a, code)
+		}
+	}
+
+	// The write-behind snapshot lands without any shutdown; wait until
+	// the on-disk file holds both appends (a snapshot of the first append
+	// alone can land first), then kill -9.
+	snap := filepath.Join(dataDir, created.ID+".dsnp")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if sess, err := serve.LoadSessionFile(snap, nil); err == nil && sess.Alarms() == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write-behind snapshot %s never reached 2 alarms", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Process.Kill() //nolint:errcheck
+	srv.Wait()         //nolint:errcheck
+
+	start()
+	var got struct {
+		Alarms int         `json:"alarms"`
+		Report *wireReport `json:"report"`
+	}
+	resp, err := http.Get(base + "/v1/sessions/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restored session GET: status %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got.Alarms != 2 {
+		t.Fatalf("restored session has %d alarms, want 2", got.Alarms)
+	}
+
+	var final struct {
+		Report *wireReport `json:"report"`
+	}
+	if code := postJSON(t, base+"/v1/sessions/"+created.ID+"/alarms",
+		map[string]string{"alarms": alarms[2]}, &final); code != http.StatusOK {
+		t.Fatalf("append after restart: status %d", code)
+	}
+	if !reflect.DeepEqual(final.Report.Diagnoses, [][]string(want.Diagnoses)) {
+		t.Fatalf("diagnoses diverge after kill -9 + restore:\ngot  %v\nwant %v",
+			final.Report.Diagnoses, want.Diagnoses)
+	}
+	if final.Report.Derived != want.Derived || final.Report.Messages != want.Messages {
+		t.Fatalf("counters diverge after kill -9 + restore: got %d derived/%d messages, want %d/%d",
+			final.Report.Derived, final.Report.Messages, want.Derived, want.Messages)
+	}
+}

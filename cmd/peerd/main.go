@@ -8,6 +8,14 @@
 //
 //	peerd -name n1                          # pick a free port
 //	peerd -name n2 -listen 127.0.0.1:7402
+//	peerd -name n2 -listen 127.0.0.1:7402 -data-dir /var/lib/peerd
+//
+// With -data-dir, peerd checkpoints every accepted job before
+// acknowledging it. A killed process restarted with the same flags
+// restores the checkpoint and rejoins the cluster: a round that was in
+// flight when it died is refused with an error report (so the driver
+// fails fast and re-ships instead of timing out), and the next shipped
+// job proceeds normally.
 //
 // It prints "peerd listening ADDR" once the socket is bound, then serves
 // until killed. The -name must match the name the driver uses for this
@@ -25,22 +33,43 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("name", "", "this node's name in the cluster (required)")
-		listen = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		driver = flag.String("driver", "driver", "the driver node's name")
+		name    = flag.String("name", "", "this node's name in the cluster (required)")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		driver  = flag.String("driver", "driver", "the driver node's name")
+		dataDir = flag.String("data-dir", "", "directory for job checkpoints (enables kill/restart recovery)")
 	)
 	flag.Parse()
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "peerd: -name is required")
 		os.Exit(2)
 	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	tr, err := transport.ListenTCP(*name, *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
 		os.Exit(1)
 	}
+	n, err := diagnosis.NewNode(tr, *driver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
+		os.Exit(1)
+	}
+	n.SetDataDir(*dataDir)
+	if job, err := n.RestoreCheckpoint(); err != nil {
+		// A bad checkpoint must not keep the node down: report it and
+		// serve fresh — the next shipped job overwrites it.
+		fmt.Fprintf(os.Stderr, "peerd: checkpoint not restored: %v\n", err)
+	} else if job != nil {
+		fmt.Fprintf(os.Stderr, "peerd: restored checkpoint (job generation %d, %d hosted peers); rejoining\n",
+			job.Gen, len(job.Hosted))
+	}
 	fmt.Printf("peerd listening %s\n", tr.Addr())
-	if err := diagnosis.ServeNode(tr, *driver); err != nil {
+	if err := n.Serve(); err != nil {
 		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
 		os.Exit(1)
 	}

@@ -32,6 +32,7 @@ type Incremental struct {
 	online *diagnosis.OnlineDiagnoser // DQSQ only
 	seq    alarm.Seq
 	last   *Report
+	broken error // poisoned-at-checkpoint marker on restored DQSQ handles
 }
 
 // NewIncremental opens an incremental diagnosis handle on the system.
@@ -56,6 +57,10 @@ func (s *System) NewIncremental(engine Engine, opt Options) (*Incremental, error
 // Engine returns the handle's engine.
 func (inc *Incremental) Engine() Engine { return inc.engine }
 
+// System returns the system the handle diagnoses (restored handles carry
+// the net re-parsed from the snapshot's embedded text).
+func (inc *Incremental) System() *System { return inc.sys }
+
 // Seq returns the alarms appended so far.
 func (inc *Incremental) Seq() alarm.Seq {
 	if inc.online != nil {
@@ -76,6 +81,9 @@ func (inc *Incremental) Report() *Report {
 // full sequence so far. A zero timeout falls back to the handle's
 // Options.Timeout.
 func (inc *Incremental) Append(obs []alarm.Obs, timeout time.Duration) (*Report, error) {
+	if inc.broken != nil {
+		return nil, inc.broken
+	}
 	if timeout <= 0 {
 		timeout = inc.opt.Timeout
 	}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/snapshot"
+)
+
+func saveLoad(t *testing.T, inc *Incremental) *Incremental {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ck.dsnp")
+	if _, err := SaveIncremental(path, inc); err != nil {
+		t.Fatalf("SaveIncremental: %v", err)
+	}
+	restored, err := LoadIncremental(path)
+	if err != nil {
+		t.Fatalf("LoadIncremental: %v", err)
+	}
+	return restored
+}
+
+// TestIncrementalSnapshotAllEngines: for every engine, checkpointing
+// after two appends and restoring yields the same final diagnosis as the
+// uninterrupted handle; for DQSQ the derived/message counters must match
+// exactly too (the warm session survived the round trip).
+func TestIncrementalSnapshotAllEngines(t *testing.T) {
+	seq, err := ParseAlarms("b@p1 a@p2 c@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := Example()
+	for _, engine := range []Engine{Direct, Product, Naive, DQSQ} {
+		ref, err := sys.NewIncremental(engine, Options{Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		cut, err := sys.NewIncremental(engine, Options{Timeout: time.Minute})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		for _, o := range seq[:2] {
+			if _, err := ref.Append([]alarm.Obs{o}, 0); err != nil {
+				t.Fatalf("%v: %v", engine, err)
+			}
+			if _, err := cut.Append([]alarm.Obs{o}, 0); err != nil {
+				t.Fatalf("%v: %v", engine, err)
+			}
+		}
+		restored := saveLoad(t, cut)
+		if restored.Engine() != engine {
+			t.Fatalf("%v: restored engine = %v", engine, restored.Engine())
+		}
+		if got, want := restored.Seq(), ref.Seq(); len(got) != len(want) {
+			t.Fatalf("%v: restored Seq %v, want %v", engine, got, want)
+		}
+		if !restored.Report().Diagnoses.Equal(ref.Report().Diagnoses) {
+			t.Fatalf("%v: restored last report differs", engine)
+		}
+		want, err := ref.Append(seq[2:], 0)
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		got, err := restored.Append(seq[2:], 0)
+		if err != nil {
+			t.Fatalf("%v restored append: %v", engine, err)
+		}
+		if !got.Diagnoses.Equal(want.Diagnoses) {
+			t.Fatalf("%v: %v != %v after restore", engine, got.Diagnoses.Keys(), want.Diagnoses.Keys())
+		}
+		if engine == DQSQ && (got.Derived != want.Derived || got.Messages != want.Messages) {
+			t.Fatalf("DQSQ restored counters %d/%d != %d/%d",
+				got.Derived, got.Messages, want.Derived, want.Messages)
+		}
+	}
+}
+
+// TestIncrementalSnapshotPoisoned: a poisoned DQSQ handle checkpoints in
+// meta form and restores still poisoned — its last good report remains
+// readable, but appends keep failing with ErrPoisoned.
+func TestIncrementalSnapshotPoisoned(t *testing.T) {
+	sys := Example()
+	inc, err := sys.NewIncremental(DQSQ, Options{Budget: datalog.Budget{MaxFacts: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ParseAlarms("b@p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append(obs, 0); err == nil {
+		t.Fatal("expected budget failure")
+	}
+	restored := saveLoad(t, inc)
+	if _, err := restored.Append(obs, 0); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("restored poisoned handle Append err = %v, want ErrPoisoned", err)
+	}
+}
+
+// TestIncrementalSnapshotRejectsForeign: a snapshot from another consumer
+// (here: a bare file with a mislabeled meta section) must be refused.
+func TestIncrementalSnapshotRejectsForeign(t *testing.T) {
+	f := snapshot.New()
+	w := f.Section("meta")
+	w.String("somebody.else")
+	o, err := snapshot.Open(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeIncremental(o); err == nil {
+		t.Fatal("DecodeIncremental accepted a foreign snapshot")
+	}
+}

@@ -81,6 +81,13 @@ type Cluster struct {
 	// net's peers over the nodes round-robin; the supervisor (the query's
 	// peer) always stays with the driver, next to the answer collector.
 	Assign map[string]string
+	// Retries is how many times RunDistributed re-ships the job and
+	// re-runs the evaluation after a member failure (a member that
+	// crashed mid-round and rejoined from its checkpoint reports exactly
+	// such a failure). Each re-ship bumps the job generation, so frames
+	// of the failed attempt cannot leak into the retry. 0 means no
+	// retries.
+	Retries int
 
 	mu  sync.Mutex
 	drv *dist.Driver
@@ -144,7 +151,27 @@ func RoundRobinAssign(pn *petri.PetriNet, nodes []string) map[string]string {
 // the network. The report's Diagnoses, Derived and Messages match a
 // single-process Run of the same engine exactly; TransFacts/PlaceFacts
 // are left zero — the per-peer databases they count live on the members.
+//
+// A failed evaluation (member crash, timeout, refused job) is retried up
+// to cl.Retries times; every attempt re-ships the job under a fresh
+// generation and rebuilds every engine, so a retry is exact, never a
+// continuation of the failed attempt's partial state.
 func RunDistributed(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Options, cl *Cluster) (*Report, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rep, err := runDistributedOnce(pn, seq, engine, opt, cl)
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		if attempt >= cl.Retries {
+			return nil, lastErr
+		}
+	}
+}
+
+// runDistributedOnce is one ship-and-evaluate attempt.
+func runDistributedOnce(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Options, cl *Cluster) (*Report, error) {
 	start := time.Now()
 	netText := parser.FormatNet(pn)
 	alarmsText := parser.FormatAlarms(seq)
@@ -228,10 +255,15 @@ func RunDistributed(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Option
 }
 
 // Node is the member side of distributed diagnosis: one peerd process.
-// Create it with NewNode, block in Serve, stop it with Close.
+// Create it with NewNode, block in Serve, stop it with Close. With a data
+// directory set (SetDataDir), the node checkpoints every accepted job
+// before acknowledging it, and RestoreCheckpoint lets a restarted process
+// rejoin the cluster where the killed one left it.
 type Node struct {
-	m  *dist.Member
-	tr transport.Transport
+	m       *dist.Member
+	tr      transport.Transport
+	driver  string
+	dataDir string
 }
 
 // NewNode creates the member endpoint over tr (starting it), reporting to
@@ -241,7 +273,49 @@ func NewNode(tr transport.Transport, driver string) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{m: m, tr: tr}, nil
+	return &Node{m: m, tr: tr, driver: driver}, nil
+}
+
+// SetDataDir enables job checkpointing into dir. Call before Serve.
+func (n *Node) SetDataDir(dir string) { n.dataDir = dir }
+
+// RestoreCheckpoint loads the member checkpoint from the node's data
+// directory, if one exists: it re-validates the checkpointed job (the
+// program must still build from it), reinstalls the cluster routes and
+// peer assignment it carries, and puts the member in rejoin mode for the
+// job's generation — any round of that generation died with the previous
+// process, so its frames are refused with an error report that makes the
+// driver re-ship instead of waiting out a timeout. Returns the restored
+// job, or nil if the directory holds no checkpoint.
+func (n *Node) RestoreCheckpoint() (*wire.Job, error) {
+	if n.dataDir == "" {
+		return nil, nil
+	}
+	job, err := loadMemberCheckpoint(n.dataDir, n.tr.Self(), n.driver)
+	if job == nil || err != nil {
+		return nil, err
+	}
+	budget := datalog.Budget{MaxTermDepth: int(job.MaxDepth), MaxFacts: int(job.MaxFacts)}
+	if _, _, _, err := PrepareDatalog(job.NetText, job.Alarms, Engine(job.Engine), budget); err != nil {
+		return nil, fmt.Errorf("diagnosis: checkpointed job no longer builds: %w", err)
+	}
+	n.installJobRouting(*job)
+	n.m.Rejoin(job.Gen)
+	return job, nil
+}
+
+// installJobRouting applies a job's peer assignment and node address book.
+func (n *Node) installJobRouting(job wire.Job) {
+	assign := make(map[dist.PeerID]string, len(job.Peers))
+	for _, a := range job.Peers {
+		assign[dist.PeerID(a.Key)] = a.Val
+	}
+	n.m.SetAssign(assign)
+	for _, nd := range job.Nodes {
+		if nd.Key != n.tr.Self() {
+			n.tr.AddRoute(nd.Key, nd.Val)
+		}
+	}
 }
 
 // Close stops Serve and closes the transport. Idempotent.
@@ -253,7 +327,7 @@ func (n *Node) Close() error { return n.m.Close() }
 func (n *Node) Serve() error {
 	defer n.m.Close()
 	for job := range n.m.Jobs() {
-		if closed := serveJob(n.m, n.tr, job); closed {
+		if closed := n.serveJob(job); closed {
 			return nil
 		}
 	}
@@ -272,11 +346,12 @@ func ServeNode(tr transport.Transport, driver string) error {
 
 // serveJob hosts one job's peers until the member closes (true) or a new
 // job preempts this one (false).
-func serveJob(m *dist.Member, tr transport.Transport, job wire.Job) bool {
+func (n *Node) serveJob(job wire.Job) bool {
+	m, tr := n.m, n.tr
 	budget := datalog.Budget{MaxTermDepth: int(job.MaxDepth), MaxFacts: int(job.MaxFacts)}
 	prog, _, budget, err := PrepareDatalog(job.NetText, job.Alarms, Engine(job.Engine), budget)
 	if err != nil {
-		m.SendJobOK(err.Error()) //nolint:errcheck
+		m.SendJobOK(job.Gen, err.Error()) //nolint:errcheck
 		return false
 	}
 	hosted := make([]dist.PeerID, 0, len(job.Hosted))
@@ -285,20 +360,19 @@ func serveJob(m *dist.Member, tr transport.Transport, job wire.Job) bool {
 	}
 	eng, err := ddatalog.NewEngineHosted(prog, budget, hosted)
 	if err != nil {
-		m.SendJobOK(err.Error()) //nolint:errcheck
+		m.SendJobOK(job.Gen, err.Error()) //nolint:errcheck
 		return false
 	}
-	assign := make(map[dist.PeerID]string, len(job.Peers))
-	for _, a := range job.Peers {
-		assign[dist.PeerID(a.Key)] = a.Val
-	}
-	m.SetAssign(assign)
-	for _, n := range job.Nodes {
-		if n.Key != tr.Self() {
-			tr.AddRoute(n.Key, n.Val)
+	n.installJobRouting(job)
+	if n.dataDir != "" {
+		// Checkpoint before acknowledging: once the driver sees the ack,
+		// this node has promised it can rejoin after a crash.
+		if err := saveMemberCheckpoint(n.dataDir, tr.Self(), n.driver, job); err != nil {
+			m.SendJobOK(job.Gen, fmt.Sprintf("checkpoint write failed: %v", err)) //nolint:errcheck
+			return false
 		}
 	}
-	if err := m.SendJobOK(""); err != nil {
+	if err := m.SendJobOK(job.Gen, ""); err != nil {
 		return true
 	}
 	timeout := time.Duration(job.TimeoutMS) * time.Millisecond

@@ -140,6 +140,10 @@ func (d *OnlineDiagnoser) Seq() alarm.Seq {
 // Report returns the report of the last Append (nil before the first).
 func (d *OnlineDiagnoser) Report() *Report { return d.last }
 
+// Poisoned returns the evaluation failure that poisoned the session, or
+// nil while the session is healthy.
+func (d *OnlineDiagnoser) Poisoned() error { return d.broken }
+
 // Append extends the observed sequence and returns the diagnosis of the
 // full sequence so far. The report's materialization metrics (TransFacts,
 // PlaceFacts, Derived) are cumulative over the session — the substance of

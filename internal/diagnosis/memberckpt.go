@@ -1,0 +1,87 @@
+package diagnosis
+
+// Member checkpoints: the durable state of one peerd process. What a
+// member must survive a kill -9 with is small — the job it accepted (the
+// system description, its hosted peers, the cluster layout) and the job's
+// generation. Everything else it holds is per-round evaluation state,
+// which the generation machinery deliberately discards: a round that was
+// in flight when the process died is ended with an error at the first
+// contact, and the driver re-ships under a fresh generation, rebuilding
+// every engine from the (deterministic) job description.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/snapshot"
+	"repro/internal/snapshot/snapnames"
+	"repro/internal/wire"
+)
+
+// memberCheckpointFile is the checkpoint's name inside the data dir.
+const memberCheckpointFile = "member.ckpt"
+
+// memberConsumer tags member checkpoints in the snapshot meta section.
+const memberConsumer = "dist.member"
+
+// saveMemberCheckpoint atomically writes the accepted job to dir.
+func saveMemberCheckpoint(dir, node, driver string, job wire.Job) error {
+	f := snapshot.New()
+	w := f.Section(snapnames.Meta)
+	w.String(memberConsumer)
+	w.String(node)
+	w.String(driver)
+	jw := f.Section(snapnames.MemberJob)
+	jw.Bytes(wire.AppendFrame(nil, 0, job))
+	_, err := snapshot.WriteFile(filepath.Join(dir, memberCheckpointFile), f)
+	return err
+}
+
+// loadMemberCheckpoint reads the checkpoint from dir, validating that it
+// is a member checkpoint for this node name and driver. A missing file
+// returns (nil, nil); a corrupt or mismatched one returns an error.
+func loadMemberCheckpoint(dir, node, driver string) (*wire.Job, error) {
+	path := filepath.Join(dir, memberCheckpointFile)
+	o, err := snapshot.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	r, err := o.Section(snapnames.Meta)
+	if err != nil {
+		return nil, err
+	}
+	consumer, ckNode, ckDriver := r.String(), r.String(), r.String()
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	if consumer != memberConsumer {
+		return nil, fmt.Errorf("%w: %s holds a %q snapshot, not a member checkpoint", snapshot.ErrCorrupt, path, consumer)
+	}
+	if ckNode != node {
+		return nil, fmt.Errorf("diagnosis: checkpoint %s belongs to node %q, this node is %q", path, ckNode, node)
+	}
+	if ckDriver != driver {
+		return nil, fmt.Errorf("diagnosis: checkpoint %s reports to driver %q, this node reports to %q", path, ckDriver, driver)
+	}
+	jr, err := o.Section(snapnames.MemberJob)
+	if err != nil {
+		return nil, err
+	}
+	frame := jr.Bytes()
+	if err := jr.Finish(); err != nil {
+		return nil, err
+	}
+	_, f, err := wire.DecodeFrame(frame)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpointed job: %v", snapshot.ErrCorrupt, err)
+	}
+	job, ok := f.(wire.Job)
+	if !ok {
+		return nil, fmt.Errorf("%w: checkpoint holds a %T frame, not a job", snapshot.ErrCorrupt, f)
+	}
+	return &job, nil
+}

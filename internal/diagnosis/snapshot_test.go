@@ -1,0 +1,151 @@
+package diagnosis
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/petri"
+	"repro/internal/snapshot"
+)
+
+// snapshotRestore round-trips a diagnoser through the full encode →
+// bytes → Open → decode path, as a real checkpoint file would.
+func snapshotRestore(t *testing.T, d *OnlineDiagnoser, pn *petri.PetriNet) *OnlineDiagnoser {
+	t.Helper()
+	f := snapshot.New()
+	if err := d.EncodeSnapshot(f); err != nil {
+		t.Fatalf("EncodeSnapshot: %v", err)
+	}
+	o, err := snapshot.Open(f.Bytes())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	restored, err := DecodeOnlineDiagnoserSnapshot(o, pn)
+	if err != nil {
+		t.Fatalf("DecodeOnlineDiagnoserSnapshot: %v", err)
+	}
+	return restored
+}
+
+// TestDiagnoserSnapshotEquivalence is the invariant the whole checkpoint
+// subsystem hangs on: a diagnoser killed after k appends and restored
+// from its snapshot must produce byte-identical diagnoses, derived-fact
+// counts and message counts on every subsequent append, compared against
+// a diagnoser that was never interrupted. Checked for every split point
+// of the quickstart sequence.
+func TestDiagnoserSnapshotEquivalence(t *testing.T) {
+	pn := petri.Example()
+	seq := seqA1
+	for k := 0; k <= len(seq); k++ {
+		ref, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cut, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < k; i++ {
+			if _, err := ref.Append([]alarm.Obs{seq[i]}, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cut.Append([]alarm.Obs{seq[i]}, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		restored := snapshotRestore(t, cut, pn)
+		if got, want := restored.Seq(), ref.Seq(); len(got) != len(want) {
+			t.Fatalf("split %d: restored Seq has %d alarms, want %d", k, len(got), len(want))
+		}
+		if (restored.Report() == nil) != (ref.Report() == nil) {
+			t.Fatalf("split %d: restored report presence differs", k)
+		}
+		if restored.Report() != nil && !restored.Report().Diagnoses.Equal(ref.Report().Diagnoses) {
+			t.Fatalf("split %d: restored last report differs", k)
+		}
+		for i := k; i < len(seq); i++ {
+			want, err := ref.Append([]alarm.Obs{seq[i]}, time.Minute)
+			if err != nil {
+				t.Fatalf("split %d ref append %d: %v", k, i, err)
+			}
+			got, err := restored.Append([]alarm.Obs{seq[i]}, time.Minute)
+			if err != nil {
+				t.Fatalf("split %d restored append %d: %v", k, i, err)
+			}
+			if !got.Diagnoses.Equal(want.Diagnoses) {
+				t.Fatalf("split %d append %d: diagnoses %v != %v", k, i, got.Diagnoses.Keys(), want.Diagnoses.Keys())
+			}
+			if got.Derived != want.Derived {
+				t.Fatalf("split %d append %d: derived %d != %d", k, i, got.Derived, want.Derived)
+			}
+			if got.Messages != want.Messages {
+				t.Fatalf("split %d append %d: messages %d != %d", k, i, got.Messages, want.Messages)
+			}
+			if got.TransFacts != want.TransFacts || got.PlaceFacts != want.PlaceFacts {
+				t.Fatalf("split %d append %d: unfolding %d/%d != %d/%d",
+					k, i, got.TransFacts, got.PlaceFacts, want.TransFacts, want.PlaceFacts)
+			}
+		}
+	}
+}
+
+// TestDiagnoserSnapshotRefusesPoisoned: a poisoned session must never be
+// persisted — its warm state is desynchronized from its durable state.
+func TestDiagnoserSnapshotRefusesPoisoned(t *testing.T) {
+	d, err := NewOnlineDiagnoser(petri.Example(), datalog.Budget{MaxFacts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(seqA1[:1], time.Minute); err == nil {
+		t.Fatal("expected budget failure")
+	}
+	if err := d.EncodeSnapshot(snapshot.New()); err == nil {
+		t.Fatal("EncodeSnapshot accepted a poisoned session")
+	}
+}
+
+// TestDiagnoserSnapshotRejectsCorruption: flipping any single byte of a
+// snapshot must yield an error, never a panic or a silently restored
+// partial state.
+func TestDiagnoserSnapshotRejectsCorruption(t *testing.T) {
+	pn := petri.Example()
+	d, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append(seqA1[:1], time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f := snapshot.New()
+	if err := d.EncodeSnapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	data := f.Bytes()
+	// Every section is CRC-protected, so any body flip fails at Open;
+	// header flips fail magic/version/framing checks. Sample positions
+	// across the file to keep the test fast.
+	step := len(data)/97 + 1
+	for i := 0; i < len(data); i += step {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		o, err := snapshot.Open(mut)
+		if err != nil {
+			continue
+		}
+		if _, err := DecodeOnlineDiagnoserSnapshot(o, pn); err == nil {
+			t.Fatalf("byte flip at %d restored without error", i)
+		}
+	}
+	// Truncations likewise.
+	for i := 0; i < len(data); i += step {
+		o, err := snapshot.Open(data[:i])
+		if err != nil {
+			continue
+		}
+		if _, err := DecodeOnlineDiagnoserSnapshot(o, pn); err == nil {
+			t.Fatalf("truncation to %d restored without error", i)
+		}
+	}
+}

@@ -57,6 +57,7 @@ type Driver struct {
 	assign map[PeerID]string
 
 	mu     sync.Mutex
+	gen    uint64 // current job generation; bumped by every ShipJob
 	cur    *DriverRound
 	jobOKs map[string]wire.JobOK
 }
@@ -78,6 +79,15 @@ func NewDriver(tr transport.Transport, nodes []string, assign map[PeerID]string)
 }
 
 func (d *Driver) handle(from string, f wire.Frame) {
+	// Frames of another generation belong to a job that has been
+	// superseded (or to a round that died with a restarted node and is
+	// being replayed by the transport); they are dropped at the door.
+	d.mu.Lock()
+	gen := d.gen
+	d.mu.Unlock()
+	if g, tagged := wire.FrameGen(f); tagged && g != gen {
+		return
+	}
 	if ok, isJobOK := f.(wire.JobOK); isJobOK {
 		d.mu.Lock()
 		d.jobOKs[from] = ok
@@ -95,8 +105,12 @@ func (d *Driver) handle(from string, f wire.Frame) {
 }
 
 // ShipJob sends each node its job and waits for every acknowledgement.
+// It bumps the cluster's job generation and stamps it into every job:
+// from here on, frames of earlier generations are dead to both sides.
 func (d *Driver) ShipJob(jobs map[string]wire.Job, timeout time.Duration) error {
 	d.mu.Lock()
+	d.gen++
+	gen := d.gen
 	d.jobOKs = make(map[string]wire.JobOK)
 	d.mu.Unlock()
 	for _, node := range d.nodes {
@@ -104,6 +118,7 @@ func (d *Driver) ShipJob(jobs map[string]wire.Job, timeout time.Duration) error 
 		if !ok {
 			return fmt.Errorf("dist: no job for node %q", node)
 		}
+		job.Gen = gen
 		if err := d.tr.Send(node, job); err != nil {
 			return err
 		}
@@ -134,8 +149,12 @@ func (d *Driver) ShipJob(jobs map[string]wire.Job, timeout time.Duration) error 
 // unknown-peer sends are routed to their assigned nodes and whose
 // termination is decided by the cluster-wide coordinator.
 func (d *Driver) NewRound() *DriverRound {
+	d.mu.Lock()
+	gen := d.gen
+	d.mu.Unlock()
 	r := &DriverRound{
 		d:        d,
+		gen:      gen,
 		net:      NewNetwork(),
 		wake:     make(chan struct{}, 1),
 		statuses: make(map[string]wire.Status),
@@ -147,7 +166,7 @@ func (d *Driver) NewRound() *DriverRound {
 		if !ok {
 			panic(fmt.Sprintf("dist: peer %q hosted nowhere (not local, not assigned)", m.To))
 		}
-		if err := d.tr.Send(node, wire.Data{From: string(m.From), To: string(m.To), Payload: m.Payload.(wire.Payload)}); err != nil {
+		if err := d.tr.Send(node, wire.Data{Gen: r.gen, From: string(m.From), To: string(m.To), Payload: m.Payload.(wire.Payload)}); err != nil {
 			// The transport is closing; the round is ending anyway.
 			r.net.Stop(err)
 		}
@@ -161,6 +180,7 @@ func (d *Driver) NewRound() *DriverRound {
 // the members' statistics into its own.
 type DriverRound struct {
 	d   *Driver
+	gen uint64 // job generation the round belongs to
 	net *Network
 
 	wake chan struct{}
@@ -306,7 +326,7 @@ func (r *DriverRound) broadcastStop(err error) {
 	}
 	r.stopSent = true
 	r.mu.Unlock()
-	msg := wire.Stop{}
+	msg := wire.Stop{Gen: r.gen}
 	if err != nil {
 		msg.Err = err.Error()
 	}
@@ -361,7 +381,7 @@ func (r *DriverRound) coordinate(stop <-chan struct{}) {
 		r.statuses = make(map[string]wire.Status)
 		r.mu.Unlock()
 		for _, node := range r.d.nodes {
-			if err := r.d.tr.Send(node, wire.Poll{Epoch: epoch}); err != nil {
+			if err := r.d.tr.Send(node, wire.Poll{Gen: r.gen, Epoch: epoch}); err != nil {
 				return
 			}
 		}
@@ -457,11 +477,14 @@ type Member struct {
 	driver string
 	jobs   chan wire.Job
 
-	mu      sync.Mutex
-	assign  map[PeerID]string
-	cur     *MemberRound
-	backlog []queuedFrame
-	closed  bool
+	mu       sync.Mutex
+	assign   map[PeerID]string
+	gen      uint64 // generation of the current job
+	rejoined bool   // restored from a checkpoint into gen; round state lost
+	notified bool   // rejoin Done already sent for this restoration
+	cur      *MemberRound
+	backlog  []queuedFrame
+	closed   bool
 }
 
 type queuedFrame struct {
@@ -492,10 +515,25 @@ func (m *Member) SetAssign(assign map[PeerID]string) {
 	m.mu.Unlock()
 }
 
-// SendJobOK acknowledges the current job to the driver; errText non-empty
-// refuses it.
-func (m *Member) SendJobOK(errText string) error {
-	return m.tr.Send(m.driver, wire.JobOK{Node: m.tr.Self(), Err: errText})
+// SendJobOK acknowledges the job of generation gen to the driver; errText
+// non-empty refuses it.
+func (m *Member) SendJobOK(gen uint64, errText string) error {
+	return m.tr.Send(m.driver, wire.JobOK{Gen: gen, Node: m.tr.Self(), Err: errText})
+}
+
+// Rejoin marks the member as restarted from a checkpoint taken in job
+// generation gen. The in-memory state of any round of that generation
+// died with the previous process, so the member must not take part in it:
+// the first frame of that generation triggers an end-of-round error
+// report telling the driver to stop the round and re-ship, and every such
+// frame is dropped. A newly shipped job (a later generation) leaves
+// rejoin mode.
+func (m *Member) Rejoin(gen uint64) {
+	m.mu.Lock()
+	m.gen = gen
+	m.rejoined = true
+	m.notified = false
+	m.mu.Unlock()
 }
 
 func (m *Member) handle(from string, f wire.Frame) {
@@ -511,17 +549,41 @@ func (m *Member) handle(from string, f wire.Frame) {
 		case m.jobs <- job:
 			accepted = true
 			cur = m.cur
+			m.gen = job.Gen
+			m.rejoined = false
 		default:
 		}
 		m.mu.Unlock()
 		if !accepted {
-			m.SendJobOK("member busy with a previous job") //nolint:errcheck
+			m.SendJobOK(job.Gen, "member busy with a previous job") //nolint:errcheck
 		} else if cur != nil {
 			cur.net.Stop(ErrRoundPreempted)
 		}
 		return
 	}
+	gen, tagged := wire.FrameGen(f)
 	m.mu.Lock()
+	if tagged && gen != m.gen {
+		// Another generation's frame: a transport replay from a round that
+		// was superseded. Every round of the current generation starts
+		// from state the driver also has, so dropping is safe.
+		m.mu.Unlock()
+		return
+	}
+	if m.rejoined && m.cur == nil {
+		// A current-generation frame, but this process restored the
+		// generation from a checkpoint: the round the frame belongs to
+		// died with the previous process. Tell the driver once (ending
+		// the round with a clear error instead of a timeout), drop the
+		// frame either way.
+		notify := !m.notified
+		m.notified = true
+		m.mu.Unlock()
+		if notify {
+			m.tr.Send(m.driver, wire.Done{Gen: gen, Err: "member restarted from checkpoint; round state lost"}) //nolint:errcheck
+		}
+		return
+	}
 	cur := m.cur
 	if cur == nil {
 		if !m.closed {
@@ -554,9 +616,14 @@ func (m *Member) Close() error {
 	return m.tr.Close()
 }
 
-// NextRound creates the member side of the next evaluation round.
+// NextRound creates the member side of the next evaluation round. The
+// round is pinned to the current job generation: every frame it sends
+// carries it, so a driver that has since re-shipped ignores stragglers.
 func (m *Member) NextRound() *MemberRound {
-	r := &MemberRound{m: m, net: NewNetwork()}
+	m.mu.Lock()
+	gen := m.gen
+	m.mu.Unlock()
+	r := &MemberRound{m: m, gen: gen, net: NewNetwork()}
 	r.net.SetRoute(func(msg Message) {
 		m.mu.Lock()
 		node, ok := m.assign[msg.To]
@@ -564,7 +631,7 @@ func (m *Member) NextRound() *MemberRound {
 		if !ok {
 			node = m.driver
 		}
-		if err := m.tr.Send(node, wire.Data{From: string(msg.From), To: string(msg.To), Payload: msg.Payload.(wire.Payload)}); err != nil {
+		if err := m.tr.Send(node, wire.Data{Gen: r.gen, From: string(msg.From), To: string(msg.To), Payload: msg.Payload.(wire.Payload)}); err != nil {
 			r.net.Stop(err)
 		}
 	})
@@ -572,7 +639,7 @@ func (m *Member) NextRound() *MemberRound {
 		// An unsolicited epoch-0 status nudges the coordinator to start a
 		// wave. Runs under the network lock: Counters would deadlock, and
 		// the nudge carries no sample — the coordinator polls for one.
-		m.tr.Send(m.driver, wire.Status{Epoch: 0, Idle: true}) //nolint:errcheck
+		m.tr.Send(m.driver, wire.Status{Gen: r.gen, Epoch: 0, Idle: true}) //nolint:errcheck
 	})
 	return r
 }
@@ -581,6 +648,7 @@ func (m *Member) NextRound() *MemberRound {
 // routed messages until the driver (or a local failure) stops the round.
 type MemberRound struct {
 	m   *Member
+	gen uint64 // job generation the round belongs to
 	net *Network
 
 	stats Stats
@@ -599,7 +667,7 @@ func (r *MemberRound) dispatch(from string, f wire.Frame) {
 		r.net.Inject(Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload})
 	case wire.Poll:
 		sent, processed, idle := r.net.Counters()
-		r.m.tr.Send(r.m.driver, wire.Status{Epoch: fr.Epoch, Sent: sent, Processed: processed, Idle: idle}) //nolint:errcheck
+		r.m.tr.Send(r.m.driver, wire.Status{Gen: r.gen, Epoch: fr.Epoch, Sent: sent, Processed: processed, Idle: idle}) //nolint:errcheck
 	case wire.Stop:
 		if fr.Err != "" {
 			r.net.Stop(errors.New(fr.Err))
@@ -631,8 +699,12 @@ func (r *MemberRound) Run(initial []Message, timeout time.Duration) (Stats, erro
 	// resumes. The replay holds m.mu — handle() blocks on it — so a frame
 	// arriving mid-replay cannot overtake its sender's backlogged frames;
 	// dispatch only takes other locks (the round's network, the transport),
-	// never m.mu again.
+	// never m.mu again. Frames backlogged under an earlier generation are
+	// dropped: a job shipped after they arrived has superseded their round.
 	for _, q := range m.backlog {
+		if g, tagged := wire.FrameGen(q.f); tagged && g != r.gen {
+			continue
+		}
 		r.dispatch(q.from, q.f)
 	}
 	m.backlog = nil
@@ -654,7 +726,7 @@ func (r *MemberRound) Run(initial []Message, timeout time.Duration) (Stats, erro
 // after Run returned; extras carries evaluator counters (e.g. facts
 // derived on this node) for the driver to aggregate.
 func (r *MemberRound) Finish(extras map[string]uint64) error {
-	done := wire.Done{Sent: uint64(r.stats.MessagesSent)}
+	done := wire.Done{Gen: r.gen, Sent: uint64(r.stats.MessagesSent)}
 	if r.err != nil && !errors.Is(r.err, ErrClusterClosed) {
 		done.Err = r.err.Error()
 	}

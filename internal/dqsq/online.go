@@ -135,15 +135,25 @@ func NewOnlineSession(prog *ddatalog.Program, budget datalog.Budget) (*OnlineSes
 	if err != nil {
 		return nil, err
 	}
+	sess.eng = eng
+	sess.installHook()
+	return sess, nil
+}
+
+// installHook (re)installs the lazy-rewriting activation hook on the
+// session's engine. It is called once at construction and again after a
+// session is restored from a snapshot — the hook is a closure over live
+// session state and cannot itself be serialized.
+func (sess *OnlineSession) installHook() {
 	// The hook runs on peer goroutines under the engine's hook lock
 	// (hooks of different peers share the program store and their
 	// rewriters' output buffer handling below).
-	eng.SetActivationHook(func(peer dist.PeerID, relName rel.Name) []ddatalog.PRule {
+	sess.eng.SetActivationHook(func(peer dist.PeerID, relName rel.Name) []ddatalog.PRule {
 		baseRel, adr, ok := splitAdorned(relName)
 		if !ok {
 			return nil
 		}
-		pr := rewriters[peer]
+		pr := sess.rewriters[peer]
 		if pr == nil {
 			return nil
 		}
@@ -163,8 +173,6 @@ func NewOnlineSession(prog *ddatalog.Program, budget datalog.Budget) (*OnlineSes
 		}
 		return rules
 	})
-	sess.eng = eng
-	return sess, nil
 }
 
 // Extend grows the running program: facts are extensional appends
@@ -233,6 +241,10 @@ func (s *OnlineSession) Trace() *OnlineTrace { return s.trace }
 
 // Engine exposes the warm engine for materialization metrics.
 func (s *OnlineSession) Engine() *ddatalog.Engine { return s.eng }
+
+// Program exposes the session program (base facts plus every extension);
+// restored sessions hand it back to the supervisor that owns them.
+func (s *OnlineSession) Program() *ddatalog.Program { return s.prog }
 
 // RunOnline evaluates prog for q with lazy per-peer rewriting. It returns
 // the same answers as Run (Theorem 1 extends: the installed program is

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/core"
+)
+
+// SnapshotOverheadRow quantifies what the checkpoint subsystem costs and
+// buys on a warm dQSQ session over the running example: the per-append
+// cost of checkpointing after every append versus not checkpointing at
+// all, and the cost of coming back — restoring the final snapshot versus
+// replaying the whole sequence from scratch. Restore is O(snapshot
+// size); replay is O(re-running every append). verify.sh guards both the
+// equivalence bit and the restore-vs-replay ratio.
+type SnapshotOverheadRow struct {
+	Appends          int
+	PlainNsPerAppend int64
+	CkptNsPerAppend  int64
+	OverheadPct      float64 // (ckpt-plain)/plain, in percent; includes the fsync
+	SnapshotBytes    int     // size of the final snapshot
+	RestoreNs        int64   // LoadIncremental of the final snapshot
+	ReplayNs         int64   // re-running all appends on a fresh handle
+	Equal            bool    // restored report == uninterrupted report (diagnoses + counters)
+}
+
+// SnapshotOverhead runs the checkpoint-overhead experiment on a p2-loop
+// sequence of length n (the S1 workload family).
+func SnapshotOverhead(n int) (*SnapshotOverheadRow, error) {
+	if n <= 0 {
+		n = 8
+	}
+	seq := p2LoopSeq(n)
+	dir, err := os.MkdirTemp("", "snapshot-overhead-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ck.dsnp")
+
+	runAll := func(save bool) (*core.Incremental, *core.Report, time.Duration, int, error) {
+		inc, err := core.Example().NewIncremental(core.DQSQ, core.Options{Timeout: 2 * time.Minute})
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		var rep *core.Report
+		var size int
+		start := time.Now()
+		for _, o := range seq {
+			if rep, err = inc.Append(alarm.Seq{o}, 0); err != nil {
+				return nil, nil, 0, 0, err
+			}
+			if save {
+				if size, err = core.SaveIncremental(path, inc); err != nil {
+					return nil, nil, 0, 0, err
+				}
+			}
+		}
+		return inc, rep, time.Since(start), size, nil
+	}
+
+	// Warm-up, then the two timed configurations.
+	if _, _, _, _, err := runAll(false); err != nil {
+		return nil, err
+	}
+	row := &SnapshotOverheadRow{Appends: n}
+	_, plainRep, plainD, _, err := runAll(false)
+	if err != nil {
+		return nil, err
+	}
+	row.PlainNsPerAppend = plainD.Nanoseconds() / int64(n)
+	_, _, ckptD, size, err := runAll(true)
+	if err != nil {
+		return nil, err
+	}
+	row.CkptNsPerAppend = ckptD.Nanoseconds() / int64(n)
+	row.SnapshotBytes = size
+	if row.PlainNsPerAppend > 0 {
+		row.OverheadPct = 100 * float64(row.CkptNsPerAppend-row.PlainNsPerAppend) / float64(row.PlainNsPerAppend)
+	}
+
+	// Coming back: restore the final snapshot vs replay every append.
+	start := time.Now()
+	restored, err := core.LoadIncremental(path)
+	if err != nil {
+		return nil, err
+	}
+	row.RestoreNs = time.Since(start).Nanoseconds()
+	_, _, replayD, _, err := runAll(false)
+	if err != nil {
+		return nil, err
+	}
+	row.ReplayNs = replayD.Nanoseconds()
+
+	got := restored.Report()
+	if got == nil {
+		return nil, fmt.Errorf("restored session has no report")
+	}
+	row.Equal = got.Diagnoses.Equal(plainRep.Diagnoses) &&
+		got.Derived == plainRep.Derived && got.Messages == plainRep.Messages
+	return row, nil
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestSnapshotOverheadShape(t *testing.T) {
+	row, err := SnapshotOverhead(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Appends != 3 {
+		t.Fatalf("appends = %d", row.Appends)
+	}
+	if row.PlainNsPerAppend <= 0 || row.CkptNsPerAppend <= 0 || row.RestoreNs <= 0 || row.ReplayNs <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	if row.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot bytes = %d", row.SnapshotBytes)
+	}
+	if !row.Equal {
+		t.Fatal("restored session diverges from the uninterrupted run")
+	}
+}

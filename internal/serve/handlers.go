@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -25,6 +28,14 @@ type Config struct {
 	SweepEvery time.Duration
 	// MaxBody caps request bodies. 0 means 1MiB.
 	MaxBody int64
+	// DataDir enables write-behind session durability: every append
+	// schedules a snapshot of the session to <DataDir>/<id>.dsnp, graceful
+	// shutdown persists every live session, and a restarted server
+	// restores the files back into its table. Empty disables persistence.
+	DataDir string
+	// Logger receives persistence and drain-disposition logs; nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -48,27 +59,47 @@ type Server struct {
 	store   *Store
 	metrics *Metrics
 	mux     *http.ServeMux
+	log     *slog.Logger
+	persist *persister // nil when Config.DataDir is empty
 
 	drainMu  sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+	finalize sync.Once // persist-and-clear runs exactly once across concurrent Shutdowns
 
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
 
-// NewServer builds the service and starts its TTL sweeper (unless
-// disabled). Callers must Shutdown it to stop the sweeper.
+// NewServer builds the service, restores any persisted sessions from
+// Config.DataDir, and starts its TTL sweeper (unless disabled). Callers
+// must Shutdown it to stop the sweeper and persist the session table.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	m := NewMetrics()
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	s := &Server{
 		cfg:       cfg,
 		store:     NewStore(cfg.Store, m),
 		metrics:   m,
 		mux:       http.NewServeMux(),
+		log:       log,
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			// Serving sessions beats refusing to start; the server just
+			// runs non-durable, loudly.
+			log.Error("data dir unusable; persistence disabled", "dir", cfg.DataDir, "err", err)
+		} else {
+			restoreSessions(cfg.DataDir, s.store, m, log)
+			s.persist = newPersister(cfg.DataDir, m, log)
+			s.store.SetPersister(s.persist)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/alarms", s.handleAppend)
@@ -116,6 +147,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.enter() {
+		// The drain is short-lived: the client should retry against the
+		// restarted (or replacement) instance, not give up.
+		w.Header().Set("Retry-After", "1")
 		s.fail(w, ErrDraining)
 		return
 	}
@@ -157,7 +191,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	s.store.Clear()
+	s.finalize.Do(func() {
+		if s.persist != nil {
+			// In-flight appends are done; persist the final state of every
+			// live session synchronously, then detach the persister so
+			// Clear does not delete the files just written.
+			s.persist.close()
+			s.persist.drain(s.store.Sessions())
+			s.store.SetPersister(nil)
+		}
+		s.store.Clear()
+	})
 	return nil
 }
 
@@ -249,6 +293,10 @@ type sessionResponse struct {
 	Exhausted bool        `json:"exhausted"`
 	Seq       string      `json:"seq"`
 	Report    *reportJSON `json:"report"`
+	// SnapshotAgeSeconds is how stale the session's persisted snapshot is
+	// (what a kill -9 right now would lose). Absent while the session has
+	// never been persisted or persistence is disabled.
+	SnapshotAgeSeconds *float64 `json:"snapshot_age_seconds,omitempty"`
 }
 
 type errorResponse struct {
@@ -329,6 +377,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := sess.Append(seq, s.evalTimeout(r))
 	s.metrics.Observe("diagnosed_append_seconds", time.Since(start))
+	if s.persist != nil {
+		// Write-behind on success AND failure: an append that poisoned the
+		// session must persist the poisoning, or a restart would resurrect
+		// a session whose warm state is not trustworthy as healthy.
+		s.persist.markDirty(sess)
+	}
 	if err != nil {
 		s.metrics.Add("diagnosed_append_errors_total", 1)
 		s.fail(w, err)
@@ -366,7 +420,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, sessionResponse{
+	resp := sessionResponse{
 		ID:        st.ID,
 		Engine:    EngineName(st.Engine),
 		MaxFacts:  st.Facts,
@@ -376,7 +430,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		Exhausted: st.Exhausted,
 		Seq:       parser.FormatAlarms(st.Seq),
 		Report:    toReportJSON(st.Report),
-	})
+	}
+	if !st.LastSnap.IsZero() {
+		age := time.Since(st.LastSnap).Seconds()
+		resp.SnapshotAgeSeconds = &age
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // handleTrace exports the session's evaluation trace as Chrome
@@ -407,6 +466,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.drainMu.Unlock()
 	if draining {
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// appendAlarms posts one append and returns the response.
+func appendAlarms(t *testing.T, ts *httptest.Server, id, alarms string) appendResponse {
+	t.Helper()
+	var resp appendResponse
+	code := doJSON(t, "POST", ts.URL+"/v1/sessions/"+id+"/alarms", appendRequest{Alarms: alarms}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("append %q: status %d", alarms, code)
+	}
+	return resp
+}
+
+func getSession(t *testing.T, ts *httptest.Server, id string) sessionResponse {
+	t.Helper()
+	var resp sessionResponse
+	if code := doJSON(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &resp); code != http.StatusOK {
+		t.Fatalf("get session: status %d", code)
+	}
+	return resp
+}
+
+// waitForFile polls until the path exists (the write-behind persister
+// renames complete snapshots into place, so existence means complete).
+func waitForFile(t *testing.T, path string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot %s never appeared", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPersistRestartEquivalence is the serve half of the checkpoint
+// subsystem's acceptance: a session persisted by graceful drain and
+// restored by a new server must continue exactly — same sequence, same
+// diagnoses, and for the warm dQSQ engine the same cumulative derived
+// and message counts as an uninterrupted session.
+func TestPersistRestartEquivalence(t *testing.T) {
+	for _, engine := range []string{"dqsq", "naive"} {
+		t.Run(engine, func(t *testing.T) {
+			dir := t.TempDir()
+			net := exampleNetText(t)
+
+			// Uninterrupted reference session on a throwaway server.
+			_, refTS := newTestServer(t, Config{})
+			ref := createSession(t, refTS, createRequest{Net: net, Engine: engine})
+			var want appendResponse
+			for _, a := range quickstartAlarms {
+				want = appendAlarms(t, refTS, ref.ID, a)
+			}
+
+			// Server A: two appends, then a graceful drain.
+			a := NewServer(Config{SweepEvery: -1, DataDir: dir})
+			tsA := httptest.NewServer(a)
+			sess := createSession(t, tsA, createRequest{Net: net, Engine: engine})
+			for _, al := range quickstartAlarms[:2] {
+				appendAlarms(t, tsA, sess.ID, al)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := a.Shutdown(ctx); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			tsA.Close()
+
+			// Server B restores the session and finishes the sequence.
+			b, tsB := newTestServer(t, Config{DataDir: dir})
+			if got := b.Metrics().Counter("snapshot_restore_total"); got != 1 {
+				t.Fatalf("snapshot_restore_total = %d, want 1", got)
+			}
+			st := getSession(t, tsB, sess.ID)
+			if st.Alarms != 2 {
+				t.Fatalf("restored session has %d alarms, want 2", st.Alarms)
+			}
+			if st.SnapshotAgeSeconds == nil {
+				t.Fatal("restored session reports no snapshot age")
+			}
+			got := appendAlarms(t, tsB, sess.ID, quickstartAlarms[2])
+			if !reflect.DeepEqual(got.Report.Diagnoses, want.Report.Diagnoses) {
+				t.Fatalf("diagnoses diverge after restart:\ngot  %v\nwant %v",
+					got.Report.Diagnoses, want.Report.Diagnoses)
+			}
+			if got.Alarms != want.Alarms {
+				t.Fatalf("alarms = %d, want %d", got.Alarms, want.Alarms)
+			}
+			if engine == "dqsq" {
+				if got.Report.Derived != want.Report.Derived || got.Report.Messages != want.Report.Messages {
+					t.Fatalf("warm counters diverge after restart: got %d derived/%d messages, want %d/%d",
+						got.Report.Derived, got.Report.Messages, want.Report.Derived, want.Report.Messages)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistWriteBehind checks the durability a kill -9 relies on: an
+// append's snapshot reaches disk without any shutdown, and the file
+// decodes back to the session's state.
+func TestPersistWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{DataDir: dir})
+	sess := createSession(t, ts, createRequest{Net: exampleNetText(t)})
+	appendAlarms(t, ts, sess.ID, "b@p1 a@p2")
+
+	path := filepath.Join(dir, sess.ID+snapshotExt)
+	waitForFile(t, path)
+	restored, err := LoadSessionFile(path, nil)
+	if err != nil {
+		t.Fatalf("write-behind snapshot does not decode: %v", err)
+	}
+	if restored.ID != sess.ID || restored.alarms != 2 {
+		t.Fatalf("write-behind snapshot holds id=%s alarms=%d, want %s/2", restored.ID, restored.alarms, sess.ID)
+	}
+	if n := s.Metrics().Counter("snapshot_bytes_total"); n <= 0 {
+		t.Fatalf("snapshot_bytes_total = %d, want > 0", n)
+	}
+	// The session now advertises how stale its snapshot is.
+	if st := getSession(t, ts, sess.ID); st.SnapshotAgeSeconds == nil {
+		t.Fatal("session reports no snapshot age after write-behind persist")
+	}
+}
+
+// TestPersistDeleteRemovesFile: a deleted session must stay gone across
+// a restart, so DELETE also removes its snapshot.
+func TestPersistDeleteRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{DataDir: dir})
+	sess := createSession(t, ts, createRequest{Net: exampleNetText(t)})
+	appendAlarms(t, ts, sess.ID, "b@p1")
+	path := filepath.Join(dir, sess.ID+snapshotExt)
+	waitForFile(t, path)
+
+	if code := doJSON(t, "DELETE", ts.URL+"/v1/sessions/"+sess.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot %s still present after DELETE", path)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPersistExhaustionSurvivesRestart: an append that exhausts the
+// session persists the exhaustion, so a restart does not resurrect a
+// poisoned warm engine as healthy.
+func TestPersistExhaustionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	a := NewServer(Config{SweepEvery: -1, DataDir: dir})
+	tsA := httptest.NewServer(a)
+	sess := createSession(t, tsA, createRequest{Net: exampleNetText(t), MaxFacts: 8})
+	var errResp errorResponse
+	if code := doJSON(t, "POST", tsA.URL+"/v1/sessions/"+sess.ID+"/alarms",
+		appendRequest{Alarms: "b@p1 a@p2 c@p1"}, &errResp); code != http.StatusTooManyRequests {
+		t.Fatalf("append under tiny budget: status %d, want 429", code)
+	}
+	path := filepath.Join(dir, sess.ID+snapshotExt)
+	waitForFile(t, path)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	tsA.Close()
+
+	_, tsB := newTestServer(t, Config{DataDir: dir})
+	st := getSession(t, tsB, sess.ID)
+	if !st.Exhausted {
+		t.Fatal("restored session lost its exhaustion flag")
+	}
+	if code := doJSON(t, "POST", tsB.URL+"/v1/sessions/"+sess.ID+"/alarms",
+		appendRequest{Alarms: "b@p1"}, &errResp); code != http.StatusTooManyRequests {
+		t.Fatalf("append on restored exhausted session: status %d, want 429", code)
+	}
+}
+
+// TestRestoreSkipsCorrupt: corrupt snapshot files are logged and
+// skipped; the server still starts and serves.
+func TestRestoreSkipsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "garbage.dsnp"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "truncated.dsnp"), []byte("DSNP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{DataDir: dir})
+	if n := s.Store().Len(); n != 0 {
+		t.Fatalf("restored %d sessions from garbage", n)
+	}
+	if got := s.Metrics().Counter("snapshot_restore_total"); got != 0 {
+		t.Fatalf("snapshot_restore_total = %d, want 0", got)
+	}
+	// Server is healthy despite the bad files.
+	createSession(t, ts, createRequest{Net: exampleNetText(t)})
+}
+
+// TestDrainRetryAfter: the 503s served while draining carry Retry-After
+// so clients know to retry against the restarted instance.
+func TestDrainRetryAfter(t *testing.T) {
+	s := NewServer(Config{SweepEvery: -1})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ method, path string }{
+		{"POST", "/v1/sessions"},
+		{"GET", "/healthz"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s while draining: status %d, want 503", tc.method, tc.path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("%s %s while draining: no Retry-After header", tc.method, tc.path)
+		}
+	}
+}

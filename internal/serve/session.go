@@ -73,6 +73,7 @@ type Session struct {
 	peers   map[string]bool // net peers, fixed at creation
 
 	lastUsed atomic.Int64 // unix nanoseconds; TTL sweeps and GET read it
+	lastSnap atomic.Int64 // unix nanoseconds of the last persisted snapshot; 0 = never
 	closed   atomic.Bool  // set lock-free by eviction, so the store never waits on an evaluation
 
 	// trace buffers the session's evaluation events (per-peer spans,
@@ -127,6 +128,13 @@ func (s *Session) HasPeer(peer string) bool { return s.peers[peer] }
 // WriteTrace exports the session's trace buffer as Chrome trace-event
 // JSON (chrome://tracing, Perfetto). Safe concurrently with appends.
 func (s *Session) WriteTrace(w io.Writer) error { return s.trace.WriteJSON(w) }
+
+// Alarms counts the alarms appended over the session's lifetime.
+func (s *Session) Alarms() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alarms
+}
 
 // Touch records use for TTL accounting.
 func (s *Session) Touch(now time.Time) { s.lastUsed.Store(now.UnixNano()) }
@@ -232,6 +240,7 @@ type State struct {
 	Facts     int
 	Created   time.Time
 	LastUsed  time.Time
+	LastSnap  time.Time // zero if never persisted
 	Alarms    int
 	Exhausted bool
 	Seq       alarm.Seq
@@ -246,7 +255,7 @@ func (s *Session) Snapshot() (State, error) {
 	if s.closed.Load() {
 		return State{}, ErrClosed
 	}
-	return State{
+	st := State{
 		ID:        s.ID,
 		Engine:    s.Engine,
 		Facts:     s.Facts,
@@ -256,7 +265,11 @@ func (s *Session) Snapshot() (State, error) {
 		Exhausted: s.exhausted,
 		Seq:       s.inc.Seq(),
 		Report:    s.inc.Report(),
-	}, nil
+	}
+	if ns := s.lastSnap.Load(); ns != 0 {
+		st.LastSnap = time.Unix(0, ns)
+	}
+	return st, nil
 }
 
 // timeoutErr reports whether err is an evaluation timeout (mapped to 504).

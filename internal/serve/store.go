@@ -58,6 +58,16 @@ type Store struct {
 	lru      *list.List               // front = most recently used
 	reserved int                      // sum of live sessions' fact budgets
 	nextID   uint64
+	persist  *persister // nil when persistence is disabled
+}
+
+// SetPersister attaches (or, with nil, detaches) the durability layer:
+// removed sessions forget their snapshot files. Shutdown detaches it
+// before Clear so the drain-persisted files survive the final close.
+func (st *Store) SetPersister(p *persister) {
+	st.mu.Lock()
+	st.persist = p
+	st.mu.Unlock()
 }
 
 // NewStore builds an empty table. metrics may be nil.
@@ -236,4 +246,42 @@ func (st *Store) removeLocked(el *list.Element) {
 	st.lru.Remove(el)
 	st.reserved -= sess.Facts
 	sess.Close()
+	if st.persist != nil {
+		// forget only enqueues on the persister's own mutex — no file IO,
+		// no metrics, so holding st.mu here cannot deadlock.
+		st.persist.forget(sess.ID)
+	}
+}
+
+// Adopt inserts a restored session under its original ID, reserving its
+// fact budget. Unlike Create it never evicts: a boot-time restore that
+// does not fit the configured table is refused, not traded against
+// other restored sessions.
+func (st *Store) Adopt(sess *Session) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.sessions[sess.ID]; dup {
+		return fmt.Errorf("session %s already live", sess.ID)
+	}
+	if len(st.sessions) >= st.cfg.MaxSessions {
+		return fmt.Errorf("%w: session table full (%d)", ErrOverloaded, st.cfg.MaxSessions)
+	}
+	if st.reserved+sess.Facts > st.cfg.GlobalFacts {
+		return fmt.Errorf("%w: global fact budget exhausted (%d reserved of %d)",
+			ErrOverloaded, st.reserved, st.cfg.GlobalFacts)
+	}
+	st.reserved += sess.Facts
+	st.sessions[sess.ID] = st.lru.PushFront(sess)
+	return nil
+}
+
+// Sessions returns the live sessions (drain iterates them to persist).
+func (st *Store) Sessions() []*Session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Session, 0, st.lru.Len())
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Session))
+	}
+	return out
 }

@@ -1,0 +1,35 @@
+// Package snapnames centralizes the section names of the checkpoint
+// files written across the repository, so writers and readers in
+// different packages cannot drift apart.
+package snapnames
+
+// Section names. A snapshot file contains the subset relevant to what it
+// checkpoints: an offline diagnose checkpoint has Meta+Diagnoser+…, a
+// serve session adds ServeSession, a peerd checkpoint has MemberJob+….
+const (
+	// Meta describes what the file holds (consumer, engine, net text).
+	Meta = "meta"
+	// TermStore is a hash-consed term store replayed cell-by-cell.
+	TermStore = "term.store"
+	// Program is a ddatalog program (rules, facts, declared peers) over
+	// the file's TermStore.
+	Program = "ddatalog.program"
+	// Engine is warm ddatalog.Engine state (per-peer stores, relations,
+	// rules, subscriptions, counters).
+	Engine = "ddatalog.engine"
+	// Session is dqsq.OnlineSession state (rewriters, pending appends,
+	// rewriting trace).
+	Session = "dqsq.session"
+	// Diagnoser is diagnosis.OnlineDiagnoser state (alarm seq, query
+	// version, per-peer counts, last report).
+	Diagnoser = "diagnosis.online"
+	// Report is a diagnosis.Report (used alone by engines that re-run
+	// the full sequence per append and need no warm state).
+	Report = "diagnosis.report"
+	// ServeSession is internal/serve session metadata (ID, budgets,
+	// alarm log, exhaustion state).
+	ServeSession = "serve.session"
+	// MemberJob is a peerd member checkpoint: the accepted wire.Job and
+	// its round generation.
+	MemberJob = "dist.member.job"
+)

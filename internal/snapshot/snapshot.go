@@ -1,0 +1,444 @@
+// Package snapshot is the durable counterpart of the wire codec: a
+// stdlib-only, versioned binary container for checkpoint files. Where
+// package wire frames the messages of a live evaluation, this package
+// frames the state those messages build up — term stores, relations,
+// engine and session state — so a process can be killed and restored
+// without recomputing the unfolding from scratch.
+//
+// A snapshot file is a sequence of named sections behind a magic+version
+// header. Every section carries a CRC-32 of its body, checked eagerly on
+// Open, so torn writes and bit rot surface as ErrCorrupt before any state
+// is rebuilt. Section bodies use the same primitives as the wire format
+// (uvarints, length-prefixed strings) and the same total-decoder
+// discipline: any byte slice either decodes or returns an error — the
+// reader never panics and never allocates more than the input could
+// justify. FuzzOpen enforces this.
+//
+// Layout:
+//
+//	"DSNP" | uvarint major | uvarint minor | uvarint nSections
+//	then per section: string name | uvarint bodyLen | body | crc32(body) LE
+//
+// The major version gates compatibility: readers refuse files from a
+// different major outright (there are no compatibility shims, matching
+// wire's handshake policy). The minor version is informational.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a snapshot file.
+const Magic = "DSNP"
+
+// Major and Minor are the format version this build writes. A reader
+// accepts exactly its own major.
+const (
+	Major = 1
+	Minor = 0
+)
+
+// MaxSnapshot bounds the size of a snapshot file this package will open
+// (256 MiB) — like wire.MaxFrame it stops a corrupt length from forcing a
+// giant allocation, scaled up because a checkpoint carries whole stores,
+// not single messages.
+const MaxSnapshot = 1 << 28
+
+// ErrTruncated reports an input that ended mid-structure.
+var ErrTruncated = errors.New("snapshot: truncated input")
+
+// ErrCorrupt reports structurally invalid input (bad magic, CRC mismatch,
+// out-of-range reference, trailing bytes).
+var ErrCorrupt = errors.New("snapshot: corrupt input")
+
+// ErrVersion reports a snapshot written by an incompatible major version.
+var ErrVersion = errors.New("snapshot: unsupported version")
+
+// --- writing -------------------------------------------------------------
+
+// File accumulates sections for one snapshot. Sections are written in
+// Section call order and read back by name.
+type File struct {
+	names    []string
+	sections []*Writer
+}
+
+// New returns an empty snapshot file.
+func New() *File {
+	return &File{}
+}
+
+// Section starts a new named section and returns its writer. Adding two
+// sections with the same name panics: section names are the schema.
+func (f *File) Section(name string) *Writer {
+	for _, n := range f.names {
+		if n == name {
+			panic(fmt.Sprintf("snapshot: duplicate section %q", name))
+		}
+	}
+	w := &Writer{}
+	f.names = append(f.names, name)
+	f.sections = append(f.sections, w)
+	return w
+}
+
+// Bytes serializes the whole file: header, then each section with its
+// length prefix and CRC.
+func (f *File) Bytes() []byte {
+	out := make([]byte, 0, 64)
+	out = append(out, Magic...)
+	out = binary.AppendUvarint(out, Major)
+	out = binary.AppendUvarint(out, Minor)
+	out = binary.AppendUvarint(out, uint64(len(f.sections)))
+	for i, w := range f.sections {
+		out = binary.AppendUvarint(out, uint64(len(f.names[i])))
+		out = append(out, f.names[i]...)
+		out = binary.AppendUvarint(out, uint64(len(w.b)))
+		out = append(out, w.b...)
+		out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(w.b))
+	}
+	return out
+}
+
+// Writer builds one section body.
+type Writer struct {
+	b []byte
+}
+
+// Len reports the bytes written so far.
+func (w *Writer) Len() int { return len(w.b) }
+
+// Uvarint appends an unsigned varint.
+func (w *Writer) Uvarint(v uint64) { w.b = binary.AppendUvarint(w.b, v) }
+
+// Int appends a signed value (zigzag varint).
+func (w *Writer) Int(v int64) { w.b = binary.AppendVarint(w.b, v) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+// Bool appends a boolean byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+// Byte appends one raw byte.
+func (w *Writer) Byte(v byte) { w.b = append(w.b, v) }
+
+// --- reading -------------------------------------------------------------
+
+// OpenFile is a parsed snapshot whose sections have passed their CRC
+// checks. Sections are decoded lazily via Section.
+type OpenFile struct {
+	major, minor int
+	order        []string
+	bodies       map[string][]byte
+}
+
+// Open parses and validates a snapshot: magic, version, section framing
+// and every section CRC. It never panics on arbitrary input.
+func Open(b []byte) (*OpenFile, error) {
+	if len(b) > MaxSnapshot {
+		return nil, fmt.Errorf("%w: %d bytes exceeds MaxSnapshot", ErrCorrupt, len(b))
+	}
+	if len(b) < len(Magic) || string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r := &Reader{b: b, off: len(Magic)}
+	major := r.Uvarint()
+	minor := r.Uvarint()
+	if r.err == nil && major != Major {
+		return nil, fmt.Errorf("%w: file has major version %d, this build reads %d", ErrVersion, major, Major)
+	}
+	// name(≥1) + bodyLen(≥1) + crc(4) is the smallest possible section.
+	n := r.Count(6)
+	o := &OpenFile{major: int(major), minor: int(minor), bodies: make(map[string][]byte, n)}
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.String()
+		blen := r.Uvarint()
+		if r.err != nil {
+			break
+		}
+		if blen > uint64(len(b)-r.off) {
+			r.err = ErrTruncated
+			break
+		}
+		body := b[r.off : r.off+int(blen)]
+		r.off += int(blen)
+		if len(b)-r.off < 4 {
+			r.err = ErrTruncated
+			break
+		}
+		want := binary.LittleEndian.Uint32(b[r.off:])
+		r.off += 4
+		if crc32.ChecksumIEEE(body) != want {
+			return nil, fmt.Errorf("%w: CRC mismatch in section %q", ErrCorrupt, name)
+		}
+		if _, dup := o.bodies[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		o.order = append(o.order, name)
+		o.bodies[name] = body
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
+	}
+	return o, nil
+}
+
+// Major reports the file's major format version.
+func (o *OpenFile) Major() int { return o.major }
+
+// Minor reports the file's minor format version.
+func (o *OpenFile) Minor() int { return o.minor }
+
+// Sections lists the section names in file order.
+func (o *OpenFile) Sections() []string {
+	out := make([]string, len(o.order))
+	copy(out, o.order)
+	return out
+}
+
+// Has reports whether a section is present.
+func (o *OpenFile) Has(name string) bool {
+	_, ok := o.bodies[name]
+	return ok
+}
+
+// Section returns a reader over the named section body, or an error if
+// the section is absent.
+func (o *OpenFile) Section(name string) (*Reader, error) {
+	body, ok := o.bodies[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing section %q", ErrCorrupt, name)
+	}
+	return &Reader{b: body}, nil
+}
+
+// Reader is a bounds-checked cursor over one section body. Like the wire
+// decoder it is total: methods return zero values once an error is set,
+// and Err/Finish surface it. It never panics.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Fail marks the reader corrupt (or truncated, at end of input). Decoders
+// layered on top call it when a domain invariant fails.
+func (r *Reader) Fail() {
+	if r.err == nil {
+		if r.off >= len(r.b) {
+			r.err = ErrTruncated
+		} else {
+			r.err = ErrCorrupt
+		}
+	}
+}
+
+// Failf marks the reader corrupt with a specific cause.
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// Finish checks that the section decoded cleanly and was fully consumed.
+func (r *Reader) Finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes in section", ErrCorrupt, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.Fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Int reads a signed (zigzag varint) value.
+func (r *Reader) Int() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.Fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Count reads a collection length and validates it against the bytes
+// still available, given that each element occupies at least min bytes —
+// the allocation guard inherited from the wire decoder.
+func (r *Reader) Count(min int) int {
+	v := r.Uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(len(r.b)-r.off)/uint64(min)+1 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	return int(v)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.Fail()
+		return ""
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+// Bytes reads a length-prefixed byte slice (copied out of the input).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.Fail()
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out
+}
+
+// Bool reads a boolean byte; any value other than 0 or 1 is corrupt.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.err = ErrTruncated
+		return false
+	}
+	b := r.b[r.off]
+	r.off++
+	if b > 1 {
+		r.err = ErrCorrupt
+		return false
+	}
+	return b == 1
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	b := r.b[r.off]
+	r.off++
+	return b
+}
+
+// IntExact reads a signed value and rejects magnitudes outside int range
+// on 32-bit builds.
+func (r *Reader) IntExact() int {
+	v := r.Int()
+	if v > math.MaxInt || v < math.MinInt {
+		r.err = ErrCorrupt
+		return 0
+	}
+	return int(v)
+}
+
+// --- files ---------------------------------------------------------------
+
+// WriteFile atomically writes the snapshot to path: the bytes land in a
+// temp file in the same directory, which is fsynced and renamed over the
+// target, so a crash mid-write leaves either the old snapshot or the new
+// one — never a torn file.
+func WriteFile(path string, f *File) (int, error) {
+	data := f.Bytes()
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+// ReadFile opens and validates the snapshot at path.
+func ReadFile(path string) (*OpenFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	o, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return o, nil
+}

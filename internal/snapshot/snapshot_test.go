@@ -1,0 +1,199 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := New()
+	w := f.Section("meta")
+	w.Uvarint(42)
+	w.Int(-7)
+	w.String("hello")
+	w.Bool(true)
+	w.Bool(false)
+	w.Byte(0xAB)
+	w.Bytes([]byte{1, 2, 3})
+	w2 := f.Section("body")
+	w2.String("second section")
+
+	o, err := Open(f.Bytes())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if o.Major() != Major || o.Minor() != Minor {
+		t.Fatalf("version = %d.%d, want %d.%d", o.Major(), o.Minor(), Major, Minor)
+	}
+	if got := o.Sections(); len(got) != 2 || got[0] != "meta" || got[1] != "body" {
+		t.Fatalf("Sections() = %v", got)
+	}
+	r, err := o.Section("meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Uvarint(); v != 42 {
+		t.Errorf("Uvarint = %d", v)
+	}
+	if v := r.Int(); v != -7 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := r.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if v := r.Byte(); v != 0xAB {
+		t.Errorf("Byte = %x", v)
+	}
+	if v := r.Bytes(); len(v) != 3 || v[0] != 1 || v[2] != 3 {
+		t.Errorf("Bytes = %v", v)
+	}
+	if err := r.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+	r2, err := o.Section("body")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r2.String(); v != "second section" {
+		t.Errorf("body = %q", v)
+	}
+	if err := r2.Finish(); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}
+
+func TestOpenRejectsBadMagic(t *testing.T) {
+	if _, err := Open([]byte("NOPE")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Open(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsWrongMajor(t *testing.T) {
+	b := []byte(Magic)
+	b = binary.AppendUvarint(b, Major+1)
+	b = binary.AppendUvarint(b, 0)
+	b = binary.AppendUvarint(b, 0)
+	_, err := Open(b)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	if !strings.Contains(err.Error(), "major version") {
+		t.Errorf("error should name the offending version: %v", err)
+	}
+}
+
+func TestOpenRejectsCorruptSection(t *testing.T) {
+	f := New()
+	f.Section("s").String("payload payload payload")
+	b := f.Bytes()
+	// Flip a byte inside the section body: the CRC must catch it.
+	b[len(b)-8] ^= 0xFF
+	if _, err := Open(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenRejectsTruncation(t *testing.T) {
+	f := New()
+	f.Section("s").String("some section content here")
+	full := f.Bytes()
+	for i := 1; i < len(full); i++ {
+		if _, err := Open(full[:i]); err == nil {
+			t.Fatalf("Open accepted a %d/%d-byte prefix", i, len(full))
+		}
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	f := New()
+	f.Section("present").Uvarint(1)
+	o, err := Open(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Section("absent"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section: err = %v, want ErrCorrupt", err)
+	}
+	if o.Has("absent") || !o.Has("present") {
+		t.Error("Has() wrong")
+	}
+}
+
+func TestReaderFinishCatchesTrailingBytes(t *testing.T) {
+	f := New()
+	w := f.Section("s")
+	w.Uvarint(1)
+	w.Uvarint(2)
+	o, err := Open(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := o.Section("s")
+	r.Uvarint() // leave one value unread
+	if err := r.Finish(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Finish = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderCountGuardsAllocation(t *testing.T) {
+	// A section claiming 2^40 elements of >= 8 bytes each must fail fast
+	// rather than allocate.
+	f := New()
+	f.Section("s").Uvarint(1 << 40)
+	o, err := Open(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := o.Section("s")
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Fatalf("Count = %d, err = %v; want guard failure", n, r.Err())
+	}
+}
+
+func TestWriteFileReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.snap")
+	f := New()
+	f.Section("x").String("durable")
+	n, err := WriteFile(path, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(n) {
+		t.Fatalf("stat: %v size=%v want %d", err, fi, n)
+	}
+	o, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := o.Section("x")
+	if v := r.String(); v != "durable" {
+		t.Errorf("got %q", v)
+	}
+	// No temp litter left behind.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestDuplicateSectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate section")
+		}
+	}()
+	f := New()
+	f.Section("a")
+	f.Section("a")
+}

@@ -1,0 +1,86 @@
+package term
+
+import "repro/internal/snapshot"
+
+// EncodeSnapshot writes the store's full contents — every interned cell in
+// ID order, plus the fresh-variable counter — into w. Because IDs are
+// dense and assigned in insertion order, replaying the cells into an empty
+// store on decode reproduces exactly the same ID for every term, so IDs
+// persisted elsewhere in the snapshot (tuples, rule atoms) remain valid
+// without a remap table.
+func (s *Store) EncodeSnapshot(w *snapshot.Writer) {
+	w.Uvarint(uint64(len(s.cells)))
+	for _, c := range s.cells {
+		w.Byte(byte(c.kind))
+		w.String(c.name)
+		if c.kind == Comp {
+			w.Uvarint(uint64(len(c.args)))
+			for _, a := range c.args {
+				w.Uvarint(uint64(a))
+			}
+		}
+	}
+	w.Uvarint(uint64(s.fresh))
+}
+
+// DecodeStoreSnapshot rebuilds a store from r by re-interning every cell
+// in ID order. It validates what the interning functions would otherwise
+// panic on — argument references must point backward, compounds must have
+// at least one argument — and additionally checks that re-interning cell i
+// yields ID i: a duplicate cell in corrupt input would silently shift all
+// later IDs, so it is rejected here rather than surfacing as garbled terms
+// downstream.
+func DecodeStoreSnapshot(r *snapshot.Reader) (*Store, error) {
+	n := r.Count(2) // kind byte + name length byte minimum
+	s := NewStore()
+	var args []ID
+	for i := 0; i < n; i++ {
+		kind := Kind(r.Byte())
+		name := r.String()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		var id ID
+		switch kind {
+		case Const:
+			id = s.Constant(name)
+		case Var:
+			id = s.Variable(name)
+		case Comp:
+			nArgs := r.Count(1)
+			if r.Err() != nil {
+				return nil, r.Err()
+			}
+			if nArgs == 0 {
+				r.Failf("zero-ary compound %q", name)
+				return nil, r.Err()
+			}
+			args = args[:0]
+			for j := 0; j < nArgs; j++ {
+				a := r.Uvarint()
+				if r.Err() != nil {
+					return nil, r.Err()
+				}
+				if a >= uint64(i) {
+					r.Failf("forward term reference %d in cell %d", a, i)
+					return nil, r.Err()
+				}
+				args = append(args, ID(a))
+			}
+			id = s.Compound(name, args...)
+		default:
+			r.Failf("unknown term kind %d", kind)
+			return nil, r.Err()
+		}
+		if id != ID(i) {
+			r.Failf("duplicate cell %d re-interned as %d", i, id)
+			return nil, r.Err()
+		}
+	}
+	fresh := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	s.fresh = int(fresh)
+	return s, nil
+}

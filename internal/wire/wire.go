@@ -27,7 +27,8 @@ import (
 
 // Version is the protocol version exchanged in the Hello handshake. Nodes
 // refuse to talk across versions: the codec has no compatibility shims.
-const Version = 2
+// Version 3 added the Gen tag carried by every post-handshake frame.
+const Version = 3
 
 // MaxFrame bounds the encoded size of a single frame (64 MiB). The
 // transport rejects longer length prefixes before reading the body, so a
@@ -86,14 +87,21 @@ type Ack struct {
 
 // Data carries one peer-to-peer evaluation message.
 type Data struct {
+	Gen     uint64 // job generation the message belongs to
 	From    string // sending peer
 	To      string // receiving peer
 	Payload Payload
 }
 
 // Job ships a diagnosis job to a member node: the system description, the
-// observed alarms, the engine configuration, and the cluster layout.
+// observed alarms, the engine configuration, and the cluster layout. Gen
+// is the job's generation: the driver bumps it on every ship, every
+// frame of the resulting evaluation carries it, and both sides drop
+// frames whose generation is not the current one. That is what keeps a
+// crashed-and-restarted node's replayed tail — Data frames of a round
+// that died with the old process — from polluting the retried round.
 type Job struct {
+	Gen       uint64   // job generation (stamped by the driver's ShipJob)
 	NetText   string   // textual net description (parser.Net format)
 	Alarms    string   // observed alarm sequence (parser.Alarms format)
 	Engine    uint32   // diagnosis engine ordinal (naive or dqsq)
@@ -111,8 +119,11 @@ type Assign struct {
 	Key, Val string
 }
 
-// JobOK acknowledges a Job (or reports why it was refused).
+// JobOK acknowledges a Job (or reports why it was refused). Gen echoes
+// the acknowledged job's generation so a late ack for a superseded job
+// cannot pass for an ack of the current one.
 type JobOK struct {
+	Gen  uint64
 	Node string
 	Err  string
 }
@@ -120,6 +131,7 @@ type JobOK struct {
 // Poll asks a member for a quiescence status sample; Epoch matches the
 // reply to the wave that requested it.
 type Poll struct {
+	Gen   uint64
 	Epoch uint64
 }
 
@@ -127,6 +139,7 @@ type Poll struct {
 // messages they have fully processed, and whether the node is locally
 // idle. Epoch 0 is an unsolicited idle notification.
 type Status struct {
+	Gen       uint64
 	Epoch     uint64
 	Sent      uint64
 	Processed uint64
@@ -136,12 +149,14 @@ type Status struct {
 // Stop ends the current round at a member; an empty Err means clean
 // quiescence.
 type Stop struct {
+	Gen uint64
 	Err string
 }
 
 // Done is a member's end-of-round report: its share of the global run
 // statistics plus evaluator-defined extras (e.g. facts derived).
 type Done struct {
+	Gen       uint64
 	Sent      uint64
 	Processed []PeerCount // messages handled, per hosted peer
 	ByPair    []PairCount // sends per (from, to) peer pair
@@ -166,6 +181,28 @@ type PairCount struct {
 type KV struct {
 	Key string
 	Val uint64
+}
+
+// FrameGen returns the job generation carried by f, and whether f is a
+// generation-tagged frame at all (the handshake frames are not).
+func FrameGen(f Frame) (uint64, bool) {
+	switch v := f.(type) {
+	case Data:
+		return v.Gen, true
+	case Job:
+		return v.Gen, true
+	case JobOK:
+		return v.Gen, true
+	case Poll:
+		return v.Gen, true
+	case Status:
+		return v.Gen, true
+	case Stop:
+		return v.Gen, true
+	case Done:
+		return v.Gen, true
+	}
+	return 0, false
 }
 
 func (Hello) isFrame()  {}
@@ -374,11 +411,13 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 		dst = putUvarint(dst, v.Seq)
 	case Data:
 		dst = append(dst, tagData)
+		dst = putUvarint(dst, v.Gen)
 		dst = putString(dst, v.From)
 		dst = putString(dst, v.To)
 		dst = AppendPayload(dst, v.Payload)
 	case Job:
 		dst = append(dst, tagJob)
+		dst = putUvarint(dst, v.Gen)
 		dst = putString(dst, v.NetText)
 		dst = putString(dst, v.Alarms)
 		dst = putUvarint(dst, uint64(v.Engine))
@@ -394,22 +433,27 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 		dst = putString(dst, v.Driver)
 	case JobOK:
 		dst = append(dst, tagJobOK)
+		dst = putUvarint(dst, v.Gen)
 		dst = putString(dst, v.Node)
 		dst = putString(dst, v.Err)
 	case Poll:
 		dst = append(dst, tagPoll)
+		dst = putUvarint(dst, v.Gen)
 		dst = putUvarint(dst, v.Epoch)
 	case Status:
 		dst = append(dst, tagStatus)
+		dst = putUvarint(dst, v.Gen)
 		dst = putUvarint(dst, v.Epoch)
 		dst = putUvarint(dst, v.Sent)
 		dst = putUvarint(dst, v.Processed)
 		dst = putBool(dst, v.Idle)
 	case Stop:
 		dst = append(dst, tagStop)
+		dst = putUvarint(dst, v.Gen)
 		dst = putString(dst, v.Err)
 	case Done:
 		dst = append(dst, tagDone)
+		dst = putUvarint(dst, v.Gen)
 		dst = putUvarint(dst, v.Sent)
 		dst = putUvarint(dst, uint64(len(v.Processed)))
 		for _, pc := range v.Processed {
@@ -688,11 +732,12 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 	case tagAck:
 		f = Ack{Seq: r.uvarint()}
 	case tagData:
-		d := Data{From: r.str(), To: r.str()}
+		d := Data{Gen: r.uvarint(), From: r.str(), To: r.str()}
 		d.Payload = r.payload()
 		f = d
 	case tagJob:
 		j := Job{
+			Gen:     r.uvarint(),
 			NetText: r.str(), Alarms: r.str(),
 			Engine: r.u32(), MaxDepth: r.u32(), MaxFacts: r.u32(), TimeoutMS: r.u32(),
 		}
@@ -705,15 +750,15 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 		j.Driver = r.str()
 		f = j
 	case tagJobOK:
-		f = JobOK{Node: r.str(), Err: r.str()}
+		f = JobOK{Gen: r.uvarint(), Node: r.str(), Err: r.str()}
 	case tagPoll:
-		f = Poll{Epoch: r.uvarint()}
+		f = Poll{Gen: r.uvarint(), Epoch: r.uvarint()}
 	case tagStatus:
-		f = Status{Epoch: r.uvarint(), Sent: r.uvarint(), Processed: r.uvarint(), Idle: r.bool()}
+		f = Status{Gen: r.uvarint(), Epoch: r.uvarint(), Sent: r.uvarint(), Processed: r.uvarint(), Idle: r.bool()}
 	case tagStop:
-		f = Stop{Err: r.str()}
+		f = Stop{Gen: r.uvarint(), Err: r.str()}
 	case tagDone:
-		d := Done{Sent: r.uvarint()}
+		d := Done{Gen: r.uvarint(), Sent: r.uvarint()}
 		n := r.count(2)
 		for i := 0; i < n && r.err == nil; i++ {
 			d.Processed = append(d.Processed, PeerCount{Peer: r.str(), Count: r.uvarint()})

@@ -26,15 +26,16 @@ func sampleFrames(t *testing.T) []Frame {
 	return []Frame{
 		Hello{Version: Version, Node: "m0", LastSeq: 41},
 		Ack{Seq: 1 << 40},
-		Data{From: "p1", To: "p2", Payload: Activate{Rel: "conf@p2"}},
+		Data{Gen: 4, From: "p1", To: "p2", Payload: Activate{Rel: "conf@p2"}},
 		Data{From: "p2", To: "p1", Payload: Facts{Qual: "conf@p2", Arity: 2, Tuple: e}},
-		Data{From: "drv", To: "p1", Payload: Inject{Rel: "obs", Tuple: e}},
+		Data{Gen: 1 << 33, From: "drv", To: "p1", Payload: Inject{Rel: "obs", Tuple: e}},
 		Data{From: "drv", To: "p1", Payload: Install{Rule: Rule{
 			Head: atom("h", "p1"),
 			Body: []Atom{atom("b1", "p1"), atom("b2", "p2")},
 			NeqX: e, NeqY: e,
 		}}},
 		Job{
+			Gen:     3,
 			NetText: "place p [a b]\n", Alarms: "a@p\n",
 			Engine: 2, MaxDepth: 13, MaxFacts: 100000, TimeoutMS: 30000,
 			Hosted: []string{"p1", "p2"},
@@ -42,14 +43,15 @@ func sampleFrames(t *testing.T) []Frame {
 			Nodes:  []Assign{{"m0", "127.0.0.1:1"}, {"m1", "127.0.0.1:2"}},
 			Driver: "drv",
 		},
-		JobOK{Node: "m0"},
+		JobOK{Gen: 3, Node: "m0"},
 		JobOK{Node: "m1", Err: "parse: boom"},
-		Poll{Epoch: 7},
-		Status{Epoch: 7, Sent: 120, Processed: 120, Idle: true},
+		Poll{Gen: 3, Epoch: 7},
+		Status{Gen: 3, Epoch: 7, Sent: 120, Processed: 120, Idle: true},
 		Status{}, // unsolicited idle kick
-		Stop{},
+		Stop{Gen: 3},
 		Stop{Err: "budget exhausted"},
 		Done{
+			Gen:       3,
 			Sent:      99,
 			Processed: []PeerCount{{"p1", 50}, {"p2", 49}},
 			ByPair:    []PairCount{{"p1", "p2", 30}, {"p2", "p1", 20}},

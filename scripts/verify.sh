@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire"
-go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot
 
 echo "== wire codec fuzz smoke"
 # The seed corpus runs under plain `go test` above; this also gives the
@@ -32,10 +32,23 @@ echo "== wire codec fuzz smoke"
 go test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 3s ./internal/wire
 go test -run '^$' -fuzz '^FuzzFrameRoundTrip$' -fuzztime 3s ./internal/wire
 
+echo "== snapshot container fuzz smoke"
+# Same deal for the checkpoint container: corrupt or truncated snapshots
+# must error, never panic or over-allocate.
+go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 3s ./internal/snapshot
+go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 3s ./internal/snapshot
+
 echo "== multi-process smoke"
 # Two peerd daemons on ephemeral ports, diagnosed against from a separate
 # diagnose process; output must match the single-process run exactly.
 go test -run '^TestMultiProcessSmoke$' -count 1 ./cmd/diagnose
+
+echo "== snapshot round-trip smoke (write-behind, kill -9, restart, re-query)"
+# Stream alarms into a diagnosed session, SIGKILL the server once the
+# write-behind snapshot is on disk, restart it on the same address and
+# data dir, and finish the sequence; the final report must match an
+# uninterrupted run exactly.
+go test -run '^TestDiagnosedRestartSmoke$' -count 1 ./cmd/diagnosed
 
 echo "== tracing-overhead guard"
 # The no-op tracer is what every untraced run pays, so it must never cost
@@ -58,5 +71,28 @@ echo "$bench_out" | awk '
     }'
 go run ./cmd/benchreport -exp trace_overhead -max 3 -json
 go run ./cmd/benchreport -exp transport_overhead -max 3 -json
+
+echo "== checkpoint-overhead guard"
+# Restoring a checkpoint must be cheaper than replaying the sequence it
+# replaces (O(snapshot size), not O(re-running N appends)), and the
+# restored session must be equivalent to the uninterrupted one. The
+# restore-vs-replay gap is ~10x at 8 appends, so a direct comparison has
+# plenty of noise margin.
+snap_out=$(go run ./cmd/benchreport -exp snapshot_overhead -max 8 -json)
+echo "$snap_out"
+echo "$snap_out" | awk -F'|' '
+    NF >= 9 && $2 + 0 == 8 {
+        found = 1
+        restore = $7 + 0; replay = $8 + 0; equal = $9
+        gsub(/ /, "", equal)
+        if (equal != "true") { print "guard: restored session diverged from the uninterrupted run" > "/dev/stderr"; exit 1 }
+        if (restore <= 0 || replay <= 0) { print "guard: missing timings" > "/dev/stderr"; exit 1 }
+        if (restore >= replay) {
+            printf "guard: restore (%d ns) is not cheaper than replaying the appends (%d ns)\n", restore, replay > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (restore %d ns vs replay %d ns, snapshot %d bytes)\n", restore, replay, $6 + 0
+    }
+    END { if (!found) { print "guard: snapshot_overhead row missing" > "/dev/stderr"; exit 1 } }'
 
 echo "verify: OK"
