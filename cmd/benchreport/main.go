@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead | snapshot_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead | snapshot_overhead | wal_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -55,6 +55,22 @@ func main() {
 	run("trace_overhead", func() error { return reportTraceOverhead(*max) })
 	run("transport_overhead", func() error { return reportTransportOverhead(*max) })
 	run("snapshot_overhead", func() error { return reportSnapshotOverhead(*max) })
+	run("wal_overhead", func() error { return reportWALOverhead(*max) })
+}
+
+func reportWALOverhead(max int) error {
+	rows, err := experiments.WALOverhead(max) // max doubles as the append count
+	if err != nil {
+		return err
+	}
+	header("WAL overhead — warm dQSQ session, per-append logging by fsync policy; snapshot+replay vs recompute",
+		"appends", "plain ns/append", "always ns/append", "interval ns/append", "never ns/append",
+		"always %", "interval %", "replay ns", "recompute ns", "equal?")
+	row(rows.Appends, rows.PlainNsPerAppend, rows.AlwaysNsPerAppend,
+		rows.IntervalNsPerAppend, rows.NeverNsPerAppend,
+		fmt.Sprintf("%.1f", rows.AlwaysOverheadPct), fmt.Sprintf("%.1f", rows.IntervalOverheadPct),
+		rows.ReplayNs, rows.RecomputeNs, rows.Equal)
+	return maybeBench("wal_overhead", []experiments.WALOverheadRow{*rows})
 }
 
 func reportSnapshotOverhead(max int) error {

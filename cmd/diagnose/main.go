@@ -28,7 +28,10 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/diagnosis"
 	"repro/internal/obs"
+	"repro/internal/parser"
+	"repro/internal/snapshot"
 	"repro/internal/viz"
+	"repro/internal/wal"
 )
 
 // Exit statuses. exitBudget is distinct so scripts can tell "the answer
@@ -173,6 +176,10 @@ func runCheckpointed(resume, checkpoint, netFile string, example bool,
 			fatal(fmt.Errorf("checkpoint %s was taken with engine %v; -engine %v cannot resume it",
 				resume, inc.Engine(), engines[0]))
 		}
+		snapped := len(inc.Seq())
+		records, recovered := replayCheckpointWAL(resume, inc)
+		fmt.Fprintf(os.Stderr, "diagnose: resumed %s (%d alarms in checkpoint); wal: %d records replayed (%d alarms recovered)\n",
+			resume, snapped, records, recovered)
 		if tw != nil {
 			inc.SetTracer(tw)
 		}
@@ -186,8 +193,28 @@ func runCheckpointed(resume, checkpoint, netFile string, example bool,
 		}
 	}
 
+	// With -checkpoint, every append intent is logged (and fsynced) to
+	// <checkpoint>.wal before the evaluation runs: a run killed between
+	// the append and the snapshot write leaves its progress in the log,
+	// and the next -resume replays it on top of the old snapshot.
+	var ckLog *wal.Log
+	if checkpoint != "" {
+		var err error
+		if ckLog, err = wal.Open(checkpoint+walSuffix, wal.Options{Fsync: wal.SyncAlways}); err != nil {
+			fmt.Fprintf(os.Stderr, "diagnose: wal unavailable (%v); checkpointing without it\n", err)
+		}
+	}
+
 	rep := inc.Report()
 	if len(seq) > 0 {
+		if ckLog != nil {
+			sw := &snapshot.Writer{}
+			sw.Uvarint(uint64(len(inc.Seq())))
+			sw.String(parser.FormatAlarms(seq))
+			if _, err := ckLog.Append(sw.Body()); err != nil {
+				fmt.Fprintf(os.Stderr, "diagnose: wal append failed (%v); this run's progress is snapshot-only\n", err)
+			}
+		}
 		var err error
 		if rep, err = inc.Append(seq, 0); err != nil {
 			exit(fmt.Errorf("%v: %w", inc.Engine(), err), exitStatus(err, false))
@@ -217,11 +244,60 @@ func runCheckpointed(resume, checkpoint, netFile string, example bool,
 		}
 		fmt.Fprintf(os.Stderr, "diagnose: checkpoint written to %s (%d bytes, %d alarms)\n",
 			checkpoint, n, len(inc.Seq()))
+		if ckLog != nil {
+			// The snapshot covers everything; the log prefix is redundant.
+			ckLog.Truncate(ckLog.LastSeq()) //nolint:errcheck // compaction is advisory
+		}
+	}
+	if ckLog != nil {
+		ckLog.Close() //nolint:errcheck // records were fsynced on append
 	}
 	if rep.Truncated {
 		exit(errors.New("evaluation hit a budget or depth bound; the diagnosis above may be incomplete"),
 			exitBudget)
 	}
+}
+
+// walSuffix names the append log next to a checkpoint file: ck.dsnp's
+// log lives at ck.dsnp.wal.
+const walSuffix = ".wal"
+
+// replayCheckpointWAL applies the checkpoint's append log on top of a
+// freshly loaded session: records whose alarms-before mark lines up with
+// the session's current sequence length are progress the snapshot never
+// absorbed (the run was killed between the append and the snapshot
+// write); anything else is a stale, already-covered record and is
+// skipped. Returns how many records and alarms were recovered. A missing
+// or unreadable log recovers nothing — the snapshot alone is a complete
+// session.
+func replayCheckpointWAL(path string, inc *core.Incremental) (records, alarms int) {
+	l, err := wal.Open(path+walSuffix, wal.Options{Fsync: wal.SyncAlways})
+	if err != nil {
+		return 0, 0
+	}
+	defer l.Close() //nolint:errcheck // read-only use
+	err = l.Replay(1, func(seq uint64, payload []byte) error {
+		r := snapshot.NewReader(payload)
+		before := int(r.Uvarint())
+		text := r.String()
+		if r.Finish() != nil || before != len(inc.Seq()) {
+			return nil
+		}
+		obs, err := core.ParseAlarms(text)
+		if err != nil {
+			return nil
+		}
+		if _, err := inc.Append(obs, 0); err != nil {
+			return fmt.Errorf("replaying logged append %q: %w", text, err)
+		}
+		records++
+		alarms += len(obs)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "diagnose: wal replay stopped: %v\n", err)
+	}
+	return records, alarms
 }
 
 // exitStatus classifies a run outcome: budget exhaustion (by error or by

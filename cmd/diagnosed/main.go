@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -54,10 +55,18 @@ func main() {
 		evalTimeout  = flag.Duration("eval-timeout", 30*time.Second, "per-append evaluation timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		dataDir      = flag.String("data-dir", "", "directory for session snapshots (enables restart recovery)")
+		fsync        = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
+		snapDelay    = flag.Duration("snapshot-delay", 0, "stall each write-behind snapshot (crash-test hook)")
 		withPprof    = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/")
 		verbose      = flag.Bool("v", false, "log /healthz and /metrics polls too")
 	)
 	flag.Parse()
+
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		slog.Error("bad -fsync", "err", err)
+		os.Exit(2)
+	}
 
 	level := slog.LevelInfo
 	if *verbose {
@@ -72,10 +81,12 @@ func main() {
 			GlobalFacts:  *globalFacts,
 			TTL:          *ttl,
 		},
-		EvalTimeout: *evalTimeout,
-		SweepEvery:  *sweepEvery,
-		DataDir:     *dataDir,
-		Logger:      logger,
+		EvalTimeout:   *evalTimeout,
+		SweepEvery:    *sweepEvery,
+		DataDir:       *dataDir,
+		Fsync:         policy,
+		SnapshotDelay: *snapDelay,
+		Logger:        logger,
 	})
 	start := time.Now()
 	srv.Metrics().Gauge("diagnosed_uptime_seconds", func() int64 {

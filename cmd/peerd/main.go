@@ -59,7 +59,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
 		os.Exit(1)
 	}
-	n.SetDataDir(*dataDir)
+	if err := n.SetDataDir(*dataDir); err != nil {
+		// Serve checkpoint-only rather than refuse to start: job durability
+		// degrades to the synchronous checkpoint-before-ack path.
+		fmt.Fprintf(os.Stderr, "peerd: job log unavailable: %v\n", err)
+	}
 	if job, err := n.RestoreCheckpoint(); err != nil {
 		// A bad checkpoint must not keep the node down: report it and
 		// serve fresh — the next shipped job overwrites it.

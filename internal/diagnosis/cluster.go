@@ -22,6 +22,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/petri"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -264,6 +265,7 @@ type Node struct {
 	tr      transport.Transport
 	driver  string
 	dataDir string
+	walLog  *wal.Log // nil when the data dir is unset or the log failed to open
 }
 
 // NewNode creates the member endpoint over tr (starting it), reporting to
@@ -276,8 +278,22 @@ func NewNode(tr transport.Transport, driver string) (*Node, error) {
 	return &Node{m: m, tr: tr, driver: driver}, nil
 }
 
-// SetDataDir enables job checkpointing into dir. Call before Serve.
-func (n *Node) SetDataDir(dir string) { n.dataDir = dir }
+// SetDataDir enables job durability into dir: the write-ahead job log
+// (appended and fsynced before each job's ack) plus the member.ckpt
+// written behind the ack. Call before Serve. An error means the log
+// could not be opened; the node still works checkpoint-only.
+func (n *Node) SetDataDir(dir string) error {
+	n.dataDir = dir
+	if dir == "" {
+		return nil
+	}
+	l, err := openMemberWAL(dir)
+	if err != nil {
+		return err
+	}
+	n.walLog = l
+	return nil
+}
 
 // RestoreCheckpoint loads the member checkpoint from the node's data
 // directory, if one exists: it re-validates the checkpointed job (the
@@ -291,17 +307,40 @@ func (n *Node) RestoreCheckpoint() (*wire.Job, error) {
 	if n.dataDir == "" {
 		return nil, nil
 	}
-	job, err := loadMemberCheckpoint(n.dataDir, n.tr.Self(), n.driver)
-	if job == nil || err != nil {
-		return nil, err
+	ck, ckErr := loadMemberCheckpoint(n.dataDir, n.tr.Self(), n.driver)
+
+	// The WAL tail may hold a job newer than the checkpoint: a crash
+	// between the ack (WAL record durable) and the write-behind
+	// member.ckpt leaves the accepted job only in the log. Prefer the
+	// newest generation; fall back to the other candidate if the newest
+	// no longer builds.
+	var candidates []*wire.Job
+	if n.walLog != nil {
+		if wj := lastWALJob(n.walLog); wj != nil {
+			candidates = append(candidates, wj)
+		}
 	}
-	budget := datalog.Budget{MaxTermDepth: int(job.MaxDepth), MaxFacts: int(job.MaxFacts)}
-	if _, _, _, err := PrepareDatalog(job.NetText, job.Alarms, Engine(job.Engine), budget); err != nil {
-		return nil, fmt.Errorf("diagnosis: checkpointed job no longer builds: %w", err)
+	if ck != nil {
+		candidates = append(candidates, ck)
 	}
-	n.installJobRouting(*job)
-	n.m.Rejoin(job.Gen)
-	return job, nil
+	if len(candidates) == 2 && candidates[1].Gen > candidates[0].Gen {
+		candidates[0], candidates[1] = candidates[1], candidates[0]
+	}
+	if len(candidates) == 0 {
+		return nil, ckErr
+	}
+	var lastErr error
+	for _, job := range candidates {
+		budget := datalog.Budget{MaxTermDepth: int(job.MaxDepth), MaxFacts: int(job.MaxFacts)}
+		if _, _, _, err := PrepareDatalog(job.NetText, job.Alarms, Engine(job.Engine), budget); err != nil {
+			lastErr = fmt.Errorf("diagnosis: checkpointed job no longer builds: %w", err)
+			continue
+		}
+		n.installJobRouting(*job)
+		n.m.Rejoin(job.Gen)
+		return job, nil
+	}
+	return nil, lastErr
 }
 
 // installJobRouting applies a job's peer assignment and node address book.
@@ -318,8 +357,13 @@ func (n *Node) installJobRouting(job wire.Job) {
 	}
 }
 
-// Close stops Serve and closes the transport. Idempotent.
-func (n *Node) Close() error { return n.m.Close() }
+// Close stops Serve and closes the transport and job log. Idempotent.
+func (n *Node) Close() error {
+	if n.walLog != nil {
+		n.walLog.Close() //nolint:errcheck // the transport close is the one that matters
+	}
+	return n.m.Close()
+}
 
 // Serve loops over the driver's jobs: rebuild the program from the
 // shipped description, host the assigned peers, evaluate rounds until the
@@ -364,9 +408,19 @@ func (n *Node) serveJob(job wire.Job) bool {
 		return false
 	}
 	n.installJobRouting(job)
-	if n.dataDir != "" {
-		// Checkpoint before acknowledging: once the driver sees the ack,
-		// this node has promised it can rejoin after a crash.
+	switch {
+	case n.walLog != nil:
+		// Log (and fsync) the job before acknowledging: once the driver
+		// sees the ack, this node has promised it can rejoin after a
+		// crash. The sequential append is cheap; the full member.ckpt
+		// rewrite moves behind the ack.
+		if _, err := n.walLog.Append(wire.AppendFrame(nil, 0, job)); err != nil {
+			m.SendJobOK(job.Gen, fmt.Sprintf("wal append failed: %v", err)) //nolint:errcheck
+			return false
+		}
+	case n.dataDir != "":
+		// No log (it failed to open): fall back to the synchronous
+		// checkpoint-before-ack path.
 		if err := saveMemberCheckpoint(n.dataDir, tr.Self(), n.driver, job); err != nil {
 			m.SendJobOK(job.Gen, fmt.Sprintf("checkpoint write failed: %v", err)) //nolint:errcheck
 			return false
@@ -374,6 +428,13 @@ func (n *Node) serveJob(job wire.Job) bool {
 	}
 	if err := m.SendJobOK(job.Gen, ""); err != nil {
 		return true
+	}
+	if n.walLog != nil && n.dataDir != "" {
+		// Write-behind checkpoint: once it lands, the log prefix it covers
+		// is redundant and can be compacted away.
+		if err := saveMemberCheckpoint(n.dataDir, tr.Self(), n.driver, job); err == nil {
+			n.walLog.Truncate(n.walLog.LastSeq()) //nolint:errcheck // compaction is advisory
+		}
 	}
 	timeout := time.Duration(job.TimeoutMS) * time.Millisecond
 	if timeout <= 0 {

@@ -16,11 +16,44 @@ import (
 
 	"repro/internal/snapshot"
 	"repro/internal/snapshot/snapnames"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
 // memberCheckpointFile is the checkpoint's name inside the data dir.
 const memberCheckpointFile = "member.ckpt"
+
+// memberWALDir is the job write-ahead log's directory inside the data
+// dir. The log moves the durable point off the ack's critical path: an
+// accepted job is appended (and fsynced) here before the JobOK goes out,
+// and the full member.ckpt rewrite happens behind the ack. Restore takes
+// the newest job between the checkpoint and the log's tail.
+const memberWALDir = "wal"
+
+// openMemberWAL opens the job log. Jobs are rare and small, so every
+// record is fsynced before the append returns.
+func openMemberWAL(dir string) (*wal.Log, error) {
+	return wal.Open(filepath.Join(dir, memberWALDir), wal.Options{Fsync: wal.SyncAlways})
+}
+
+// lastWALJob replays the job log and returns the newest decodable job,
+// or nil if the log holds none. Undecodable records are skipped — the
+// log's CRC framing already dropped torn tails, and an old-format record
+// must not keep the node down.
+func lastWALJob(l *wal.Log) *wire.Job {
+	var last *wire.Job
+	l.Replay(1, func(seq uint64, payload []byte) error { //nolint:errcheck // fn never fails
+		_, f, err := wire.DecodeFrame(payload)
+		if err != nil {
+			return nil
+		}
+		if job, ok := f.(wire.Job); ok {
+			last = &job
+		}
+		return nil
+	})
+	return last
+}
 
 // memberConsumer tags member checkpoints in the snapshot meta section.
 const memberConsumer = "dist.member"

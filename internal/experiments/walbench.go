@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// WALOverheadRow quantifies what write-ahead logging costs and buys on a
+// warm dQSQ session over the running example: the per-append cost of
+// logging every append under each fsync policy against a no-WAL
+// baseline, and the cost of coming back — restoring a mid-sequence
+// snapshot and replaying the logged tail versus recomputing the whole
+// sequence from scratch. verify.sh guards the equivalence bit and the
+// interval-policy overhead (it must stay within 2x of the baseline).
+type WALOverheadRow struct {
+	Appends             int
+	PlainNsPerAppend    int64   // eval only, no WAL
+	AlwaysNsPerAppend   int64   // eval + logged record + fsync per append
+	IntervalNsPerAppend int64   // eval + logged record, fsync on a timer
+	NeverNsPerAppend    int64   // eval + logged record, OS flushes
+	AlwaysOverheadPct   float64 // (always-plain)/plain, in percent
+	IntervalOverheadPct float64 // (interval-plain)/plain, in percent
+	ReplayNs            int64   // snapshot at n/2 restored + logged tail replayed
+	RecomputeNs         int64   // all appends on a fresh handle
+	Equal               bool    // replayed report == uninterrupted report
+}
+
+// walOverheadRecord frames one append for the experiment's log: the
+// session's alarm count before the append, then the alarms text — the
+// same shape the diagnose CLI logs, so replay can line records up
+// against a snapshot taken anywhere in the sequence.
+func walOverheadRecord(before int, obs alarm.Seq) []byte {
+	w := &snapshot.Writer{}
+	w.Uvarint(uint64(before))
+	w.String(parser.FormatAlarms(obs))
+	return w.Body()
+}
+
+// WALOverhead runs the WAL-overhead experiment on a p2-loop sequence of
+// length n (the S1 workload family).
+func WALOverhead(n int) (*WALOverheadRow, error) {
+	if n <= 0 {
+		n = 8
+	}
+	seq := p2LoopSeq(n)
+	dir, err := os.MkdirTemp("", "wal-overhead-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	snapPath := filepath.Join(dir, "mid.dsnp")
+
+	// runAll evaluates the whole sequence on a fresh warm handle. With a
+	// walDir every append is logged first; with snapAt > 0 a snapshot is
+	// saved after that many appends (setup for the replay measurement —
+	// such runs are not used for timing).
+	runAll := func(walDir string, policy wal.Policy, snapAt int) (*core.Report, time.Duration, error) {
+		inc, err := core.Example().NewIncremental(core.DQSQ, core.Options{Timeout: 2 * time.Minute})
+		if err != nil {
+			return nil, 0, err
+		}
+		var l *wal.Log
+		if walDir != "" {
+			if l, err = wal.Open(walDir, wal.Options{Fsync: policy, SyncEvery: 5 * time.Millisecond}); err != nil {
+				return nil, 0, err
+			}
+			defer l.Close() //nolint:errcheck // experiment scratch state
+		}
+		var rep *core.Report
+		start := time.Now()
+		for i, o := range seq {
+			if l != nil {
+				if _, err := l.Append(walOverheadRecord(i, alarm.Seq{o})); err != nil {
+					return nil, 0, err
+				}
+			}
+			if rep, err = inc.Append(alarm.Seq{o}, 0); err != nil {
+				return nil, 0, err
+			}
+			if snapAt > 0 && i+1 == snapAt {
+				if _, err := core.SaveIncremental(snapPath, inc); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		return rep, time.Since(start), nil
+	}
+
+	// Warm-up, then the timed configurations.
+	if _, _, err := runAll("", 0, 0); err != nil {
+		return nil, err
+	}
+	row := &WALOverheadRow{Appends: n}
+	plainRep, plainD, err := runAll("", 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	row.PlainNsPerAppend = plainD.Nanoseconds() / int64(n)
+	row.RecomputeNs = plainD.Nanoseconds()
+	_, alwaysD, err := runAll(filepath.Join(dir, "always"), wal.SyncAlways, 0)
+	if err != nil {
+		return nil, err
+	}
+	row.AlwaysNsPerAppend = alwaysD.Nanoseconds() / int64(n)
+	_, intervalD, err := runAll(filepath.Join(dir, "interval"), wal.SyncInterval, 0)
+	if err != nil {
+		return nil, err
+	}
+	row.IntervalNsPerAppend = intervalD.Nanoseconds() / int64(n)
+	_, neverD, err := runAll(filepath.Join(dir, "never"), wal.SyncNever, 0)
+	if err != nil {
+		return nil, err
+	}
+	row.NeverNsPerAppend = neverD.Nanoseconds() / int64(n)
+	if row.PlainNsPerAppend > 0 {
+		row.AlwaysOverheadPct = 100 * float64(row.AlwaysNsPerAppend-row.PlainNsPerAppend) / float64(row.PlainNsPerAppend)
+		row.IntervalOverheadPct = 100 * float64(row.IntervalNsPerAppend-row.PlainNsPerAppend) / float64(row.PlainNsPerAppend)
+	}
+
+	// Coming back: untimed setup run logging everything with a snapshot at
+	// n/2, then the timed recovery — load the snapshot, replay the log's
+	// uncovered tail on top of it.
+	replayDir := filepath.Join(dir, "replay")
+	if _, _, err := runAll(replayDir, wal.SyncNever, n/2); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	restored, err := core.LoadIncremental(snapPath)
+	if err != nil {
+		return nil, err
+	}
+	l, err := wal.Open(replayDir, wal.Options{Fsync: wal.SyncNever})
+	if err != nil {
+		return nil, err
+	}
+	err = l.Replay(1, func(_ uint64, payload []byte) error {
+		r := snapshot.NewReader(payload)
+		before := int(r.Uvarint())
+		text := r.String()
+		if r.Finish() != nil || before != len(restored.Seq()) {
+			return nil // covered by the snapshot
+		}
+		obs, err := core.ParseAlarms(text)
+		if err != nil {
+			return err
+		}
+		_, err = restored.Append(obs, 0)
+		return err
+	})
+	l.Close() //nolint:errcheck // read-only use
+	if err != nil {
+		return nil, err
+	}
+	row.ReplayNs = time.Since(start).Nanoseconds()
+
+	got := restored.Report()
+	if got == nil {
+		return nil, fmt.Errorf("replayed session has no report")
+	}
+	row.Equal = got.Diagnoses.Equal(plainRep.Diagnoses) &&
+		got.Derived == plainRep.Derived && got.Messages == plainRep.Messages
+	return row, nil
+}

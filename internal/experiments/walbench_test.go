@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestWALOverheadShape(t *testing.T) {
+	row, err := WALOverhead(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Appends != 4 {
+		t.Fatalf("appends = %d", row.Appends)
+	}
+	if row.PlainNsPerAppend <= 0 || row.AlwaysNsPerAppend <= 0 ||
+		row.IntervalNsPerAppend <= 0 || row.NeverNsPerAppend <= 0 {
+		t.Fatalf("non-positive per-append timings: %+v", row)
+	}
+	if row.ReplayNs <= 0 || row.RecomputeNs <= 0 {
+		t.Fatalf("non-positive recovery timings: %+v", row)
+	}
+	if !row.Equal {
+		t.Fatal("snapshot+WAL-replayed session diverges from the uninterrupted run")
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/parser"
+	"repro/internal/wal"
 )
 
 // Config tunes the server.
@@ -31,8 +33,21 @@ type Config struct {
 	// DataDir enables write-behind session durability: every append
 	// schedules a snapshot of the session to <DataDir>/<id>.dsnp, graceful
 	// shutdown persists every live session, and a restarted server
-	// restores the files back into its table. Empty disables persistence.
+	// restores the files back into its table. It also enables the
+	// write-ahead log at <DataDir>/wal: every create, append and delete is
+	// logged before its HTTP acknowledgement, and boot replays the log on
+	// top of the restored snapshots — with Fsync always, a kill -9 loses
+	// nothing that was acknowledged. Empty disables persistence.
 	DataDir string
+	// Fsync is the WAL durability policy (wal.SyncAlways, the zero value,
+	// fsyncs every record before acknowledging; SyncInterval batches;
+	// SyncNever leaves flushing to the OS).
+	Fsync wal.Policy
+	// SnapshotDelay stalls each write-behind snapshot (test hook: it
+	// widens the window in which acknowledged appends exist only in the
+	// WAL, so crash tests can target it deterministically). 0 in
+	// production.
+	SnapshotDelay time.Duration
 	// Logger receives persistence and drain-disposition logs; nil
 	// discards them.
 	Logger *slog.Logger
@@ -61,6 +76,7 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	persist *persister // nil when Config.DataDir is empty
+	wal     *serverWAL // nil when Config.DataDir is empty or the log failed to open
 
 	drainMu  sync.Mutex
 	draining bool
@@ -96,9 +112,25 @@ func NewServer(cfg Config) *Server {
 			// runs non-durable, loudly.
 			log.Error("data dir unusable; persistence disabled", "dir", cfg.DataDir, "err", err)
 		} else {
+			// Recovery order: snapshots first (the coarse base state), then
+			// the WAL replayed on top of them — it holds exactly the
+			// acknowledged work the snapshots had not absorbed yet.
 			restoreSessions(cfg.DataDir, s.store, m, log)
-			s.persist = newPersister(cfg.DataDir, m, log)
+			walLog, err := wal.Open(filepath.Join(cfg.DataDir, walDirName), wal.Options{
+				Fsync:   cfg.Fsync,
+				Metrics: m,
+			})
+			if err != nil {
+				log.Error("wal unusable; write-ahead logging disabled", "err", err)
+			} else {
+				s.wal = newServerWAL(walLog)
+			}
+			s.persist = newPersister(cfg.DataDir, m, log, s.wal, cfg.SnapshotDelay)
 			s.store.SetPersister(s.persist)
+			s.store.SetWAL(s.wal)
+			if s.wal != nil {
+				s.replayWAL()
+			}
 		}
 	}
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -199,6 +231,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.persist.close()
 			s.persist.drain(s.store.Sessions())
 			s.store.SetPersister(nil)
+		}
+		if s.wal != nil {
+			// Drain covered every live session, so compaction drops what it
+			// can before the final flush-and-close.
+			s.wal.compact()
+			s.wal.close()
 		}
 		s.store.Clear()
 	})
@@ -337,6 +375,19 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if s.wal != nil {
+		// Log the create before the 201. The session is technically live in
+		// the table already, but its crypto-random ID is unknown to any
+		// client until this response goes out, so no append can precede the
+		// create record in the log.
+		seq, err := s.wal.logCreate(sess.ID, req.Net, EngineName(engine), sess.Facts, sess.Created.UnixNano())
+		if err != nil {
+			s.store.Delete(sess.ID)
+			s.fail(w, fmt.Errorf("session not durably logged: %w", err))
+			return
+		}
+		sess.setWALSeq(seq)
+	}
 	peers := []string{}
 	for _, p := range sys.Peers() {
 		peers = append(peers, string(p))
@@ -454,7 +505,22 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.store.Delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if s.wal != nil {
+		// Log the delete intent before acknowledging it: the record is what
+		// keeps a crash between the 204 and the snapshot file's removal from
+		// resurrecting the session on restart. Existence is checked first so
+		// the log never carries deletes of sessions that were never there.
+		if _, ok := s.store.Get(id, time.Now()); !ok {
+			s.notFound(w)
+			return
+		}
+		if _, err := s.wal.logDelete(id); err != nil {
+			s.fail(w, fmt.Errorf("delete not durably logged: %w", err))
+			return
+		}
+	}
+	if !s.store.Delete(id) {
 		s.notFound(w)
 		return
 	}

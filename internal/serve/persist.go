@@ -38,14 +38,19 @@ const snapshotExt = ".dsnp"
 // EncodeSnapshot writes the session — warm engine state plus table
 // metadata — into f. It takes the session mutex, so the snapshot is a
 // consistent post-append state. Closed sessions refuse with ErrClosed.
-func (s *Session) EncodeSnapshot(f *snapshot.File) error {
+// The returned walSeq is the WAL coverage mark captured atomically with
+// the encoded state: once this snapshot is on disk, log records up to
+// walSeq are redundant for this session. (It must be captured here, not
+// read after the file lands — a concurrent append would inflate it past
+// what the snapshot actually holds.)
+func (s *Session) EncodeSnapshot(f *snapshot.File) (walSeq uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed.Load() {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if err := s.inc.EncodeSnapshot(f); err != nil {
-		return err
+		return 0, err
 	}
 	w := f.Section(snapnames.ServeSession)
 	w.String(s.ID)
@@ -65,7 +70,8 @@ func (s *Session) EncodeSnapshot(f *snapshot.File) error {
 	for _, k := range keys {
 		w.String(k)
 	}
-	return nil
+	w.Uvarint(s.walSeq)
+	return s.walSeq, nil
 }
 
 // decodeSession restores a session from an opened snapshot, rewiring the
@@ -93,6 +99,7 @@ func decodeSession(o *snapshot.OpenFile, reg *Metrics) (*Session, error) {
 	for i := 0; i < n; i++ {
 		prevKeys[r.String()] = true
 	}
+	walSeq := r.Uvarint()
 	if err := r.Finish(); err != nil {
 		return nil, err
 	}
@@ -113,6 +120,7 @@ func decodeSession(o *snapshot.OpenFile, reg *Metrics) (*Session, error) {
 		inc:     inc, trace: trace, peers: make(map[string]bool),
 		alarms: alarms, exhausted: exhausted,
 		prevDerived: prevDerived, prevMessages: prevMessages, prevKeys: prevKeys,
+		walSeq: walSeq,
 	}
 	for _, p := range inc.System().Peers() {
 		s.peers[string(p)] = true
@@ -127,6 +135,11 @@ type persister struct {
 	dir     string
 	metrics *Metrics
 	log     *slog.Logger
+	wal     *serverWAL // nil when write-ahead logging is disabled
+
+	// delay stalls each snapshot write (Config.SnapshotDelay): a test
+	// hook widening the window in which state exists only in the WAL.
+	delay time.Duration
 
 	mu    sync.Mutex
 	dirty map[string]*Session // latest intent per session; nil = remove file
@@ -136,9 +149,9 @@ type persister struct {
 	done chan struct{}
 }
 
-func newPersister(dir string, metrics *Metrics, log *slog.Logger) *persister {
+func newPersister(dir string, metrics *Metrics, log *slog.Logger, wal *serverWAL, delay time.Duration) *persister {
 	p := &persister{
-		dir: dir, metrics: metrics, log: log,
+		dir: dir, metrics: metrics, log: log, wal: wal, delay: delay,
 		dirty: make(map[string]*Session),
 		kick:  make(chan struct{}, 1),
 		stop:  make(chan struct{}),
@@ -194,7 +207,7 @@ func (p *persister) flush() {
 	p.mu.Unlock()
 	for id, s := range batch {
 		if s == nil {
-			os.Remove(p.path(id)) //nolint:errcheck // absent is as good as removed
+			p.remove(id)
 			continue
 		}
 		if _, err := p.write(s); err != nil && err != ErrClosed {
@@ -203,11 +216,31 @@ func (p *persister) flush() {
 	}
 }
 
+// remove deletes the session's snapshot file and releases its WAL
+// records: with the file gone, nothing on disk can resurrect the
+// session, so even a pending delete intent is compactable.
+func (p *persister) remove(id string) {
+	if p.delay > 0 {
+		time.Sleep(p.delay)
+	}
+	os.Remove(p.path(id)) //nolint:errcheck // absent is as good as removed
+	if p.wal != nil {
+		p.wal.removeApplied(id)
+		p.wal.compact()
+	}
+}
+
 // write snapshots one session to its file, feeding the snapshot metrics.
+// Once the file is durably on disk, the WAL records it covers are
+// released for compaction.
 func (p *persister) write(s *Session) (int, error) {
 	f := snapshot.New()
-	if err := s.EncodeSnapshot(f); err != nil {
+	walSeq, err := s.EncodeSnapshot(f)
+	if err != nil {
 		return 0, err
+	}
+	if p.delay > 0 {
+		time.Sleep(p.delay)
 	}
 	start := time.Now()
 	n, err := snapshot.WriteFile(p.path(s.ID), f)
@@ -217,6 +250,10 @@ func (p *persister) write(s *Session) (int, error) {
 	p.metrics.Observe("snapshot_write_seconds", time.Since(start))
 	p.metrics.Add("snapshot_bytes_total", int64(n))
 	s.lastSnap.Store(time.Now().UnixNano())
+	if p.wal != nil {
+		p.wal.covered(s.ID, walSeq)
+		p.wal.compact()
+	}
 	return n, nil
 }
 
@@ -237,7 +274,7 @@ func (p *persister) drain(live []*Session) {
 	p.mu.Unlock()
 	for id, s := range batch {
 		if s == nil {
-			os.Remove(p.path(id)) //nolint:errcheck
+			p.remove(id)
 		}
 	}
 	for _, s := range live {

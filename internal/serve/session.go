@@ -13,6 +13,7 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/dist"
 	"repro/internal/obs"
+	"repro/internal/parser"
 )
 
 // Sentinel errors mapped to HTTP statuses by the handlers.
@@ -89,6 +90,13 @@ type Session struct {
 	prevKeys     map[string]bool // diagnosis keys of the previous report, for deltas
 	prevDerived  int             // cumulative Derived after the previous append (DQSQ)
 	prevMessages int             // cumulative Messages after the previous append (DQSQ)
+
+	// wal, when non-nil, receives a record for every acknowledged append.
+	// walSeq is the sequence of the last WAL record concerning this
+	// session (create or append); a snapshot carrying it tells the boot
+	// replay which log prefix the snapshot already covers.
+	wal    *serverWAL
+	walSeq uint64
 }
 
 // newSession warms an incremental handle instrumented with two tracer
@@ -175,7 +183,23 @@ type AppendResult struct {
 // warm engine may have partially absorbed the queued alarm facts, so no
 // later answer would be trustworthy. Input errors always leave the
 // session usable.
+//
+// When the session has a WAL, the append is logged (and, under
+// fsync=always, fsynced) before Append returns success — that is the
+// durable point: a crash after the HTTP 200 replays the append, a crash
+// before it leaves the session exactly as if the append never happened.
 func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult, error) {
+	return s.append(obs, timeout, 0)
+}
+
+// replayAppend re-applies a WAL record during boot replay: the record is
+// already in the log, so nothing is re-logged; its sequence is adopted
+// as the session's coverage mark instead.
+func (s *Session) replayAppend(obs []alarm.Obs, timeout time.Duration, seq uint64) (*AppendResult, error) {
+	return s.append(obs, timeout, seq)
+}
+
+func (s *Session) append(obs []alarm.Obs, timeout time.Duration, replaySeq uint64) (*AppendResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	switch {
@@ -230,7 +254,49 @@ func (s *Session) Append(obs []alarm.Obs, timeout time.Duration) (*AppendResult,
 		}
 	}
 	s.prevKeys = keys
+
+	switch {
+	case replaySeq != 0:
+		s.walSeq = replaySeq
+	case s.wal != nil:
+		// Log AFTER the evaluation so only appends that actually landed in
+		// the warm engine are replayed. The canonical text round-trips:
+		// core.ParseAlarms(parser.FormatAlarms(obs)) == obs.
+		seq, err := s.wal.logAppend(s.ID, parser.FormatAlarms(alarm.Seq(obs)))
+		if err != nil {
+			// The in-memory state absorbed the alarms but the durable log
+			// did not: the two have diverged, so no later answer from this
+			// session can be trusted across a restart. Poison it.
+			s.exhausted = true
+			return nil, walAppendError(err)
+		}
+		s.walSeq = seq
+	}
 	return res, nil
+}
+
+// WALSeq reads the session's WAL coverage mark.
+func (s *Session) WALSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSeq
+}
+
+// setWALSeq raises the coverage mark (the create record's sequence,
+// assigned by the handler after the store published the session).
+func (s *Session) setWALSeq(seq uint64) {
+	s.mu.Lock()
+	if seq > s.walSeq {
+		s.walSeq = seq
+	}
+	s.mu.Unlock()
+}
+
+// attachWAL wires the session to the server's WAL.
+func (s *Session) attachWAL(w *serverWAL) {
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
 }
 
 // State is a point-in-time snapshot for GET responses.

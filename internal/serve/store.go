@@ -59,6 +59,7 @@ type Store struct {
 	reserved int                      // sum of live sessions' fact budgets
 	nextID   uint64
 	persist  *persister // nil when persistence is disabled
+	wal      *serverWAL // nil when write-ahead logging is disabled
 }
 
 // SetPersister attaches (or, with nil, detaches) the durability layer:
@@ -68,6 +69,22 @@ func (st *Store) SetPersister(p *persister) {
 	st.mu.Lock()
 	st.persist = p
 	st.mu.Unlock()
+}
+
+// SetWAL attaches the write-ahead log: sessions created or adopted from
+// now on log their appends, and sessions already live (snapshot-restored
+// before the log was opened) are wired up retroactively.
+func (st *Store) SetWAL(w *serverWAL) {
+	st.mu.Lock()
+	st.wal = w
+	live := make([]*Session, 0, st.lru.Len())
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		live = append(live, el.Value.(*Session))
+	}
+	st.mu.Unlock()
+	for _, sess := range live {
+		sess.attachWAL(w)
+	}
 }
 
 // NewStore builds an empty table. metrics may be nil.
@@ -151,6 +168,7 @@ func (st *Store) Create(sys *core.System, engine core.Engine, facts int, now tim
 	// table; evict again before inserting so MaxSessions holds at all
 	// times, not just transiently.
 	st.mu.Lock()
+	sess.wal = st.wal // pre-publication: no lock on the session needed
 	evicted = 0
 	for len(st.sessions) >= st.cfg.MaxSessions {
 		if !st.evictOldestLocked() {
@@ -271,6 +289,7 @@ func (st *Store) Adopt(sess *Session) error {
 			ErrOverloaded, st.reserved, st.cfg.GlobalFacts)
 	}
 	st.reserved += sess.Facts
+	sess.wal = st.wal // pre-publication: no lock on the session needed
 	st.sessions[sess.ID] = st.lru.PushFront(sess)
 	return nil
 }

@@ -144,6 +144,12 @@ func (w *Writer) Bool(v bool) {
 // Byte appends one raw byte.
 func (w *Writer) Byte(v byte) { w.b = append(w.b, v) }
 
+// Body returns the bytes written so far. Together with NewReader it
+// lets the section primitives double as a standalone payload codec —
+// internal/wal record payloads are encoded exactly this way, without
+// the file container around them.
+func (w *Writer) Body() []byte { return w.b }
+
 // --- reading -------------------------------------------------------------
 
 // OpenFile is a parsed snapshot whose sections have passed their CRC
@@ -245,6 +251,11 @@ type Reader struct {
 	off int
 	err error
 }
+
+// NewReader returns a Reader over a standalone byte slice — the decode
+// side of Writer.Body for payloads that travel outside a snapshot file
+// (WAL records).
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }

@@ -1,0 +1,629 @@
+// Package wal is a segmented, append-only write-ahead log: the
+// zero-loss half of the durability story whose snapshot half lives in
+// internal/snapshot. A snapshot bounds recovery work but loses every
+// append since it was taken; logging each append here *before*
+// acknowledging it shrinks that window to nothing. Because the online
+// dQSQ evaluation is deterministic per append (the paper's Remark 2), a
+// replayed log atop a snapshot reproduces byte-identical diagnoses,
+// derived-fact counts and message counts — the log is the recoverable
+// ground truth, the snapshot only an accelerator.
+//
+// Layout. The log is a directory of segment files named
+// <firstSeq>.wal. Each segment opens with a magic+version header and
+// its first sequence number, then carries CRC-framed records:
+//
+//	"DWAL" | uvarint version | uvarint firstSeq
+//	then per record: uvarint seq | uvarint len | payload | crc32 LE
+//
+// The CRC covers the encoded seq, length and payload, so a bit flip in
+// any of them surfaces. Sequence numbers are assigned by the log,
+// start at 1 and increase by exactly one per record; a CRC-valid
+// record with the wrong sequence number is treated as corruption.
+//
+// Torn tails. A crash mid-write leaves a partial record at the end of
+// the active segment. Open scans every segment and stops at the first
+// short read, bad CRC or sequence break: the file is truncated back to
+// the last valid record, any later segments are deleted, and replay
+// never surfaces a partial record. What is lost is exactly the appends
+// that were never acknowledged.
+//
+// Durability is tunable per Options.Fsync: SyncAlways fsyncs before
+// Append returns (an acknowledged append survives kill -9), SyncInterval
+// fsyncs on a timer (bounded loss, near-zero per-append cost), SyncNever
+// leaves flushing to the OS. Truncate(upTo) drops whole segments once a
+// snapshot covers their records — compaction, not history rewriting:
+// the active segment is never touched.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Magic identifies a WAL segment file.
+const Magic = "DWAL"
+
+// Version is the segment format version this build writes and the only
+// one it reads (matching the snapshot container's no-shims policy).
+const Version = 1
+
+// MaxRecord bounds one record's payload (64 MiB): a corrupt length
+// prefix must read as a torn tail, not force a giant allocation.
+const MaxRecord = 1 << 26
+
+// segmentExt names segment files inside the log directory.
+const segmentExt = ".wal"
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Policy selects when appends reach stable storage.
+type Policy int
+
+const (
+	// SyncAlways fsyncs before Append returns: an acknowledged append
+	// survives kill -9. The default.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs on a timer (Options.SyncEvery): per-append cost
+	// of a buffered write, loss bounded by the interval.
+	SyncInterval
+	// SyncNever leaves flushing to the OS page cache.
+	SyncNever
+)
+
+// ParsePolicy maps the flag spelling onto a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always | interval | never)", s)
+	}
+}
+
+// String is the inverse of ParsePolicy.
+func (p Policy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	default:
+		return "always"
+	}
+}
+
+// Metrics is the registry surface the log feeds (a subset of
+// obs.Registry; internal/serve's *Metrics satisfies it). All methods
+// must be safe for concurrent use. A nil Metrics disables reporting.
+type Metrics interface {
+	Add(name string, delta int64)
+	Observe(name string, d time.Duration)
+}
+
+// Options tunes a log.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size.
+	// 0 means 4 MiB.
+	SegmentBytes int
+	// Fsync is the durability policy (default SyncAlways).
+	Fsync Policy
+	// SyncEvery is the SyncInterval flush period. 0 means 100ms.
+	SyncEvery time.Duration
+	// Metrics receives wal_appends_total, wal_bytes_total,
+	// wal_fsync_seconds, wal_replay_records_total and
+	// wal_truncated_tail_total. nil discards them.
+	Metrics Metrics
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// segment is one on-disk segment file.
+type segment struct {
+	first uint64 // sequence number of its first record
+	last  uint64 // sequence number of its last record; first-1 when empty
+	path  string
+}
+
+// Log is an open write-ahead log. All methods are safe for concurrent
+// use; appends are serialized by the log's mutex.
+type Log struct {
+	dir string
+	opt Options
+
+	mu      sync.Mutex
+	segs    []segment
+	active  *os.File // nil until the first append after Open/rotation
+	size    int      // bytes in the active segment
+	nextSeq uint64
+	dirty   bool // unsynced writes (SyncInterval bookkeeping)
+	closed  bool
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+// Open creates dir if needed, scans the segments already there,
+// truncates any torn tail (counting it on wal_truncated_tail_total) and
+// returns a log positioned to append after the last valid record.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt, nextSeq: 1}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if opt.Fsync == SyncInterval {
+		l.tickStop = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// Dir reports the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastSeq reports the sequence number of the last record in the log (0
+// when empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// scan validates the on-disk segments, repairing the torn tail: the
+// first invalid byte truncates its file back to the last valid record
+// and deletes every later segment.
+func (l *Log) scan() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segmentExt) {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, segmentExt), 10, 64)
+		if err != nil || first == 0 {
+			continue // not a segment of ours; leave it alone
+		}
+		segs = append(segs, segment{first: first, path: filepath.Join(l.dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+
+	torn := false
+	for i := 0; i < len(segs); i++ {
+		s := &segs[i]
+		// Segments must chain: a gap means the earlier tail was lost, so
+		// everything after the gap is unreachable history.
+		if i > 0 && s.first != segs[i-1].last+1 {
+			torn = true
+			l.dropFrom(segs, i)
+			segs = segs[:i]
+			break
+		}
+		b, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		validLen, last, ok := scanSegment(b, s.first)
+		s.last = last
+		if !ok {
+			torn = true
+			if validLen == 0 {
+				// Not even a whole header: the file holds nothing usable.
+				if err := os.Remove(s.path); err != nil {
+					return err
+				}
+				l.dropFrom(segs, i+1)
+				segs = segs[:i]
+			} else {
+				if err := os.Truncate(s.path, int64(validLen)); err != nil {
+					return err
+				}
+				l.dropFrom(segs, i+1)
+				segs = segs[:i+1]
+			}
+			break
+		}
+	}
+	if torn {
+		l.metricAdd("wal_truncated_tail_total", 1)
+	}
+	l.segs = segs
+	if n := len(segs); n > 0 {
+		l.nextSeq = segs[n-1].last + 1
+		if fi, err := os.Stat(segs[n-1].path); err == nil {
+			l.size = int(fi.Size())
+		}
+	}
+	return nil
+}
+
+// dropFrom removes the segment files at and after index i.
+func (l *Log) dropFrom(segs []segment, i int) {
+	for ; i < len(segs); i++ {
+		os.Remove(segs[i].path) //nolint:errcheck // already past the valid prefix
+	}
+}
+
+// scanSegment walks one segment body: header, then records with
+// contiguous sequence numbers starting at first. It returns the byte
+// length of the valid prefix, the last valid sequence number (first-1
+// when no record is valid) and whether the whole file parsed cleanly.
+// It never panics on arbitrary input.
+func scanSegment(b []byte, first uint64) (validLen int, last uint64, ok bool) {
+	last = first - 1
+	off := len(Magic)
+	if len(b) < off || string(b[:off]) != Magic {
+		return 0, last, false
+	}
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 || v != Version {
+		return 0, last, false
+	}
+	off += n
+	f, n := binary.Uvarint(b[off:])
+	if n <= 0 || f != first {
+		return 0, last, false
+	}
+	off += n
+	validLen = off
+	want := first
+	for off < len(b) {
+		seq, plen, payload, next, recOK := parseRecord(b, off)
+		if !recOK || seq != want || plen > MaxRecord {
+			return validLen, last, false
+		}
+		_ = payload
+		off = next
+		validLen = off
+		last = seq
+		want++
+	}
+	return validLen, last, true
+}
+
+// parseRecord decodes the record at off: seq, payload length, payload
+// view, the offset past the record, and validity (framing + CRC).
+func parseRecord(b []byte, off int) (seq, plen uint64, payload []byte, next int, ok bool) {
+	start := off
+	seq, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0, 0, nil, 0, false
+	}
+	off += n
+	plen, n = binary.Uvarint(b[off:])
+	if n <= 0 || plen > MaxRecord || plen > uint64(len(b)-off-n) {
+		return 0, 0, nil, 0, false
+	}
+	off += n
+	payload = b[off : off+int(plen)]
+	off += int(plen)
+	if len(b)-off < 4 {
+		return 0, 0, nil, 0, false
+	}
+	want := binary.LittleEndian.Uint32(b[off:])
+	if crc32.ChecksumIEEE(b[start:off]) != want {
+		return 0, 0, nil, 0, false
+	}
+	return seq, plen, payload, off + 4, true
+}
+
+// Append durably logs one record per the fsync policy and returns its
+// sequence number. The payload is copied into the OS before return;
+// callers may reuse the slice.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec := make([]byte, 0, 16+len(payload))
+	rec = binary.AppendUvarint(rec, l.nextSeq)
+	rec = binary.AppendUvarint(rec, uint64(len(payload)))
+	rec = append(rec, payload...)
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(rec))
+
+	if err := l.ensureActiveLocked(len(rec)); err != nil {
+		return 0, err
+	}
+	if _, err := l.active.Write(rec); err != nil {
+		return 0, err
+	}
+	l.size += len(rec)
+	seq := l.nextSeq
+	l.nextSeq++
+	l.segs[len(l.segs)-1].last = seq
+	l.metricAdd("wal_appends_total", 1)
+	l.metricAdd("wal_bytes_total", int64(len(rec)))
+	switch l.opt.Fsync {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	return seq, nil
+}
+
+// ensureActiveLocked readies a segment with room for a need-byte record:
+// reopen the tail segment Open found, rotate a full one, or create the
+// first. An empty tail is reused, never sealed — its filename already
+// carries nextSeq.
+func (l *Log) ensureActiveLocked(need int) error {
+	if l.active == nil && len(l.segs) > 0 {
+		s := l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		l.active = f
+		if fi, err := f.Stat(); err == nil {
+			l.size = int(fi.Size())
+		}
+	}
+	if l.active == nil {
+		return l.newSegmentLocked()
+	}
+	tail := l.segs[len(l.segs)-1]
+	if l.size+need > l.opt.SegmentBytes && tail.last >= tail.first {
+		// Seal the full segment: flush it first (unless the policy is
+		// SyncNever) so a sealed segment is durable before anything lands
+		// after it.
+		if l.opt.Fsync != SyncNever {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+		if err := l.active.Close(); err != nil {
+			return err
+		}
+		l.active = nil
+		return l.newSegmentLocked()
+	}
+	return nil
+}
+
+// newSegmentLocked creates the segment whose first record will be
+// nextSeq and writes its header.
+func (l *Log) newSegmentLocked() error {
+	first := l.nextSeq
+	path := filepath.Join(l.dir, fmt.Sprintf("%020d%s", first, segmentExt))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, Magic...)
+	hdr = binary.AppendUvarint(hdr, Version)
+	hdr = binary.AppendUvarint(hdr, first)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path) //nolint:errcheck
+		return err
+	}
+	l.active = f
+	l.size = len(hdr)
+	l.segs = append(l.segs, segment{first: first, last: first - 1, path: path})
+	syncDir(l.dir) // the new name must survive a crash too
+	return nil
+}
+
+// Sync flushes the active segment to stable storage, whatever the
+// policy. Consumers call it to put a floor under SyncInterval/SyncNever
+// (e.g. before acknowledging something that must not be lost).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.active == nil {
+		return nil
+	}
+	start := time.Now()
+	if err := l.active.Sync(); err != nil {
+		return err
+	}
+	l.metricObserve("wal_fsync_seconds", time.Since(start))
+	l.dirty = false
+	return nil
+}
+
+// syncLoop is the SyncInterval flusher.
+func (l *Log) syncLoop() {
+	defer close(l.tickDone)
+	t := time.NewTicker(l.opt.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed {
+				l.syncLocked() //nolint:errcheck // the next Append surfaces a sick disk
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Replay streams every record with seq >= from, in order, to fn. A
+// non-nil error from fn stops the replay and is returned. Replay reads
+// the segment files as repaired by Open; run it before concurrent
+// appends (boot-time recovery), not during them.
+func (l *Log) Replay(from uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	replayed := int64(0)
+	defer func() {
+		if replayed > 0 {
+			l.metricAdd("wal_replay_records_total", replayed)
+		}
+	}()
+	for _, s := range segs {
+		if s.last < from {
+			continue
+		}
+		b, err := os.ReadFile(s.path)
+		if err != nil {
+			return err
+		}
+		off := headerLen(b)
+		if off == 0 {
+			return fmt.Errorf("wal: segment %s lost its header", s.path)
+		}
+		for off < len(b) {
+			seq, _, payload, next, ok := parseRecord(b, off)
+			if !ok {
+				// Open repaired the tail; bytes going bad afterwards stop
+				// the replay at the last good record, like a torn tail.
+				return nil
+			}
+			off = next
+			if seq < from {
+				continue
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			replayed++
+		}
+	}
+	return nil
+}
+
+// headerLen returns the byte length of a valid segment header, or 0.
+func headerLen(b []byte) int {
+	off := len(Magic)
+	if len(b) < off || string(b[:off]) != Magic {
+		return 0
+	}
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 || v != Version {
+		return 0
+	}
+	off += n
+	_, n = binary.Uvarint(b[off:])
+	if n <= 0 {
+		return 0
+	}
+	return off + n
+}
+
+// Truncate drops every segment whose records are all covered by seq
+// upTo — compaction once a snapshot covers a prefix. The active (last)
+// segment is never removed, so Truncate(LastSeq()) keeps the log
+// append-ready; rotation retires it eventually.
+func (l *Log) Truncate(upTo uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	cut := 0
+	for cut < len(l.segs)-1 && l.segs[cut].last <= upTo {
+		cut++
+	}
+	if cut == 0 {
+		return nil
+	}
+	for i := 0; i < cut; i++ {
+		if err := os.Remove(l.segs[i].path); err != nil {
+			l.segs = l.segs[i:]
+			return err
+		}
+	}
+	l.segs = l.segs[cut:]
+	syncDir(l.dir)
+	return nil
+}
+
+// Close flushes (per policy) and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.active != nil {
+		if l.opt.Fsync != SyncNever {
+			start := time.Now()
+			if serr := l.active.Sync(); serr == nil {
+				l.metricObserve("wal_fsync_seconds", time.Since(start))
+			} else {
+				err = serr
+			}
+		}
+		if cerr := l.active.Close(); err == nil {
+			err = cerr
+		}
+		l.active = nil
+	}
+	stop := l.tickStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.tickDone
+	}
+	return err
+}
+
+func (l *Log) metricAdd(name string, delta int64) {
+	if l.opt.Metrics != nil {
+		l.opt.Metrics.Add(name, delta)
+	}
+}
+
+func (l *Log) metricObserve(name string, d time.Duration) {
+	if l.opt.Metrics != nil {
+		l.opt.Metrics.Observe(name, d)
+	}
+}
+
+// syncDir best-effort fsyncs a directory so renames/creates/removals in
+// it survive a crash (not all platforms support it; errors are ignored).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}

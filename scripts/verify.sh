@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot"
-go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal
 
 echo "== wire codec fuzz smoke"
 # The seed corpus runs under plain `go test` above; this also gives the
@@ -38,6 +38,12 @@ echo "== snapshot container fuzz smoke"
 go test -run '^$' -fuzz '^FuzzOpen$' -fuzztime 3s ./internal/snapshot
 go test -run '^$' -fuzz '^FuzzReader$' -fuzztime 3s ./internal/snapshot
 
+echo "== wal fuzz smoke"
+# And for the write-ahead log: arbitrary segment bytes and multi-segment
+# directories must replay a valid prefix or error — never panic.
+go test -run '^$' -fuzz '^FuzzSegment$' -fuzztime 3s ./internal/wal
+go test -run '^$' -fuzz '^FuzzReplay$' -fuzztime 3s ./internal/wal
+
 echo "== multi-process smoke"
 # Two peerd daemons on ephemeral ports, diagnosed against from a separate
 # diagnose process; output must match the single-process run exactly.
@@ -49,6 +55,12 @@ echo "== snapshot round-trip smoke (write-behind, kill -9, restart, re-query)"
 # data dir, and finish the sequence; the final report must match an
 # uninterrupted run exactly.
 go test -run '^TestDiagnosedRestartSmoke$' -count 1 ./cmd/diagnosed
+
+echo "== WAL round-trip smoke (kill -9 mid-append, before any snapshot)"
+# Same drill with snapshots stalled for an hour: every acknowledged
+# append survives on the WAL alone, and the restarted session's next
+# report matches an uninterrupted run exactly.
+go test -run '^TestDiagnosedWALKillSmoke$' -count 1 ./cmd/diagnosed
 
 echo "== tracing-overhead guard"
 # The no-op tracer is what every untraced run pays, so it must never cost
@@ -94,5 +106,27 @@ echo "$snap_out" | awk -F'|' '
         printf "guard: ok (restore %d ns vs replay %d ns, snapshot %d bytes)\n", restore, replay, $6 + 0
     }
     END { if (!found) { print "guard: snapshot_overhead row missing" > "/dev/stderr"; exit 1 } }'
+
+echo "== wal-overhead guard"
+# Logging every append with fsync=interval must stay within 2x of the
+# no-WAL baseline (the write is a small sequential buffered append; only
+# fsync=always is allowed to be expensive), and a session recovered from
+# snapshot + WAL replay must be equivalent to the uninterrupted run.
+wal_out=$(go run ./cmd/benchreport -exp wal_overhead -max 8 -json)
+echo "$wal_out"
+echo "$wal_out" | awk -F'|' '
+    NF >= 11 && $2 + 0 == 8 {
+        found = 1
+        plain = $3 + 0; interval = $5 + 0; equal = $11
+        gsub(/ /, "", equal)
+        if (equal != "true") { print "guard: WAL-replayed session diverged from the uninterrupted run" > "/dev/stderr"; exit 1 }
+        if (plain <= 0 || interval <= 0) { print "guard: missing timings" > "/dev/stderr"; exit 1 }
+        if (interval > 2 * plain) {
+            printf "guard: fsync=interval appends (%d ns) are >2x the no-WAL baseline (%d ns)\n", interval, plain > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (plain %d ns/append, interval %d ns/append, always %d ns/append)\n", plain, interval, $4 + 0
+    }
+    END { if (!found) { print "guard: wal_overhead row missing" > "/dev/stderr"; exit 1 } }'
 
 echo "verify: OK"
