@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | transport_overhead | snapshot_overhead | wal_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -53,6 +53,7 @@ func main() {
 	run("ablation", func() error { return reportAblation(*max) })
 	run("placement", func() error { return reportPlacement(*max) })
 	run("trace_overhead", func() error { return reportTraceOverhead(*max) })
+	run("cluster_trace_overhead", func() error { return reportClusterTraceOverhead(*max) })
 	run("transport_overhead", func() error { return reportTransportOverhead(*max) })
 	run("snapshot_overhead", func() error { return reportSnapshotOverhead(*max) })
 	run("wal_overhead", func() error { return reportWALOverhead(*max) })
@@ -109,6 +110,18 @@ func reportTraceOverhead(max int) error {
 	row(rows.Iters, rows.NopNsPerOp, rows.TracedNsPerOp,
 		fmt.Sprintf("%.1f", rows.OverheadPct), rows.TraceEvents)
 	return maybeBench("trace_overhead", []experiments.TraceOverheadRow{*rows})
+}
+
+func reportClusterTraceOverhead(max int) error {
+	rows, err := experiments.ClusterTraceOverhead(max) // max doubles as the iteration count
+	if err != nil {
+		return err
+	}
+	header("Cluster telemetry overhead — distributed quickstart diagnosis, telemetry off vs on (mesh, 2 members)",
+		"iters", "off ns/op", "on ns/op", "overhead %", "member events", "telemetry nodes")
+	row(rows.Iters, rows.OffNsPerOp, rows.OnNsPerOp,
+		fmt.Sprintf("%.1f", rows.OverheadPct), rows.MemberEvents, rows.TelemetryNodes)
+	return maybeBench("cluster_trace_overhead", []experiments.ClusterTraceOverheadRow{*rows})
 }
 
 func reportPlacement(max int) error {

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestClusterTraceSmoke is the cluster observability end-to-end: two
+// peerd processes with admin endpoints, a traced multi-process diagnosis,
+// and three assertions — each /healthz reports ready, each /metrics
+// carries engine counters plus Go runtime gauges, and the merged trace
+// file spans all three processes.
+func TestClusterTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	build := func(name, pkg string) string {
+		t.Helper()
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+		return bin
+	}
+	peerd := build("peerd", "repro/cmd/peerd")
+	diagnose := build("diagnose", "repro/cmd/diagnose")
+
+	// startPeer returns the transport address and the admin address, read
+	// from the two announce lines in order (transport first).
+	startPeer := func(name string) (string, string) {
+		t.Helper()
+		cmd := exec.Command(peerd, "-name", name, "-listen", "127.0.0.1:0", "-admin", "127.0.0.1:0")
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		sc := bufio.NewScanner(stdout)
+		if !sc.Scan() {
+			t.Fatalf("peerd %s exited before announcing its address", name)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 3 || fields[1] != "listening" {
+			t.Fatalf("unexpected peerd ready line %q", sc.Text())
+		}
+		addr := fields[2]
+		if !sc.Scan() {
+			t.Fatalf("peerd %s exited before announcing its admin address", name)
+		}
+		fields = strings.Fields(sc.Text())
+		if len(fields) != 4 || fields[1] != "admin" {
+			t.Fatalf("unexpected peerd admin line %q", sc.Text())
+		}
+		return addr, fields[3]
+	}
+	addr1, admin1 := startPeer("n1")
+	addr2, admin2 := startPeer("n2")
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// Readiness: the admin line prints after the ready bit flips, so by
+	// the time the address is known /healthz must answer 200 "ok".
+	for _, admin := range []string{admin1, admin2} {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			code, body := get("http://" + admin + "/healthz")
+			if code == http.StatusOK && strings.TrimSpace(body) == "ok" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s/healthz = %d %q, want 200 ok", admin, code, body)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	traceFile := filepath.Join(dir, "trace.json")
+	args := []string{"-example", "-alarms", "b@p1 a@p2 c@p1", "-engine", "dqsq",
+		"-peers", "n1=" + addr1 + ",n2=" + addr2, "-trace", traceFile}
+	if out, err := exec.Command(diagnose, args...).CombinedOutput(); err != nil {
+		t.Fatalf("diagnose %v: %v\n%s", args, err, out)
+	}
+
+	// The merged trace: one file, three processes, named in the metadata.
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("merged trace not valid JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	procNames := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		pids[e.Pid] = true
+		if e.Ph == "M" && e.Name == "process_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				procNames[n] = true
+			}
+		}
+	}
+	if len(pids) != 3 {
+		t.Errorf("merged trace spans %d pids, want 3", len(pids))
+	}
+	for _, want := range []string{"driver", "n1", "n2"} {
+		if !procNames[want] {
+			t.Errorf("merged trace has no process named %q (have %v)", want, procNames)
+		}
+	}
+
+	// Each member's /metrics: engine counters the evaluation drove, plus
+	// the runtime gauges.
+	for _, admin := range []string{admin1, admin2} {
+		code, body := get("http://" + admin + "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("%s/metrics = %d", admin, code)
+		}
+		for _, series := range []string{
+			"ddatalog_facts_derived_total",
+			"go_goroutines",
+			"go_heap_bytes",
+			"go_gc_pause_seconds",
+			"trace_events_dropped_total",
+		} {
+			if !strings.Contains(body, series) {
+				t.Errorf("%s/metrics missing %s:\n%s", admin, series, body)
+			}
+		}
+	}
+
+	// The per-node trace endpoint serves loadable JSON with spans.
+	code, body := get("http://" + admin1 + "/v1/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/trace = %d", code)
+	}
+	var nodeTrace map[string]any
+	if err := json.Unmarshal([]byte(body), &nodeTrace); err != nil {
+		t.Fatalf("node trace not valid JSON: %v", err)
+	}
+	if events, ok := nodeTrace["traceEvents"].([]any); !ok || len(events) == 0 {
+		t.Fatal("node trace has no events")
+	}
+}

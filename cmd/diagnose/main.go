@@ -94,8 +94,10 @@ func main() {
 	}
 
 	diagnose := func(e core.Engine) (*core.Report, error) { return sys.Diagnose(seq, e, opt) }
+	var cl *diagnosis.Cluster
 	if *peers != "" {
-		cl, err := dialPeers(*peers, *listen)
+		var err error
+		cl, err = dialPeers(*peers, *listen)
 		if err != nil {
 			fatal(err)
 		}
@@ -134,8 +136,24 @@ func main() {
 		}
 	}
 	if tw != nil {
-		if err := writeTrace(tw, *trace); err != nil {
+		// With -peers the trace is cluster-wide: the driver's own spans plus
+		// every member's shipped telemetry, offset-corrected onto the
+		// driver's clock, in one file.
+		var err error
+		if cl != nil {
+			err = writeClusterTrace(tw, cl, *trace)
+		} else {
+			err = writeTrace(tw, *trace)
+		}
+		if err != nil {
 			fatal(err)
+		}
+		dropped := tw.Dropped()
+		if cl != nil {
+			dropped += cl.TraceDropped()
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "diagnose: %d trace events dropped by buffer bounds; the trace is incomplete\n", dropped)
 		}
 	}
 	if prev != nil {
@@ -380,6 +398,21 @@ func writeTrace(tw *obs.ChromeTraceWriter, dest string) error {
 	if err := tw.WriteJSON(&buf); err != nil {
 		return err
 	}
+	return writeTraceFile(buf, dest)
+}
+
+// writeClusterTrace merges the driver's trace with the member telemetry
+// the cluster harvested into a single timeline spanning every process.
+func writeClusterTrace(tw *obs.ChromeTraceWriter, cl *diagnosis.Cluster, dest string) error {
+	procs := append([]obs.ProcessTrace{tw.Export("driver")}, cl.ProcessTraces()...)
+	var buf bytes.Buffer
+	if err := obs.WriteClusterJSON(&buf, procs); err != nil {
+		return err
+	}
+	return writeTraceFile(buf, dest)
+}
+
+func writeTraceFile(buf bytes.Buffer, dest string) error {
 	if dest == "-" {
 		_, err := os.Stdout.Write(buf.Bytes())
 		return err

@@ -20,16 +20,79 @@
 // It prints "peerd listening ADDR" once the socket is bound, then serves
 // until killed. The -name must match the name the driver uses for this
 // node in its -peers list.
+//
+// With -admin ADDR, peerd also serves an HTTP admin endpoint:
+//
+//	GET /metrics   engine counters plus Go runtime gauges, Prometheus text
+//	GET /healthz   200 "ok" once the node is bound and any checkpoint is
+//	               restored; 503 "starting" before that
+//	GET /v1/trace  this node's spans as Chrome trace-event JSON
+//
+// The admin line "peerd admin listening ADDR" prints after the transport
+// line, so scripts scanning the first line keep working.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/diagnosis"
+	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/transport"
 )
+
+// adminEndpoint is the peerd observability surface: a metrics registry fed
+// by the node's tracer, a bounded trace buffer, and a readiness bit.
+type adminEndpoint struct {
+	metrics *serve.Metrics
+	trace   *obs.ChromeTraceWriter
+	ready   atomic.Bool
+}
+
+func newAdminEndpoint() *adminEndpoint {
+	a := &adminEndpoint{metrics: serve.NewMetrics(), trace: obs.NewChromeTraceWriter(0)}
+	serve.RegisterRuntimeGauges(a.metrics)
+	a.metrics.Gauge("trace_events_dropped_total", a.trace.Dropped)
+	return a
+}
+
+// tracer is what the node's engines observe through: spans and flows into
+// the trace buffer, counters and gauges folded into /metrics.
+func (a *adminEndpoint) tracer() obs.Tracer {
+	return obs.Multi(a.trace, obs.NewMetricsSink(a.metrics))
+}
+
+// serveHTTP binds addr and serves the admin API in the background,
+// returning the bound address.
+func (a *adminEndpoint) serveHTTP(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		a.metrics.WriteText(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if a.ready.Load() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		http.Error(w, "starting", http.StatusServiceUnavailable)
+	})
+	mux.HandleFunc("GET /v1/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		a.trace.WriteJSON(w) //nolint:errcheck // a hung-up scraper is its own problem
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck // runs until the process exits
+	return ln.Addr().String(), nil
+}
 
 func main() {
 	var (
@@ -37,6 +100,7 @@ func main() {
 		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		driver  = flag.String("driver", "driver", "the driver node's name")
 		dataDir = flag.String("data-dir", "", "directory for job checkpoints (enables kill/restart recovery)")
+		admin   = flag.String("admin", "", "HTTP admin listen address (/metrics, /healthz, /v1/trace); empty disables")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -59,6 +123,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
 		os.Exit(1)
 	}
+	var adm *adminEndpoint
+	adminAddr := ""
+	if *admin != "" {
+		adm = newAdminEndpoint()
+		adminAddr, err = adm.serveHTTP(*admin)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peerd: admin listener: %v\n", err)
+			os.Exit(1)
+		}
+		n.SetTracer(adm.tracer())
+	}
 	if err := n.SetDataDir(*dataDir); err != nil {
 		// Serve checkpoint-only rather than refuse to start: job durability
 		// degrades to the synchronous checkpoint-before-ack path.
@@ -73,6 +148,11 @@ func main() {
 			job.Gen, len(job.Hosted))
 	}
 	fmt.Printf("peerd listening %s\n", tr.Addr())
+	if adm != nil {
+		// Bound and restored: the node is ready for a driver's jobs.
+		adm.ready.Store(true)
+		fmt.Printf("peerd admin listening %s\n", adminAddr)
+	}
 	if err := n.Serve(); err != nil {
 		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
 		os.Exit(1)

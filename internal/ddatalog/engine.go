@@ -495,7 +495,21 @@ func (e *Engine) RunMember(net dist.Net, timeout time.Duration) (dist.Stats, err
 		ps := e.peers[id]
 		net.AddPeer(id, ps.handle)
 	}
-	return net.Run(nil, timeout)
+	stats, err := net.Run(nil, timeout)
+	if e.traceOn {
+		// Emit this round's materialization as deltas, mirroring the
+		// driver's finishRun, so a member's /metrics carries the same
+		// cumulative engine series as the driver's.
+		derived, replicated := e.Totals()
+		if d := derived - e.lastDerived; d > 0 {
+			e.tracer.Counter("ddatalog", "ddatalog_facts_derived_total", int64(d))
+		}
+		if d := replicated - e.lastReplicated; d > 0 {
+			e.tracer.Counter("ddatalog", "ddatalog_facts_replicated_total", int64(d))
+		}
+		e.lastDerived, e.lastReplicated = derived, replicated
+	}
+	return stats, err
 }
 
 // Totals reports the cumulative materialization counters of the hosted

@@ -19,6 +19,7 @@ import (
 	"repro/internal/ddatalog"
 	"repro/internal/dist"
 	"repro/internal/dqsq"
+	"repro/internal/obs"
 	"repro/internal/parser"
 	"repro/internal/petri"
 	"repro/internal/transport"
@@ -92,6 +93,14 @@ type Cluster struct {
 
 	mu  sync.Mutex
 	drv *dist.Driver
+
+	// Telemetry harvested from members across RunDistributed calls, keyed
+	// by node name (see ProcessTraces, MemberCounters). Populated only
+	// when Options.Tracer is enabled: the job then ships with Trace set
+	// and members record and return their spans.
+	traces         map[string]*obs.ProcessTrace
+	memberCounters map[string]map[string]uint64
+	traceIDv       uint64
 }
 
 // Close shuts down the driver transport.
@@ -208,6 +217,15 @@ func runDistributedOnce(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Op
 		TimeoutMS: uint32(timeout / time.Millisecond),
 		Driver:    cl.Transport.Self(),
 	}
+	if opt.Tracer != nil && opt.Tracer.Enabled() {
+		// Propagate the trace context: members see Trace and record their
+		// own spans, shipping them back in Telemetry frames. ParentSpan is
+		// the driver's flow-ID base — the namespace its flow-begin events
+		// live in, which member flow-ends bind to in the merged trace.
+		base.Trace = true
+		base.TraceID = cl.traceID()
+		base.ParentSpan = dist.FlowBase(cl.Transport.Self())
+	}
 	peerNames := make([]string, 0, len(cl.Assign))
 	for peer := range cl.Assign {
 		peerNames = append(peerNames, peer)
@@ -241,8 +259,27 @@ func runDistributedOnce(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Op
 		return nil, err
 	}
 	eng.SetTracer(opt.Tracer)
-	eng.SetNetFactory(func() dist.Net { return drv.NewRound() })
+	var (
+		roundsMu sync.Mutex
+		rounds   []*dist.DriverRound
+	)
+	eng.SetNetFactory(func() dist.Net {
+		r := drv.NewRound()
+		if base.Trace {
+			roundsMu.Lock()
+			rounds = append(rounds, r)
+			roundsMu.Unlock()
+		}
+		return r
+	})
 	res, err := eng.Run(query, opt.Timeout)
+	// Harvest member telemetry even from a failed attempt: the spans that
+	// did arrive are exactly what explains the failure.
+	roundsMu.Lock()
+	for _, r := range rounds {
+		cl.absorbTelemetry(r.ClusterTelemetry())
+	}
+	roundsMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -266,6 +303,7 @@ type Node struct {
 	driver  string
 	dataDir string
 	walLog  *wal.Log // nil when the data dir is unset or the log failed to open
+	tracer  obs.Tracer
 }
 
 // NewNode creates the member endpoint over tr (starting it), reporting to
@@ -293,6 +331,14 @@ func (n *Node) SetDataDir(dir string) error {
 	}
 	n.walLog = l
 	return nil
+}
+
+// SetTracer attaches the node's own tracer — typically the peerd admin
+// endpoint's trace writer and metrics sink — to every engine this node
+// hosts, regardless of whether the driver requested tracing. Call before
+// Serve.
+func (n *Node) SetTracer(t obs.Tracer) {
+	n.tracer = t
 }
 
 // RestoreCheckpoint loads the member checkpoint from the node's data
@@ -407,6 +453,17 @@ func (n *Node) serveJob(job wire.Job) bool {
 		m.SendJobOK(job.Gen, err.Error()) //nolint:errcheck
 		return false
 	}
+	// The driver's trace context: when the job ships with Trace set, this
+	// node records its spans into a per-job buffer and returns them in a
+	// Telemetry frame at every round boundary. The node's own tracer (the
+	// admin endpoint's) keeps observing either way.
+	var jobTW *obs.ChromeTraceWriter
+	if job.Trace {
+		jobTW = obs.NewChromeTraceWriter(0)
+		eng.SetTracer(obs.Multi(n.tracer, jobTW))
+	} else if n.tracer != nil {
+		eng.SetTracer(n.tracer)
+	}
 	n.installJobRouting(job)
 	switch {
 	case n.walLog != nil:
@@ -450,6 +507,12 @@ func (n *Node) serveJob(job wire.Job) bool {
 			return false
 		}
 		derived, replicated := eng.Totals()
+		if jobTW != nil {
+			shipTelemetry(r, jobTW, job.TraceID, map[string]uint64{
+				"derived":    uint64(derived),
+				"replicated": uint64(replicated),
+			})
+		}
 		r.Finish(map[string]uint64{ //nolint:errcheck // a closing transport ends the loop on the next round
 			"derived":    uint64(derived),
 			"replicated": uint64(replicated),

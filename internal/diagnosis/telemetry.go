@@ -1,0 +1,179 @@
+package diagnosis
+
+// Cluster telemetry: members record trace events and counter samples
+// while evaluating, ship them to the driver in wire.Telemetry frames at
+// each round boundary, and the driver folds them — offset-corrected by
+// the transport's handshake clock estimates — into per-process traces
+// that obs.WriteClusterJSON merges into one cluster timeline.
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/obs"
+	"repro/internal/wire"
+)
+
+// eventToWire converts a recorded trace event to its wire form.
+func eventToWire(ev obs.Event) wire.TraceEvent {
+	return wire.TraceEvent{
+		Track: ev.Track, Name: ev.Name, Ph: ev.Ph,
+		Wall: ev.Wall, Dur: ev.Dur, Value: ev.Value, ID: ev.ID,
+	}
+}
+
+// eventFromWire converts a shipped trace event back to the obs form.
+func eventFromWire(ev wire.TraceEvent) obs.Event {
+	return obs.Event{
+		Track: ev.Track, Name: ev.Name, Ph: ev.Ph,
+		Wall: ev.Wall, Dur: ev.Dur, Value: ev.Value, ID: ev.ID,
+	}
+}
+
+// runtimeGauges samples the Go runtime for a telemetry frame: the same
+// series every /metrics surface exports, so a cluster's health reads the
+// same from a member's admin endpoint and from the driver's harvest.
+func runtimeGauges() []wire.KV {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []wire.KV{
+		{Key: "go_gc_pause_ns", Val: ms.PauseTotalNs},
+		{Key: "go_goroutines", Val: uint64(runtime.NumGoroutine())},
+		{Key: "go_heap_bytes", Val: ms.HeapAlloc},
+	}
+}
+
+// shipTelemetry drains the member's per-job trace buffer and sends the
+// round's observability sample to the driver. Called between RunMember
+// and Finish: the driver's round is still collecting, and per-sender FIFO
+// guarantees the sample precedes the Done report the driver waits for.
+func shipTelemetry(r *dist.MemberRound, tw *obs.ChromeTraceWriter, traceID uint64, counters map[string]uint64) {
+	events, dropped := tw.DrainEvents()
+	tel := wire.Telemetry{
+		TraceID:    traceID,
+		WallMicros: uint64(time.Now().UnixMicro()),
+		Dropped:    uint64(dropped),
+		Gauges:     runtimeGauges(),
+	}
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tel.Counters = append(tel.Counters, wire.KV{Key: k, Val: counters[k]})
+	}
+	tel.Events = make([]wire.TraceEvent, len(events))
+	for i, ev := range events {
+		tel.Events[i] = eventToWire(ev)
+	}
+	r.SendTelemetry(tel) //nolint:errcheck // a closing transport ends the round loop anyway
+}
+
+// absorbTelemetry folds member telemetry frames harvested from a round
+// into the cluster's accumulated per-node traces and counter samples.
+func (cl *Cluster) absorbTelemetry(tels []wire.Telemetry) {
+	if len(tels) == 0 {
+		return
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.traces == nil {
+		cl.traces = make(map[string]*obs.ProcessTrace)
+		cl.memberCounters = make(map[string]map[string]uint64)
+	}
+	for _, tel := range tels {
+		pt := cl.traces[tel.Node]
+		if pt == nil {
+			pt = &obs.ProcessTrace{Name: tel.Node}
+			cl.traces[tel.Node] = pt
+		}
+		// Refresh the offset estimate each time: the transport may have
+		// re-handshaked (reconnect) since the last sample.
+		pt.Offset = cl.Transport.ClockOffsetMicros(tel.Node)
+		for _, ev := range tel.Events {
+			pt.Events = append(pt.Events, eventFromWire(ev))
+		}
+		if d := int64(tel.Dropped); d > pt.Dropped {
+			pt.Dropped = d // cumulative on the member; keep the max
+		}
+		c := cl.memberCounters[tel.Node]
+		if c == nil {
+			c = make(map[string]uint64)
+			cl.memberCounters[tel.Node] = c
+		}
+		for _, kv := range tel.Counters {
+			c[kv.Key] = kv.Val // cumulative samples: latest wins
+		}
+		for _, kv := range tel.Gauges {
+			c[kv.Key] = kv.Val
+		}
+	}
+}
+
+// ProcessTraces returns the member traces accumulated by RunDistributed
+// calls on this cluster, sorted by node name and offset-corrected onto
+// the driver's clock. Pass them, together with the driver's own trace
+// (ChromeTraceWriter.Export), to obs.WriteClusterJSON for one merged
+// cluster timeline.
+func (cl *Cluster) ProcessTraces() []obs.ProcessTrace {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	names := make([]string, 0, len(cl.traces))
+	for name := range cl.traces {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]obs.ProcessTrace, 0, len(names))
+	for _, name := range names {
+		pt := cl.traces[name]
+		out = append(out, obs.ProcessTrace{
+			Name: pt.Name, Offset: pt.Offset, Dropped: pt.Dropped,
+			Events: append([]obs.Event(nil), pt.Events...),
+		})
+	}
+	return out
+}
+
+// MemberCounters returns the latest engine counter and runtime gauge
+// samples per member node (cumulative values from each node's most recent
+// telemetry frame).
+func (cl *Cluster) MemberCounters() map[string]map[string]uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(cl.memberCounters))
+	for node, c := range cl.memberCounters {
+		cp := make(map[string]uint64, len(c))
+		for k, v := range c {
+			cp[k] = v
+		}
+		out[node] = cp
+	}
+	return out
+}
+
+// TraceDropped sums the member-side dropped trace-event counts across the
+// cluster (the driver's own writer keeps its own count).
+func (cl *Cluster) TraceDropped() int64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var total int64
+	for _, pt := range cl.traces {
+		total += pt.Dropped
+	}
+	return total
+}
+
+// traceIDLocked lazily draws the cluster's trace ID, stamped into every
+// shipped job so member telemetry of different diagnose invocations
+// cannot be conflated.
+func (cl *Cluster) traceID() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.traceIDv == 0 {
+		cl.traceIDv = uint64(time.Now().UnixNano())
+	}
+	return cl.traceIDv
+}

@@ -3,6 +3,8 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -46,6 +48,26 @@ const pollInterval = 5 * time.Millisecond
 // after the evaluation itself has ended.
 const doneGrace = 10 * time.Second
 
+// Straggler detection: a node whose mean per-phase latency exceeds
+// stragglerFactor× the cluster median — by at least stragglerMinGap, so
+// microsecond jitter on fast rounds never qualifies — is reported via the
+// driver's structured logger at the end of the round.
+const (
+	stragglerFactor = 3
+	stragglerMinGap = 2 * time.Millisecond
+)
+
+// FlowBase derives a node's flow-ID base from its name: a 32-bit FNV-1a
+// hash shifted into the top half of the sequence space. Different nodes
+// draw from disjoint ranges (barring a hash collision, which costs only a
+// confused trace arrow), so flow IDs are unique cluster-wide and the
+// send/receive halves of a cross-node hop bind in a merged trace.
+func FlowBase(node string) uint64 {
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	return uint64(h.Sum32()) << 32
+}
+
 // Driver is the long-lived driver endpoint of a cluster: it owns the
 // driver side of the transport and hands out one DriverRound per
 // evaluation. Create it with NewDriver (which installs the transport
@@ -55,6 +77,7 @@ type Driver struct {
 	tr     transport.Transport
 	nodes  []string
 	assign map[PeerID]string
+	logger *slog.Logger
 
 	mu     sync.Mutex
 	gen    uint64 // current job generation; bumped by every ShipJob
@@ -70,12 +93,24 @@ func NewDriver(tr transport.Transport, nodes []string, assign map[PeerID]string)
 		tr:     tr,
 		nodes:  append([]string(nil), nodes...),
 		assign: assign,
+		logger: slog.Default(),
 		jobOKs: make(map[string]wire.JobOK),
 	}
 	if err := tr.Start(d.handle); err != nil {
 		return nil, err
 	}
 	return d, nil
+}
+
+// SetLogger installs the structured logger used for cluster health events
+// (straggler reports). slog.Default() until set; nil restores it.
+func (d *Driver) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.Default()
+	}
+	d.mu.Lock()
+	d.logger = l
+	d.mu.Unlock()
 }
 
 func (d *Driver) handle(from string, f wire.Frame) {
@@ -160,13 +195,16 @@ func (d *Driver) NewRound() *DriverRound {
 		statuses: make(map[string]wire.Status),
 		dones:    make(map[string]wire.Done),
 		extras:   make(map[string]uint64),
+		statLat:  make(map[string]latSample),
+		doneLat:  make(map[string]latSample),
 	}
+	r.net.SetSeqBase(FlowBase(d.tr.Self()))
 	r.net.SetRoute(func(m Message) {
 		node, ok := d.assign[m.To]
 		if !ok {
 			panic(fmt.Sprintf("dist: peer %q hosted nowhere (not local, not assigned)", m.To))
 		}
-		if err := d.tr.Send(node, wire.Data{Gen: r.gen, From: string(m.From), To: string(m.To), Payload: m.Payload.(wire.Payload)}); err != nil {
+		if err := d.tr.Send(node, wire.Data{Gen: r.gen, Flow: m.Flow(), From: string(m.From), To: string(m.To), Payload: m.Payload.(wire.Payload)}); err != nil {
 			// The transport is closing; the round is ending anyway.
 			r.net.Stop(err)
 		}
@@ -185,13 +223,24 @@ type DriverRound struct {
 
 	wake chan struct{}
 
-	mu       sync.Mutex
-	epoch    uint64
-	statuses map[string]wire.Status
-	dones    map[string]wire.Done
-	stopSent bool
-	extras   map[string]uint64
-	memErr   error
+	mu        sync.Mutex
+	epoch     uint64
+	statuses  map[string]wire.Status
+	dones     map[string]wire.Done
+	stopSent  bool
+	stopAt    time.Time // when the stop broadcast went out
+	waveAt    time.Time // when the current wave's polls went out
+	extras    map[string]uint64
+	telemetry []wire.Telemetry
+	statLat   map[string]latSample // per node: Poll→Status reply latency
+	doneLat   map[string]latSample // per node: Stop→Done report latency
+	memErr    error
+}
+
+// latSample accumulates one node's latency observations for one phase.
+type latSample struct {
+	sum time.Duration
+	n   int
 }
 
 // AddPeer registers a locally hosted peer.
@@ -210,18 +259,36 @@ func (r *DriverRound) wakeUp() {
 func (r *DriverRound) dispatch(from string, f wire.Frame) {
 	switch fr := f.(type) {
 	case wire.Data:
-		r.net.Inject(Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload})
+		m := Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload}
+		m.SetFlow(fr.Flow)
+		r.net.Inject(m)
 	case wire.Status:
 		r.mu.Lock()
 		if fr.Epoch != 0 && fr.Epoch == r.epoch {
 			r.statuses[from] = fr
+			if !r.waveAt.IsZero() {
+				s := r.statLat[from]
+				s.sum += time.Since(r.waveAt)
+				s.n++
+				r.statLat[from] = s
+			}
 		}
 		r.mu.Unlock()
 		r.wakeUp()
+	case wire.Telemetry:
+		r.mu.Lock()
+		r.telemetry = append(r.telemetry, fr)
+		r.mu.Unlock()
 	case wire.Done:
 		r.mu.Lock()
 		if _, dup := r.dones[from]; !dup {
 			r.dones[from] = fr
+			if !r.stopAt.IsZero() {
+				s := r.doneLat[from]
+				s.sum += time.Since(r.stopAt)
+				s.n++
+				r.doneLat[from] = s
+			}
 		}
 		early := !r.stopSent
 		r.mu.Unlock()
@@ -302,7 +369,74 @@ func (r *DriverRound) Run(initial []Message, timeout time.Duration) (Stats, erro
 		}
 	}
 	r.mu.Unlock()
+	r.reportStragglers()
 	return stats, err
+}
+
+// reportStragglers compares each member's mean per-phase latency against
+// the cluster median and logs a structured warning naming any node whose
+// mean exceeds stragglerFactor× the median (by at least stragglerMinGap).
+// Two phases are measured per round: how fast a node answers quiescence
+// polls (status-reply) and how fast it files its end-of-round report after
+// the stop broadcast (done-report).
+func (r *DriverRound) reportStragglers() {
+	r.d.mu.Lock()
+	logger := r.d.logger
+	r.d.mu.Unlock()
+	r.mu.Lock()
+	phases := map[string]map[string]latSample{
+		"status-reply": r.statLat,
+		"done-report":  r.doneLat,
+	}
+	for phase, perNode := range phases {
+		if len(perNode) < 2 {
+			continue // a median over one node flags nothing
+		}
+		nodes := make([]string, 0, len(perNode))
+		means := make(map[string]time.Duration, len(perNode))
+		all := make([]time.Duration, 0, len(perNode))
+		for node, s := range perNode {
+			if s.n == 0 {
+				continue
+			}
+			m := s.sum / time.Duration(s.n)
+			nodes = append(nodes, node)
+			means[node] = m
+			all = append(all, m)
+		}
+		if len(all) < 2 {
+			continue
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		median := all[len(all)/2]
+		sort.Strings(nodes)
+		for _, node := range nodes {
+			mean := means[node]
+			if mean > stragglerFactor*median && mean-median > stragglerMinGap {
+				logger.Warn("dist: straggler detected",
+					"node", node,
+					"phase", phase,
+					"gen", r.gen,
+					"mean_ms", float64(mean)/float64(time.Millisecond),
+					"median_ms", float64(median)/float64(time.Millisecond),
+					"samples", perNode[node].n,
+				)
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
+// ClusterTelemetry returns the telemetry frames the members shipped during
+// the round (per-round trace-event batches, cumulative engine counters,
+// runtime gauges), in arrival order. Valid after Run returns: members send
+// their sample before the Done report the round waits for, and the
+// transport preserves per-sender FIFO, so every sample of the round has
+// arrived by then.
+func (r *DriverRound) ClusterTelemetry() []wire.Telemetry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]wire.Telemetry(nil), r.telemetry...)
 }
 
 // ClusterExtras returns the evaluator-defined extras summed over every
@@ -325,6 +459,7 @@ func (r *DriverRound) broadcastStop(err error) {
 		return
 	}
 	r.stopSent = true
+	r.stopAt = time.Now()
 	r.mu.Unlock()
 	msg := wire.Stop{Gen: r.gen}
 	if err != nil {
@@ -379,6 +514,7 @@ func (r *DriverRound) coordinate(stop <-chan struct{}) {
 		r.mu.Lock()
 		r.epoch = epoch
 		r.statuses = make(map[string]wire.Status)
+		r.waveAt = time.Now()
 		r.mu.Unlock()
 		for _, node := range r.d.nodes {
 			if err := r.d.tr.Send(node, wire.Poll{Gen: r.gen, Epoch: epoch}); err != nil {
@@ -624,6 +760,7 @@ func (m *Member) NextRound() *MemberRound {
 	gen := m.gen
 	m.mu.Unlock()
 	r := &MemberRound{m: m, gen: gen, net: NewNetwork()}
+	r.net.SetSeqBase(FlowBase(m.tr.Self()))
 	r.net.SetRoute(func(msg Message) {
 		m.mu.Lock()
 		node, ok := m.assign[msg.To]
@@ -631,7 +768,7 @@ func (m *Member) NextRound() *MemberRound {
 		if !ok {
 			node = m.driver
 		}
-		if err := m.tr.Send(node, wire.Data{Gen: r.gen, From: string(msg.From), To: string(msg.To), Payload: msg.Payload.(wire.Payload)}); err != nil {
+		if err := m.tr.Send(node, wire.Data{Gen: r.gen, Flow: msg.Flow(), From: string(msg.From), To: string(msg.To), Payload: msg.Payload.(wire.Payload)}); err != nil {
 			r.net.Stop(err)
 		}
 	})
@@ -664,7 +801,9 @@ func (r *MemberRound) SetTracer(t obs.Tracer) { r.net.SetTracer(t) }
 func (r *MemberRound) dispatch(from string, f wire.Frame) {
 	switch fr := f.(type) {
 	case wire.Data:
-		r.net.Inject(Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload})
+		m := Message{From: PeerID(fr.From), To: PeerID(fr.To), Payload: fr.Payload}
+		m.SetFlow(fr.Flow)
+		r.net.Inject(m)
 	case wire.Poll:
 		sent, processed, idle := r.net.Counters()
 		r.m.tr.Send(r.m.driver, wire.Status{Gen: r.gen, Epoch: fr.Epoch, Sent: sent, Processed: processed, Idle: idle}) //nolint:errcheck
@@ -720,6 +859,17 @@ func (r *MemberRound) Run(initial []Message, timeout time.Duration) (Stats, erro
 	m.mu.Unlock()
 	r.stats, r.err = stats, err
 	return stats, err
+}
+
+// SendTelemetry ships an observability sample to the driver, stamped with
+// the round's generation and this node's name. Call it after Run returned
+// and before Finish: the driver's round is still collecting then, and the
+// per-sender FIFO transport guarantees the sample lands before the Done
+// report the driver waits for.
+func (r *MemberRound) SendTelemetry(t wire.Telemetry) error {
+	t.Gen = r.gen
+	t.Node = r.m.tr.Self()
+	return r.m.tr.Send(r.m.driver, t)
 }
 
 // Finish sends the member's end-of-round report to the driver. Call it

@@ -185,6 +185,17 @@ func (n *Network) SetExternal(notify func()) {
 	n.notify = notify
 }
 
+// SetSeqBase offsets this network's message sequence numbers (trace flow
+// IDs) by base. Cluster nodes seed disjoint bases derived from their node
+// names, making flow IDs unique cluster-wide — the property that lets a
+// send arrow recorded on one node bind to the handle recorded on another
+// when per-node traces are merged. Must be called before Run.
+func (n *Network) SetSeqBase(base uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.seq = base
+}
+
 // Inject delivers a message that arrived from another node of the
 // cluster. The destination must be hosted here (cluster peer assignments
 // are static, so a miss is a routing bug). Unlike send it does not count
@@ -192,8 +203,16 @@ func (n *Network) SetExternal(notify func()) {
 // toward Processed and BytesReceivedByPair when handled, which is what
 // makes the cluster-wide counting argument (Σsent == Σprocessed over all
 // nodes ⇒ nothing in flight) come out exact.
+//
+// A message carrying the sender's flow ID (SetFlow) keeps it, and no
+// send-side flow event is recorded here: the true sender already recorded
+// one, and reusing its ID lets the merged cluster trace draw the arrow
+// across processes. Without an ID, a fresh local one is assigned and the
+// send half is synthesized locally (the pre-v4 behavior, which keeps
+// single-node traces whole when the remote side recorded nothing).
 func (n *Network) Inject(m Message) {
 	size, _ := wire.PayloadSize(m.Payload)
+	preset := m.seq != 0
 	n.mu.Lock()
 	p, ok := n.peers[m.To]
 	if !ok {
@@ -205,15 +224,26 @@ func (n *Network) Inject(m Message) {
 		return // late deliveries during shutdown are dropped
 	}
 	n.inflight++
-	n.seq++
-	m.seq = n.seq
+	if !preset {
+		n.seq++
+		m.seq = n.seq
+	}
 	m.size = size
 	p.queue = append(p.queue, m)
 	n.wasIdle = false
 	n.cond.Broadcast()
 	n.mu.Unlock()
-	n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+	if !preset {
+		n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+	}
 }
+
+// SetFlow stamps a message with the flow ID its sender assigned on
+// another node, for Inject.
+func (m *Message) SetFlow(id uint64) { m.seq = id }
+
+// Flow returns the message's flow ID (0 before the network assigns one).
+func (m Message) Flow() uint64 { return m.seq }
 
 // Counters samples this node's share of the cluster-wide message counts:
 // messages its peers have sent (local or remote destinations alike),

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/diagnosis"
+	"repro/internal/obs"
+	"repro/internal/petri"
+	"repro/internal/transport"
+)
+
+// ClusterTraceOverheadRow quantifies what cluster-wide telemetry costs a
+// distributed evaluation: the quickstart diagnosis (running example,
+// sequence A1 of Section 2, dQSQ engine) over the in-process mesh with
+// telemetry off against the same cluster with full tracing on — members
+// recording spans, draining them into Telemetry frames every round, the
+// driver folding them into the merged timeline. The delta is the whole
+// observability tax: event recording on three processes plus the extra
+// frames on the wire.
+type ClusterTraceOverheadRow struct {
+	Iters          int
+	OffNsPerOp     int64
+	OnNsPerOp      int64
+	OverheadPct    float64 // (on-off)/off, in percent; noisy but indicative
+	MemberEvents   int     // trace events the members shipped across the timed runs
+	TelemetryNodes int     // member nodes that reported telemetry
+}
+
+// ClusterTraceOverhead times iters distributed quickstart diagnoses with
+// telemetry off and on. Both configurations run over one long-lived
+// in-process mesh cluster, each timed as the best of three batches — the
+// verify.sh guard compares the two, so the timing must shed scheduler
+// noise, not average it in.
+func ClusterTraceOverhead(iters int) (*ClusterTraceOverheadRow, error) {
+	if iters <= 0 {
+		iters = 5
+	}
+	pn := petri.Example()
+	seq := alarm.S("b", "p1", "a", "p2", "c", "p1")
+
+	mesh := transport.NewMesh()
+	cl := &diagnosis.Cluster{Transport: mesh.Node("driver"), Nodes: []string{"n1", "n2"}}
+	defer cl.Close()
+	for _, name := range cl.Nodes {
+		node, err := diagnosis.NewNode(mesh.Node(name), "driver")
+		if err != nil {
+			return nil, err
+		}
+		defer node.Close()
+		go node.Serve() //nolint:errcheck
+	}
+
+	run := func(tracer obs.Tracer) error {
+		opt := diagnosis.Options{Timeout: 2 * time.Minute, Tracer: tracer}
+		rep, err := diagnosis.RunDistributed(pn, seq, diagnosis.EngineDQSQ, opt, cl)
+		if err != nil {
+			return err
+		}
+		if len(rep.Diagnoses) == 0 {
+			return errNoDiagnosis
+		}
+		return nil
+	}
+	// Best-of-three batches: the guard wants the configurations' floors,
+	// not their scheduler-noise averages.
+	timeBatches := func(tracer func() obs.Tracer) (int64, error) {
+		best := int64(math.MaxInt64)
+		for b := 0; b < 3; b++ {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := run(tracer()); err != nil {
+					return 0, err
+				}
+			}
+			if d := time.Since(start).Nanoseconds(); d < best {
+				best = d
+			}
+		}
+		return best / int64(iters), nil
+	}
+
+	// One warm-up of each configuration before timing.
+	if err := run(nil); err != nil {
+		return nil, err
+	}
+	if err := run(obs.NewChromeTraceWriter(-1)); err != nil {
+		return nil, err
+	}
+
+	row := &ClusterTraceOverheadRow{Iters: iters}
+	var err error
+	if row.OffNsPerOp, err = timeBatches(func() obs.Tracer { return nil }); err != nil {
+		return nil, err
+	}
+	if row.OnNsPerOp, err = timeBatches(func() obs.Tracer { return obs.NewChromeTraceWriter(-1) }); err != nil {
+		return nil, err
+	}
+	if row.OffNsPerOp > 0 {
+		row.OverheadPct = 100 * float64(row.OnNsPerOp-row.OffNsPerOp) / float64(row.OffNsPerOp)
+	}
+	for _, pt := range cl.ProcessTraces() {
+		row.TelemetryNodes++
+		row.MemberEvents += len(pt.Events)
+	}
+	return row, nil
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import "testing"
+
+func TestClusterTraceOverheadShape(t *testing.T) {
+	row, err := ClusterTraceOverhead(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Iters != 1 {
+		t.Fatalf("iters = %d", row.Iters)
+	}
+	if row.OffNsPerOp <= 0 || row.OnNsPerOp <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	if row.TelemetryNodes != 2 {
+		t.Fatalf("telemetry nodes = %d, want 2", row.TelemetryNodes)
+	}
+	if row.MemberEvents == 0 {
+		t.Fatal("telemetry-on runs shipped no member events")
+	}
+}

@@ -136,6 +136,53 @@ func (w *ChromeTraceWriter) Len() int {
 	return len(w.events)
 }
 
+// Event is one recorded trace event in wall-clock form: timestamps are
+// microseconds since the Unix epoch on the recording process's clock,
+// rather than microseconds since trace start. It is the unit of
+// cross-process trace shipping and of cluster-timeline merging.
+type Event struct {
+	Track string
+	Name  string
+	Ph    byte  // X, i, C, G, s, f
+	Wall  int64 // event time, µs since the Unix epoch (recorder's clock)
+	Dur   int64 // X only
+	Value int64 // C (delta) and G (absolute level) only
+	ID    uint64
+}
+
+func (w *ChromeTraceWriter) exportLocked() []Event {
+	base := w.start.UnixMicro()
+	out := make([]Event, len(w.events))
+	for i, ev := range w.events {
+		out[i] = Event{
+			Track: w.tracks[ev.tid-1], Name: ev.name, Ph: ev.ph,
+			Wall: base + ev.ts, Dur: ev.dur, Value: ev.value, ID: ev.id,
+		}
+	}
+	return out
+}
+
+// Events snapshots the buffered events in wall-clock form without
+// clearing them.
+func (w *ChromeTraceWriter) Events() []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.exportLocked()
+}
+
+// DrainEvents returns the buffered events in wall-clock form and clears
+// the buffer, so the bound applies afresh to what is recorded next. The
+// cumulative dropped count is returned alongside and keeps accumulating
+// across drains. A cluster member drains once per round and ships the
+// batch to the driver.
+func (w *ChromeTraceWriter) DrainEvents() (events []Event, dropped int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	events = w.exportLocked()
+	w.events = w.events[:0]
+	return events, w.dropped
+}
+
 // Dropped reports how many events the bound discarded.
 func (w *ChromeTraceWriter) Dropped() int64 {
 	w.mu.Lock()

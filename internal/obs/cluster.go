@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ProcessTrace is one process's contribution to a merged cluster trace:
+// the events it recorded (wall-clock form, its own clock) plus the offset
+// that maps its clock onto the reference process's.
+type ProcessTrace struct {
+	// Name labels the process in the merged timeline (node name).
+	Name string
+	// Offset is the estimated clock offset of the recording process
+	// relative to the reference process (remote − reference, µs); it is
+	// subtracted from every event time during merging. 0 for the
+	// reference process itself and for processes sharing its clock.
+	Offset int64
+	// Dropped counts events the recorder's bounded buffer discarded.
+	Dropped int64
+	Events  []Event
+}
+
+// Export snapshots the writer's buffered events as a ProcessTrace for
+// merging, without clearing the buffer.
+func (w *ChromeTraceWriter) Export(name string) ProcessTrace {
+	return ProcessTrace{Name: name, Dropped: w.Dropped(), Events: w.Events()}
+}
+
+// WriteClusterJSON merges per-process traces into one Chrome trace-event
+// JSON file: each ProcessTrace becomes a named process, each of its
+// tracks a named thread, and all timestamps land on a single axis — the
+// reference clock — by subtracting each process's Offset and rebasing so
+// the earliest event sits at ts 0. Flow events ('s'/'f') bind by ID
+// across processes, so a message sent on one node and handled on another
+// renders as one arrow spanning the two process lanes.
+func WriteClusterJSON(out io.Writer, procs []ProcessTrace) error {
+	// Rebase: the earliest offset-corrected event across every process
+	// defines ts 0 of the merged timeline.
+	var base int64
+	seen := false
+	for _, p := range procs {
+		for _, ev := range p.Events {
+			if t := ev.Wall - p.Offset; !seen || t < base {
+				base, seen = t, true
+			}
+		}
+	}
+
+	file := traceFile{DisplayTimeUnit: "ms"}
+	type counterKey struct {
+		pid, tid int
+		name     string
+	}
+	totals := make(map[counterKey]int64)
+	var dropped int64
+	for i, p := range procs {
+		pid := i + 1
+		dropped += p.Dropped
+		file.TraceEvents = append(file.TraceEvents, jsonEvent{
+			Name: "process_name", Ph: "M", PID: pid, Args: map[string]any{"name": p.Name},
+		})
+		tids := make(map[string]int)
+		for _, ev := range p.Events {
+			tid, ok := tids[ev.Track]
+			if !ok {
+				tid = len(tids) + 1
+				tids[ev.Track] = tid
+				file.TraceEvents = append(file.TraceEvents, jsonEvent{
+					Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+					Args: map[string]any{"name": ev.Track},
+				})
+			}
+			je := jsonEvent{Name: ev.Name, TS: ev.Wall - p.Offset - base, PID: pid, TID: tid}
+			switch ev.Ph {
+			case 'X':
+				dur := ev.Dur
+				je.Ph = "X"
+				je.Dur = &dur
+			case 'i':
+				je.Ph = "i"
+				je.Args = map[string]any{}
+			case 'C':
+				k := counterKey{pid, tid, ev.Name}
+				totals[k] += ev.Value
+				je.Ph = "C"
+				je.Args = map[string]any{"value": totals[k]}
+			case 'G':
+				je.Ph = "C"
+				je.Args = map[string]any{"value": ev.Value}
+			case 's', 'f':
+				id := ev.ID
+				je.Ph = string(ev.Ph)
+				je.Cat = "msg"
+				je.ID = &id
+				if ev.Ph == 'f' {
+					je.BP = "e"
+				}
+			default:
+				continue // unknown phase (future protocol): skip, don't corrupt
+			}
+			file.TraceEvents = append(file.TraceEvents, je)
+		}
+	}
+	if dropped > 0 {
+		file.OtherData = map[string]any{"droppedEvents": dropped}
+	}
+	return json.NewEncoder(out).Encode(file)
+}

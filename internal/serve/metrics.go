@@ -11,6 +11,7 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -35,7 +36,8 @@ type Metrics struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	gauges   map[string]func() int64
-	levels   map[string]int64 // settable gauges (obs.Registry.SetGauge)
+	floats   map[string]func() float64 // live float gauges (GaugeFloat)
+	levels   map[string]int64          // settable gauges (obs.Registry.SetGauge)
 	hists    map[string]*histogram
 }
 
@@ -44,6 +46,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		counters: make(map[string]int64),
 		gauges:   make(map[string]func() int64),
+		floats:   make(map[string]func() float64),
 		levels:   make(map[string]int64),
 		hists:    make(map[string]*histogram),
 	}
@@ -67,6 +70,15 @@ func (m *Metrics) Counter(name string) int64 {
 func (m *Metrics) Gauge(name string, read func() int64) {
 	m.mu.Lock()
 	m.gauges[name] = read
+	m.mu.Unlock()
+}
+
+// GaugeFloat registers a live float-valued gauge, sampled at render time
+// and rendered with %g (for seconds-denominated series like GC pause
+// totals).
+func (m *Metrics) GaugeFloat(name string, read func() float64) {
+	m.mu.Lock()
+	m.floats[name] = read
 	m.mu.Unlock()
 }
 
@@ -114,6 +126,10 @@ func (m *Metrics) WriteText(w io.Writer) {
 	for n, read := range m.gauges {
 		gauges[n] = read
 	}
+	floats := make(map[string]func() float64, len(m.floats))
+	for n, read := range m.floats {
+		floats[n] = read
+	}
 	levels := make(map[string]int64, len(m.levels))
 	for n, v := range m.levels {
 		levels[n] = v
@@ -124,11 +140,17 @@ func (m *Metrics) WriteText(w io.Writer) {
 	}
 	m.mu.Unlock()
 
-	names := make([]string, 0, len(counters)+len(gauges)+len(levels))
+	names := make([]string, 0, len(counters)+len(gauges)+len(floats)+len(levels))
 	for n := range counters {
 		names = append(names, n)
 	}
 	for n := range gauges {
+		names = append(names, n)
+	}
+	for n := range floats {
+		if _, dup := gauges[n]; dup {
+			continue
+		}
 		names = append(names, n)
 	}
 	for n := range levels {
@@ -138,12 +160,19 @@ func (m *Metrics) WriteText(w io.Writer) {
 		if _, dup := gauges[n]; dup {
 			continue
 		}
+		if _, dup := floats[n]; dup {
+			continue
+		}
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	for _, n := range names {
 		if read, ok := gauges[n]; ok {
 			fmt.Fprintf(w, "%s %d\n", n, read())
+			continue
+		}
+		if read, ok := floats[n]; ok {
+			fmt.Fprintf(w, "%s %g\n", n, read())
 			continue
 		}
 		if v, ok := counters[n]; ok {
@@ -170,4 +199,22 @@ func (m *Metrics) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%s_sum %g\n", n, h.sum)
 		fmt.Fprintf(w, "%s_count %d\n", n, h.total)
 	}
+}
+
+// RegisterRuntimeGauges adds the Go runtime health gauges every /metrics
+// surface in the system exports — the server's, peerd's admin endpoint,
+// and the samples members ship in cluster telemetry frames: goroutine
+// count, live heap bytes, and cumulative GC pause seconds.
+func RegisterRuntimeGauges(m *Metrics) {
+	m.Gauge("go_goroutines", func() int64 { return int64(runtime.NumGoroutine()) })
+	m.Gauge("go_heap_bytes", func() int64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return int64(ms.HeapAlloc)
+	})
+	m.GaugeFloat("go_gc_pause_seconds", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.PauseTotalNs) / 1e9
+	})
 }

@@ -20,6 +20,7 @@ func TestMetricsWriteTextGolden(t *testing.T) {
 	m.Add("ddatalog_facts_derived_total", 2)
 	m.Add(`dist_messages_total{from="p1",to="p2"}`, 7)
 	m.Gauge("diagnosed_sessions_active", func() int64 { return 3 })
+	m.GaugeFloat("go_gc_pause_seconds", func() float64 { return 0.125 })
 	m.SetGauge("diagnosis_unfolding_nodes", 19)
 	m.SetGauge("diagnosis_unfolding_nodes", 11) // levels overwrite
 	m.Observe("h_seconds", 3*time.Millisecond)
@@ -31,6 +32,7 @@ func TestMetricsWriteTextGolden(t *testing.T) {
 diagnosed_sessions_active 3
 diagnosis_unfolding_nodes 11
 dist_messages_total{from="p1",to="p2"} 7
+go_gc_pause_seconds 0.125
 h_seconds_bucket{le="0.001"} 0
 h_seconds_bucket{le="0.005"} 1
 h_seconds_bucket{le="0.025"} 1
@@ -45,6 +47,35 @@ h_seconds_count 2
 `
 	if got := buf.String(); got != want {
 		t.Fatalf("WriteText mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRuntimeGaugesExported: every server /metrics scrape carries the Go
+// runtime health gauges, live-sampled, plus the trace-drop counter.
+func TestRuntimeGaugesExported(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	createSession(t, ts, createRequest{Net: exampleNetText(t)})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	for _, name := range []string{"go_goroutines ", "go_heap_bytes ", "go_gc_pause_seconds ", "trace_events_dropped_total "} {
+		if !strings.Contains(text, "\n"+name) && !strings.HasPrefix(text, name) {
+			t.Errorf("/metrics missing %s", strings.TrimSpace(name))
+		}
+	}
+	if got := metricValue(t, ts, "go_goroutines"); got <= 0 {
+		t.Errorf("go_goroutines = %d, want > 0", got)
+	}
+	if got := metricValue(t, ts, "go_heap_bytes"); got <= 0 {
+		t.Errorf("go_heap_bytes = %d, want > 0", got)
 	}
 }
 

@@ -104,6 +104,15 @@ func NewStore(cfg StoreConfig, metrics *Metrics) *Store {
 		defer st.mu.Unlock()
 		return int64(st.reserved)
 	})
+	metrics.Gauge("trace_events_dropped_total", func() int64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		var total int64
+		for el := st.lru.Front(); el != nil; el = el.Next() {
+			total += el.Value.(*Session).trace.Dropped()
+		}
+		return total
+	})
 	return st
 }
 

@@ -55,6 +55,7 @@ type TCP struct {
 	outs     map[string]*outbound
 	conns    map[net.Conn]struct{} // inbound connections
 	recv     map[string]*recvState
+	offsets  map[string]int64 // per-node clock offset (remote − local, µs)
 	closed   bool
 	closedAt time.Time
 	stats    Stats
@@ -109,13 +110,14 @@ func ListenTCP(self, addr string) (*TCP, error) {
 		return nil, err
 	}
 	return &TCP{
-		self:   self,
-		boot:   binary.LittleEndian.Uint64(boot[:]),
-		ln:     ln,
-		routes: make(map[string]string),
-		outs:   make(map[string]*outbound),
-		conns:  make(map[net.Conn]struct{}),
-		recv:   make(map[string]*recvState),
+		self:    self,
+		boot:    binary.LittleEndian.Uint64(boot[:]),
+		ln:      ln,
+		routes:  make(map[string]string),
+		outs:    make(map[string]*outbound),
+		conns:   make(map[net.Conn]struct{}),
+		recv:    make(map[string]*recvState),
+		offsets: make(map[string]int64),
 	}, nil
 }
 
@@ -130,6 +132,30 @@ func (t *TCP) AddRoute(node, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.routes[node] = addr
+}
+
+// ClockOffsetMicros returns the wall-clock offset of node relative to this
+// one (remote − local, µs), estimated from the last Hello exchanged with
+// it; 0 before any handshake.
+func (t *TCP) ClockOffsetMicros(node string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.offsets[node]
+}
+
+// noteClock records the peer's handshake wall-clock sample against our
+// own clock at receipt. The estimate is biased by the one-way handshake
+// latency (sub-millisecond on the links this runs over), which is fine
+// for its one purpose: shifting per-node trace timelines onto a common
+// axis.
+func (t *TCP) noteClock(node string, wallMicros uint64) {
+	if wallMicros == 0 {
+		return // pre-v4 peer or zeroed clock: no estimate
+	}
+	off := int64(wallMicros) - time.Now().UnixMicro()
+	t.mu.Lock()
+	t.offsets[node] = off
+	t.mu.Unlock()
 }
 
 // Start begins accepting connections and delivering frames to h.
@@ -315,6 +341,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		return
 	}
 	from := hello.Node
+	t.noteClock(from, hello.WallMicros)
 
 	// Reply with the last sequence number already delivered from this
 	// node, so a reconnecting sender replays exactly the lost tail. A new
@@ -328,7 +355,7 @@ func (t *TCP) serveConn(conn net.Conn) {
 		rs.lastSeq = 0
 		rs.since = 0
 	}
-	reply := wire.Hello{Version: wire.Version, Node: t.self, Boot: t.boot, LastSeq: rs.lastSeq}
+	reply := wire.Hello{Version: wire.Version, Node: t.self, Boot: t.boot, WallMicros: uint64(time.Now().UnixMicro()), LastSeq: rs.lastSeq}
 	rs.mu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
 	if err := writeFrame(conn, 0, reply); err != nil {
@@ -603,7 +630,7 @@ func (o *outbound) dial(attemptBase int) (net.Conn, *bufio.Reader, uint64, error
 		conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 		if err == nil {
 			conn.SetDeadline(time.Now().Add(handshakeTimeout))
-			err = writeFrame(conn, 0, wire.Hello{Version: wire.Version, Node: o.t.self, Boot: o.t.boot})
+			err = writeFrame(conn, 0, wire.Hello{Version: wire.Version, Node: o.t.self, Boot: o.t.boot, WallMicros: uint64(time.Now().UnixMicro())})
 			var hello wire.Hello
 			br := bufio.NewReader(conn)
 			if err == nil {
@@ -617,6 +644,7 @@ func (o *outbound) dial(attemptBase int) (net.Conn, *bufio.Reader, uint64, error
 				}
 			}
 			if err == nil {
+				o.t.noteClock(o.node, hello.WallMicros)
 				conn.SetDeadline(time.Time{})
 				o.t.mu.Lock()
 				o.t.stats.Dials++

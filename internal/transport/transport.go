@@ -49,6 +49,13 @@ type Transport interface {
 	AddRoute(node, addr string)
 	// Stats returns a snapshot of the transport's I/O counters.
 	Stats() Stats
+	// ClockOffsetMicros reports the estimated wall-clock offset of the
+	// named node relative to this one (remote minus local, in
+	// microseconds), measured from the wall-clock samples exchanged in
+	// the Hello handshake. 0 when unknown or when the nodes share a
+	// clock (in-process). The estimate is one-shot and unsymmetrized —
+	// good enough to align trace timelines, not to order events.
+	ClockOffsetMicros(node string) int64
 	// Close shuts the transport down, flushing frames already queued to
 	// connected nodes on a best-effort basis.
 	Close() error

@@ -306,3 +306,33 @@ func TestTCPCloseFlushes(t *testing.T) {
 	}
 	assertSequential(t, col.waitFor(t, n), n)
 }
+
+// TestTCPClockOffset: after a handshake in either direction, both sides
+// hold a clock-offset estimate for the peer. Same machine, same clock —
+// the estimate must be near zero (bounded by handshake latency), and the
+// in-process mesh reports exactly zero.
+func TestTCPClockOffset(t *testing.T) {
+	colB := newCollector()
+	a, b := tcpPair(t, func(string, wire.Frame) {}, colB.handle)
+
+	if err := a.Send("b", wire.Poll{Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	colB.waitFor(t, 1)
+
+	const bound = int64(5 * time.Second / time.Microsecond)
+	if off := a.ClockOffsetMicros("b"); off < -bound || off > bound {
+		t.Fatalf("a's offset estimate for b = %dµs, want |off| < %dµs", off, bound)
+	}
+	if off := b.ClockOffsetMicros("a"); off < -bound || off > bound {
+		t.Fatalf("b's offset estimate for a = %dµs, want |off| < %dµs", off, bound)
+	}
+	if off := a.ClockOffsetMicros("ghost"); off != 0 {
+		t.Fatalf("offset for unknown node = %d, want 0", off)
+	}
+
+	mesh := NewMesh()
+	if off := mesh.Node("x").ClockOffsetMicros("y"); off != 0 {
+		t.Fatalf("in-proc offset = %d, want 0", off)
+	}
+}

@@ -37,6 +37,21 @@ func seedCorpus(f *testing.F) {
 		Done{Sent: 5, Processed: []PeerCount{{"p", 5}},
 			ByPair: []PairCount{{"p", "q", 2}}, BytesSent: []PairCount{{"p", "q", 64}},
 			Extras: []KV{{"derived", 3}}},
+		Hello{Version: Version, Node: "m1", Boot: 3, WallMicros: 1_700_000_000_000_000},
+		Data{Gen: 2, Flow: 1 << 40, From: "p1", To: "p2", Payload: Activate{Rel: "r"}},
+		Job{NetText: "place p [a]\n", Alarms: "a@p\n", Engine: 1,
+			Trace: true, TraceID: 12345, ParentSpan: 6,
+			Hosted: []string{"p"}, Peers: []Assign{{"p", "m0"}},
+			Nodes: []Assign{{"m0", ":0"}}, Driver: "drv"},
+		Telemetry{Gen: 2, Node: "m0", TraceID: 12345, WallMicros: 1_700_000_000_000_001,
+			Dropped:  1,
+			Counters: []KV{{"derived", 4}},
+			Gauges:   []KV{{"go_goroutines", 8}},
+			Events: []TraceEvent{
+				{Track: "p", Name: "handle", Ph: 'X', Wall: 1_700_000_000_000_000, Dur: 9},
+				{Track: "net", Name: "pending", Ph: 'C', Wall: 1_700_000_000_000_001, Value: -2},
+				{Track: "p", Name: "msg", Ph: 'f', Wall: 1_700_000_000_000_002, ID: 1 << 40},
+			}},
 	}
 	for i, fr := range frames {
 		f.Add(AppendFrame(nil, uint64(i), fr))

@@ -28,7 +28,9 @@ import (
 // Version is the protocol version exchanged in the Hello handshake. Nodes
 // refuse to talk across versions: the codec has no compatibility shims.
 // Version 3 added the Gen tag carried by every post-handshake frame.
-const Version = 3
+// Version 4 added cluster telemetry: wall-clock samples in Hello, trace
+// context on Job, flow IDs on Data, and the Telemetry frame.
+const Version = 4
 
 // MaxFrame bounds the encoded size of a single frame (64 MiB). The
 // transport rejects longer length prefixes before reading the body, so a
@@ -52,6 +54,7 @@ const (
 	tagStatus
 	tagStop
 	tagDone
+	tagTelemetry
 )
 
 // payload kind tags (inside a Data frame).
@@ -72,11 +75,16 @@ type Frame interface{ isFrame() }
 // reuses its node name but draws a fresh Boot, telling the receiver to
 // discard the previous incarnation's duplicate-filter state instead of
 // dropping the newcomer's frames as replays.
+// WallMicros is the sender's wall clock at encode time (microseconds since
+// the Unix epoch). Each side of the handshake records the difference
+// between the peer's sample and its own clock at receipt, giving the
+// per-node offset estimate that aligns cluster trace timestamps.
 type Hello struct {
-	Version uint32
-	Node    string // sender's node ID
-	Boot    uint64 // sender's transport incarnation
-	LastSeq uint64 // acceptor→dialer only: last delivered seq from the dialer
+	Version    uint32
+	Node       string // sender's node ID
+	Boot       uint64 // sender's transport incarnation
+	WallMicros uint64 // sender's wall clock at encode time (µs since epoch)
+	LastSeq    uint64 // acceptor→dialer only: last delivered seq from the dialer
 }
 
 // Ack tells the sending node that every sequenced frame up to Seq has
@@ -85,9 +93,14 @@ type Ack struct {
 	Seq uint64
 }
 
-// Data carries one peer-to-peer evaluation message.
+// Data carries one peer-to-peer evaluation message. Flow is the sender's
+// globally unique message ID: the receiving node injects the message under
+// the same ID, so the flow arrow recorded at the sender ('s' trace event)
+// and the handle span recorded at the receiver ('f' trace event) bind into
+// one arrow when per-node traces are merged into a cluster timeline.
 type Data struct {
 	Gen     uint64 // job generation the message belongs to
+	Flow    uint64 // sender-assigned flow ID (0 = untracked)
 	From    string // sending peer
 	To      string // receiving peer
 	Payload Payload
@@ -101,17 +114,20 @@ type Data struct {
 // crashed-and-restarted node's replayed tail — Data frames of a round
 // that died with the old process — from polluting the retried round.
 type Job struct {
-	Gen       uint64   // job generation (stamped by the driver's ShipJob)
-	NetText   string   // textual net description (parser.Net format)
-	Alarms    string   // observed alarm sequence (parser.Alarms format)
-	Engine    uint32   // diagnosis engine ordinal (naive or dqsq)
-	MaxDepth  uint32   // term-depth budget; 0 = engine default
-	MaxFacts  uint32   // materialized-fact budget; 0 = engine default
-	TimeoutMS uint32   // driver's evaluation timeout, for the member failsafe
-	Hosted    []string // peers this member hosts
-	Peers     []Assign // full peer→node assignment of the cluster
-	Nodes     []Assign // node→address book for member↔member dialing
-	Driver    string   // driver node ID
+	Gen        uint64   // job generation (stamped by the driver's ShipJob)
+	NetText    string   // textual net description (parser.Net format)
+	Alarms     string   // observed alarm sequence (parser.Alarms format)
+	Engine     uint32   // diagnosis engine ordinal (naive or dqsq)
+	MaxDepth   uint32   // term-depth budget; 0 = engine default
+	MaxFacts   uint32   // materialized-fact budget; 0 = engine default
+	TimeoutMS  uint32   // driver's evaluation timeout, for the member failsafe
+	Trace      bool     // record spans on the member and ship them back per round
+	TraceID    uint64   // trace context: ID of the driver's whole-run trace
+	ParentSpan uint64   // trace context: driver span the member's spans nest under
+	Hosted     []string // peers this member hosts
+	Peers      []Assign // full peer→node assignment of the cluster
+	Nodes      []Assign // node→address book for member↔member dialing
+	Driver     string   // driver node ID
 }
 
 // Assign is one key→value entry of a Job map (peer→node or node→addr).
@@ -183,6 +199,37 @@ type KV struct {
 	Val uint64
 }
 
+// Telemetry is a member's per-round observability sample, sent to the
+// driver just before the round's Done report: cumulative engine counters,
+// runtime gauge readings, and the trace events recorded since the last
+// sample. Gen scopes it to a job generation like every evaluation frame;
+// TraceID echoes the job's trace context so samples of different runs
+// cannot be conflated.
+type Telemetry struct {
+	Gen        uint64
+	Node       string // reporting member
+	TraceID    uint64 // trace context echoed from the Job
+	WallMicros uint64 // reporter's wall clock at encode time (µs since epoch)
+	Dropped    uint64 // trace events lost to the member's bounded buffer
+	Counters   []KV   // cumulative engine counters (derived, replicated, ...)
+	Gauges     []KV   // runtime gauge readings (goroutines, heap bytes, ...)
+	Events     []TraceEvent
+}
+
+// TraceEvent is one recorded trace event in wall-clock form, the unit of
+// cross-process trace shipping. Wall is the recorder's own clock; the
+// driver subtracts the per-node offset estimated from the Hello handshake
+// when merging events into the cluster timeline.
+type TraceEvent struct {
+	Track string // logical track (peer name, "net", ...)
+	Name  string // event name
+	Ph    byte   // Chrome trace phase: X, i, C, G, s, f
+	Wall  int64  // event time, µs since the Unix epoch (recorder's clock)
+	Dur   int64  // duration in µs (complete spans only)
+	Value int64  // counter/gauge value (C and G only)
+	ID    uint64 // flow ID (s and f only)
+}
+
 // FrameGen returns the job generation carried by f, and whether f is a
 // generation-tagged frame at all (the handshake frames are not).
 func FrameGen(f Frame) (uint64, bool) {
@@ -201,19 +248,22 @@ func FrameGen(f Frame) (uint64, bool) {
 		return v.Gen, true
 	case Done:
 		return v.Gen, true
+	case Telemetry:
+		return v.Gen, true
 	}
 	return 0, false
 }
 
-func (Hello) isFrame()  {}
-func (Ack) isFrame()    {}
-func (Data) isFrame()   {}
-func (Job) isFrame()    {}
-func (JobOK) isFrame()  {}
-func (Poll) isFrame()   {}
-func (Status) isFrame() {}
-func (Stop) isFrame()   {}
-func (Done) isFrame()   {}
+func (Hello) isFrame()     {}
+func (Ack) isFrame()       {}
+func (Data) isFrame()      {}
+func (Job) isFrame()       {}
+func (JobOK) isFrame()     {}
+func (Poll) isFrame()      {}
+func (Status) isFrame()    {}
+func (Stop) isFrame()      {}
+func (Done) isFrame()      {}
+func (Telemetry) isFrame() {}
 
 // Payload is the evaluator-level content of a Data frame. The four kinds
 // mirror the messages of the naive distributed evaluation (Section 3.2)
@@ -405,6 +455,7 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 		dst = putUvarint(dst, uint64(v.Version))
 		dst = putString(dst, v.Node)
 		dst = putUvarint(dst, v.Boot)
+		dst = putUvarint(dst, v.WallMicros)
 		dst = putUvarint(dst, v.LastSeq)
 	case Ack:
 		dst = append(dst, tagAck)
@@ -412,6 +463,7 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 	case Data:
 		dst = append(dst, tagData)
 		dst = putUvarint(dst, v.Gen)
+		dst = putUvarint(dst, v.Flow)
 		dst = putString(dst, v.From)
 		dst = putString(dst, v.To)
 		dst = AppendPayload(dst, v.Payload)
@@ -424,6 +476,9 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 		dst = putUvarint(dst, uint64(v.MaxDepth))
 		dst = putUvarint(dst, uint64(v.MaxFacts))
 		dst = putUvarint(dst, uint64(v.TimeoutMS))
+		dst = putBool(dst, v.Trace)
+		dst = putUvarint(dst, v.TraceID)
+		dst = putUvarint(dst, v.ParentSpan)
 		dst = putUvarint(dst, uint64(len(v.Hosted)))
 		for _, h := range v.Hosted {
 			dst = putString(dst, h)
@@ -468,8 +523,36 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 			dst = putUvarint(dst, kv.Val)
 		}
 		dst = putString(dst, v.Err)
+	case Telemetry:
+		dst = append(dst, tagTelemetry)
+		dst = putUvarint(dst, v.Gen)
+		dst = putString(dst, v.Node)
+		dst = putUvarint(dst, v.TraceID)
+		dst = putUvarint(dst, v.WallMicros)
+		dst = putUvarint(dst, v.Dropped)
+		dst = putKVs(dst, v.Counters)
+		dst = putKVs(dst, v.Gauges)
+		dst = putUvarint(dst, uint64(len(v.Events)))
+		for _, e := range v.Events {
+			dst = putString(dst, e.Track)
+			dst = putString(dst, e.Name)
+			dst = append(dst, e.Ph)
+			dst = binary.AppendVarint(dst, e.Wall)
+			dst = binary.AppendVarint(dst, e.Dur)
+			dst = binary.AppendVarint(dst, e.Value)
+			dst = putUvarint(dst, e.ID)
+		}
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame %T", f))
+	}
+	return dst
+}
+
+func putKVs(dst []byte, kvs []KV) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(kvs)))
+	for _, kv := range kvs {
+		dst = putString(dst, kv.Key)
+		dst = putUvarint(dst, kv.Val)
 	}
 	return dst
 }
@@ -517,6 +600,19 @@ func (r *reader) uvarint() uint64 {
 		return 0
 	}
 	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
 	if n <= 0 {
 		r.fail()
 		return 0
@@ -728,11 +824,11 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 	var f Frame
 	switch tag := r.byte(); tag {
 	case tagHello:
-		f = Hello{Version: r.u32(), Node: r.str(), Boot: r.uvarint(), LastSeq: r.uvarint()}
+		f = Hello{Version: r.u32(), Node: r.str(), Boot: r.uvarint(), WallMicros: r.uvarint(), LastSeq: r.uvarint()}
 	case tagAck:
 		f = Ack{Seq: r.uvarint()}
 	case tagData:
-		d := Data{Gen: r.uvarint(), From: r.str(), To: r.str()}
+		d := Data{Gen: r.uvarint(), Flow: r.uvarint(), From: r.str(), To: r.str()}
 		d.Payload = r.payload()
 		f = d
 	case tagJob:
@@ -741,6 +837,9 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 			NetText: r.str(), Alarms: r.str(),
 			Engine: r.u32(), MaxDepth: r.u32(), MaxFacts: r.u32(), TimeoutMS: r.u32(),
 		}
+		j.Trace = r.bool()
+		j.TraceID = r.uvarint()
+		j.ParentSpan = r.uvarint()
 		n := r.count(1)
 		for i := 0; i < n && r.err == nil; i++ {
 			j.Hosted = append(j.Hosted, r.str())
@@ -771,6 +870,21 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 		}
 		d.Err = r.str()
 		f = d
+	case tagTelemetry:
+		t := Telemetry{
+			Gen: r.uvarint(), Node: r.str(),
+			TraceID: r.uvarint(), WallMicros: r.uvarint(), Dropped: r.uvarint(),
+		}
+		t.Counters = r.kvs()
+		t.Gauges = r.kvs()
+		n := r.count(6) // 2 string lengths + phase byte + 3 varints minimum
+		for i := 0; i < n && r.err == nil; i++ {
+			t.Events = append(t.Events, TraceEvent{
+				Track: r.str(), Name: r.str(), Ph: r.byte(),
+				Wall: r.varint(), Dur: r.varint(), Value: r.varint(), ID: r.uvarint(),
+			})
+		}
+		f = t
 	default:
 		r.fail()
 	}
@@ -788,6 +902,15 @@ func (r *reader) assigns() []Assign {
 	var out []Assign
 	for i := 0; i < n && r.err == nil; i++ {
 		out = append(out, Assign{Key: r.str(), Val: r.str()})
+	}
+	return out
+}
+
+func (r *reader) kvs() []KV {
+	n := r.count(2)
+	var out []KV
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, KV{Key: r.str(), Val: r.uvarint()})
 	}
 	return out
 }

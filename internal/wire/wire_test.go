@@ -25,8 +25,10 @@ func sampleFrames(t *testing.T) []Frame {
 	atom := func(name, peer string) Atom { return Atom{Rel: rel.Name(name), Peer: peer, Args: e} }
 	return []Frame{
 		Hello{Version: Version, Node: "m0", LastSeq: 41},
+		Hello{Version: Version, Node: "m1", Boot: 7, WallMicros: 1_720_000_000_000_017},
 		Ack{Seq: 1 << 40},
 		Data{Gen: 4, From: "p1", To: "p2", Payload: Activate{Rel: "conf@p2"}},
+		Data{Gen: 4, Flow: 0xAB00_0000_0042, From: "p1", To: "p2", Payload: Activate{Rel: "conf@p2"}},
 		Data{From: "p2", To: "p1", Payload: Facts{Qual: "conf@p2", Arity: 2, Tuple: e}},
 		Data{Gen: 1 << 33, From: "drv", To: "p1", Payload: Inject{Rel: "obs", Tuple: e}},
 		Data{From: "drv", To: "p1", Payload: Install{Rule: Rule{
@@ -41,6 +43,16 @@ func sampleFrames(t *testing.T) []Frame {
 			Hosted: []string{"p1", "p2"},
 			Peers:  []Assign{{"p1", "m0"}, {"p2", "m1"}},
 			Nodes:  []Assign{{"m0", "127.0.0.1:1"}, {"m1", "127.0.0.1:2"}},
+			Driver: "drv",
+		},
+		Job{
+			Gen:     4,
+			NetText: "place p [a b]\n", Alarms: "a@p\n",
+			Engine: 1, TimeoutMS: 30000,
+			Trace: true, TraceID: 0xDEAD_BEEF_CAFE, ParentSpan: 99,
+			Hosted: []string{"p1"},
+			Peers:  []Assign{{"p1", "m0"}},
+			Nodes:  []Assign{{"m0", "127.0.0.1:1"}},
 			Driver: "drv",
 		},
 		JobOK{Gen: 3, Node: "m0"},
@@ -59,6 +71,20 @@ func sampleFrames(t *testing.T) []Frame {
 			Extras:    []KV{{"derived", 512}, {"replicated", 30}},
 		},
 		Done{Err: "timeout"},
+		Telemetry{Gen: 3, Node: "m0"},
+		Telemetry{
+			Gen: 3, Node: "m1", TraceID: 0xDEAD_BEEF_CAFE,
+			WallMicros: 1_720_000_000_000_042, Dropped: 2,
+			Counters: []KV{{"derived", 512}, {"replicated", 30}},
+			Gauges:   []KV{{"go_goroutines", 12}, {"go_heap_bytes", 1 << 21}},
+			Events: []TraceEvent{
+				{Track: "p1", Name: "handle", Ph: 'X', Wall: 1_720_000_000_000_001, Dur: 37},
+				{Track: "p1", Name: "rule installed", Ph: 'i', Wall: 1_720_000_000_000_002},
+				{Track: "net", Name: "facts_pending", Ph: 'C', Wall: 1_720_000_000_000_003, Value: -4},
+				{Track: "p2", Name: "msg", Ph: 's', Wall: 1_720_000_000_000_004, ID: 0xAB00_0000_0042},
+				{Track: "p1", Name: "msg", Ph: 'f', Wall: 1_720_000_000_000_005, ID: 0xAB00_0000_0042},
+			},
+		},
 	}
 }
 

@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal"
-go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs
 
 echo "== wire codec fuzz smoke"
 # The seed corpus runs under plain `go test` above; this also gives the
@@ -48,6 +48,13 @@ echo "== multi-process smoke"
 # Two peerd daemons on ephemeral ports, diagnosed against from a separate
 # diagnose process; output must match the single-process run exactly.
 go test -run '^TestMultiProcessSmoke$' -count 1 ./cmd/diagnose
+
+echo "== cluster trace smoke (peerd admin endpoints + merged timeline)"
+# Two peerd daemons with -admin endpoints, one traced multi-process
+# diagnosis: /healthz must report ready, each /metrics must carry engine
+# counters plus Go runtime gauges, and the merged trace file must contain
+# spans from all three processes.
+go test -run '^TestClusterTraceSmoke$' -count 1 ./cmd/diagnose
 
 echo "== snapshot round-trip smoke (write-behind, kill -9, restart, re-query)"
 # Stream alarms into a diagnosed session, SIGKILL the server once the
@@ -83,6 +90,26 @@ echo "$bench_out" | awk '
     }'
 go run ./cmd/benchreport -exp trace_overhead -max 3 -json
 go run ./cmd/benchreport -exp transport_overhead -max 3 -json
+
+echo "== cluster-telemetry-overhead guard"
+# Full cluster telemetry — members recording spans, Telemetry frames every
+# round, the driver merging timelines — must stay within 1.15x of the
+# untelemetered distributed run. Both sides are best-of-three batches over
+# one warm mesh cluster, so the ratio compares floors, not noise.
+ctrace_out=$(go run ./cmd/benchreport -exp cluster_trace_overhead -max 3 -json)
+echo "$ctrace_out"
+echo "$ctrace_out" | awk -F'|' '
+    NF >= 7 && $2 + 0 > 0 && $3 + 0 > 0 {
+        found = 1
+        off = $3 + 0; on = $4 + 0; nodes = $7 + 0
+        if (nodes != 2) { printf "guard: telemetry from %d nodes, want 2\n", nodes > "/dev/stderr"; exit 1 }
+        if (on > 1.15 * off) {
+            printf "guard: telemetry-on (%d ns/op) is >1.15x telemetry-off (%d ns/op)\n", on, off > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (off %d ns/op, on %d ns/op, %d member events)\n", off, on, $6 + 0
+    }
+    END { if (!found) { print "guard: cluster_trace_overhead row missing" > "/dev/stderr"; exit 1 } }'
 
 echo "== checkpoint-overhead guard"
 # Restoring a checkpoint must be cheaper than replaying the sequence it
