@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead | repl_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -57,6 +57,21 @@ func main() {
 	run("transport_overhead", func() error { return reportTransportOverhead(*max) })
 	run("snapshot_overhead", func() error { return reportSnapshotOverhead(*max) })
 	run("wal_overhead", func() error { return reportWALOverhead(*max) })
+	run("repl_overhead", func() error { return reportReplOverhead(*max) })
+}
+
+func reportReplOverhead(max int) error {
+	rows, err := experiments.ReplOverhead(max) // max doubles as the append count
+	if err != nil {
+		return err
+	}
+	header("Replication overhead — SyncAlways WAL appends with followers tailing over loopback; 8-writer group commit",
+		"appends", "p50 ns (0 fo)", "p50 ns (1 fo)", "p50 ns (2 fo)", "1-fo ratio", "caught up?",
+		"group ns/op", "solo ns/op", "group gain")
+	row(rows.Appends, rows.P50NsNoFollower, rows.P50NsOneFollower, rows.P50NsTwoFollowers,
+		fmt.Sprintf("%.2f", rows.OneFollowerRatio), rows.FollowersCaughtUp,
+		rows.GroupNsPerOp, rows.SoloNsPerOp, fmt.Sprintf("%.2f", rows.GroupCommitGain))
+	return maybeBench("repl_overhead", []experiments.ReplOverheadRow{*rows})
 }
 
 func reportWALOverhead(max int) error {

@@ -10,8 +10,19 @@
 //	POST   /v1/sessions/{id}/alarms {"alarms": "b@p1 a@p2"}
 //	GET    /v1/sessions/{id}
 //	DELETE /v1/sessions/{id}
+//	POST   /v1/admin/promote
 //	GET    /healthz
 //	GET    /metrics
+//
+// With -replicate-listen the server additionally streams its WAL (and
+// full session snapshots, when a follower needs a fresh start) to live
+// replicas; with -follow ADDR it runs as a read-only follower of the
+// primary at ADDR, applying the stream through the same replay path
+// boot recovery uses. POST /v1/admin/promote turns a follower into the
+// primary: the stream drains, the fencing epoch bumps (persisted to
+// <data-dir>/repl.epoch, and stamped on every replication frame, so a
+// partitioned ex-primary can never feed promoted nodes again), and the
+// mutating endpoints open.
 //
 // SIGINT/SIGTERM drain gracefully: new work is refused with 503 (plus a
 // Retry-After header) while in-flight evaluations finish (bounded by
@@ -32,14 +43,17 @@ import (
 	"errors"
 	"flag"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/repl"
 	"repro/internal/serve"
 	"repro/internal/wal"
 )
@@ -57,6 +71,10 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "directory for session snapshots (enables restart recovery)")
 		fsync        = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 		snapDelay    = flag.Duration("snapshot-delay", 0, "stall each write-behind snapshot (crash-test hook)")
+		replListen   = flag.String("replicate-listen", "", "address to stream the WAL to followers on (requires -data-dir)")
+		follow       = flag.String("follow", "", "primary replication address to follow; the server starts read-only (requires -data-dir)")
+		replHB       = flag.Duration("repl-heartbeat", 500*time.Millisecond, "replication heartbeat interval (must match on both ends)")
+		replLagBound = flag.Duration("repl-lag-bound", 15*time.Second, "how stale the replication stream may go before the follower reports unhealthy")
 		withPprof    = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/")
 		verbose      = flag.Bool("v", false, "log /healthz and /metrics polls too")
 	)
@@ -74,6 +92,11 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if (*replListen != "" || *follow != "") && *dataDir == "" {
+		logger.Error("replication requires -data-dir (the WAL is what gets shipped)")
+		os.Exit(2)
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Store: serve.StoreConfig{
 			MaxSessions:  *maxSessions,
@@ -86,12 +109,83 @@ func main() {
 		DataDir:       *dataDir,
 		Fsync:         policy,
 		SnapshotDelay: *snapDelay,
+		ReadOnly:      *follow != "",
 		Logger:        logger,
 	})
 	start := time.Now()
 	srv.Metrics().Gauge("diagnosed_uptime_seconds", func() int64 {
 		return int64(time.Since(start).Seconds())
 	})
+
+	// Replication: ship the WAL to followers and/or follow a primary.
+	// The fencing epoch lives next to the data it fences.
+	var (
+		replPrimary  *repl.Primary
+		replFollower *repl.Follower
+	)
+	if *replListen != "" || *follow != "" {
+		if !srv.ReplEnabled() {
+			logger.Error("replication unavailable: the WAL failed to open")
+			os.Exit(1)
+		}
+		epochPath := filepath.Join(*dataDir, repl.EpochFile)
+		epoch, err := repl.LoadEpoch(epochPath)
+		if err != nil {
+			logger.Error("bad epoch file", "path", epochPath, "err", err)
+			os.Exit(1)
+		}
+		if *replListen != "" {
+			ln, err := net.Listen("tcp", *replListen)
+			if err != nil {
+				logger.Error("replication listen failed", "addr", *replListen, "err", err)
+				os.Exit(1)
+			}
+			replPrimary = repl.NewPrimary(srv.WALLog(), srv.ReplSource(), repl.PrimaryOptions{
+				Epoch:     epoch,
+				Heartbeat: *replHB,
+				Metrics:   srv.Metrics(),
+				Logger:    logger,
+			})
+			go func() {
+				if err := replPrimary.Serve(ln); err != nil {
+					logger.Error("replication serve failed", "err", err)
+				}
+			}()
+			logger.Info("replicating to followers", "listen", *replListen, "epoch", epoch)
+		}
+		if *follow != "" {
+			replFollower = repl.NewFollower(*follow, srv.ReplApplier(), repl.FollowerOptions{
+				Epoch:        epoch,
+				PersistEpoch: func(e uint64) error { return repl.SaveEpoch(epochPath, e) },
+				Heartbeat:    *replHB,
+				LagBound:     *replLagBound,
+				Metrics:      srv.Metrics(),
+				Logger:       logger,
+			})
+			replFollower.Start()
+			srv.Metrics().GaugeFloat("repl_lag_seconds", func() float64 {
+				return replFollower.Status().SinceContact.Seconds()
+			})
+			// Promote: drain the stream, then bump and persist the fencing
+			// epoch BEFORE serving writes — the bump is what keeps a
+			// partitioned ex-primary from ever feeding this node again. A
+			// configured -replicate-listen keeps shipping under the new epoch.
+			srv.SetPromote(func() (uint64, error) {
+				replFollower.Stop()
+				newEpoch := replFollower.Epoch() + 1
+				if err := repl.SaveEpoch(epochPath, newEpoch); err != nil {
+					return 0, err
+				}
+				if replPrimary != nil {
+					replPrimary.SetEpoch(newEpoch)
+				}
+				srv.Metrics().SetGauge("repl_epoch", int64(newEpoch))
+				logger.Info("promoted: now serving writes", "epoch", newEpoch)
+				return newEpoch, nil
+			})
+			logger.Info("following primary", "addr", *follow, "epoch", epoch, "lag_bound", *replLagBound)
+		}
+	}
 
 	var handler http.Handler = srv
 	if *withPprof {
@@ -129,9 +223,16 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting connections first, then drain in-flight evaluations.
+	// Stop accepting connections first, then the replication stream (it
+	// holds the WAL open), then drain in-flight evaluations.
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Error("http shutdown", "err", err)
+	}
+	if replFollower != nil {
+		replFollower.Stop()
+	}
+	if replPrimary != nil {
+		replPrimary.Close()
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("drain incomplete", "err", err)

@@ -90,14 +90,21 @@ type Cluster struct {
 	// of the failed attempt cannot leak into the retry. 0 means no
 	// retries.
 	Retries int
+	// Metrics, when set, receives the driver's cluster health series:
+	// dist_round_latency_seconds{node,phase} observations and
+	// dist_straggler_total{node} counts (internal/serve's *Metrics
+	// satisfies the interface). Set before the first RunDistributed.
+	Metrics obs.Registry
 
 	mu  sync.Mutex
 	drv *dist.Driver
 
 	// Telemetry harvested from members across RunDistributed calls, keyed
-	// by node name (see ProcessTraces, MemberCounters). Populated only
-	// when Options.Tracer is enabled: the job then ships with Trace set
-	// and members record and return their spans.
+	// by node name (see ProcessTraces, MemberCounters). Traces populate
+	// only when Options.Tracer is enabled: the job then ships with Trace
+	// set and members record and return their spans. Counters also carry
+	// the driver-observed per-node round latencies and straggler counts,
+	// which accumulate on every run, traced or not.
 	traces         map[string]*obs.ProcessTrace
 	memberCounters map[string]map[string]uint64
 	traceIDv       uint64
@@ -136,6 +143,9 @@ func (cl *Cluster) driver(pn *petri.PetriNet) (*dist.Driver, error) {
 	drv, err := dist.NewDriver(cl.Transport, cl.Nodes, assign)
 	if err != nil {
 		return nil, err
+	}
+	if cl.Metrics != nil {
+		drv.SetMetrics(cl.Metrics)
 	}
 	cl.drv = drv
 	return drv, nil
@@ -265,19 +275,21 @@ func runDistributedOnce(pn *petri.PetriNet, seq alarm.Seq, engine Engine, opt Op
 	)
 	eng.SetNetFactory(func() dist.Net {
 		r := drv.NewRound()
-		if base.Trace {
-			roundsMu.Lock()
-			rounds = append(rounds, r)
-			roundsMu.Unlock()
-		}
+		roundsMu.Lock()
+		rounds = append(rounds, r)
+		roundsMu.Unlock()
 		return r
 	})
 	res, err := eng.Run(query, opt.Timeout)
 	// Harvest member telemetry even from a failed attempt: the spans that
-	// did arrive are exactly what explains the failure.
+	// did arrive are exactly what explains the failure. Driver-observed
+	// round latencies accumulate regardless of tracing (members shipped
+	// no telemetry then, but the driver measured its own poll round
+	// trips either way).
 	roundsMu.Lock()
 	for _, r := range rounds {
 		cl.absorbTelemetry(r.ClusterTelemetry())
+		cl.absorbRoundLatencies(r.RoundLatencies())
 	}
 	roundsMu.Unlock()
 	if err != nil {

@@ -7,6 +7,7 @@ package diagnosis
 // that obs.WriteClusterJSON merges into one cluster timeline.
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"time"
@@ -113,6 +114,34 @@ func (cl *Cluster) absorbTelemetry(tels []wire.Telemetry) {
 	}
 }
 
+// absorbRoundLatencies folds the driver-observed per-node round latency
+// summary into the per-member counter samples: the latest mean latency
+// per phase (in microseconds, matching the telemetry convention of plain
+// uint64 samples) and a cumulative straggler count. Unlike trace
+// telemetry these need no member cooperation — the driver measures its
+// own poll round trips — so they accumulate on untraced runs too.
+func (cl *Cluster) absorbRoundLatencies(lats []dist.RoundLatency) {
+	if len(lats) == 0 {
+		return
+	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.memberCounters == nil {
+		cl.memberCounters = make(map[string]map[string]uint64)
+	}
+	for _, l := range lats {
+		c := cl.memberCounters[l.Node]
+		if c == nil {
+			c = make(map[string]uint64)
+			cl.memberCounters[l.Node] = c
+		}
+		c[fmt.Sprintf("dist_round_latency_us{phase=%q}", l.Phase)] = uint64(l.Mean.Microseconds())
+		if l.Straggler {
+			c["dist_straggler_total"]++
+		}
+	}
+}
+
 // ProcessTraces returns the member traces accumulated by RunDistributed
 // calls on this cluster, sorted by node name and offset-corrected onto
 // the driver's clock. Pass them, together with the driver's own trace
@@ -139,7 +168,9 @@ func (cl *Cluster) ProcessTraces() []obs.ProcessTrace {
 
 // MemberCounters returns the latest engine counter and runtime gauge
 // samples per member node (cumulative values from each node's most recent
-// telemetry frame).
+// telemetry frame), plus the driver-observed round latency summary:
+// dist_round_latency_us{phase} means and cumulative dist_straggler_total
+// counts, present even on untraced runs.
 func (cl *Cluster) MemberCounters() map[string]map[string]uint64 {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()

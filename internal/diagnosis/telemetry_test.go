@@ -3,6 +3,7 @@ package diagnosis
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/alarm"
@@ -47,7 +48,8 @@ func TestDistributedTelemetry(t *testing.T) {
 		if c == nil {
 			t.Fatalf("no counters for %s", node)
 		}
-		for _, key := range []string{"derived", "replicated", "go_goroutines", "go_heap_bytes", "go_gc_pause_ns"} {
+		for _, key := range []string{"derived", "replicated", "go_goroutines", "go_heap_bytes", "go_gc_pause_ns",
+			`dist_round_latency_us{phase="status-reply"}`} {
 			if _, ok := c[key]; !ok {
 				t.Errorf("member %s counters missing %s: %v", node, key, c)
 			}
@@ -102,8 +104,18 @@ func TestDistributedTelemetryOff(t *testing.T) {
 	if procs := cl.ProcessTraces(); len(procs) != 0 {
 		t.Fatalf("untraced run accumulated %d process traces", len(procs))
 	}
-	if counters := cl.MemberCounters(); len(counters) != 0 {
-		t.Fatalf("untraced run accumulated counters: %v", counters)
+	// Members ship nothing without a trace context, so no engine counters
+	// or runtime gauges accumulate — but the driver-observed round
+	// latencies do: the driver measures its own poll round trips.
+	for node, c := range cl.MemberCounters() {
+		for key := range c {
+			if !strings.HasPrefix(key, "dist_round_latency_us") && !strings.HasPrefix(key, "dist_straggler_total") {
+				t.Errorf("untraced run accumulated member-shipped counter %s on %s", key, node)
+			}
+		}
+		if _, ok := c[`dist_round_latency_us{phase="status-reply"}`]; !ok {
+			t.Errorf("untraced run missing driver-observed latency for %s: %v", node, c)
+		}
 	}
 }
 

@@ -79,10 +79,11 @@ type Driver struct {
 	assign map[PeerID]string
 	logger *slog.Logger
 
-	mu     sync.Mutex
-	gen    uint64 // current job generation; bumped by every ShipJob
-	cur    *DriverRound
-	jobOKs map[string]wire.JobOK
+	mu      sync.Mutex
+	gen     uint64 // current job generation; bumped by every ShipJob
+	cur     *DriverRound
+	jobOKs  map[string]wire.JobOK
+	metrics obs.Registry
 }
 
 // NewDriver creates the driver endpoint over tr, coordinating the given
@@ -110,6 +111,18 @@ func (d *Driver) SetLogger(l *slog.Logger) {
 	}
 	d.mu.Lock()
 	d.logger = l
+	d.mu.Unlock()
+}
+
+// SetMetrics installs the registry the driver folds cluster health series
+// into: one dist_round_latency_seconds{node,phase} observation per member
+// per round (its mean status-reply and done-report latency, as seen from
+// the driver) and a dist_straggler_total{node} increment whenever the
+// straggler check flags a node. Nil (the default) disables the series;
+// the structured straggler log is emitted either way.
+func (d *Driver) SetMetrics(reg obs.Registry) {
+	d.mu.Lock()
+	d.metrics = reg
 	d.mu.Unlock()
 }
 
@@ -373,29 +386,49 @@ func (r *DriverRound) Run(initial []Message, timeout time.Duration) (Stats, erro
 	return stats, err
 }
 
-// reportStragglers compares each member's mean per-phase latency against
-// the cluster median and logs a structured warning naming any node whose
-// mean exceeds stragglerFactor× the median (by at least stragglerMinGap).
-// Two phases are measured per round: how fast a node answers quiescence
-// polls (status-reply) and how fast it files its end-of-round report after
-// the stop broadcast (done-report).
-func (r *DriverRound) reportStragglers() {
-	r.d.mu.Lock()
-	logger := r.d.logger
-	r.d.mu.Unlock()
+// RoundLatency is one node's driver-observed latency summary for one
+// phase of one round: the mean of its samples, the cluster median of the
+// per-node means it was judged against, and whether the straggler check
+// flagged it. Two phases are measured per round: how fast a node answers
+// quiescence polls (status-reply) and how fast it files its end-of-round
+// report after the stop broadcast (done-report).
+type RoundLatency struct {
+	Node      string
+	Phase     string // "status-reply" or "done-report"
+	Mean      time.Duration
+	Samples   int
+	Median    time.Duration // zero when fewer than two nodes reported
+	Straggler bool
+}
+
+// RoundLatencies returns the round's per-node latency summary, sorted by
+// phase then node. Meaningful once the round has ended (Run returned);
+// callers fold it into cluster-level telemetry.
+func (r *DriverRound) RoundLatencies() []RoundLatency {
 	r.mu.Lock()
-	phases := map[string]map[string]latSample{
-		"status-reply": r.statLat,
-		"done-report":  r.doneLat,
+	defer r.mu.Unlock()
+	return r.latencySummaryLocked()
+}
+
+// latencySummaryLocked folds the raw per-phase samples into per-node
+// means and straggler flags: a node is a straggler when its mean exceeds
+// stragglerFactor× the cluster median by at least stragglerMinGap (so
+// microsecond jitter on fast rounds never qualifies), judged only when at
+// least two nodes reported. Caller holds r.mu.
+func (r *DriverRound) latencySummaryLocked() []RoundLatency {
+	var out []RoundLatency
+	phases := []struct {
+		name    string
+		perNode map[string]latSample
+	}{
+		{"status-reply", r.statLat},
+		{"done-report", r.doneLat},
 	}
-	for phase, perNode := range phases {
-		if len(perNode) < 2 {
-			continue // a median over one node flags nothing
-		}
-		nodes := make([]string, 0, len(perNode))
-		means := make(map[string]time.Duration, len(perNode))
-		all := make([]time.Duration, 0, len(perNode))
-		for node, s := range perNode {
+	for _, ph := range phases {
+		nodes := make([]string, 0, len(ph.perNode))
+		means := make(map[string]time.Duration, len(ph.perNode))
+		all := make([]time.Duration, 0, len(ph.perNode))
+		for node, s := range ph.perNode {
 			if s.n == 0 {
 				continue
 			}
@@ -404,27 +437,59 @@ func (r *DriverRound) reportStragglers() {
 			means[node] = m
 			all = append(all, m)
 		}
-		if len(all) < 2 {
-			continue
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-		median := all[len(all)/2]
 		sort.Strings(nodes)
+		var median time.Duration
+		judged := len(all) >= 2 // a median over one node flags nothing
+		if judged {
+			sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+			median = all[len(all)/2]
+		}
 		for _, node := range nodes {
 			mean := means[node]
-			if mean > stragglerFactor*median && mean-median > stragglerMinGap {
-				logger.Warn("dist: straggler detected",
-					"node", node,
-					"phase", phase,
-					"gen", r.gen,
-					"mean_ms", float64(mean)/float64(time.Millisecond),
-					"median_ms", float64(median)/float64(time.Millisecond),
-					"samples", perNode[node].n,
-				)
-			}
+			out = append(out, RoundLatency{
+				Node:      node,
+				Phase:     ph.name,
+				Mean:      mean,
+				Samples:   ph.perNode[node].n,
+				Median:    median,
+				Straggler: judged && mean > stragglerFactor*median && mean-median > stragglerMinGap,
+			})
 		}
 	}
+	return out
+}
+
+// reportStragglers emits the end-of-round latency summary: one
+// dist_round_latency_seconds{node,phase} observation per node into the
+// driver's metrics registry, a dist_straggler_total{node} increment plus
+// a structured warning for every flagged node.
+func (r *DriverRound) reportStragglers() {
+	r.d.mu.Lock()
+	logger := r.d.logger
+	metrics := r.d.metrics
+	r.d.mu.Unlock()
+	r.mu.Lock()
+	summary := r.latencySummaryLocked()
 	r.mu.Unlock()
+	for _, l := range summary {
+		if metrics != nil {
+			metrics.Observe(fmt.Sprintf("dist_round_latency_seconds{node=%q,phase=%q}", l.Node, l.Phase), l.Mean)
+		}
+		if !l.Straggler {
+			continue
+		}
+		logger.Warn("dist: straggler detected",
+			"node", l.Node,
+			"phase", l.Phase,
+			"gen", r.gen,
+			"mean_ms", float64(l.Mean)/float64(time.Millisecond),
+			"median_ms", float64(l.Median)/float64(time.Millisecond),
+			"samples", l.Samples,
+		)
+		if metrics != nil {
+			metrics.Add(fmt.Sprintf("dist_straggler_total{node=%q}", l.Node), 1)
+		}
+	}
 }
 
 // ClusterTelemetry returns the telemetry frames the members shipped during

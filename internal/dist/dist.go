@@ -472,6 +472,12 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 		timeout = time.Minute
 	}
 	start := time.Now()
+	// One span per round on the dist-round track: trace writers show it
+	// on the timeline, and a metrics sink with ObserveSpans configured
+	// folds its duration into a dist_round_latency_seconds histogram (the
+	// node's own view of the round, next to the driver's per-node series).
+	roundSpan := n.tracer.Begin("dist-round", "dist: round")
+	defer n.tracer.End(roundSpan)
 
 	// Seed through the regular send path so seeds addressed to peers
 	// hosted on other nodes route like any other message. The peer loops

@@ -145,11 +145,37 @@ func (h *capturingHandler) Handle(_ context.Context, r slog.Record) error {
 func (h *capturingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
 func (h *capturingHandler) WithGroup(string) slog.Handler      { return h }
 
+// fakeRegistry records what the straggler reporter folds into metrics.
+type fakeRegistry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	observed map[string][]time.Duration
+}
+
+func newFakeRegistry() *fakeRegistry {
+	return &fakeRegistry{counters: make(map[string]int64), observed: make(map[string][]time.Duration)}
+}
+
+func (r *fakeRegistry) Add(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+func (r *fakeRegistry) SetGauge(string, int64) {}
+func (r *fakeRegistry) Observe(name string, d time.Duration) {
+	r.mu.Lock()
+	r.observed[name] = append(r.observed[name], d)
+	r.mu.Unlock()
+}
+
 // TestStragglerReport drives reportStragglers directly: a node whose mean
 // status-reply latency is far past the cluster median must be named in a
-// structured warning; balanced nodes must not.
+// structured warning and counted in dist_straggler_total{node}; balanced
+// nodes must not. Every node's mean must land in its
+// dist_round_latency_seconds{node,phase} series.
 func TestStragglerReport(t *testing.T) {
 	cap := &capturingHandler{}
+	reg := newFakeRegistry()
 	mesh := transport.NewMesh()
 	drv, err := NewDriver(mesh.Node("drv"), []string{"n1", "n2", "n3"}, nil)
 	if err != nil {
@@ -157,6 +183,7 @@ func TestStragglerReport(t *testing.T) {
 	}
 	t.Cleanup(func() { mesh.Node("drv").Close() })
 	drv.SetLogger(slog.New(cap))
+	drv.SetMetrics(reg)
 
 	r := drv.NewRound()
 	r.statLat = map[string]latSample{
@@ -185,6 +212,90 @@ func TestStragglerReport(t *testing.T) {
 	}
 	if len(named) != 1 || named[0] != "n3" {
 		t.Fatalf("stragglers named = %v, want [n3]", named)
+	}
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if got := reg.counters[`dist_straggler_total{node="n3"}`]; got != 1 {
+		t.Fatalf("dist_straggler_total{n3} = %d, want 1 (counters: %v)", got, reg.counters)
+	}
+	for name := range reg.counters {
+		if name != `dist_straggler_total{node="n3"}` {
+			t.Errorf("unexpected straggler counter %s", name)
+		}
+	}
+	for node, mean := range map[string]time.Duration{"n1": time.Millisecond, "n2": 1200 * time.Microsecond, "n3": 20 * time.Millisecond} {
+		series := `dist_round_latency_seconds{node="` + node + `",phase="status-reply"}`
+		got := reg.observed[series]
+		if len(got) != 1 || got[0] != mean {
+			t.Errorf("%s = %v, want [%v]", series, got, mean)
+		}
+	}
+
+	// The exported summary carries the same verdicts for telemetry folds.
+	byNode := map[string]RoundLatency{}
+	for _, l := range r.RoundLatencies() {
+		if l.Phase == "status-reply" {
+			byNode[l.Node] = l
+		}
+	}
+	if len(byNode) != 3 {
+		t.Fatalf("RoundLatencies nodes = %v", byNode)
+	}
+	if !byNode["n3"].Straggler || byNode["n1"].Straggler || byNode["n2"].Straggler {
+		t.Fatalf("RoundLatencies straggler flags wrong: %v", byNode)
+	}
+	if byNode["n3"].Mean != 20*time.Millisecond || byNode["n3"].Samples != 10 {
+		t.Fatalf("n3 summary = %+v", byNode["n3"])
+	}
+}
+
+// TestRoundSpanFeedsHistogram: a metrics sink with the dist-round track
+// routed to dist_round_latency_seconds (the peerd -admin wiring) folds
+// one histogram sample out of every Network.Run — the node's own view of
+// the round, no driver required.
+func TestRoundSpanFeedsHistogram(t *testing.T) {
+	reg := newFakeRegistry()
+	sink := obs.NewMetricsSink(reg)
+	sink.ObserveSpans("dist-round", "dist_round_latency_seconds")
+	n := NewNetwork()
+	n.SetTracer(sink)
+	n.AddPeer("a", func(ctx *Context, m Message) {})
+	if _, err := n.Run(nil, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if got := reg.observed["dist_round_latency_seconds"]; len(got) != 1 {
+		t.Fatalf("dist_round_latency_seconds observations = %v, want exactly one", got)
+	}
+}
+
+// TestRoundLatencySingleNode: a one-node cluster still observes its
+// latency series (there is no median to judge against, so nothing is
+// ever flagged).
+func TestRoundLatencySingleNode(t *testing.T) {
+	reg := newFakeRegistry()
+	mesh := transport.NewMesh()
+	drv, err := NewDriver(mesh.Node("drv"), []string{"n1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Node("drv").Close() })
+	drv.SetMetrics(reg)
+
+	r := drv.NewRound()
+	r.statLat = map[string]latSample{"n1": {sum: 500 * time.Millisecond, n: 5}}
+	r.reportStragglers()
+
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if len(reg.counters) != 0 {
+		t.Fatalf("single-node round flagged stragglers: %v", reg.counters)
+	}
+	series := `dist_round_latency_seconds{node="n1",phase="status-reply"}`
+	if got := reg.observed[series]; len(got) != 1 || got[0] != 100*time.Millisecond {
+		t.Fatalf("%s = %v, want [100ms]", series, got)
 	}
 }
 

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/wal"
+)
+
+// ReplOverheadRow quantifies what live replication costs the primary and
+// what group commit buys it. The append side is the diagnosed serving
+// path in miniature: a WAL under -fsync always, appends timed one by one
+// while zero, one, or two followers tail the log over TCP loopback.
+// Shipping is asynchronous (a per-follower goroutine wakes on the
+// appended sequence), so follower count should barely move the p50 —
+// verify.sh guards the one-follower ratio at 1.25x. Each configuration
+// is best-of-three batches, so the ratio compares floors, not scheduler
+// noise on a loaded machine. The group-commit side reruns the wal bench
+// shape: 8 concurrent writers under SyncAlways, batched fsyncs vs one
+// fsync per append.
+type ReplOverheadRow struct {
+	Appends           int
+	P50NsNoFollower   int64
+	P50NsOneFollower  int64
+	P50NsTwoFollowers int64
+	OneFollowerRatio  float64 // p50(1 follower) / p50(0 followers)
+	FollowersCaughtUp bool    // every follower log holds every appended record
+
+	Writers         int
+	GroupNsPerOp    int64   // 8 writers, group commit on
+	SoloNsPerOp     int64   // 8 writers, one fsync per append
+	GroupCommitGain float64 // solo / group throughput ratio
+}
+
+// replBenchSource ships no sessions: the log's full record range covers
+// everything, so a fresh follower resyncs to an empty table and streams
+// from the first retained sequence — exactly the shape of a diagnosed
+// primary whose sessions all live in the uncompacted log.
+type replBenchSource struct{ log *wal.Log }
+
+func (s replBenchSource) Dump() ([]repl.Snapshot, uint64, error) {
+	resume := s.log.FirstSeq()
+	if resume == 0 {
+		resume = s.log.LastSeq() + 1
+	}
+	return nil, resume, nil
+}
+
+// replBenchApplier mirrors the stream into the follower's own log — the
+// same durability work serve's applier does, minus the session replay.
+type replBenchApplier struct{ log *wal.Log }
+
+func (a replBenchApplier) LastApplied() (uint64, uint32) {
+	last := a.log.LastSeq()
+	if last == 0 {
+		return 0, 0
+	}
+	var crc uint32
+	if err := a.log.ReadRange(last, last, func(_ uint64, payload []byte) error {
+		crc = crc32.ChecksumIEEE(payload)
+		return nil
+	}); err != nil {
+		return last, 0
+	}
+	return last, crc
+}
+
+func (a replBenchApplier) Resync(_ []repl.Snapshot, resume uint64) error {
+	return a.log.SkipTo(resume)
+}
+
+func (a replBenchApplier) Apply(seq uint64, payload []byte) error {
+	got, err := a.log.Append(payload)
+	if err != nil {
+		return err
+	}
+	if got != seq {
+		return fmt.Errorf("experiments: local wal assigned seq %d, stream says %d", got, seq)
+	}
+	return nil
+}
+
+// ReplOverhead runs the replication-overhead experiment: n timed appends
+// per follower configuration (default 128), then the 8-writer group
+// commit comparison over the same total append count.
+func ReplOverhead(n int) (*ReplOverheadRow, error) {
+	if n <= 0 {
+		n = 128
+	}
+	dir, err := os.MkdirTemp("", "repl-overhead-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	row := &ReplOverheadRow{Appends: n, Writers: 8, FollowersCaughtUp: true}
+	payload := bytes.Repeat([]byte("d"), 256)
+
+	// timedAppends opens a fresh SyncAlways log, attaches the requested
+	// follower count, and returns the p50 append latency once every
+	// follower is live (so shipping overlaps the timed appends).
+	timedAppends := func(name string, followers int) (int64, error) {
+		log, err := wal.Open(filepath.Join(dir, name), wal.Options{Fsync: wal.SyncAlways})
+		if err != nil {
+			return 0, err
+		}
+		defer log.Close() //nolint:errcheck // experiment scratch state
+		var (
+			primary *repl.Primary
+			fs      []*repl.Follower
+			flogs   []*wal.Log
+		)
+		if followers > 0 {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return 0, err
+			}
+			primary = repl.NewPrimary(log, replBenchSource{log}, repl.PrimaryOptions{Heartbeat: 50 * time.Millisecond})
+			go primary.Serve(ln) //nolint:errcheck // closed by primary.Close
+			defer primary.Close()
+			for i := 0; i < followers; i++ {
+				flog, err := wal.Open(filepath.Join(dir, fmt.Sprintf("%s-f%d", name, i)), wal.Options{Fsync: wal.SyncNever})
+				if err != nil {
+					return 0, err
+				}
+				defer flog.Close() //nolint:errcheck // experiment scratch state
+				f := repl.NewFollower(ln.Addr().String(), replBenchApplier{flog},
+					repl.FollowerOptions{Heartbeat: 50 * time.Millisecond})
+				f.Start()
+				defer f.Stop()
+				fs = append(fs, f)
+				flogs = append(flogs, flog)
+			}
+			for _, f := range fs {
+				if err := waitReplUntil(5*time.Second, func() bool { return f.Status().Connected }); err != nil {
+					return 0, fmt.Errorf("follower never connected: %w", err)
+				}
+			}
+		}
+		lats := make([]time.Duration, n)
+		for i := range lats {
+			start := time.Now()
+			if _, err := log.Append(payload); err != nil {
+				return 0, err
+			}
+			lats[i] = time.Since(start)
+		}
+		// Drain: every follower must hold the full record range before the
+		// configuration tears down — replication is async but not lossy.
+		want := log.LastSeq()
+		for _, flog := range flogs {
+			flog := flog
+			if err := waitReplUntil(10*time.Second, func() bool { return flog.LastSeq() >= want }); err != nil {
+				row.FollowersCaughtUp = false
+			}
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		return lats[len(lats)/2].Nanoseconds(), nil
+	}
+
+	// bestP50 takes the floor of three batches: a transient stall (GC,
+	// scheduler, a neighbouring benchmark) inflates one batch, not all
+	// three, so comparing minima isolates the cost that is actually
+	// attributable to the follower.
+	bestP50 := func(name string, followers int) (int64, error) {
+		var best int64
+		for b := 0; b < 3; b++ {
+			p50, err := timedAppends(fmt.Sprintf("%s-b%d", name, b), followers)
+			if err != nil {
+				return 0, err
+			}
+			if best == 0 || p50 < best {
+				best = p50
+			}
+		}
+		return best, nil
+	}
+
+	// Warm-up (page cache, lazy segment creation), then the timed runs.
+	if _, err := timedAppends("warmup", 0); err != nil {
+		return nil, err
+	}
+	if row.P50NsNoFollower, err = bestP50("f0", 0); err != nil {
+		return nil, err
+	}
+	if row.P50NsOneFollower, err = bestP50("f1", 1); err != nil {
+		return nil, err
+	}
+	if row.P50NsTwoFollowers, err = bestP50("f2", 2); err != nil {
+		return nil, err
+	}
+	if row.P50NsNoFollower > 0 {
+		row.OneFollowerRatio = float64(row.P50NsOneFollower) / float64(row.P50NsNoFollower)
+	}
+
+	// Group commit: 8 writers hammering one SyncAlways log, batched
+	// fsyncs vs one per append. SyncDelay models a disk with a real sync
+	// cost, as in wal's BenchmarkAppend8Writers — without it a tmpfs
+	// fsync is too cheap for batching to matter.
+	concurrent := func(name string, off bool) (int64, error) {
+		log, err := wal.Open(filepath.Join(dir, name), wal.Options{
+			Fsync: wal.SyncAlways, SyncDelay: 200 * time.Microsecond, NoGroupCommit: off,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer log.Close() //nolint:errcheck // experiment scratch state
+		per := (n + row.Writers - 1) / row.Writers
+		var wg sync.WaitGroup
+		errc := make(chan error, row.Writers)
+		start := time.Now()
+		for w := 0; w < row.Writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := log.Append(payload); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errc:
+			return 0, err
+		default:
+		}
+		return elapsed.Nanoseconds() / int64(per*row.Writers), nil
+	}
+	if row.GroupNsPerOp, err = concurrent("group", false); err != nil {
+		return nil, err
+	}
+	if row.SoloNsPerOp, err = concurrent("solo", true); err != nil {
+		return nil, err
+	}
+	if row.GroupNsPerOp > 0 {
+		row.GroupCommitGain = float64(row.SoloNsPerOp) / float64(row.GroupNsPerOp)
+	}
+	return row, nil
+}
+
+// waitReplUntil polls cond every millisecond until it holds or the
+// deadline passes.
+func waitReplUntil(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("condition not reached within %v", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+func TestReplOverheadShape(t *testing.T) {
+	row, err := ReplOverhead(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Appends != 16 || row.Writers != 8 {
+		t.Fatalf("sizes = %d appends / %d writers", row.Appends, row.Writers)
+	}
+	if row.P50NsNoFollower <= 0 || row.P50NsOneFollower <= 0 || row.P50NsTwoFollowers <= 0 {
+		t.Fatalf("non-positive p50 timings: %+v", row)
+	}
+	if row.OneFollowerRatio <= 0 {
+		t.Fatalf("follower ratio = %v", row.OneFollowerRatio)
+	}
+	if !row.FollowersCaughtUp {
+		t.Fatal("a follower failed to replicate every appended record")
+	}
+	if row.GroupNsPerOp <= 0 || row.SoloNsPerOp <= 0 || row.GroupCommitGain <= 0 {
+		t.Fatalf("non-positive group-commit timings: %+v", row)
+	}
+}

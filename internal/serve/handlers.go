@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -48,6 +49,11 @@ type Config struct {
 	// WAL, so crash tests can target it deterministically). 0 in
 	// production.
 	SnapshotDelay time.Duration
+	// ReadOnly starts the server as a replication follower: create,
+	// append and delete refuse with 503 ErrReadOnly until a promote
+	// (POST /v1/admin/promote) flips the server writable. Reads, health
+	// and metrics always work.
+	ReadOnly bool
 	// Logger receives persistence and drain-disposition logs; nil
 	// discards them.
 	Logger *slog.Logger
@@ -83,6 +89,12 @@ type Server struct {
 	inflight sync.WaitGroup
 	finalize sync.Once // persist-and-clear runs exactly once across concurrent Shutdowns
 
+	// readOnly gates the mutating handlers while the server follows a
+	// replication primary; promote flips it off exactly once.
+	readOnly  atomic.Bool
+	promoteMu sync.Mutex
+	promoteFn func() (epoch uint64, err error)
+
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 }
@@ -107,6 +119,7 @@ func NewServer(cfg Config) *Server {
 		sweepStop: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	s.readOnly.Store(cfg.ReadOnly)
 	if cfg.DataDir != "" {
 		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 			// Serving sessions beats refusing to start; the server just
@@ -139,6 +152,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/admin/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
@@ -345,6 +359,10 @@ type errorResponse struct {
 // ---- handlers ----
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly.Load() {
+		s.fail(w, ErrReadOnly)
+		return
+	}
 	start := time.Now()
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -400,6 +418,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly.Load() {
+		s.fail(w, ErrReadOnly)
+		return
+	}
 	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
 	if !ok {
 		s.notFound(w)
@@ -506,6 +528,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.readOnly.Load() {
+		s.fail(w, ErrReadOnly)
+		return
+	}
 	id := r.PathValue("id")
 	if s.wal != nil {
 		// Log the delete intent before acknowledging it: the record is what
@@ -527,6 +553,52 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
+
+// promoteResponse acknowledges a successful promote with the fencing
+// epoch the server now serves under.
+type promoteResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// handlePromote turns a read-only follower into the primary: the
+// configured promote hook (cmd/diagnosed: stop the stream, bump and
+// persist the fencing epoch, start shipping) runs first, and only then
+// do the mutating handlers open. An already-writable server answers
+// 409 — promote is not idempotent; the epoch bump fences the old
+// primary and must happen exactly once per failover.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	if !s.readOnly.Load() {
+		s.writeJSON(w, http.StatusConflict, errorResponse{Error: "already primary"})
+		return
+	}
+	var epoch uint64
+	if s.promoteFn != nil {
+		e, err := s.promoteFn()
+		if err != nil {
+			s.writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: fmt.Sprintf("promote failed: %v", err)})
+			return
+		}
+		epoch = e
+	}
+	s.readOnly.Store(false)
+	s.log.Info("promoted to primary", "epoch", epoch)
+	s.writeJSON(w, http.StatusOK, promoteResponse{Epoch: epoch})
+}
+
+// SetPromote installs the hook handlePromote runs before the server
+// goes writable. It must return the new fencing epoch.
+func (s *Server) SetPromote(fn func() (uint64, error)) {
+	s.promoteMu.Lock()
+	s.promoteFn = fn
+	s.promoteMu.Unlock()
+}
+
+// ReadOnly reports whether the server is refusing mutations (a
+// replication follower awaiting promote).
+func (s *Server) ReadOnly() bool { return s.readOnly.Load() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.Lock()
@@ -571,7 +643,7 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrExhausted):
 		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining), errors.Is(err, ErrReadOnly):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, ErrClosed):
 		status = http.StatusNotFound

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+)
+
+// startReplPair wires a primary server and a read-only follower server
+// through internal/repl over loopback, returning both plus the
+// follower handle (for Stop/promote).
+func startReplPair(t *testing.T) (ps, fs *Server, pts, fts string, fol *repl.Follower) {
+	t.Helper()
+	pServer, pHTTP := newTestServer(t, Config{DataDir: t.TempDir()})
+	prim := repl.NewPrimary(pServer.WALLog(), pServer.ReplSource(),
+		repl.PrimaryOptions{Heartbeat: 50 * time.Millisecond, Metrics: pServer.Metrics()})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go prim.Serve(ln) //nolint:errcheck
+	t.Cleanup(prim.Close)
+
+	fServer, fHTTP := newTestServer(t, Config{DataDir: t.TempDir(), ReadOnly: true})
+	f := repl.NewFollower(ln.Addr().String(), fServer.ReplApplier(),
+		repl.FollowerOptions{Heartbeat: 50 * time.Millisecond, Metrics: fServer.Metrics()})
+	f.Start()
+	t.Cleanup(f.Stop)
+	return pServer, fServer, pHTTP.URL, fHTTP.URL, f
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReplicationEndToEnd drives a primary over HTTP and checks the
+// follower converges to an identical session — same alarms, same
+// diagnoses — while refusing mutations until promoted.
+func TestReplicationEndToEnd(t *testing.T) {
+	pServer, fServer, pURL, fURL, _ := startReplPair(t)
+
+	// Create and stream a session through the paper's running example.
+	var created createResponse
+	if code := doJSON(t, http.MethodPost, pURL+"/v1/sessions",
+		createRequest{Net: exampleNetText(t)}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for _, a := range quickstartAlarms {
+		var ar appendResponse
+		if code := doJSON(t, http.MethodPost, fmt.Sprintf("%s/v1/sessions/%s/alarms", pURL, created.ID),
+			appendRequest{Alarms: a}, &ar); code != http.StatusOK {
+			t.Fatalf("append %q: status %d", a, code)
+		}
+	}
+
+	// The follower's table converges to the same session state.
+	waitUntil(t, "follower catches up", func() bool {
+		sess, ok := fServer.Store().Get(created.ID, time.Now())
+		return ok && sess.Alarms() == len(quickstartAlarms)
+	})
+	var pSess, fSess sessionResponse
+	if code := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/sessions/%s", pURL, created.ID), nil, &pSess); code != http.StatusOK {
+		t.Fatalf("primary GET: status %d", code)
+	}
+	if code := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/sessions/%s", fURL, created.ID), nil, &fSess); code != http.StatusOK {
+		t.Fatalf("follower GET: status %d", code)
+	}
+	if fSess.Seq != pSess.Seq {
+		t.Fatalf("follower seq %q, primary %q", fSess.Seq, pSess.Seq)
+	}
+	if !reflect.DeepEqual(fSess.Report.Diagnoses, pSess.Report.Diagnoses) {
+		t.Fatalf("follower diagnoses %v, primary %v", fSess.Report.Diagnoses, pSess.Report.Diagnoses)
+	}
+
+	// Mutations on the follower are refused while it follows.
+	if code := doJSON(t, http.MethodPost, fmt.Sprintf("%s/v1/sessions/%s/alarms", fURL, created.ID),
+		appendRequest{Alarms: "b@p1"}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("follower append: status %d, want 503", code)
+	}
+	if code := doJSON(t, http.MethodPost, fURL+"/v1/sessions",
+		createRequest{Net: exampleNetText(t)}, nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("follower create: status %d, want 503", code)
+	}
+
+	// A delete replicates too.
+	var second createResponse
+	if code := doJSON(t, http.MethodPost, pURL+"/v1/sessions",
+		createRequest{Net: exampleNetText(t)}, &second); code != http.StatusCreated {
+		t.Fatalf("second create: status %d", code)
+	}
+	waitUntil(t, "second session replicates", func() bool {
+		_, ok := fServer.Store().Get(second.ID, time.Now())
+		return ok
+	})
+	if code := doJSON(t, http.MethodDelete, fmt.Sprintf("%s/v1/sessions/%s", pURL, second.ID), nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	waitUntil(t, "delete replicates", func() bool {
+		_, ok := fServer.Store().Get(second.ID, time.Now())
+		return !ok
+	})
+	_ = pServer
+}
+
+// TestPromoteOpensWrites checks the promote endpoint: 200 exactly once
+// (running the hook first), then the follower serves writes; a second
+// promote conflicts; a primary never accepts one.
+func TestPromoteOpensWrites(t *testing.T) {
+	_, fServer, pURL, fURL, fol := startReplPair(t)
+
+	var created createResponse
+	if code := doJSON(t, http.MethodPost, pURL+"/v1/sessions",
+		createRequest{Net: exampleNetText(t)}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for _, a := range quickstartAlarms[:2] {
+		if code := doJSON(t, http.MethodPost, fmt.Sprintf("%s/v1/sessions/%s/alarms", pURL, created.ID),
+			appendRequest{Alarms: a}, nil); code != http.StatusOK {
+			t.Fatalf("append: status %d", code)
+		}
+	}
+	waitUntil(t, "follower catches up", func() bool {
+		sess, ok := fServer.Store().Get(created.ID, time.Now())
+		return ok && sess.Alarms() == 2
+	})
+
+	hookRan := false
+	fServer.SetPromote(func() (uint64, error) {
+		hookRan = true
+		fol.Stop() // drain the stream before going writable
+		return fol.Epoch() + 1, nil
+	})
+	var pr promoteResponse
+	if code := doJSON(t, http.MethodPost, fURL+"/v1/admin/promote", nil, &pr); code != http.StatusOK {
+		t.Fatalf("promote: status %d", code)
+	}
+	if !hookRan {
+		t.Fatal("promote hook never ran")
+	}
+	if pr.Epoch != 2 {
+		t.Fatalf("promote epoch %d, want 2", pr.Epoch)
+	}
+	if fServer.ReadOnly() {
+		t.Fatal("still read-only after promote")
+	}
+
+	// The promoted server accepts the remaining append and answers with
+	// a well-formed diagnosis over the full sequence.
+	var ar appendResponse
+	if code := doJSON(t, http.MethodPost, fmt.Sprintf("%s/v1/sessions/%s/alarms", fURL, created.ID),
+		appendRequest{Alarms: quickstartAlarms[2]}, &ar); code != http.StatusOK {
+		t.Fatalf("post-promote append: status %d", code)
+	}
+	if ar.Alarms != len(quickstartAlarms) {
+		t.Fatalf("post-promote alarms = %d, want %d", ar.Alarms, len(quickstartAlarms))
+	}
+
+	// Promote is not idempotent: a writable server conflicts.
+	if code := doJSON(t, http.MethodPost, fURL+"/v1/admin/promote", nil, nil); code != http.StatusConflict {
+		t.Fatalf("second promote: status %d, want 409", code)
+	}
+	if code := doJSON(t, http.MethodPost, pURL+"/v1/admin/promote", nil, nil); code != http.StatusConflict {
+		t.Fatalf("promote on primary: status %d, want 409", code)
+	}
+}
+
+// TestFollowerResyncFromLaggedState checks the server-level resync: a
+// follower that connects only after the primary built state (and the
+// log was compacted by snapshots) adopts the shipped dump.
+func TestFollowerResyncFromLaggedState(t *testing.T) {
+	pServer, pHTTP := newTestServer(t, Config{DataDir: t.TempDir()})
+	var created createResponse
+	if code := doJSON(t, http.MethodPost, pHTTP.URL+"/v1/sessions",
+		createRequest{Net: exampleNetText(t)}, &created); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	for _, a := range quickstartAlarms {
+		if code := doJSON(t, http.MethodPost, fmt.Sprintf("%s/v1/sessions/%s/alarms", pHTTP.URL, created.ID),
+			appendRequest{Alarms: a}, nil); code != http.StatusOK {
+			t.Fatalf("append: status %d", code)
+		}
+	}
+
+	prim := repl.NewPrimary(pServer.WALLog(), pServer.ReplSource(),
+		repl.PrimaryOptions{Heartbeat: 50 * time.Millisecond})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go prim.Serve(ln) //nolint:errcheck
+	t.Cleanup(prim.Close)
+
+	fServer, _ := newTestServer(t, Config{DataDir: t.TempDir(), ReadOnly: true})
+	f := repl.NewFollower(ln.Addr().String(), fServer.ReplApplier(),
+		repl.FollowerOptions{Heartbeat: 50 * time.Millisecond})
+	f.Start()
+	t.Cleanup(f.Stop)
+
+	waitUntil(t, "late follower adopts the dump", func() bool {
+		sess, ok := fServer.Store().Get(created.ID, time.Now())
+		return ok && sess.Alarms() == len(quickstartAlarms)
+	})
+}

@@ -28,6 +28,9 @@ var (
 	ErrOverloaded = errors.New("serve: server overloaded")
 	// ErrDraining: the server is shutting down (503).
 	ErrDraining = errors.New("serve: server draining")
+	// ErrReadOnly: the server is a replication follower; mutations are
+	// refused until a promote (503).
+	ErrReadOnly = errors.New("serve: read-only replica (following a primary)")
 )
 
 // ParseEngine maps the wire names onto engines. Empty defaults to dQSQ —

@@ -180,99 +180,126 @@ func (w *serverWAL) seedPending(id string, seq uint64) {
 	w.mu.Unlock()
 }
 
+// applyWALRecord applies one log record to the live table: the single
+// apply path shared by boot replay and the replication follower, so a
+// follower's state after applying a sequence is exactly what a primary
+// recovering through the same records would hold. It returns the
+// session the record touched (nil if none) and, for delete records,
+// the deleted session id. A record that no longer applies (unknown
+// session, decode error) is logged and skipped — neither recovery nor
+// a replication stream may take the server down.
+func (s *Server) applyWALRecord(seq uint64, payload []byte) (touched *Session, deleted string) {
+	w := s.wal
+	r := snapshot.NewReader(payload)
+	switch kind := r.Byte(); kind {
+	case walKindCreate:
+		id := r.String()
+		netText := r.String()
+		engineName := r.String()
+		facts := int(r.Uvarint())
+		createdNS := r.Int()
+		if err := r.Finish(); err != nil {
+			s.log.Warn("wal: bad create record", "seq", seq, "err", err)
+			return nil, ""
+		}
+		if _, live := s.store.Get(id, time.Now()); live {
+			return nil, "" // the snapshot already covers the create
+		}
+		engine, err := ParseEngine(engineName)
+		if err != nil {
+			s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		sys, err := core.LoadNet(netText)
+		if err != nil {
+			s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		sess, err := newSession(id, sys, engine, facts, time.Unix(0, createdNS), s.metrics)
+		if err != nil {
+			s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		sess.walSeq = seq
+		if err := s.store.Adopt(sess); err != nil {
+			s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		w.seedPending(id, seq)
+		s.log.Info("wal: session recreated", "session", id, "seq", seq)
+		return sess, ""
+	case walKindAppend:
+		id := r.String()
+		alarms := r.String()
+		if err := r.Finish(); err != nil {
+			s.log.Warn("wal: bad append record", "seq", seq, "err", err)
+			return nil, ""
+		}
+		sess, live := s.store.Get(id, time.Now())
+		if !live {
+			return nil, "" // deleted later in the log, or its create was refused
+		}
+		if seq <= sess.WALSeq() {
+			return nil, "" // the snapshot already covers this append
+		}
+		obs, err := core.ParseAlarms(alarms)
+		if err != nil {
+			s.log.Warn("wal: append not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		if _, err := sess.replayAppend(obs, s.cfg.EvalTimeout, seq); err != nil {
+			s.log.Warn("wal: append not replayed", "seq", seq, "session", id, "err", err)
+			return nil, ""
+		}
+		w.seedPending(id, seq)
+		return sess, ""
+	case walKindDelete:
+		id := r.String()
+		if err := r.Finish(); err != nil {
+			s.log.Warn("wal: bad delete record", "seq", seq, "err", err)
+			return nil, ""
+		}
+		w.mu.Lock()
+		w.deletes[id] = seq
+		delete(w.pending, id)
+		delete(w.lastLogged, id)
+		w.mu.Unlock()
+		// Delete via the store when live; always enqueue the file
+		// removal — a snapshot may exist even when Adopt was refused.
+		s.store.Delete(id)
+		s.persist.forget(id)
+		s.log.Info("wal: session deleted on replay", "session", id, "seq", seq)
+		return nil, id
+	default:
+		s.log.Warn("wal: unknown record kind", "seq", seq, "kind", kind)
+		return nil, ""
+	}
+}
+
+// reset wipes the coverage bookkeeping — a replication resync replaces
+// the whole table, and the repositioned log carries no records yet.
+func (w *serverWAL) reset() {
+	w.mu.Lock()
+	w.pending = make(map[string]uint64)
+	w.lastLogged = make(map[string]uint64)
+	w.deletes = make(map[string]uint64)
+	w.mu.Unlock()
+}
+
 // replayWAL applies the log on top of the snapshot-restored session
 // table: creates sessions whose snapshots never landed, re-appends
 // acknowledged alarms past each session's snapshot coverage, and
 // re-applies delete intents. Any session the replay touched is marked
-// dirty so a fresh snapshot lands and the log can compact. A record
-// that no longer applies (unknown session, decode error) is logged and
-// skipped — recovery must not keep the server down.
+// dirty so a fresh snapshot lands and the log can compact.
 func (s *Server) replayWAL() {
-	w := s.wal
 	touched := make(map[string]*Session)
-	err := w.log.Replay(1, func(seq uint64, payload []byte) error {
-		r := snapshot.NewReader(payload)
-		switch kind := r.Byte(); kind {
-		case walKindCreate:
-			id := r.String()
-			netText := r.String()
-			engineName := r.String()
-			facts := int(r.Uvarint())
-			createdNS := r.Int()
-			if err := r.Finish(); err != nil {
-				s.log.Warn("wal: bad create record", "seq", seq, "err", err)
-				return nil
-			}
-			if _, live := s.store.Get(id, time.Now()); live {
-				return nil // the snapshot already covers the create
-			}
-			engine, err := ParseEngine(engineName)
-			if err != nil {
-				s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			sys, err := core.LoadNet(netText)
-			if err != nil {
-				s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			sess, err := newSession(id, sys, engine, facts, time.Unix(0, createdNS), s.metrics)
-			if err != nil {
-				s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			sess.walSeq = seq
-			if err := s.store.Adopt(sess); err != nil {
-				s.log.Warn("wal: create not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			w.seedPending(id, seq)
-			touched[id] = sess
-			s.log.Info("wal: session recreated", "session", id, "seq", seq)
-		case walKindAppend:
-			id := r.String()
-			alarms := r.String()
-			if err := r.Finish(); err != nil {
-				s.log.Warn("wal: bad append record", "seq", seq, "err", err)
-				return nil
-			}
-			sess, live := s.store.Get(id, time.Now())
-			if !live {
-				return nil // deleted later in the log, or its create was refused
-			}
-			if seq <= sess.WALSeq() {
-				return nil // the snapshot already covers this append
-			}
-			obs, err := core.ParseAlarms(alarms)
-			if err != nil {
-				s.log.Warn("wal: append not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			if _, err := sess.replayAppend(obs, s.cfg.EvalTimeout, seq); err != nil {
-				s.log.Warn("wal: append not replayed", "seq", seq, "session", id, "err", err)
-				return nil
-			}
-			w.seedPending(id, seq)
-			touched[id] = sess
-		case walKindDelete:
-			id := r.String()
-			if err := r.Finish(); err != nil {
-				s.log.Warn("wal: bad delete record", "seq", seq, "err", err)
-				return nil
-			}
-			delete(touched, id)
-			w.mu.Lock()
-			w.deletes[id] = seq
-			delete(w.pending, id)
-			delete(w.lastLogged, id)
-			w.mu.Unlock()
-			// Delete via the store when live; always enqueue the file
-			// removal — a snapshot may exist even when Adopt was refused.
-			s.store.Delete(id)
-			s.persist.forget(id)
-			s.log.Info("wal: session deleted on replay", "session", id, "seq", seq)
-		default:
-			s.log.Warn("wal: unknown record kind", "seq", seq, "kind", kind)
+	err := s.wal.log.Replay(1, func(seq uint64, payload []byte) error {
+		sess, deleted := s.applyWALRecord(seq, payload)
+		if sess != nil {
+			touched[sess.ID] = sess
+		}
+		if deleted != "" {
+			delete(touched, deleted)
 		}
 		return nil
 	})

@@ -25,10 +25,12 @@
 package snapshot
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -212,6 +214,113 @@ func Open(b []byte) (*OpenFile, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(b)-r.off)
 	}
 	return o, nil
+}
+
+// FromReader parses and validates a snapshot incrementally from a
+// stream: header first, then section by section, each CRC-checked as
+// soon as its body arrives. A corrupt or over-budget stream fails
+// early without buffering anything beyond the offending section —
+// unlike Open, which needs the whole file in memory up front. The
+// replication follower validates shipped snapshots straight off the
+// connection this way. The cumulative section-body budget is
+// MaxSnapshot, the same bound Open enforces on whole files.
+func FromReader(rd io.Reader) (*OpenFile, error) {
+	br := bufio.NewReader(rd)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, streamErr(err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	major, err := streamUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	minor, err := streamUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if major != Major {
+		return nil, fmt.Errorf("%w: stream has major version %d, this build reads %d", ErrVersion, major, Major)
+	}
+	n, err := streamUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Same allocation guard as Open: the smallest section needs 6 bytes.
+	if n > MaxSnapshot/6 {
+		return nil, fmt.Errorf("%w: %d sections", ErrCorrupt, n)
+	}
+	budget := uint64(MaxSnapshot)
+	o := &OpenFile{major: int(major), minor: int(minor), bodies: make(map[string][]byte)}
+	for i := uint64(0); i < n; i++ {
+		nameLen, err := streamUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > budget {
+			return nil, fmt.Errorf("%w: section name of %d bytes", ErrCorrupt, nameLen)
+		}
+		nameBuf := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBuf); err != nil {
+			return nil, streamErr(err)
+		}
+		name := string(nameBuf)
+		blen, err := streamUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if blen > budget {
+			return nil, fmt.Errorf("%w: section %q of %d bytes exceeds the %d-byte budget", ErrCorrupt, name, blen, MaxSnapshot)
+		}
+		budget -= blen
+		body := make([]byte, blen)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, streamErr(err)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(br, crc[:]); err != nil {
+			return nil, streamErr(err)
+		}
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crc[:]) {
+			return nil, fmt.Errorf("%w: CRC mismatch in section %q", ErrCorrupt, name)
+		}
+		if _, dup := o.bodies[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		o.order = append(o.order, name)
+		o.bodies[name] = body
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return o, nil
+}
+
+// streamUvarint reads one uvarint from the stream, mapping stream ends
+// to ErrTruncated and malformed encodings to ErrCorrupt.
+func streamUvarint(br *bufio.Reader) (uint64, error) {
+	v, err := binary.ReadUvarint(br)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return 0, ErrTruncated
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return v, nil
+}
+
+// streamErr maps short reads to ErrTruncated and passes real I/O
+// errors through.
+func streamErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
 }
 
 // Major reports the file's major format version.

@@ -1,0 +1,100 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildTestSnapshot returns the serialized bytes of a two-section file.
+func buildTestSnapshot() []byte {
+	f := New()
+	a := f.Section("alpha")
+	a.String("hello")
+	a.Uvarint(42)
+	b := f.Section("beta")
+	b.Bytes([]byte{1, 2, 3})
+	return f.Bytes()
+}
+
+// TestFromReaderMatchesOpen checks the streamed parser accepts exactly
+// what Open accepts and yields the same sections.
+func TestFromReaderMatchesOpen(t *testing.T) {
+	data := buildTestSnapshot()
+	want, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("FromReader: %v", err)
+	}
+	if got.Major() != want.Major() || got.Minor() != want.Minor() {
+		t.Fatalf("version (%d,%d), want (%d,%d)", got.Major(), got.Minor(), want.Major(), want.Minor())
+	}
+	gs, ws := got.Sections(), want.Sections()
+	if len(gs) != len(ws) {
+		t.Fatalf("sections %v, want %v", gs, ws)
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("sections %v, want %v", gs, ws)
+		}
+	}
+	r, err := got.Section("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.String(); s != "hello" {
+		t.Fatalf("alpha string = %q", s)
+	}
+	if v := r.Uvarint(); v != 42 {
+		t.Fatalf("alpha uvarint = %d", v)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFromReaderRejects drives the streamed parser through every
+// malformed-input class and checks the typed errors.
+func TestFromReaderRejects(t *testing.T) {
+	data := buildTestSnapshot()
+
+	// Every proper prefix is truncated or corrupt, never accepted.
+	for cut := 0; cut < len(data); cut++ {
+		_, err := FromReader(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", cut, len(data))
+		}
+	}
+
+	// Trailing garbage is corrupt.
+	if _, err := FromReader(bytes.NewReader(append(append([]byte(nil), data...), 0xff))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+
+	// A flipped body bit is a CRC mismatch.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)-6] ^= 0x01
+	if _, err := FromReader(bytes.NewReader(bad)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped bit: err = %v, want ErrCorrupt", err)
+	}
+
+	// Wrong major version.
+	wrong := append([]byte(nil), data...)
+	wrong[len(Magic)] = Major + 1
+	if _, err := FromReader(bytes.NewReader(wrong)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("wrong major: err = %v, want ErrVersion", err)
+	}
+
+	// Bad magic.
+	if _, err := FromReader(bytes.NewReader([]byte("NOPE"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// Empty stream is truncated.
+	if _, err := FromReader(bytes.NewReader(nil)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty stream: err = %v, want ErrTruncated", err)
+	}
+}

@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeHandshake feeds tr one dialer-side handshake sample against a
+// peer whose clock runs trueOffset µs ahead, over a link with
+// asymmetric one-way latencies out and back: the peer stamps its clock
+// after the outbound hop, and the reply lands after the return hop.
+func fakeHandshake(tr *TCP, node string, trueOffset, out, back int64) {
+	t0 := time.Now().UnixMicro()
+	wall := uint64(t0 + out + trueOffset)
+	t3 := t0 + out + back
+	tr.noteClockRTT(node, wall, t0, t3)
+}
+
+// TestClockOffsetSymmetrized checks the dialer-side estimator: under
+// heavily asymmetric latencies the midpoint estimate must stay within
+// RTT/2 of the true offset — where the naive receive-time sample would
+// be off by the full return latency.
+func TestClockOffsetSymmetrized(t *testing.T) {
+	const trueOffset = int64(250_000) // peer runs 250ms ahead
+
+	cases := []struct {
+		name      string
+		out, back int64 // one-way latencies, µs
+	}{
+		{"symmetric", 3_000, 3_000},
+		{"slow outbound", 40_000, 1_000},
+		{"slow return", 1_000, 40_000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := &TCP{offsets: make(map[string]clockEstimate)}
+			fakeHandshake(tr, "peer", trueOffset, tc.out, tc.back)
+			got := tr.ClockOffsetMicros("peer")
+			bound := (tc.out + tc.back) / 2 // RTT/2: the provable error bound
+			if err := got - trueOffset; err < -bound || err > bound {
+				t.Fatalf("estimate %dµs, true %dµs: error %dµs exceeds RTT/2 = %dµs",
+					got, trueOffset, err, bound)
+			}
+			// The exact midpoint error is (out−back)/2; check we achieve it
+			// (±1µs of clock-read slop between t0 capture and the check).
+			wantErr := (tc.out - tc.back) / 2
+			if err := got - trueOffset - wantErr; err < -1000 || err > 1000 {
+				t.Fatalf("estimate error %dµs, want midpoint error %dµs",
+					got-trueOffset, wantErr)
+			}
+		})
+	}
+}
+
+// TestClockEstimatePreference checks noteEstimate's ordering: a
+// round-trip-bounded sample beats the one-way sentinel, a tighter RTT
+// beats a looser one, and an equal-uncertainty sample refreshes.
+func TestClockEstimatePreference(t *testing.T) {
+	tr := &TCP{offsets: make(map[string]clockEstimate)}
+
+	// One-way sample (acceptor side) establishes a biased baseline.
+	tr.noteEstimate("p", clockEstimate{off: 100, unc: oneWayUncertainty})
+	if got := tr.ClockOffsetMicros("p"); got != 100 {
+		t.Fatalf("baseline = %d", got)
+	}
+	// A round-trip sample replaces it.
+	tr.noteEstimate("p", clockEstimate{off: 40, unc: 5_000})
+	if got := tr.ClockOffsetMicros("p"); got != 40 {
+		t.Fatalf("rtt sample did not replace one-way: %d", got)
+	}
+	// A later one-way sample must NOT shove the better estimate aside.
+	tr.noteEstimate("p", clockEstimate{off: 900, unc: oneWayUncertainty})
+	if got := tr.ClockOffsetMicros("p"); got != 40 {
+		t.Fatalf("one-way sample displaced rtt estimate: %d", got)
+	}
+	// A tighter round trip wins; an equally tight one refreshes.
+	tr.noteEstimate("p", clockEstimate{off: 42, unc: 2_000})
+	tr.noteEstimate("p", clockEstimate{off: 43, unc: 2_000})
+	if got := tr.ClockOffsetMicros("p"); got != 43 {
+		t.Fatalf("equal-uncertainty refresh lost: %d", got)
+	}
+	tr.noteEstimate("p", clockEstimate{off: 7, unc: 9_000})
+	if got := tr.ClockOffsetMicros("p"); got != 43 {
+		t.Fatalf("looser sample displaced tighter estimate: %d", got)
+	}
+}
+
+// TestNoteClockRTTRejectsGarbage: zeroed clocks and negative round
+// trips must leave no estimate behind.
+func TestNoteClockRTTRejectsGarbage(t *testing.T) {
+	tr := &TCP{offsets: make(map[string]clockEstimate)}
+	tr.noteClockRTT("p", 0, 10, 20)
+	tr.noteClockRTT("p", 1234, 20, 10)
+	if got := tr.ClockOffsetMicros("p"); got != 0 {
+		t.Fatalf("garbage sample produced estimate %d", got)
+	}
+	tr.noteClock("p", 0)
+	if got := tr.ClockOffsetMicros("p"); got != 0 {
+		t.Fatalf("zero wall clock produced estimate %d", got)
+	}
+}

@@ -55,7 +55,7 @@ type TCP struct {
 	outs     map[string]*outbound
 	conns    map[net.Conn]struct{} // inbound connections
 	recv     map[string]*recvState
-	offsets  map[string]int64 // per-node clock offset (remote − local, µs)
+	offsets  map[string]clockEstimate // per-node clock offset estimates
 	closed   bool
 	closedAt time.Time
 	stats    Stats
@@ -117,7 +117,7 @@ func ListenTCP(self, addr string) (*TCP, error) {
 		outs:    make(map[string]*outbound),
 		conns:   make(map[net.Conn]struct{}),
 		recv:    make(map[string]*recvState),
-		offsets: make(map[string]int64),
+		offsets: make(map[string]clockEstimate),
 	}, nil
 }
 
@@ -134,27 +134,64 @@ func (t *TCP) AddRoute(node, addr string) {
 	t.routes[node] = addr
 }
 
+// clockEstimate is one node's wall-clock offset estimate (remote −
+// local, µs) together with its worst-case error: RTT/2 for a dialer's
+// round-trip-symmetrized sample, a handshake-timeout sentinel for an
+// acceptor's one-way sample.
+type clockEstimate struct {
+	off int64
+	unc int64
+}
+
+// oneWayUncertainty bounds the error of an acceptor-side sample: the
+// remote stamped its clock before a network hop of unknown length, so
+// nothing tighter than the handshake timeout can be promised. Any
+// round-trip-bounded estimate beats it.
+var oneWayUncertainty = int64(handshakeTimeout / time.Microsecond)
+
 // ClockOffsetMicros returns the wall-clock offset of node relative to this
-// one (remote − local, µs), estimated from the last Hello exchanged with
-// it; 0 before any handshake.
+// one (remote − local, µs), from the lowest-uncertainty Hello sample
+// exchanged with it; 0 before any handshake.
 func (t *TCP) ClockOffsetMicros(node string) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.offsets[node]
+	return t.offsets[node].off
 }
 
-// noteClock records the peer's handshake wall-clock sample against our
-// own clock at receipt. The estimate is biased by the one-way handshake
-// latency (sub-millisecond on the links this runs over), which is fine
-// for its one purpose: shifting per-node trace timelines onto a common
-// axis.
+// noteClock records an acceptor-side sample: the peer's handshake
+// wall-clock reading against our clock at receipt. The estimate is
+// biased by the one-way handshake latency, so it carries the sentinel
+// uncertainty and yields to any round-trip-timed estimate.
 func (t *TCP) noteClock(node string, wallMicros uint64) {
 	if wallMicros == 0 {
 		return // pre-v4 peer or zeroed clock: no estimate
 	}
 	off := int64(wallMicros) - time.Now().UnixMicro()
+	t.noteEstimate(node, clockEstimate{off: off, unc: oneWayUncertainty})
+}
+
+// noteClockRTT records a dialer-side sample with full round-trip
+// timing, the NTP midpoint estimate: the peer read its clock somewhere
+// between our send (t0) and our receive (t3), so remote − local is
+// wallMicros minus the interval's midpoint, with worst-case error
+// RTT/2 whatever the latency asymmetry. This removes the systematic
+// one-way bias the acceptor-side sample carries.
+func (t *TCP) noteClockRTT(node string, wallMicros uint64, t0, t3 int64) {
+	if wallMicros == 0 || t3 < t0 {
+		return
+	}
+	rtt := t3 - t0
+	off := int64(wallMicros) - (t0 + rtt/2)
+	t.noteEstimate(node, clockEstimate{off: off, unc: rtt/2 + 1})
+}
+
+// noteEstimate keeps the better estimate: lower uncertainty wins, equal
+// uncertainty prefers the fresher sample (clocks drift).
+func (t *TCP) noteEstimate(node string, e clockEstimate) {
 	t.mu.Lock()
-	t.offsets[node] = off
+	if cur, ok := t.offsets[node]; !ok || e.unc <= cur.unc {
+		t.offsets[node] = e
+	}
 	t.mu.Unlock()
 }
 
@@ -630,7 +667,8 @@ func (o *outbound) dial(attemptBase int) (net.Conn, *bufio.Reader, uint64, error
 		conn, err := net.DialTimeout("tcp", addr, handshakeTimeout)
 		if err == nil {
 			conn.SetDeadline(time.Now().Add(handshakeTimeout))
-			err = writeFrame(conn, 0, wire.Hello{Version: wire.Version, Node: o.t.self, Boot: o.t.boot, WallMicros: uint64(time.Now().UnixMicro())})
+			t0 := time.Now().UnixMicro()
+			err = writeFrame(conn, 0, wire.Hello{Version: wire.Version, Node: o.t.self, Boot: o.t.boot, WallMicros: uint64(t0)})
 			var hello wire.Hello
 			br := bufio.NewReader(conn)
 			if err == nil {
@@ -644,7 +682,8 @@ func (o *outbound) dial(attemptBase int) (net.Conn, *bufio.Reader, uint64, error
 				}
 			}
 			if err == nil {
-				o.t.noteClock(o.node, hello.WallMicros)
+				// The dialer saw the whole round trip: symmetrize the sample.
+				o.t.noteClockRTT(o.node, hello.WallMicros, t0, time.Now().UnixMicro())
 				conn.SetDeadline(time.Time{})
 				o.t.mu.Lock()
 				o.t.stats.Dials++

@@ -53,8 +53,10 @@ type Transport interface {
 	// named node relative to this one (remote minus local, in
 	// microseconds), measured from the wall-clock samples exchanged in
 	// the Hello handshake. 0 when unknown or when the nodes share a
-	// clock (in-process). The estimate is one-shot and unsymmetrized —
-	// good enough to align trace timelines, not to order events.
+	// clock (in-process). Dialer-side samples are symmetrized against
+	// the handshake round trip (NTP midpoint, worst-case error RTT/2)
+	// and preferred over one-way acceptor-side samples — good enough to
+	// align trace timelines, not to order events.
 	ClockOffsetMicros(node string) int64
 	// Close shuts the transport down, flushing frames already queued to
 	// connected nodes on a best-effort basis.

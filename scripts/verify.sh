@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs"
-go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl
 
 echo "== wire codec fuzz smoke"
 # The seed corpus runs under plain `go test` above; this also gives the
@@ -43,6 +43,13 @@ echo "== wal fuzz smoke"
 # directories must replay a valid prefix or error — never panic.
 go test -run '^$' -fuzz '^FuzzSegment$' -fuzztime 3s ./internal/wal
 go test -run '^$' -fuzz '^FuzzReplay$' -fuzztime 3s ./internal/wal
+
+echo "== repl stream-framing fuzz smoke"
+# And for the replication protocol: arbitrary frame bytes off the wire
+# must decode-or-error (and round-trip byte-identically when they do) —
+# a malicious or corrupted primary must never panic a follower.
+go test -run '^$' -fuzz '^FuzzDecodeFrame$' -fuzztime 3s ./internal/repl
+go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 3s ./internal/repl
 
 echo "== multi-process smoke"
 # Two peerd daemons on ephemeral ports, diagnosed against from a separate
@@ -68,6 +75,14 @@ echo "== WAL round-trip smoke (kill -9 mid-append, before any snapshot)"
 # append survives on the WAL alone, and the restarted session's next
 # report matches an uninterrupted run exactly.
 go test -run '^TestDiagnosedWALKillSmoke$' -count 1 ./cmd/diagnosed
+
+echo "== replication failover smoke (kill -9 the primary, promote the follower)"
+# A primary streams two live sessions to a follower, dies by SIGKILL
+# mid-stream, and the follower is promoted via POST /v1/admin/promote:
+# zero acknowledged appends may be lost, the promoted node's diagnoses
+# must match an uninterrupted single-process run exactly, and writes
+# must flow again under the bumped fencing epoch.
+go test -run '^TestDiagnosedFailoverSmoke$' -count 1 ./cmd/diagnosed
 
 echo "== tracing-overhead guard"
 # The no-op tracer is what every untraced run pays, so it must never cost
@@ -155,5 +170,33 @@ echo "$wal_out" | awk -F'|' '
         printf "guard: ok (plain %d ns/append, interval %d ns/append, always %d ns/append)\n", plain, interval, $4 + 0
     }
     END { if (!found) { print "guard: wal_overhead row missing" > "/dev/stderr"; exit 1 } }'
+
+echo "== repl-overhead guard"
+# Shipping the WAL to a live follower is asynchronous, so the primary's
+# p50 append latency with one follower attached must stay within 1.25x
+# of the no-follower baseline, every follower must end holding every
+# appended record, and group commit must buy >=2x append throughput at
+# 8 concurrent writers under fsync=always. Each latency configuration is
+# best-of-three batches, so the ratio compares floors, not noise.
+repl_out=$(go run ./cmd/benchreport -exp repl_overhead -json)
+echo "$repl_out"
+echo "$repl_out" | awk -F'|' '
+    NF >= 10 && $2 + 0 > 0 {
+        found = 1
+        p50zero = $3 + 0; p50one = $4 + 0; ratio = $6 + 0; caught = $7; gain = $10 + 0
+        gsub(/ /, "", caught)
+        if (caught != "true") { print "guard: a follower lost appended records" > "/dev/stderr"; exit 1 }
+        if (p50zero <= 0 || p50one <= 0) { print "guard: missing timings" > "/dev/stderr"; exit 1 }
+        if (ratio > 1.25) {
+            printf "guard: one-follower p50 (%d ns) is >1.25x the baseline (%d ns)\n", p50one, p50zero > "/dev/stderr"
+            exit 1
+        }
+        if (gain < 2) {
+            printf "guard: group commit gain %.2fx at 8 writers, want >=2x\n", gain > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (p50 %d -> %d ns with a follower, group commit %.2fx)\n", p50zero, p50one, gain
+    }
+    END { if (!found) { print "guard: repl_overhead row missing" > "/dev/stderr"; exit 1 } }'
 
 echo "verify: OK"
