@@ -30,7 +30,7 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead | repl_overhead")
+		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead | repl_overhead | pool_overhead")
 		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
 	)
@@ -58,6 +58,21 @@ func main() {
 	run("snapshot_overhead", func() error { return reportSnapshotOverhead(*max) })
 	run("wal_overhead", func() error { return reportWALOverhead(*max) })
 	run("repl_overhead", func() error { return reportReplOverhead(*max) })
+	run("pool_overhead", func() error { return reportPoolOverhead(*max) })
+}
+
+func reportPoolOverhead(max int) error {
+	rows, err := experiments.PoolOverhead(max) // max doubles as the append count
+	if err != nil {
+		return err
+	}
+	header("Session-pool overhead — pipeline net appends, direct backend vs pooled over a mesh; 8-session batch by fleet width",
+		"appends", "local ns/append", "pooled ns/append", "ratio", "bodies equal?",
+		"sessions", "1-worker ms", "3-worker ms", "gain")
+	row(rows.Appends, rows.LocalNsPerAppend, rows.PooledNsPerAppend,
+		fmt.Sprintf("%.2f", rows.OverheadRatio), rows.BodiesEqual,
+		rows.Sessions, rows.OneWorkerMs, rows.ThreeWorkerMs, fmt.Sprintf("%.2f", rows.WorkerGain))
+	return maybeBench("pool_overhead", []experiments.PoolOverheadRow{*rows})
 }
 
 func reportReplOverhead(max int) error {

@@ -40,6 +40,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"log/slog"
@@ -53,8 +55,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/pool"
 	"repro/internal/repl"
 	"repro/internal/serve"
+	"repro/internal/transport"
 	"repro/internal/wal"
 )
 
@@ -75,6 +79,9 @@ func main() {
 		follow       = flag.String("follow", "", "primary replication address to follow; the server starts read-only (requires -data-dir)")
 		replHB       = flag.Duration("repl-heartbeat", 500*time.Millisecond, "replication heartbeat interval (must match on both ends)")
 		replLagBound = flag.Duration("repl-lag-bound", 15*time.Second, "how stale the replication stream may go before the follower reports unhealthy")
+		poolAddrs    = flag.String("pool", "", "comma-separated peerd pool worker addresses; enables frontend mode (sessions run on workers, not in-process)")
+		poolListen   = flag.String("pool-listen", "127.0.0.1:0", "transport listen address for pool replies (frontend mode)")
+		poolPolicy   = flag.String("pool-policy", "least", "pool placement policy: least (least-loaded) | hash (consistent-hash session affinity)")
 		withPprof    = flag.Bool("pprof", false, "serve runtime profiles at /debug/pprof/")
 		verbose      = flag.Bool("v", false, "log /healthz and /metrics polls too")
 	)
@@ -116,6 +123,42 @@ func main() {
 	srv.Metrics().Gauge("diagnosed_uptime_seconds", func() int64 {
 		return int64(time.Since(start).Seconds())
 	})
+
+	// Frontend mode: schedule sessions onto a fleet of peerd workers
+	// instead of evaluating them in-process.
+	var sessPool *pool.Pool
+	if *poolAddrs != "" {
+		var policy pool.Policy
+		switch *poolPolicy {
+		case "least":
+			policy = pool.LeastLoaded{}
+		case "hash":
+			policy = pool.ConsistentHash{}
+		default:
+			logger.Error("bad -pool-policy (want least | hash)", "got", *poolPolicy)
+			os.Exit(2)
+		}
+		var suffix [4]byte
+		rand.Read(suffix[:]) //nolint:errcheck // crypto/rand never fails here
+		tr, err := transport.ListenTCP("fe-"+hex.EncodeToString(suffix[:]), *poolListen)
+		if err != nil {
+			logger.Error("pool transport listen failed", "addr", *poolListen, "err", err)
+			os.Exit(1)
+		}
+		sessPool, err = pool.New(pool.Config{
+			Transport: tr,
+			Workers:   strings.Split(*poolAddrs, ","),
+			Policy:    policy,
+			Metrics:   srv.Metrics(),
+			Logger:    logger,
+		})
+		if err != nil {
+			logger.Error("pool setup failed", "err", err)
+			os.Exit(1)
+		}
+		srv.SetPool(sessPool)
+		logger.Info("frontend mode: pooling sessions", "workers", *poolAddrs, "policy", *poolPolicy)
+	}
 
 	// Replication: ship the WAL to followers and/or follow a primary.
 	// The fencing epoch lives next to the data it fences.
@@ -237,6 +280,9 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Error("drain incomplete", "err", err)
 		os.Exit(1)
+	}
+	if sessPool != nil {
+		sessPool.Close()
 	}
 	logger.Info("drained cleanly")
 }

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/petri"
+)
+
+// TestPoolWorkerKillMigration is the end-to-end pool acceptance: a
+// diagnosed frontend schedules sessions onto three peerd workers, one
+// worker dies by SIGKILL mid-session and another drains via SIGTERM,
+// and every session must keep answering with zero acknowledged-append
+// loss — final diagnoses identical to an uninterrupted in-process run.
+func TestPoolWorkerKillMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and spawns processes")
+	}
+	dir := t.TempDir()
+	diagnosedBin := filepath.Join(dir, "diagnosed")
+	peerdBin := filepath.Join(dir, "peerd")
+	if out, err := exec.Command("go", "build", "-o", diagnosedBin, "repro/cmd/diagnosed").CombinedOutput(); err != nil {
+		t.Fatalf("go build diagnosed: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", peerdBin, "repro/cmd/peerd").CombinedOutput(); err != nil {
+		t.Fatalf("go build peerd: %v\n%s", err, out)
+	}
+
+	spawn := func(bin string, args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, args...)
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill() //nolint:errcheck
+			cmd.Wait()         //nolint:errcheck
+		})
+		return cmd
+	}
+
+	// Three workers, each with a pool transport and an admin endpoint.
+	workerAddrs := make([]string, 3)
+	adminAddrs := make([]string, 3)
+	workerCmds := make([]*exec.Cmd, 3)
+	for i := range workerAddrs {
+		workerAddrs[i] = freeAddr(t)
+		adminAddrs[i] = freeAddr(t)
+		workerCmds[i] = spawn(peerdBin,
+			"-name", "pool-w"+string(rune('1'+i)),
+			"-pool", workerAddrs[i],
+			"-admin", adminAddrs[i])
+	}
+	for _, a := range adminAddrs {
+		waitReady(t, "http://"+a)
+	}
+
+	feAddr := freeAddr(t)
+	feBase := "http://" + feAddr
+	spawn(diagnosedBin, "-addr", feAddr, "-pool", strings.Join(workerAddrs, ","))
+	waitReady(t, feBase)
+
+	// Reference: the full alarm sequence on a warm in-process engine.
+	alarms := []string{"b@p1", "a@p2", "c@p1"}
+	netText := parser.FormatNet(petri.Example())
+	sys, err := core.LoadNet(netText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := sys.NewIncremental(core.DQSQ, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want *core.Report
+	for _, a := range alarms {
+		seq, err := core.ParseAlarms(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, err = inc.Append(seq, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One session per worker (least-loaded spreads them), first alarm
+	// acknowledged everywhere before any failure is injected.
+	ids := make([]string, 3)
+	for i := range ids {
+		var created struct {
+			ID string `json:"id"`
+		}
+		if code := postJSON(t, feBase+"/v1/sessions", map[string]string{"net": netText, "engine": "dqsq"}, &created); code != http.StatusCreated {
+			t.Fatalf("create %d: status %d", i, code)
+		}
+		ids[i] = created.ID
+	}
+	appendAll := func(alarm string) {
+		t.Helper()
+		for _, id := range ids {
+			if code := postJSON(t, feBase+"/v1/sessions/"+id+"/alarms",
+				map[string]string{"alarms": alarm}, nil); code != http.StatusOK {
+				t.Fatalf("append %q to %s: status %d", alarm, id, code)
+			}
+		}
+	}
+	appendAll(alarms[0])
+
+	// Kill -9 one worker and SIGTERM-drain another: at most one worker
+	// is untouched, so migration provably happened for most sessions.
+	workerCmds[0].Process.Kill()                  //nolint:errcheck
+	workerCmds[0].Wait()                          //nolint:errcheck
+	workerCmds[1].Process.Signal(syscall.SIGTERM) //nolint:errcheck
+
+	// The drained worker's /healthz must say so — 503 with a "draining"
+	// body, distinguishable from the killed worker (which refuses TCP).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get("http://" + adminAddrs[1] + "/healthz")
+		if err == nil {
+			body := make([]byte, 64)
+			n, _ := resp.Body.Read(body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusServiceUnavailable && strings.Contains(string(body[:n]), "draining") {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drained worker's /healthz never reported draining")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every session — including those homed on the dead and draining
+	// workers — absorbs the remaining alarms without losing the first.
+	for _, a := range alarms[1:] {
+		appendAll(a)
+	}
+	for _, id := range ids {
+		var got struct {
+			Alarms int `json:"alarms"`
+			Report *wireReport
+		}
+		if code := getJSON(t, feBase+"/v1/sessions/"+id, &got); code != http.StatusOK {
+			t.Fatalf("GET %s: status %d", id, code)
+		}
+		if got.Alarms != len(alarms) {
+			t.Fatalf("session %s holds %d alarms, want %d (an acknowledged append was lost)", id, got.Alarms, len(alarms))
+		}
+		if !reflect.DeepEqual(got.Report.Diagnoses, [][]string(want.Diagnoses)) {
+			t.Fatalf("session %s diagnoses diverge after worker failure:\ngot  %v\nwant %v", id, got.Report.Diagnoses, want.Diagnoses)
+		}
+		if got.Report.Derived != want.Derived || got.Report.Messages != want.Messages {
+			t.Fatalf("session %s counters diverge: got %d derived/%d messages, want %d/%d",
+				id, got.Report.Derived, got.Report.Messages, want.Derived, want.Messages)
+		}
+	}
+
+	// The survivors absorbed at least one migration (the frontend's
+	// metric counts both the kill recovery and the drain).
+	if v, ok := scrapeMetric(t, feBase, "pool_migrations_total"); !ok || v < 1 {
+		t.Fatalf("pool_migrations_total = %v (present %v), want >= 1", v, ok)
+	}
+	// New placements still work with one worker dead and one draining.
+	var fresh struct {
+		ID string `json:"id"`
+	}
+	if code := postJSON(t, feBase+"/v1/sessions", map[string]string{"net": netText}, &fresh); code != http.StatusCreated {
+		t.Fatalf("post-failure create: status %d", code)
+	}
+}

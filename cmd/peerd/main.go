@@ -38,20 +38,27 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/diagnosis"
 	"repro/internal/obs"
+	"repro/internal/pool"
 	"repro/internal/serve"
 	"repro/internal/transport"
 )
 
 // adminEndpoint is the peerd observability surface: a metrics registry fed
-// by the node's tracer, a bounded trace buffer, and a readiness bit.
+// by the node's tracer, a bounded trace buffer, and the lifecycle bits
+// health probes read: ready (bound, checkpoint restored) and draining
+// (finishing owned work, place nothing new here).
 type adminEndpoint struct {
-	metrics *serve.Metrics
-	trace   *obs.ChromeTraceWriter
-	ready   atomic.Bool
+	metrics  *serve.Metrics
+	trace    *obs.ChromeTraceWriter
+	ready    atomic.Bool
+	draining atomic.Bool
 }
 
 func newAdminEndpoint() *adminEndpoint {
@@ -81,6 +88,14 @@ func (a *adminEndpoint) serveHTTP(addr string) (string, error) {
 		a.metrics.WriteText(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Draining is 503 like dead-adjacent states, but the body tells a
+		// pool frontend (and ops scripts) "stop placing, migrate" apart
+		// from "evict": a drained worker is cooperating, not failing.
+		if a.draining.Load() {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
 		if a.ready.Load() {
 			fmt.Fprintln(w, "ok")
 			return
@@ -101,11 +116,15 @@ func (a *adminEndpoint) serveHTTP(addr string) (string, error) {
 
 func main() {
 	var (
-		name    = flag.String("name", "", "this node's name in the cluster (required)")
-		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		driver  = flag.String("driver", "driver", "the driver node's name")
-		dataDir = flag.String("data-dir", "", "directory for job checkpoints (enables kill/restart recovery)")
-		admin   = flag.String("admin", "", "HTTP admin listen address (/metrics, /healthz, /v1/trace); empty disables")
+		name         = flag.String("name", "", "this node's name in the cluster (required)")
+		listen       = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		driver       = flag.String("driver", "driver", "the driver node's name")
+		dataDir      = flag.String("data-dir", "", "directory for job checkpoints (enables kill/restart recovery)")
+		admin        = flag.String("admin", "", "HTTP admin listen address (/metrics, /healthz, /v1/trace); empty disables")
+		poolAddr     = flag.String("pool", "", "session-pool listen address (host:port; doubles as this worker's pool identity); empty disables worker mode")
+		poolSessions = flag.Int("pool-max-sessions", 64, "session table cap in pool worker mode")
+		poolFacts    = flag.Int("pool-global-facts", 64<<20, "global reserved-fact budget in pool worker mode")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for pooled sessions to migrate away before exiting")
 	)
 	flag.Parse()
 	if *name == "" {
@@ -152,14 +171,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "peerd: restored checkpoint (job generation %d, %d hosted peers); rejoining\n",
 			job.Gen, len(job.Hosted))
 	}
+	// Pool worker mode: a second transport (identity = the advertised
+	// pool address, which is what frontends dial and name it by) feeding
+	// session jobs into a local serve Store through the pool Backend.
+	var worker *pool.Worker
+	if *poolAddr != "" {
+		ptr, err := transport.ListenTCP(*poolAddr, *poolAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peerd: pool listener: %v\n", err)
+			os.Exit(1)
+		}
+		metrics := serve.NewMetrics()
+		if adm != nil {
+			metrics = adm.metrics
+		}
+		store := serve.NewStore(serve.StoreConfig{
+			MaxSessions: *poolSessions,
+			GlobalFacts: *poolFacts,
+		}, metrics)
+		worker = pool.NewWorker(pool.WorkerConfig{
+			Transport: ptr,
+			Backend:   serve.NewPoolBackend(store, metrics),
+			AdminAddr: adminAddr,
+			Metrics:   metrics,
+		})
+		if err := worker.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "peerd: pool worker: %v\n", err)
+			os.Exit(1)
+		}
+		defer ptr.Close() //nolint:errcheck // process exit path
+		fmt.Printf("peerd pool listening %s\n", ptr.Addr())
+	}
+
 	fmt.Printf("peerd listening %s\n", tr.Addr())
 	if adm != nil {
 		// Bound and restored: the node is ready for a driver's jobs.
 		adm.ready.Store(true)
 		fmt.Printf("peerd admin listening %s\n", adminAddr)
 	}
-	if err := n.Serve(); err != nil {
-		fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
-		os.Exit(1)
+
+	errc := make(chan error, 1)
+	go func() { errc <- n.Serve() }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "peerd: %v\n", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		// Graceful drain: flip /healthz to "draining" and refuse new pool
+		// placements, then wait for the frontend to migrate the sessions
+		// away (bounded) before exiting.
+		if adm != nil {
+			adm.draining.Store(true)
+		}
+		if worker != nil {
+			worker.SetDraining(true)
+			fmt.Fprintf(os.Stderr, "peerd: %s: draining %d pooled sessions\n", sig, worker.Active())
+			deadline := time.Now().Add(*drainWait)
+			for worker.Active() > 0 && time.Now().Before(deadline) {
+				time.Sleep(100 * time.Millisecond)
+			}
+			worker.Close()
+			if left := worker.Active(); left > 0 {
+				fmt.Fprintf(os.Stderr, "peerd: drain timeout with %d sessions still here\n", left)
+			}
+		}
 	}
 }

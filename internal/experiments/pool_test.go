@@ -1,0 +1,25 @@
+package experiments
+
+import "testing"
+
+func TestPoolOverheadShape(t *testing.T) {
+	row, err := PoolOverhead(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Appends == 0 || row.Sessions != 8 {
+		t.Fatalf("sizes = %d appends / %d sessions", row.Appends, row.Sessions)
+	}
+	if row.LocalNsPerAppend <= 0 || row.PooledNsPerAppend <= 0 {
+		t.Fatalf("non-positive append timings: %+v", row)
+	}
+	if row.OverheadRatio <= 0 {
+		t.Fatalf("overhead ratio = %v", row.OverheadRatio)
+	}
+	if !row.BodiesEqual {
+		t.Fatal("pooled append bodies diverged from the local serving path")
+	}
+	if row.OneWorkerMs < 0 || row.ThreeWorkerMs < 0 || row.WorkerGain <= 0 {
+		t.Fatalf("bad batch timings: %+v", row)
+	}
+}

@@ -1,0 +1,29 @@
+package pool
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Ship blobs. A SessShip reply (and the SessLoad job re-installing it)
+// carries the worker's applied-append index ahead of the opaque
+// checkpoint bytes: the index is what lets the receiving worker resume
+// the idempotent-append dedup exactly where the checkpoint left off,
+// and what lets the frontend replay only the journal tail past it.
+
+var errShipBlob = errors.New("pool: malformed ship blob")
+
+// encodeShip prefixes checkpoint bytes with the applied-append index.
+func encodeShip(appliedIndex uint64, checkpoint []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, len(checkpoint)+binary.MaxVarintLen64), appliedIndex)
+	return append(out, checkpoint...)
+}
+
+// decodeShip splits a ship blob back into index and checkpoint bytes.
+func decodeShip(blob []byte) (appliedIndex uint64, checkpoint []byte, err error) {
+	idx, n := binary.Uvarint(blob)
+	if n <= 0 {
+		return 0, nil, errShipBlob
+	}
+	return idx, blob[n:], nil
+}

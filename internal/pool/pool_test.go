@@ -1,0 +1,270 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ---- scheduler properties ----
+
+// TestLeastLoadedBalanceBound: placing sessions one at a time, feeding
+// each placement back into the load picture, least-loaded keeps the
+// spread between the fullest and emptiest worker at most one.
+func TestLeastLoadedBalanceBound(t *testing.T) {
+	workers := []WorkerLoad{{Name: "w1"}, {Name: "w2"}, {Name: "w3"}}
+	var p LeastLoaded
+	for i := 0; i < 300; i++ {
+		pick := p.Pick(fmt.Sprintf("s%d", i), workers)
+		found := false
+		for j := range workers {
+			if workers[j].Name == pick {
+				workers[j].Active++
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("picked %q, not a candidate", pick)
+		}
+		min, max := workers[0].Active, workers[0].Active
+		for _, w := range workers[1:] {
+			if w.Active < min {
+				min = w.Active
+			}
+			if w.Active > max {
+				max = w.Active
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("after %d placements: spread %d (loads %+v)", i+1, max-min, workers)
+		}
+	}
+}
+
+// TestLeastLoadedCountsQueue: a worker with a deep queue loses to an
+// idle one even when it holds fewer sessions.
+func TestLeastLoadedCountsQueue(t *testing.T) {
+	got := LeastLoaded{}.Pick("s", []WorkerLoad{
+		{Name: "a", Active: 1, Queued: 10},
+		{Name: "b", Active: 3, Queued: 0},
+	})
+	if got != "b" {
+		t.Fatalf("picked %q, want the shallow-queue worker", got)
+	}
+}
+
+// TestConsistentHashAffinity: the ring is a pure function of session and
+// candidate set, and removing one worker only moves the sessions that
+// hashed to it — everyone else's placement is stable.
+func TestConsistentHashAffinity(t *testing.T) {
+	full := []WorkerLoad{{Name: "w1"}, {Name: "w2"}, {Name: "w3"}, {Name: "w4"}, {Name: "w5"}}
+	var without []WorkerLoad
+	for _, w := range full {
+		if w.Name != "w3" {
+			without = append(without, w)
+		}
+	}
+	var p ConsistentHash
+	moved, onRemoved := 0, 0
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("session-%d", i)
+		first := p.Pick(id, full)
+		if again := p.Pick(id, full); again != first {
+			t.Fatalf("%s: unstable pick %q then %q on identical candidates", id, first, again)
+		}
+		second := p.Pick(id, without)
+		if first == "w3" {
+			onRemoved++
+			if second == "w3" {
+				t.Fatalf("%s: picked the removed worker", id)
+			}
+			continue
+		}
+		if second != first {
+			moved++
+		}
+	}
+	if onRemoved == 0 {
+		t.Fatal("no session ever hashed to w3; ring is degenerate")
+	}
+	if moved != 0 {
+		t.Fatalf("%d sessions moved that were not on the removed worker", moved)
+	}
+}
+
+// TestConsistentHashSpread: with the default 64 virtual nodes no worker
+// captures a grossly lopsided share. FNV and the vnode keys are fixed,
+// so this is deterministic, not flaky.
+func TestConsistentHashSpread(t *testing.T) {
+	candidates := []WorkerLoad{{Name: "w1"}, {Name: "w2"}, {Name: "w3"}, {Name: "w4"}, {Name: "w5"}}
+	counts := make(map[string]int)
+	var p ConsistentHash
+	const n = 1000
+	for i := 0; i < n; i++ {
+		counts[p.Pick(fmt.Sprintf("session-%d", i), candidates)]++
+	}
+	for _, c := range candidates {
+		got := counts[c.Name]
+		if got == 0 {
+			t.Fatalf("worker %s never picked: %v", c.Name, counts)
+		}
+		if got > n/2 {
+			t.Fatalf("worker %s captured %d of %d sessions: %v", c.Name, got, n, counts)
+		}
+	}
+}
+
+// ---- ship-blob codec ----
+
+func TestShipCodecRoundTrip(t *testing.T) {
+	for _, idx := range []uint64{0, 1, 16, 1 << 40} {
+		blob := encodeShip(idx, []byte("checkpoint-bytes"))
+		gotIdx, gotCp, err := decodeShip(blob)
+		if err != nil {
+			t.Fatalf("idx %d: %v", idx, err)
+		}
+		if gotIdx != idx || string(gotCp) != "checkpoint-bytes" {
+			t.Fatalf("idx %d: round-tripped to (%d, %q)", idx, gotIdx, gotCp)
+		}
+	}
+	if _, _, err := decodeShip(nil); err == nil {
+		t.Fatal("decodeShip(nil) accepted")
+	}
+}
+
+// ---- worker idempotency over a mesh ----
+
+// fakeBackend counts evaluations so the dedup tests can prove a retried
+// or hedged duplicate never re-evaluates.
+type fakeBackend struct {
+	mu      sync.Mutex
+	creates int
+	appends map[string]int
+	live    map[string]bool
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{appends: make(map[string]int), live: make(map[string]bool)}
+}
+
+func (b *fakeBackend) Create(id, netText, engine string, maxFacts int) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.creates++
+	b.live[id] = true
+	return []byte(fmt.Sprintf("created:%s", id)), nil
+}
+
+func (b *fakeBackend) Append(id, alarms string, timeout time.Duration) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.appends[id]++
+	return []byte(fmt.Sprintf("append:%d", b.appends[id])), nil
+}
+
+func (b *fakeBackend) Get(id string) ([]byte, error)           { return []byte("state"), nil }
+func (b *fakeBackend) Delete(id string) error                  { return nil }
+func (b *fakeBackend) Ship(id string) ([]byte, error)          { return []byte("cp"), nil }
+func (b *fakeBackend) Load(id string, checkpoint []byte) error { return nil }
+func (b *fakeBackend) Classify(error) (uint32, uint32)         { return wire.SessRetry, 0 }
+func (b *fakeBackend) Active() int                             { b.mu.Lock(); defer b.mu.Unlock(); return len(b.live) }
+func (b *fakeBackend) appendEvals(id string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.appends[id]
+}
+
+// TestWorkerAppendDedup drives a worker directly with SessionJob frames
+// and checks the idempotency contract retry and hedging depend on:
+// duplicate indexes return the memoized reply without re-evaluating,
+// gaps are refused with SessOutOfSync.
+func TestWorkerAppendDedup(t *testing.T) {
+	mesh := transport.NewMesh()
+	backend := newFakeBackend()
+	w := NewWorker(WorkerConfig{Transport: mesh.Node("w1"), Backend: backend})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	t.Cleanup(func() { mesh.Node("w1").Close() }) //nolint:errcheck
+
+	replies := make(chan wire.SessionReply, 16)
+	fe := mesh.Node("fe")
+	if err := fe.Start(func(from string, f wire.Frame) {
+		if rep, ok := f.(wire.SessionReply); ok {
+			replies <- rep
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fe.Close() }) //nolint:errcheck
+
+	var req uint64
+	roundTrip := func(job wire.SessionJob) wire.SessionReply {
+		t.Helper()
+		req++
+		job.Req, job.Frontend, job.FrontendAddr = req, "fe", "fe"
+		if err := fe.Send("w1", job); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case rep := <-replies:
+			if rep.Req != req {
+				t.Fatalf("reply for req %d, want %d", rep.Req, req)
+			}
+			return rep
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no reply to op %d", job.Op)
+			return wire.SessionReply{}
+		}
+	}
+
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessCreate, Session: "s1"}); rep.Code != wire.SessOK {
+		t.Fatalf("create: code %d err %q", rep.Code, rep.Err)
+	}
+	// A retried create resends the first reply instead of re-admitting.
+	rep := roundTrip(wire.SessionJob{Op: wire.SessCreate, Session: "s1"})
+	if rep.Code != wire.SessOK || string(rep.Blob) != "created:s1" {
+		t.Fatalf("retried create: code %d blob %q", rep.Code, rep.Blob)
+	}
+	if backend.creates != 1 {
+		t.Fatalf("backend created %d times, want 1", backend.creates)
+	}
+
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s1", Index: 1}); string(rep.Blob) != "append:1" {
+		t.Fatalf("append 1: %q", rep.Blob)
+	}
+	// Duplicate of index 1 (a hedge or retry): memoized, not re-evaluated.
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s1", Index: 1}); string(rep.Blob) != "append:1" {
+		t.Fatalf("duplicate append: %q", rep.Blob)
+	}
+	if n := backend.appendEvals("s1"); n != 1 {
+		t.Fatalf("backend evaluated %d appends, want 1", n)
+	}
+	// An index gap means the frontend and worker diverged.
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s1", Index: 3}); rep.Code != wire.SessOutOfSync {
+		t.Fatalf("gap append: code %d, want SessOutOfSync", rep.Code)
+	}
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s1", Index: 2}); string(rep.Blob) != "append:2" {
+		t.Fatalf("append 2: %q", rep.Blob)
+	}
+	// Appends to a session the worker never admitted are NotFound — the
+	// frontend's cue to re-materialize.
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "ghost", Index: 1}); rep.Code != wire.SessNotFound {
+		t.Fatalf("ghost append: code %d, want SessNotFound", rep.Code)
+	}
+	// A load installs the shipped applied-index so dedup resumes there.
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessLoad, Session: "s2", Blob: encodeShip(7, []byte("cp"))}); rep.Code != wire.SessOK {
+		t.Fatalf("load: code %d err %q", rep.Code, rep.Err)
+	}
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s2", Index: 9}); rep.Code != wire.SessOutOfSync {
+		t.Fatalf("post-load gap: code %d, want SessOutOfSync", rep.Code)
+	}
+	if rep := roundTrip(wire.SessionJob{Op: wire.SessAppend, Session: "s2", Index: 8}); rep.Code != wire.SessOK {
+		t.Fatalf("post-load append: code %d", rep.Code)
+	}
+}

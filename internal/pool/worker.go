@@ -1,0 +1,413 @@
+package pool
+
+import (
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Backend is the worker-side session service the pool schedules onto.
+// internal/serve implements it over its session Store; the pool itself
+// stays ignorant of nets, engines and reports — every method trades in
+// the JSON response bodies the HTTP layer would have written, so a
+// pooled session's responses are byte-identical to a local one's.
+type Backend interface {
+	// Create admits a session under the frontend-assigned ID and returns
+	// the create-response body.
+	Create(id, netText, engine string, maxFacts int) ([]byte, error)
+	// Append feeds alarm text to the session and returns the
+	// append-response body.
+	Append(id, alarms string, timeout time.Duration) ([]byte, error)
+	// Get returns the session-state response body.
+	Get(id string) ([]byte, error)
+	// Delete removes the session.
+	Delete(id string) error
+	// Ship serializes the session's checkpoint (opaque to the pool).
+	Ship(id string) ([]byte, error)
+	// Load installs a shipped checkpoint, replacing any session already
+	// live under the ID.
+	Load(id string, checkpoint []byte) error
+	// Classify maps a method error onto a wire reply code and an optional
+	// Retry-After hint in milliseconds.
+	Classify(err error) (code uint32, retryAfterMS uint32)
+	// Active counts live sessions (the load sample on every reply).
+	Active() int
+}
+
+// WorkerConfig tunes a pool worker.
+type WorkerConfig struct {
+	// Transport receives SessionJob frames and sends SessionReply frames.
+	// The worker owns Start; the caller owns Close.
+	Transport transport.Transport
+	// Backend executes the session operations.
+	Backend Backend
+	// AdminAddr is this worker's HTTP admin address, advertised on every
+	// reply so frontends can health-probe /healthz. Empty disables.
+	AdminAddr string
+	// Executors is the number of job-executor goroutines; jobs are sharded
+	// to them by session ID, so per-session operations are serialized (the
+	// idempotent-append dedup depends on that). 0 means 2.
+	Executors int
+	// QueueDepth bounds each executor's queue; a job arriving past it is
+	// refused immediately with SessSaturated. 0 means 64.
+	QueueDepth int
+	// Metrics receives worker-side counters; nil discards.
+	Metrics obs.Registry
+	// Logger receives send-failure logs; nil discards.
+	Logger *slog.Logger
+}
+
+// appliedState is the idempotency record for one session: how many
+// appends have been applied, and the last reply sent — a retried or
+// hedged duplicate of the latest operation returns the memoized reply
+// instead of re-evaluating.
+type appliedState struct {
+	index     uint64 // appends applied (SessAppend.Index of the last success)
+	lastCode  uint32
+	lastErr   string
+	lastRetry uint32
+	lastBlob  []byte
+}
+
+// Worker turns a peerd process into a pool member: it accepts
+// SessionJob frames, executes them against the Backend (serialized per
+// session), and replies with the result plus a load sample. Draining
+// refuses new placements (creates and loads) while continuing to serve,
+// ship and delete the sessions it holds.
+type Worker struct {
+	tr        transport.Transport
+	backend   Backend
+	adminAddr string
+	metrics   obs.Registry
+	log       *slog.Logger
+
+	queues   []chan wire.SessionJob
+	queued   atomic.Int64
+	draining atomic.Bool
+	ewma     atomic.Uint64 // EWMA append latency, µs
+
+	mu      sync.Mutex
+	applied map[string]*appliedState
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewWorker builds a worker; Start begins serving.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = nopRegistry{}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	w := &Worker{
+		tr:        cfg.Transport,
+		backend:   cfg.Backend,
+		adminAddr: cfg.AdminAddr,
+		metrics:   cfg.Metrics,
+		log:       cfg.Logger,
+		queues:    make([]chan wire.SessionJob, cfg.Executors),
+		applied:   make(map[string]*appliedState),
+		stop:      make(chan struct{}),
+	}
+	for i := range w.queues {
+		w.queues[i] = make(chan wire.SessionJob, cfg.QueueDepth)
+	}
+	return w
+}
+
+// Start installs the transport handler and spawns the executors.
+func (w *Worker) Start() error {
+	if err := w.tr.Start(w.handle); err != nil {
+		return err
+	}
+	for _, q := range w.queues {
+		w.wg.Add(1)
+		go w.run(q)
+	}
+	return nil
+}
+
+// Close stops the executors. The transport is the caller's to close.
+func (w *Worker) Close() {
+	close(w.stop)
+	w.wg.Wait()
+}
+
+// SetDraining flips the drain bit: once set, creates and loads are
+// refused with SessDraining so the frontend migrates instead of placing.
+func (w *Worker) SetDraining(v bool) { w.draining.Store(v) }
+
+// Draining reports the drain bit (peerd's /healthz surfaces it).
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// Active counts live sessions on the backend.
+func (w *Worker) Active() int { return w.backend.Active() }
+
+// handle is the transport receive path: route the reply, shard to the
+// session's executor, shed immediately when that queue is full.
+func (w *Worker) handle(from string, f wire.Frame) {
+	job, ok := f.(wire.SessionJob)
+	if !ok {
+		return
+	}
+	if job.Frontend != "" && job.FrontendAddr != "" {
+		w.tr.AddRoute(job.Frontend, job.FrontendAddr)
+	}
+	if job.Op == wire.SessPing {
+		// Answered inline, never queued: a ping is a liveness probe, and a
+		// worker grinding through a long evaluation is alive. Queuing it
+		// behind session work would read as death to a tight probe deadline.
+		// A draining worker answers SessDraining (it still serves what it
+		// holds) so frontends migrate even when the admin endpoint is off.
+		if w.draining.Load() {
+			w.send(job, wire.SessionReply{Code: wire.SessDraining, Err: "pool: worker draining"})
+		} else {
+			w.send(job, wire.SessionReply{})
+		}
+		return
+	}
+	q := w.queues[int(hash64(job.Session)%uint64(len(w.queues)))]
+	select {
+	case q <- job:
+		w.queued.Add(1)
+	default:
+		w.metrics.Add("pool_worker_shed_total", 1)
+		w.send(job, wire.SessionReply{Code: wire.SessSaturated,
+			Err: "pool: worker queue full", RetryAfterMS: 1000})
+	}
+}
+
+func (w *Worker) run(q chan wire.SessionJob) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case job := <-q:
+			w.queued.Add(-1)
+			w.exec(job)
+		}
+	}
+}
+
+func (w *Worker) exec(job wire.SessionJob) {
+	switch job.Op {
+	case wire.SessCreate:
+		w.execCreate(job)
+	case wire.SessAppend:
+		w.execAppend(job)
+	case wire.SessGet:
+		body, err := w.backend.Get(job.Session)
+		w.send(job, w.replyFor(body, err))
+	case wire.SessDelete:
+		err := w.backend.Delete(job.Session)
+		w.mu.Lock()
+		delete(w.applied, job.Session)
+		w.mu.Unlock()
+		w.send(job, w.replyFor(nil, err))
+	case wire.SessShip:
+		w.execShip(job)
+	case wire.SessLoad:
+		w.execLoad(job)
+	default:
+		w.send(job, wire.SessionReply{Code: wire.SessBad, Err: "pool: unknown op"})
+	}
+}
+
+func (w *Worker) execCreate(job wire.SessionJob) {
+	w.mu.Lock()
+	st, exists := w.applied[job.Session]
+	w.mu.Unlock()
+	if exists {
+		// A retried create: the first attempt landed. Resend its reply.
+		w.send(job, wire.SessionReply{Code: st.lastCode, Err: st.lastErr,
+			RetryAfterMS: st.lastRetry, Blob: st.lastBlob})
+		return
+	}
+	if w.draining.Load() {
+		w.send(job, wire.SessionReply{Code: wire.SessDraining,
+			Err: "pool: worker draining", RetryAfterMS: 1000})
+		return
+	}
+	body, err := w.backend.Create(job.Session, job.NetText, engineName(job.Engine), int(job.MaxFacts))
+	rep := w.replyFor(body, err)
+	if err == nil {
+		w.mu.Lock()
+		w.applied[job.Session] = &appliedState{lastBlob: body}
+		w.mu.Unlock()
+	}
+	w.send(job, rep)
+}
+
+func (w *Worker) execAppend(job wire.SessionJob) {
+	w.mu.Lock()
+	st := w.applied[job.Session]
+	w.mu.Unlock()
+	switch {
+	case st == nil:
+		w.send(job, wire.SessionReply{Code: wire.SessNotFound, Err: "pool: no such session on worker"})
+		return
+	case job.Index <= st.index:
+		// Duplicate of an already-applied append (retry or hedge): the
+		// memoized reply, never a second evaluation.
+		w.metrics.Add("pool_worker_dedup_total", 1)
+		w.send(job, wire.SessionReply{Code: st.lastCode, Err: st.lastErr,
+			RetryAfterMS: st.lastRetry, Blob: st.lastBlob})
+		return
+	case job.Index != st.index+1:
+		w.send(job, wire.SessionReply{Code: wire.SessOutOfSync, Err: "pool: append index gap"})
+		return
+	}
+	start := time.Now()
+	body, err := w.backend.Append(job.Session, job.Alarms, timeoutOf(job))
+	rep := w.replyFor(body, err)
+	if err == nil {
+		w.noteAppend(time.Since(start))
+		w.mu.Lock()
+		st.index = job.Index
+		st.lastCode, st.lastErr, st.lastRetry, st.lastBlob = rep.Code, rep.Err, rep.RetryAfterMS, rep.Blob
+		w.mu.Unlock()
+	}
+	w.send(job, rep)
+}
+
+func (w *Worker) execShip(job wire.SessionJob) {
+	w.mu.Lock()
+	st := w.applied[job.Session]
+	w.mu.Unlock()
+	if st == nil {
+		w.send(job, wire.SessionReply{Code: wire.SessNotFound, Err: "pool: no such session on worker"})
+		return
+	}
+	checkpoint, err := w.backend.Ship(job.Session)
+	if err != nil {
+		w.send(job, w.replyFor(nil, err))
+		return
+	}
+	w.send(job, wire.SessionReply{Blob: encodeShip(st.index, checkpoint)})
+}
+
+func (w *Worker) execLoad(job wire.SessionJob) {
+	if w.draining.Load() {
+		w.send(job, wire.SessionReply{Code: wire.SessDraining,
+			Err: "pool: worker draining", RetryAfterMS: 1000})
+		return
+	}
+	idx, checkpoint, err := decodeShip(job.Blob)
+	if err != nil {
+		w.send(job, wire.SessionReply{Code: wire.SessBad, Err: err.Error()})
+		return
+	}
+	if err := w.backend.Load(job.Session, checkpoint); err != nil {
+		w.send(job, w.replyFor(nil, err))
+		return
+	}
+	w.mu.Lock()
+	w.applied[job.Session] = &appliedState{index: idx}
+	w.mu.Unlock()
+	w.send(job, wire.SessionReply{})
+}
+
+// replyFor maps a backend result onto a reply via Backend.Classify.
+func (w *Worker) replyFor(body []byte, err error) wire.SessionReply {
+	if err == nil {
+		return wire.SessionReply{Blob: body}
+	}
+	code, retry := w.backend.Classify(err)
+	return wire.SessionReply{Code: code, Err: err.Error(), RetryAfterMS: retry}
+}
+
+// send stamps the reply with the echo fields and the load sample, then
+// ships it back to the requesting frontend.
+func (w *Worker) send(job wire.SessionJob, rep wire.SessionReply) {
+	rep.Req, rep.Op, rep.Session = job.Req, job.Op, job.Session
+	rep.Active = uint32(w.backend.Active())
+	if q := w.queued.Load(); q > 0 {
+		rep.Queued = uint32(q)
+	}
+	rep.EWMAMicros = w.ewma.Load()
+	rep.AdminAddr = w.adminAddr
+	if job.Frontend == "" {
+		return
+	}
+	if err := w.tr.Send(job.Frontend, rep); err != nil {
+		w.log.Warn("pool worker: reply not sent", "frontend", job.Frontend, "err", err)
+	}
+}
+
+// noteAppend folds one append latency into the EWMA load signal
+// (α = 1/4: responsive to shifts, stable under jitter).
+func (w *Worker) noteAppend(d time.Duration) {
+	sample := uint64(d.Microseconds())
+	for {
+		old := w.ewma.Load()
+		next := sample
+		if old != 0 {
+			next = old - old/4 + sample/4
+		}
+		if w.ewma.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func timeoutOf(job wire.SessionJob) time.Duration {
+	if job.TimeoutMS == 0 {
+		return 30 * time.Second
+	}
+	return time.Duration(job.TimeoutMS) * time.Millisecond
+}
+
+// engineName maps the wire engine ordinal back to its HTTP-API name.
+// Zero means "server default" and stays the empty string.
+func engineName(e uint32) string {
+	switch e {
+	case 1:
+		return "direct"
+	case 2:
+		return "product"
+	case 3:
+		return "naive"
+	case 4:
+		return "dqsq"
+	default:
+		return ""
+	}
+}
+
+// engineOrdinal is engineName's inverse (the frontend encodes requests).
+func engineOrdinal(name string) uint32 {
+	switch name {
+	case "direct":
+		return 1
+	case "product":
+		return 2
+	case "naive":
+		return 3
+	case "dqsq":
+		return 4
+	default:
+		return 0
+	}
+}
+
+// nopRegistry discards metrics.
+type nopRegistry struct{}
+
+func (nopRegistry) Add(string, int64)             {}
+func (nopRegistry) SetGauge(string, int64)        {}
+func (nopRegistry) Observe(string, time.Duration) {}

@@ -10,13 +10,16 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/parser"
+	"repro/internal/pool"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // Config tunes the server.
@@ -88,6 +91,11 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 	finalize sync.Once // persist-and-clear runs exactly once across concurrent Shutdowns
+
+	// pool, when non-nil, turns the server into a frontend: session
+	// operations are dispatched to remote peerd workers instead of the
+	// local store. Set before serving (SetPool); never changed after.
+	pool *pool.Pool
 
 	// readOnly gates the mutating handlers while the server follows a
 	// replication primary; promote flips it off exactly once.
@@ -166,6 +174,11 @@ func NewServer(cfg Config) *Server {
 
 // Metrics exposes the registry (cmd/diagnosed adds process gauges).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// SetPool switches the server into frontend mode: session creates,
+// appends, reads and deletes are scheduled onto the pool's workers
+// instead of the local store. Must be called before serving requests.
+func (s *Server) SetPool(p *pool.Pool) { s.pool = p }
 
 // Store exposes the session table (tests drive Sweep directly).
 func (s *Server) Store() *Store { return s.store }
@@ -378,6 +391,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, err)
 		return
 	}
+	if s.pool != nil {
+		// Frontend mode: the worker parses the net and warms the engine;
+		// the frontend only burns cycles on admission and placement.
+		res := s.pool.Create(req.Net, req.Engine, req.MaxFacts, s.evalTimeout(r))
+		s.metrics.Observe("diagnosed_create_seconds", time.Since(start))
+		s.writePoolResult(w, http.StatusCreated, res)
+		return
+	}
 	sys, err := core.LoadNet(req.Net)
 	if err != nil {
 		s.badRequest(w, err)
@@ -420,6 +441,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	if s.readOnly.Load() {
 		s.fail(w, ErrReadOnly)
+		return
+	}
+	if s.pool != nil {
+		var req appendRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.badRequest(w, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		start := time.Now()
+		res := s.pool.Append(r.PathValue("id"), req.Alarms, s.evalTimeout(r))
+		s.metrics.Observe("diagnosed_append_seconds", time.Since(start))
+		s.writePoolResult(w, http.StatusOK, res)
 		return
 	}
 	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
@@ -484,6 +517,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if s.pool != nil {
+		// The worker is authoritative for session state (seq, report,
+		// exhaustion); the frontend only journals placement.
+		s.writePoolResult(w, http.StatusOK, s.pool.Get(r.PathValue("id"), 10*time.Second))
+		return
+	}
 	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
 	if !ok {
 		s.notFound(w)
@@ -515,6 +554,13 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // handleTrace exports the session's evaluation trace as Chrome
 // trace-event JSON, loadable in chrome://tracing or Perfetto.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.pool != nil {
+		// The trace buffer lives with the warm engine on the worker; the
+		// frontend has nothing to export. Scrape the worker's admin
+		// endpoint instead.
+		s.notFound(w)
+		return
+	}
 	sess, ok := s.store.Get(r.PathValue("id"), time.Now())
 	if !ok {
 		s.notFound(w)
@@ -533,6 +579,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
+	if s.pool != nil {
+		res := s.pool.Delete(id, 10*time.Second)
+		if res.Code == wire.SessOK {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		s.writePoolResult(w, http.StatusNoContent, res)
+		return
+	}
 	if s.wal != nil {
 		// Log the delete intent before acknowledging it: the record is what
 		// keeps a crash between the 204 and the snapshot file's removal from
@@ -651,4 +706,38 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	}
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writePoolResult renders a pooled operation's outcome: success writes
+// the worker-rendered body verbatim (byte-identical to local serving),
+// errors map wire codes onto the same statuses fail uses, with
+// Retry-After carrying the pool's backpressure hint.
+func (s *Server) writePoolResult(w http.ResponseWriter, okStatus int, res pool.Result) {
+	if res.Code == wire.SessOK {
+		if len(res.Body) == 0 {
+			w.WriteHeader(okStatus)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(okStatus)
+		w.Write(res.Body) //nolint:errcheck // nothing to do about a dead client
+		return
+	}
+	if res.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(int((res.RetryAfterMS+999)/1000)))
+	}
+	status := http.StatusInternalServerError
+	switch res.Code {
+	case wire.SessExhausted:
+		status = http.StatusTooManyRequests
+	case wire.SessSaturated, wire.SessDraining, wire.SessRetry:
+		status = http.StatusServiceUnavailable
+	case wire.SessNotFound:
+		status = http.StatusNotFound
+	case wire.SessTimeout:
+		status = http.StatusGatewayTimeout
+	case wire.SessBad:
+		status = http.StatusBadRequest
+	}
+	s.writeJSON(w, status, errorResponse{Error: res.Err})
 }

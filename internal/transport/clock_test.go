@@ -33,7 +33,7 @@ func TestClockOffsetSymmetrized(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			tr := &TCP{offsets: make(map[string]clockEstimate)}
+			tr := &TCP{offsets: make(map[string]*clockFilter)}
 			fakeHandshake(tr, "peer", trueOffset, tc.out, tc.back)
 			got := tr.ClockOffsetMicros("peer")
 			bound := (tc.out + tc.back) / 2 // RTT/2: the provable error bound
@@ -56,7 +56,7 @@ func TestClockOffsetSymmetrized(t *testing.T) {
 // round-trip-bounded sample beats the one-way sentinel, a tighter RTT
 // beats a looser one, and an equal-uncertainty sample refreshes.
 func TestClockEstimatePreference(t *testing.T) {
-	tr := &TCP{offsets: make(map[string]clockEstimate)}
+	tr := &TCP{offsets: make(map[string]*clockFilter)}
 
 	// One-way sample (acceptor side) establishes a biased baseline.
 	tr.noteEstimate("p", clockEstimate{off: 100, unc: oneWayUncertainty})
@@ -88,7 +88,7 @@ func TestClockEstimatePreference(t *testing.T) {
 // TestNoteClockRTTRejectsGarbage: zeroed clocks and negative round
 // trips must leave no estimate behind.
 func TestNoteClockRTTRejectsGarbage(t *testing.T) {
-	tr := &TCP{offsets: make(map[string]clockEstimate)}
+	tr := &TCP{offsets: make(map[string]*clockFilter)}
 	tr.noteClockRTT("p", 0, 10, 20)
 	tr.noteClockRTT("p", 1234, 20, 10)
 	if got := tr.ClockOffsetMicros("p"); got != 0 {

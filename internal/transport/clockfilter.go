@@ -1,0 +1,86 @@
+package transport
+
+// The multi-sample clock filter. A single "keep the best estimate"
+// cell (what PR 8 shipped) has two failure modes: a reconnect storm of
+// high-RTT handshakes can only ever refresh-or-keep, so one lucky tight
+// sample is trusted forever even as the clocks drift apart; and a jittery
+// link keeps replacing equal-uncertainty samples, so the estimate jumps
+// around instead of settling. The filter instead keeps a small reservoir
+// of samples per peer, accumulated across reconnects, and answers with
+// the minimum-*effective*-uncertainty sample: the handshake's RTT/2 (or
+// one-way sentinel) bound, inflated by an assumed worst-case drift for
+// the sample's age. Adding a sample can therefore only tighten (or age
+// gracefully) the estimate — it never resets on reconnect — and a stale
+// tight sample eventually yields to fresher ones as drift outgrows its
+// original bound.
+
+const (
+	// clockReservoir bounds the per-peer sample set. Eight covers several
+	// reconnect rounds without letting a flapping link hoard memory.
+	clockReservoir = 8
+	// clockDriftPPM is the assumed worst-case relative drift between two
+	// peers' clocks, in parts per million (µs of new uncertainty per
+	// second of sample age). 50ppm is conservative for machines without
+	// NTP discipline; with it, a 1ms-tight sample stays competitive for
+	// ~20s per ms of looseness in its challengers.
+	clockDriftPPM = 50
+)
+
+// clockSample is one handshake-derived offset observation: remote−local
+// in µs, its worst-case error at capture time, and when it was captured
+// (local clock, µs) for drift ageing.
+type clockSample struct {
+	off int64
+	unc int64
+	at  int64
+}
+
+// effective is the sample's uncertainty grown by worst-case drift since
+// capture. A non-positive age (clock stepped backwards) adds nothing.
+func (s clockSample) effective(nowMicros int64) int64 {
+	age := nowMicros - s.at
+	if age <= 0 {
+		return s.unc
+	}
+	return s.unc + age*clockDriftPPM/1_000_000
+}
+
+// clockFilter is the per-peer reservoir. Not self-locking: the owning
+// transport guards it with its own mutex.
+type clockFilter struct {
+	samples []clockSample
+}
+
+// add inserts a sample, evicting the worst-effective-uncertainty sample
+// (oldest on ties) once the reservoir is full — so the best evidence is
+// never displaced by a flood of loose reconnect samples.
+func (f *clockFilter) add(s clockSample) {
+	f.samples = append(f.samples, s)
+	if len(f.samples) <= clockReservoir {
+		return
+	}
+	worst := 0
+	for i := 1; i < len(f.samples); i++ {
+		wi, ei := f.samples[worst].effective(s.at), f.samples[i].effective(s.at)
+		if ei > wi || (ei == wi && f.samples[i].at < f.samples[worst].at) {
+			worst = i
+		}
+	}
+	f.samples = append(f.samples[:worst], f.samples[worst+1:]...)
+}
+
+// estimate returns the offset and effective uncertainty of the best
+// sample at nowMicros (freshest on ties), or ok=false when empty.
+func (f *clockFilter) estimate(nowMicros int64) (off, unc int64, ok bool) {
+	if len(f.samples) == 0 {
+		return 0, 0, false
+	}
+	best := 0
+	for i := 1; i < len(f.samples); i++ {
+		bu, iu := f.samples[best].effective(nowMicros), f.samples[i].effective(nowMicros)
+		if iu < bu || (iu == bu && f.samples[i].at >= f.samples[best].at) {
+			best = i
+		}
+	}
+	return f.samples[best].off, f.samples[best].effective(nowMicros), true
+}

@@ -1,0 +1,93 @@
+package transport
+
+import "testing"
+
+// lcg is a tiny deterministic pseudo-random source for jitter synthesis
+// (no math/rand so the sequence is pinned forever).
+type lcg uint64
+
+func (l *lcg) next() uint64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return uint64(*l) >> 33
+}
+
+// TestClockFilterJitterMonotone feeds a long run of synthetic handshake
+// samples with jittery RTTs — each sample's offset error bounded by its
+// own RTT/2 uncertainty, as noteClockRTT guarantees — and asserts the
+// filter's reported uncertainty never increases at a fixed instant, and
+// that the offset estimate always stays within its claimed bound of the
+// true offset. This is the "tightens monotonically instead of
+// resetting" contract from the roadmap.
+func TestClockFilterJitterMonotone(t *testing.T) {
+	const trueOffset = int64(250_000)
+	const now = int64(1_700_000_000_000_000)
+	var r lcg = 42
+	f := &clockFilter{}
+
+	prevUnc := int64(1<<62 - 1)
+	for i := 0; i < 400; i++ {
+		// RTT jitter: 2ms..80ms, so unc = RTT/2 in 1ms..40ms.
+		unc := int64(1_000 + r.next()%39_000)
+		// The midpoint error is at most ±unc; pick it adversarially
+		// anywhere in that band.
+		errBand := int64(r.next()%uint64(2*unc+1)) - unc
+		f.add(clockSample{off: trueOffset + errBand, unc: unc, at: now})
+
+		off, gotUnc, ok := f.estimate(now)
+		if !ok {
+			t.Fatal("estimate vanished")
+		}
+		if gotUnc > prevUnc {
+			t.Fatalf("sample %d: uncertainty loosened %d → %d", i, prevUnc, gotUnc)
+		}
+		prevUnc = gotUnc
+		if d := off - trueOffset; d < -gotUnc || d > gotUnc {
+			t.Fatalf("sample %d: offset error %dµs exceeds claimed bound %dµs", i, d, gotUnc)
+		}
+	}
+	if prevUnc > 5_000 {
+		t.Fatalf("400 jittered samples settled at %dµs uncertainty; expected the reservoir to find a tight one", prevUnc)
+	}
+}
+
+// TestClockFilterSurvivesReconnectStorm: one tight round-trip sample
+// followed by a storm of loose one-way reconnect samples (the exact
+// sequence a flapping acceptor-side link produces). The pre-filter code
+// kept only one cell and was safe here, but the reservoir must also not
+// let eviction pressure push the tight sample out.
+func TestClockFilterSurvivesReconnectStorm(t *testing.T) {
+	const now = int64(1_700_000_000_000_000)
+	f := &clockFilter{}
+	f.add(clockSample{off: 100, unc: 500, at: now})
+	for i := 0; i < 10*clockReservoir; i++ {
+		f.add(clockSample{off: 9_999, unc: oneWayUncertainty, at: now + int64(i)})
+	}
+	off, unc, _ := f.estimate(now + 10*clockReservoir)
+	if off != 100 || unc > 1_000 {
+		t.Fatalf("storm displaced the tight sample: off=%d unc=%d", off, unc)
+	}
+	if len(f.samples) > clockReservoir {
+		t.Fatalf("reservoir grew unbounded: %d samples", len(f.samples))
+	}
+}
+
+// TestClockFilterDriftAgeing: a tight but ancient sample must eventually
+// yield to a fresh, slightly looser one — worst-case drift makes the old
+// bound a lie, and the effective-uncertainty comparison encodes that.
+func TestClockFilterDriftAgeing(t *testing.T) {
+	const t0 = int64(1_700_000_000_000_000)
+	f := &clockFilter{}
+	f.add(clockSample{off: 100, unc: 1_000, at: t0})
+
+	// 100s later the old sample's effective bound is 1000 + 100s·50ppm =
+	// 6000µs; a fresh 3000µs sample should now win...
+	later := t0 + 100_000_000
+	f.add(clockSample{off: 700, unc: 3_000, at: later})
+	if off, _, _ := f.estimate(later); off != 700 {
+		t.Fatalf("aged sample still preferred: off=%d", off)
+	}
+	// ...whereas immediately after capture the old sample was still best.
+	if off, _, _ := f.estimate(t0); off != 100 {
+		t.Fatalf("fresh-at-t0 preference wrong: off=%d", off)
+	}
+}

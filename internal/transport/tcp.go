@@ -55,7 +55,7 @@ type TCP struct {
 	outs     map[string]*outbound
 	conns    map[net.Conn]struct{} // inbound connections
 	recv     map[string]*recvState
-	offsets  map[string]clockEstimate // per-node clock offset estimates
+	offsets  map[string]*clockFilter // per-node clock offset sample reservoirs
 	closed   bool
 	closedAt time.Time
 	stats    Stats
@@ -117,7 +117,7 @@ func ListenTCP(self, addr string) (*TCP, error) {
 		outs:    make(map[string]*outbound),
 		conns:   make(map[net.Conn]struct{}),
 		recv:    make(map[string]*recvState),
-		offsets: make(map[string]clockEstimate),
+		offsets: make(map[string]*clockFilter),
 	}, nil
 }
 
@@ -150,12 +150,17 @@ type clockEstimate struct {
 var oneWayUncertainty = int64(handshakeTimeout / time.Microsecond)
 
 // ClockOffsetMicros returns the wall-clock offset of node relative to this
-// one (remote − local, µs), from the lowest-uncertainty Hello sample
-// exchanged with it; 0 before any handshake.
+// one (remote − local, µs), from the lowest-effective-uncertainty Hello
+// sample in the node's reservoir; 0 before any handshake.
 func (t *TCP) ClockOffsetMicros(node string) int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.offsets[node].off
+	f := t.offsets[node]
+	if f == nil {
+		return 0
+	}
+	off, _, _ := f.estimate(time.Now().UnixMicro())
+	return off
 }
 
 // noteClock records an acceptor-side sample: the peer's handshake
@@ -185,13 +190,18 @@ func (t *TCP) noteClockRTT(node string, wallMicros uint64, t0, t3 int64) {
 	t.noteEstimate(node, clockEstimate{off: off, unc: rtt/2 + 1})
 }
 
-// noteEstimate keeps the better estimate: lower uncertainty wins, equal
-// uncertainty prefers the fresher sample (clocks drift).
+// noteEstimate folds one sample into the node's reservoir. The filter
+// answers with the minimum-effective-uncertainty sample, so the estimate
+// tightens monotonically across reconnects instead of resetting, and a
+// stale tight sample yields only once drift outgrows its original bound.
 func (t *TCP) noteEstimate(node string, e clockEstimate) {
 	t.mu.Lock()
-	if cur, ok := t.offsets[node]; !ok || e.unc <= cur.unc {
-		t.offsets[node] = e
+	f := t.offsets[node]
+	if f == nil {
+		f = &clockFilter{}
+		t.offsets[node] = f
 	}
+	f.add(clockSample{off: e.off, unc: e.unc, at: time.Now().UnixMicro()})
 	t.mu.Unlock()
 }
 

@@ -30,7 +30,8 @@ import (
 // Version 3 added the Gen tag carried by every post-handshake frame.
 // Version 4 added cluster telemetry: wall-clock samples in Hello, trace
 // context on Job, flow IDs on Data, and the Telemetry frame.
-const Version = 4
+// Version 5 added the session-pool RPC frames (SessionJob, SessionReply).
+const Version = 5
 
 // MaxFrame bounds the encoded size of a single frame (64 MiB). The
 // transport rejects longer length prefixes before reading the body, so a
@@ -55,6 +56,8 @@ const (
 	tagStop
 	tagDone
 	tagTelemetry
+	tagSessionJob
+	tagSessionReply
 )
 
 // payload kind tags (inside a Data frame).
@@ -230,6 +233,92 @@ type TraceEvent struct {
 	ID    uint64 // flow ID (s and f only)
 }
 
+// SessionJob operations (SessionJob.Op). They are the verbs of the
+// session-pool RPC: a diagnosed frontend ships session work to a peerd
+// worker as one SessionJob and gets one SessionReply back.
+const (
+	// SessCreate admits a session under the frontend-assigned ID.
+	SessCreate uint32 = iota + 1
+	// SessAppend feeds alarms to a live session. Index is the 1-based
+	// position of this append in the session's history; the worker applies
+	// it exactly once, so a retried or hedged duplicate returns the
+	// memoized result instead of re-evaluating.
+	SessAppend
+	// SessGet reads the session's state (seq, report, exhaustion).
+	SessGet
+	// SessDelete removes the session.
+	SessDelete
+	// SessPing is a no-op carrying back only the load sample.
+	SessPing
+	// SessShip asks the worker to serialize the session (checkpoint bytes
+	// in the reply blob) — the migrate-by-checkpoint path of a drain.
+	SessShip
+	// SessLoad installs a shipped checkpoint on this worker.
+	SessLoad
+)
+
+// SessionReply codes (SessionReply.Code). Zero is success.
+const (
+	SessOK uint32 = iota
+	// SessRetry: transient worker-side failure; the same request may be
+	// retried (the Index dedup makes appends idempotent).
+	SessRetry
+	// SessSaturated: the worker's session table or fact budget is full;
+	// place elsewhere or shed load (maps to 503 + Retry-After).
+	SessSaturated
+	// SessDraining: the worker is draining; do not place new sessions,
+	// migrate the ones it holds.
+	SessDraining
+	// SessNotFound: no such session on this worker.
+	SessNotFound
+	// SessExhausted: the session's fact budget is spent (maps to 429).
+	SessExhausted
+	// SessTimeout: the evaluation hit its deadline (maps to 504).
+	SessTimeout
+	// SessBad: permanent input error (bad net, unknown peer, ...).
+	SessBad
+	// SessOutOfSync: the append index does not follow the worker's applied
+	// count — the frontend and worker have diverged; re-materialize.
+	SessOutOfSync
+)
+
+// SessionJob ships one session operation to a pool worker. Req matches
+// the reply to the request; Frontend/FrontendAddr teach the worker where
+// to send it (the worker adds the route before replying, so the frontend
+// needs no a-priori registration on the worker side).
+type SessionJob struct {
+	Req          uint64 // request ID, echoed by SessionReply
+	Op           uint32 // SessCreate..SessLoad
+	Session      string // session ID (frontend-assigned)
+	Index        uint64 // SessAppend: 1-based append index for dedup
+	NetText      string // SessCreate: textual net description
+	Engine       uint32 // SessCreate: engine ordinal (core.Engine)
+	MaxFacts     uint32 // SessCreate: per-session fact budget
+	TimeoutMS    uint32 // evaluation deadline for this operation
+	Alarms       string // SessAppend: alarm text (parser.Alarms format)
+	Frontend     string // requesting frontend's node name
+	FrontendAddr string // requesting frontend's transport address
+	Blob         []byte // SessLoad: checkpoint bytes to install
+}
+
+// SessionReply answers one SessionJob. Every reply piggybacks the
+// worker's load sample (active sessions, queue depth, EWMA append
+// latency), which is what the frontend's least-loaded scheduler and
+// hedging policy feed on between health probes.
+type SessionReply struct {
+	Req          uint64 // echoed request ID
+	Op           uint32 // echoed operation
+	Session      string // echoed session ID
+	Code         uint32 // SessOK or a SessionReply error code
+	Err          string // human-readable error detail (Code != SessOK)
+	RetryAfterMS uint32 // backpressure hint (SessSaturated/SessDraining)
+	Active       uint32 // load: live sessions on the worker
+	Queued       uint32 // load: jobs waiting in the worker's queue
+	EWMAMicros   uint64 // load: EWMA append latency, microseconds
+	AdminAddr    string // worker's HTTP admin address (health probes)
+	Blob         []byte // op result payload (pool codec)
+}
+
 // FrameGen returns the job generation carried by f, and whether f is a
 // generation-tagged frame at all (the handshake frames are not).
 func FrameGen(f Frame) (uint64, bool) {
@@ -254,16 +343,18 @@ func FrameGen(f Frame) (uint64, bool) {
 	return 0, false
 }
 
-func (Hello) isFrame()     {}
-func (Ack) isFrame()       {}
-func (Data) isFrame()      {}
-func (Job) isFrame()       {}
-func (JobOK) isFrame()     {}
-func (Poll) isFrame()      {}
-func (Status) isFrame()    {}
-func (Stop) isFrame()      {}
-func (Done) isFrame()      {}
-func (Telemetry) isFrame() {}
+func (Hello) isFrame()        {}
+func (Ack) isFrame()          {}
+func (Data) isFrame()         {}
+func (Job) isFrame()          {}
+func (JobOK) isFrame()        {}
+func (Poll) isFrame()         {}
+func (Status) isFrame()       {}
+func (Stop) isFrame()         {}
+func (Done) isFrame()         {}
+func (Telemetry) isFrame()    {}
+func (SessionJob) isFrame()   {}
+func (SessionReply) isFrame() {}
 
 // Payload is the evaluator-level content of a Data frame. The four kinds
 // mirror the messages of the naive distributed evaluation (Section 3.2)
@@ -324,6 +415,11 @@ func putUvarint(dst []byte, v uint64) []byte {
 func putString(dst []byte, s string) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(s)))
 	return append(dst, s...)
+}
+
+func putBytes(dst, p []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(p)))
+	return append(dst, p...)
 }
 
 func putBool(dst []byte, b bool) []byte {
@@ -542,6 +638,33 @@ func AppendFrame(dst []byte, seq uint64, f Frame) []byte {
 			dst = binary.AppendVarint(dst, e.Value)
 			dst = putUvarint(dst, e.ID)
 		}
+	case SessionJob:
+		dst = append(dst, tagSessionJob)
+		dst = putUvarint(dst, v.Req)
+		dst = putUvarint(dst, uint64(v.Op))
+		dst = putString(dst, v.Session)
+		dst = putUvarint(dst, v.Index)
+		dst = putString(dst, v.NetText)
+		dst = putUvarint(dst, uint64(v.Engine))
+		dst = putUvarint(dst, uint64(v.MaxFacts))
+		dst = putUvarint(dst, uint64(v.TimeoutMS))
+		dst = putString(dst, v.Alarms)
+		dst = putString(dst, v.Frontend)
+		dst = putString(dst, v.FrontendAddr)
+		dst = putBytes(dst, v.Blob)
+	case SessionReply:
+		dst = append(dst, tagSessionReply)
+		dst = putUvarint(dst, v.Req)
+		dst = putUvarint(dst, uint64(v.Op))
+		dst = putString(dst, v.Session)
+		dst = putUvarint(dst, uint64(v.Code))
+		dst = putString(dst, v.Err)
+		dst = putUvarint(dst, uint64(v.RetryAfterMS))
+		dst = putUvarint(dst, uint64(v.Active))
+		dst = putUvarint(dst, uint64(v.Queued))
+		dst = putUvarint(dst, v.EWMAMicros)
+		dst = putString(dst, v.AdminAddr)
+		dst = putBytes(dst, v.Blob)
 	default:
 		panic(fmt.Sprintf("wire: unencodable frame %T", f))
 	}
@@ -652,6 +775,26 @@ func (r *reader) str() string {
 	s := string(r.b[r.off : r.off+int(n)])
 	r.off += int(n)
 	return s
+}
+
+// blob reads a length-prefixed byte slice, validating the length against
+// the remaining input before allocating (nil for an empty blob).
+func (r *reader) blob() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	p := make([]byte, n)
+	copy(p, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return p
 }
 
 func (r *reader) bool() bool {
@@ -885,6 +1028,27 @@ func DecodeFrame(b []byte) (uint64, Frame, error) {
 			})
 		}
 		f = t
+	case tagSessionJob:
+		j := SessionJob{Req: r.uvarint(), Op: r.u32(), Session: r.str(), Index: r.uvarint()}
+		j.NetText = r.str()
+		j.Engine = r.u32()
+		j.MaxFacts = r.u32()
+		j.TimeoutMS = r.u32()
+		j.Alarms = r.str()
+		j.Frontend = r.str()
+		j.FrontendAddr = r.str()
+		j.Blob = r.blob()
+		f = j
+	case tagSessionReply:
+		p := SessionReply{Req: r.uvarint(), Op: r.u32(), Session: r.str(), Code: r.u32()}
+		p.Err = r.str()
+		p.RetryAfterMS = r.u32()
+		p.Active = r.u32()
+		p.Queued = r.u32()
+		p.EWMAMicros = r.uvarint()
+		p.AdminAddr = r.str()
+		p.Blob = r.blob()
+		f = p
 	default:
 		r.fail()
 	}

@@ -85,6 +85,19 @@ func sampleFrames(t *testing.T) []Frame {
 				{Track: "p1", Name: "msg", Ph: 'f', Wall: 1_720_000_000_000_005, ID: 0xAB00_0000_0042},
 			},
 		},
+		SessionJob{Req: 11, Op: SessCreate, Session: "s000001-ab",
+			NetText: "place p [a b]\n", Engine: 3, MaxFacts: 1 << 20, TimeoutMS: 30000,
+			Frontend: "fe-1", FrontendAddr: "127.0.0.1:7701"},
+		SessionJob{Req: 12, Op: SessAppend, Session: "s000001-ab", Index: 4,
+			Alarms: "a@p b@p", TimeoutMS: 5000, Frontend: "fe-1", FrontendAddr: "127.0.0.1:7701"},
+		SessionJob{Req: 13, Op: SessPing, Frontend: "fe-1", FrontendAddr: "127.0.0.1:7701"},
+		SessionJob{Req: 14, Op: SessLoad, Session: "s000001-ab",
+			Blob: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Frontend: "fe-1", FrontendAddr: "127.0.0.1:7701"},
+		SessionReply{Req: 12, Op: SessAppend, Session: "s000001-ab",
+			Active: 17, Queued: 3, EWMAMicros: 1234, AdminAddr: "127.0.0.1:7702",
+			Blob: []byte{1, 0, 2}},
+		SessionReply{Req: 14, Op: SessLoad, Session: "s000001-ab",
+			Code: SessSaturated, Err: "serve: server overloaded", RetryAfterMS: 1500},
 	}
 }
 

@@ -23,8 +23,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl"
-go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl
+echo "== go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl ./internal/pool"
+go test -race ./internal/serve ./internal/dist ./internal/transport ./internal/wire ./internal/snapshot ./internal/wal ./internal/obs ./internal/repl ./internal/pool
 
 echo "== wire codec fuzz smoke"
 # The seed corpus runs under plain `go test` above; this also gives the
@@ -83,6 +83,14 @@ echo "== replication failover smoke (kill -9 the primary, promote the follower)"
 # must match an uninterrupted single-process run exactly, and writes
 # must flow again under the bumped fencing epoch.
 go test -run '^TestDiagnosedFailoverSmoke$' -count 1 ./cmd/diagnosed
+
+echo "== session-pool smoke (kill -9 a worker mid-stream, drain another)"
+# A diagnosed frontend schedules sessions across three peerd workers; one
+# worker dies by SIGKILL and another drains via SIGTERM mid-stream. Every
+# session must migrate (snapshot ship or journal replay) and finish with
+# diagnoses identical to an in-process run, and fresh creates must still
+# land on the survivors.
+go test -run '^TestPoolWorkerKillMigration$' -count 1 ./cmd/diagnosed
 
 echo "== tracing-overhead guard"
 # The no-op tracer is what every untraced run pays, so it must never cost
@@ -198,5 +206,29 @@ echo "$repl_out" | awk -F'|' '
         printf "guard: ok (p50 %d -> %d ns with a follower, group commit %.2fx)\n", p50zero, p50one, gain
     }
     END { if (!found) { print "guard: repl_overhead row missing" > "/dev/stderr"; exit 1 } }'
+
+echo "== pool-overhead guard"
+# An append through the session pool pays the wire codec, dispatch, the
+# worker executor queue, and journal bookkeeping on top of the evaluation
+# itself; that machinery must stay within 1.5x of the direct backend on
+# the pipeline-net stream, and pooled bodies must stay byte-identical to
+# the local serving path. The worker-fleet batch gain is reported but not
+# guarded — it tracks the cores actually available on the box.
+pool_out=$(go run ./cmd/benchreport -exp pool_overhead -json)
+echo "$pool_out"
+echo "$pool_out" | awk -F'|' '
+    NF >= 10 && $2 + 0 > 0 {
+        found = 1
+        direct = $3 + 0; pooled = $4 + 0; equal = $6; gain = $10 + 0
+        gsub(/ /, "", equal)
+        if (equal != "true") { print "guard: pooled session bodies diverged from the local serving path" > "/dev/stderr"; exit 1 }
+        if (direct <= 0 || pooled <= 0) { print "guard: missing timings" > "/dev/stderr"; exit 1 }
+        if (pooled > 1.5 * direct) {
+            printf "guard: pooled appends (%d ns) are >1.5x the direct backend (%d ns)\n", pooled, direct > "/dev/stderr"
+            exit 1
+        }
+        printf "guard: ok (direct %d ns/append, pooled %d ns/append, 3-worker batch gain %.2fx)\n", direct, pooled, gain
+    }
+    END { if (!found) { print "guard: pool_overhead row missing" > "/dev/stderr"; exit 1 } }'
 
 echo "verify: OK"
