@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
@@ -30,12 +31,42 @@ var emitJSON = false
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead | repl_overhead | pool_overhead")
-		max     = flag.Int("max", 0, "sweep size override (0 = defaults)")
-		jsonOut = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
+		exp        = flag.String("exp", "all", "all | t1 | s1 | s2 | s3 | ablation | placement | trace_overhead | cluster_trace_overhead | transport_overhead | snapshot_overhead | wal_overhead | repl_overhead | pool_overhead | engine_hotpath")
+		max        = flag.Int("max", 0, "sweep size override (0 = defaults)")
+		jsonOut    = flag.Bool("json", false, "also write machine-readable rows to BENCH_<exp>.json")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	)
 	flag.Parse()
 	emitJSON = *jsonOut
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchreport: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -59,6 +90,22 @@ func main() {
 	run("wal_overhead", func() error { return reportWALOverhead(*max) })
 	run("repl_overhead", func() error { return reportReplOverhead(*max) })
 	run("pool_overhead", func() error { return reportPoolOverhead(*max) })
+	run("engine_hotpath", func() error { return reportEngineHotpath(*max) })
+}
+
+func reportEngineHotpath(max int) error {
+	rows, err := experiments.EngineHotpath(max) // max doubles as the pipeline append count
+	if err != nil {
+		return err
+	}
+	header("Engine hot path — per-append diagnosis latency after the arena-storage overhaul; sequential vs 4-worker pool, baseline = pre-overhaul pool_overhead record",
+		"workload", "appends", "seq ns/append", "par ns/append", "baseline ns", "speedup", "equal?",
+		"derived", "replicated")
+	for _, r := range rows {
+		row(r.Workload, r.Appends, r.SeqNsPerAppend, r.ParNsPerAppend, r.BaselineNs,
+			fmt.Sprintf("%.2f", r.Speedup), r.DiagnosesEqual, r.SeqDerived, r.SeqReplicated)
+	}
+	return maybeBench("engine_hotpath", rows)
 }
 
 func reportPoolOverhead(max int) error {
@@ -66,12 +113,13 @@ func reportPoolOverhead(max int) error {
 	if err != nil {
 		return err
 	}
-	header("Session-pool overhead — pipeline net appends, direct backend vs pooled over a mesh; 8-session batch by fleet width",
+	header("Session-pool overhead — pipeline net appends, direct backend vs pooled over a mesh; 8-session batch by fleet width (hedging off)",
 		"appends", "local ns/append", "pooled ns/append", "ratio", "bodies equal?",
-		"sessions", "1-worker ms", "3-worker ms", "gain")
+		"sessions", "1-worker ms", "3-worker ms", "1-worker cpu ms", "3-worker cpu ms", "gain")
 	row(rows.Appends, rows.LocalNsPerAppend, rows.PooledNsPerAppend,
 		fmt.Sprintf("%.2f", rows.OverheadRatio), rows.BodiesEqual,
-		rows.Sessions, rows.OneWorkerMs, rows.ThreeWorkerMs, fmt.Sprintf("%.2f", rows.WorkerGain))
+		rows.Sessions, rows.OneWorkerMs, rows.ThreeWorkerMs,
+		rows.OneWorkerCPUMs, rows.ThreeWorkerCPUMs, fmt.Sprintf("%.2f", rows.WorkerGain))
 	return maybeBench("pool_overhead", []experiments.PoolOverheadRow{*rows})
 }
 

@@ -49,6 +49,7 @@ type Engine struct {
 	// netFactory builds the per-round network; nil means dist.NewNetwork
 	// (single process). A cluster driver installs its round constructor.
 	netFactory func() dist.Net
+	workers    int          // worker-pool width for default networks; 0 = GOMAXPROCS
 	derived    atomic.Int64 // global fact counter for the budget
 	aborted    atomic.Bool  // set when the budget trips; stops in-handler work
 	hook       ActivationHook
@@ -76,6 +77,7 @@ type peerState struct {
 	db         *rel.DB
 	bnd        *term.Bindings
 	rules      []PRule           // hosted rules, re-interned into store
+	crules     []crule           // compiled forms, parallel to rules
 	active     map[rel.Name]bool // qualified local relations activated
 	requested  map[rel.Name]bool // qualified remote relations already activated
 	subs       map[rel.Name][]dist.PeerID
@@ -87,6 +89,53 @@ type peerState struct {
 	replicated int
 	installed  int              // rules installed at runtime (hook or wire.Install)
 	derivedBy  map[rel.Name]int // facts per head relation; tracked only while tracing
+	// Join scratch, reused across every evaluation at this peer: one
+	// key/resolved pair per body depth (joinFrom at depth j owns entry j;
+	// deeper recursion uses higher entries) and one head-argument buffer
+	// (emit is not re-entrant — derivations queue in pending instead of
+	// recursing). Keeping these on the peer makes a delta join allocate
+	// nothing per probed tuple.
+	keybuf  [][]term.ID
+	resbuf  [][]term.ID
+	headbuf []term.ID
+}
+
+// crule caches the derived, hot parts of a rule so the join inner loop
+// never rebuilds a qualified name ("rel@peer" concatenation) or re-hashes a
+// relation name: the qualified head and body names are computed once at
+// install time, and the relation pointers are filled lazily on first use
+// (DB.Rel never replaces a relation, so a cached pointer stays valid).
+type crule struct {
+	headQ   rel.Name
+	headRel *rel.Relation
+	body    []catom
+}
+
+type catom struct {
+	q rel.Name
+	r *rel.Relation
+}
+
+// compileRule precomputes a rule's qualified relation names.
+func compileRule(r PRule) crule {
+	cr := crule{headQ: r.Head.Qualified(), body: make([]catom, len(r.Body))}
+	for i, a := range r.Body {
+		cr.body[i] = catom{q: a.Qualified()}
+	}
+	return cr
+}
+
+// scratch returns entry j of a per-depth buffer list, sized to n IDs.
+func scratch(bufs *[][]term.ID, j, n int) []term.ID {
+	for len(*bufs) <= j {
+		*bufs = append(*bufs, nil)
+	}
+	b := (*bufs)[j]
+	if cap(b) < n {
+		b = make([]term.ID, n)
+		(*bufs)[j] = b
+	}
+	return b[:n]
 }
 
 // pendingFact is a newly materialized fact whose delta joins have not run
@@ -182,12 +231,14 @@ func NewEngineHosted(prog *Program, budget datalog.Budget, hosted []dist.PeerID)
 	for i := range e.order {
 		ps := e.peers[e.order[i]]
 		for ri, r := range ps.rules {
-			ps.noteArity(r.Head.Qualified(), len(r.Head.Args))
+			cr := compileRule(r)
+			ps.noteArity(cr.headQ, len(r.Head.Args))
 			for ai, a := range r.Body {
-				q := a.Qualified()
+				q := cr.body[ai].q
 				ps.noteArity(q, len(a.Args))
 				ps.bodyIdx[q] = append(ps.bodyIdx[q], ruleAt{rule: ri, atom: ai})
 			}
+			ps.crules = append(ps.crules, cr)
 		}
 	}
 	for _, f := range prog.Facts {
@@ -241,9 +292,10 @@ func (ps *peerState) handle(ctx *dist.Context, m dist.Message) {
 	case wire.Facts:
 		tuple := ps.store.InternalizeTuple(msg.Tuple)
 		ps.noteArity(msg.Qual, msg.Arity)
-		if ps.rel(msg.Qual, msg.Arity).Insert(tuple) {
+		relation := ps.rel(msg.Qual, msg.Arity)
+		if pos, added := relation.InsertPos(tuple); added {
 			ps.replicated++
-			ps.pending = append(ps.pending, pendingFact{q: msg.Qual, args: tuple})
+			ps.pending = append(ps.pending, pendingFact{q: msg.Qual, args: relation.At(pos)})
 		}
 	case wire.Inject:
 		// A base fact arriving at its owner mid-session (an incremental
@@ -292,9 +344,10 @@ func (ps *peerState) activateLocal(ctx *dist.Context, r rel.Name, subscriber dis
 			ps.subs[q] = append(ps.subs[q], subscriber)
 			// Stream everything known so far.
 			if relation := ps.db.Lookup(q); relation != nil {
-				for _, tuple := range relation.All() {
+				relation.Scan(0, nil, 0, relation.Len(), func(_ int, tuple []term.ID) bool {
 					ctx.Send(subscriber, wire.Facts{Qual: q, Arity: relation.Arity(), Tuple: ps.store.ExternalizeTuple(tuple)})
-				}
+					return true
+				})
 			}
 		}
 	}
@@ -306,15 +359,15 @@ func (ps *peerState) activateLocal(ctx *dist.Context, r rel.Name, subscriber dis
 	if ar, ok := ps.arity[q]; ok {
 		ps.rel(q, ar) // ensure the relation exists even if empty
 	}
-	for _, rule := range ps.rules {
-		if rule.Head.Rel != r {
+	for ri := range ps.rules {
+		if ps.rules[ri].Head.Rel != r {
 			continue
 		}
-		for _, a := range rule.Body {
+		for _, a := range ps.rules[ri].Body {
 			ps.activateBody(ctx, a)
 		}
 		// Initial full evaluation of the newly activated rule.
-		ps.evalRule(ctx, rule, -1, nil)
+		ps.evalRule(ctx, ri, -1, nil)
 	}
 }
 
@@ -334,32 +387,27 @@ func (ps *peerState) activateBody(ctx *dist.Context, a PAtom) {
 // the occurrence to the new tuple.
 func (ps *peerState) deltaJoin(ctx *dist.Context, q rel.Name, tuple []term.ID) {
 	for _, occ := range ps.bodyIdx[q] {
-		rule := ps.rules[occ.rule]
-		if !ps.ruleActive(rule) {
+		if !ps.active[ps.crules[occ.rule].headQ] {
 			continue
 		}
-		ps.evalRule(ctx, rule, occ.atom, tuple)
+		ps.evalRule(ctx, occ.rule, occ.atom, tuple)
 	}
 }
 
-// ruleActive reports whether the rule's head relation has been activated.
-func (ps *peerState) ruleActive(r PRule) bool {
-	return ps.active[r.Head.Qualified()]
+// evalRule joins the body of rule ri left to right. If pin >= 0, body atom
+// `pin` is matched only against pinned (the delta tuple); other atoms scan
+// their full local replicas.
+func (ps *peerState) evalRule(ctx *dist.Context, ri, pin int, pinned []term.ID) {
+	ps.joinFrom(ctx, ri, 0, pin, pinned)
 }
 
-// evalRule joins the rule body left to right. If pin >= 0, body atom `pin`
-// is matched only against pinned (the delta tuple); other atoms scan their
-// full local replicas.
-func (ps *peerState) evalRule(ctx *dist.Context, r PRule, pin int, pinned []term.ID) {
-	ps.joinFrom(ctx, r, 0, pin, pinned)
-}
-
-func (ps *peerState) joinFrom(ctx *dist.Context, r PRule, j, pin int, pinned []term.ID) {
+func (ps *peerState) joinFrom(ctx *dist.Context, ri, j, pin int, pinned []term.ID) {
+	r := &ps.rules[ri]
 	if j == len(r.Body) {
-		ps.emit(ctx, r)
+		ps.emit(ctx, ri)
 		return
 	}
-	a := r.Body[j]
+	a := &r.Body[j]
 	if j == pin {
 		mark := ps.bnd.Mark()
 		ok := true
@@ -370,19 +418,22 @@ func (ps *peerState) joinFrom(ctx *dist.Context, r PRule, j, pin int, pinned []t
 			}
 		}
 		if ok {
-			ps.joinFrom(ctx, r, j+1, pin, pinned)
+			ps.joinFrom(ctx, ri, j+1, pin, pinned)
 		}
 		ps.bnd.Undo(mark)
 		return
 	}
-	q := a.Qualified()
-	relation := ps.db.Lookup(q)
+	ca := &ps.crules[ri].body[j]
+	relation := ca.r
 	if relation == nil {
-		return
+		if relation = ps.db.Lookup(ca.q); relation == nil {
+			return
+		}
+		ca.r = relation
 	}
 	var mask uint64
-	key := make([]term.ID, len(a.Args))
-	resolved := make([]term.ID, len(a.Args))
+	key := scratch(&ps.keybuf, j, len(a.Args))
+	resolved := scratch(&ps.resbuf, j, len(a.Args))
 	for i, t := range a.Args {
 		rt := ps.bnd.Resolve(t)
 		resolved[i] = rt
@@ -404,7 +455,7 @@ func (ps *peerState) joinFrom(ctx *dist.Context, r PRule, j, pin int, pinned []t
 			}
 		}
 		if ok {
-			ps.joinFrom(ctx, r, j+1, pin, pinned)
+			ps.joinFrom(ctx, ri, j+1, pin, pinned)
 		}
 		ps.bnd.Undo(mark)
 		return true
@@ -412,13 +463,21 @@ func (ps *peerState) joinFrom(ctx *dist.Context, r PRule, j, pin int, pinned []t
 }
 
 // emit materializes the head of a satisfied rule body and propagates it.
-func (ps *peerState) emit(ctx *dist.Context, r PRule) {
+// The head arguments are resolved into the peer's reusable buffer;
+// deriveFact copies them into the relation's arena before anything retains
+// them.
+func (ps *peerState) emit(ctx *dist.Context, ri int) {
+	r := &ps.rules[ri]
 	for _, n := range r.Neqs {
 		if ps.bnd.Resolve(n.X) == ps.bnd.Resolve(n.Y) {
 			return
 		}
 	}
-	args := make([]term.ID, len(r.Head.Args))
+	n := len(r.Head.Args)
+	if cap(ps.headbuf) < n {
+		ps.headbuf = make([]term.ID, n)
+	}
+	args := ps.headbuf[:n]
 	for i, t := range r.Head.Args {
 		rt := ps.bnd.Resolve(t)
 		if !ps.store.IsGround(rt) {
@@ -429,16 +488,30 @@ func (ps *peerState) emit(ctx *dist.Context, r PRule) {
 		}
 		args[i] = rt
 	}
-	ps.deriveFact(ctx, r.Head.Qualified(), args)
+	cr := &ps.crules[ri]
+	relation := cr.headRel
+	if relation == nil {
+		relation = ps.rel(cr.headQ, n)
+		cr.headRel = relation
+	}
+	ps.deriveInto(ctx, relation, cr.headQ, args)
 }
 
 // deriveFact inserts a locally owned fact, forwards it to subscribers and
 // triggers local delta joins. Also used for the initial query seeding.
 func (ps *peerState) deriveFact(ctx *dist.Context, q rel.Name, args []term.ID) {
-	relation := ps.rel(q, len(args))
-	if !relation.Insert(args) {
+	ps.deriveInto(ctx, ps.rel(q, len(args)), q, args)
+}
+
+// deriveInto is deriveFact with the target relation already resolved. The
+// args slice may be a reusable buffer: every retained reference (pending
+// queue, subscriber streams) uses the relation's own arena view instead.
+func (ps *peerState) deriveInto(ctx *dist.Context, relation *rel.Relation, q rel.Name, args []term.ID) {
+	pos, added := relation.InsertPos(args)
+	if !added {
 		return
 	}
+	stored := relation.At(pos)
 	ps.derived++
 	if ps.eng.traceOn {
 		ps.derivedBy[q]++
@@ -449,9 +522,9 @@ func (ps *peerState) deriveFact(ctx *dist.Context, q rel.Name, args []term.ID) {
 		return
 	}
 	for _, sub := range ps.subs[q] {
-		ctx.Send(sub, wire.Facts{Qual: q, Arity: len(args), Tuple: ps.store.ExternalizeTuple(args)})
+		ctx.Send(sub, wire.Facts{Qual: q, Arity: len(stored), Tuple: ps.store.ExternalizeTuple(stored)})
 	}
-	ps.pending = append(ps.pending, pendingFact{q: q, args: args})
+	ps.pending = append(ps.pending, pendingFact{q: q, args: stored})
 }
 
 // collectorID is the synthetic peer that receives the query's answers.
@@ -482,6 +555,17 @@ func (e *Engine) SetTracer(t obs.Tracer) {
 // run.
 func (e *Engine) SetNetFactory(f func() dist.Net) {
 	e.netFactory = f
+}
+
+// SetParallelism fixes the worker-pool width of the default in-process
+// networks built by each run: n peer handlers may execute concurrently
+// (per-peer delivery order is still per-sender FIFO, and the evaluation is
+// confluent, so results match the sequential engine exactly). n <= 0
+// restores the default, a pool sized by GOMAXPROCS; n == 1 forces fully
+// sequential evaluation. Ignored when a custom net factory is installed.
+// Must not be called during a run.
+func (e *Engine) SetParallelism(n int) {
+	e.workers = n
 }
 
 // RunMember participates in one evaluation round as a cluster member: it
@@ -606,7 +690,9 @@ func (e *Engine) RunDelta(q PAtom, facts []PAtom, rules []PRule, timeout time.Du
 	if e.netFactory != nil {
 		net = e.netFactory()
 	} else {
-		net = dist.NewNetwork()
+		nw := dist.NewNetwork()
+		nw.SetWorkers(e.workers)
+		net = nw
 	}
 	net.SetTracer(e.tracer)
 	for _, id := range e.order {

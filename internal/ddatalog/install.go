@@ -116,16 +116,18 @@ func (ps *peerState) installRule(ctx *dist.Context, r PRule) {
 	}
 	ri := len(ps.rules)
 	ps.rules = append(ps.rules, r)
-	ps.noteArity(r.Head.Qualified(), len(r.Head.Args))
+	cr := compileRule(r)
+	ps.noteArity(cr.headQ, len(r.Head.Args))
 	for ai, a := range r.Body {
-		q := a.Qualified()
+		q := cr.body[ai].q
 		ps.noteArity(q, len(a.Args))
 		ps.bodyIdx[q] = append(ps.bodyIdx[q], ruleAt{rule: ri, atom: ai})
 	}
-	if ps.active[r.Head.Qualified()] {
+	ps.crules = append(ps.crules, cr)
+	if ps.active[cr.headQ] {
 		for _, a := range r.Body {
 			ps.activateBody(ctx, a)
 		}
-		ps.evalRule(ctx, r, -1, nil)
+		ps.evalRule(ctx, ri, -1, nil)
 	}
 }

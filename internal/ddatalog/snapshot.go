@@ -353,16 +353,18 @@ func DecodeEngineSnapshot(r *snapshot.Reader, store *term.Store) (*Engine, error
 		// cross-check arities without going through noteArity (which
 		// panics on inconsistency; corrupt input must error instead).
 		for ri, ru := range ps.rules {
-			if bad := ps.checkArity(r, ru.Head.Qualified(), len(ru.Head.Args)); bad {
+			cr := compileRule(ru)
+			if bad := ps.checkArity(r, cr.headQ, len(ru.Head.Args)); bad {
 				break
 			}
 			for ai, a := range ru.Body {
-				q := a.Qualified()
+				q := cr.body[ai].q
 				if bad := ps.checkArity(r, q, len(a.Args)); bad {
 					break
 				}
 				ps.bodyIdx[q] = append(ps.bodyIdx[q], ruleAt{rule: ri, atom: ai})
 			}
+			ps.crules = append(ps.crules, cr)
 		}
 		for _, name := range ps.db.Names() {
 			if want, ok := ps.arity[name]; ok && ps.db.Lookup(name).Arity() != want {

@@ -132,6 +132,17 @@ func (d *OnlineDiagnoser) SetTracer(t obs.Tracer) {
 	d.sess.SetTracer(d.tracer)
 }
 
+// SetParallelism fixes the worker-pool width of the session's evaluation
+// networks: 1 forces sequential evaluation, <= 0 restores the GOMAXPROCS
+// default. Diagnoses are identical either way — the distributed evaluation
+// is confluent — which the equivalence tests assert. Call between Appends.
+func (d *OnlineDiagnoser) SetParallelism(n int) { d.sess.SetParallelism(n) }
+
+// Session exposes the warm dQSQ session (materialization totals, engine
+// inspection). The caller must not run queries on it concurrently with
+// Append.
+func (d *OnlineDiagnoser) Session() *dqsq.OnlineSession { return d.sess }
+
 // Seq returns the alarms appended so far.
 func (d *OnlineDiagnoser) Seq() alarm.Seq {
 	return append(alarm.Seq(nil), d.seq...)

@@ -1,0 +1,72 @@
+package diagnosis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/gen"
+	"repro/internal/petri"
+)
+
+// runOnlineAt streams seq one alarm at a time through a fresh online
+// diagnoser at the given evaluation parallelism and returns the formatted
+// diagnoses of every append plus the engine's materialization totals.
+func runOnlineAt(t *testing.T, pn *petri.PetriNet, seq alarm.Seq, workers int) (bodies string, derived, replicated int) {
+	t.Helper()
+	d, err := NewOnlineDiagnoser(pn, datalog.Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetParallelism(workers)
+	for i := range seq {
+		rep, err := d.Append(seq[i:i+1], time.Minute)
+		if err != nil {
+			t.Fatalf("append %d (workers=%d): %v", i, workers, err)
+		}
+		bodies += fmt.Sprintf("%v\n", rep.Diagnoses)
+	}
+	derived, replicated = d.Session().Engine().Totals()
+	return bodies, derived, replicated
+}
+
+// TestParallelMatchesSequential is the worker-pool correctness bar at the
+// diagnosis level: across every example network family, streaming the same
+// alarm sequence through a sequential (1-worker) and a parallel (4-worker)
+// session must yield byte-identical diagnosis bodies for every prefix AND
+// identical derived/replicated totals — the pool may only change
+// scheduling, never what the confluent evaluation computes.
+func TestParallelMatchesSequential(t *testing.T) {
+	pipeline := gen.Pipeline(5, 2)
+	fork := gen.Fork(3, 2)
+	telecom := gen.Telecom(2)
+	cases := []struct {
+		name string
+		pn   *petri.PetriNet
+		seq  alarm.Seq
+	}{
+		{"quickstart", petri.Example(), alarm.S("b", "p1", "a", "p2", "c", "p1")},
+		{"pipeline(5,2)", pipeline, gen.PipelineSeq(pipeline, rand.New(rand.NewSource(3)), 6)},
+		{"fork(3,2)", fork, gen.ForkSeq(fork, rand.New(rand.NewSource(3)))},
+		{"telecom(2)", telecom, gen.TelecomSeqFixed()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			seqBodies, seqDer, seqRepl := runOnlineAt(t, tc.pn, tc.seq, 1)
+			parBodies, parDer, parRepl := runOnlineAt(t, tc.pn, tc.seq, 4)
+			if seqBodies != parBodies {
+				t.Errorf("diagnosis bodies differ:\nsequential:\n%s\nparallel:\n%s", seqBodies, parBodies)
+			}
+			if seqDer != parDer {
+				t.Errorf("derived: sequential %d, parallel %d", seqDer, parDer)
+			}
+			if seqRepl != parRepl {
+				t.Errorf("replicated: sequential %d, parallel %d", seqRepl, parRepl)
+			}
+		})
+	}
+}

@@ -1,9 +1,14 @@
 // Package dist provides the asynchronous peer-to-peer runtime used by the
-// distributed evaluators: one goroutine per peer, asynchronous message
-// delivery that preserves per-sender FIFO order (the only ordering
-// guarantee the paper's model assumes — Section 2, "for each individual
-// peer the relative order of its alarms ... respects the order in which
-// they were sent"), and distributed termination detection.
+// distributed evaluators: peer handlers scheduled onto a worker pool sized
+// by GOMAXPROCS (see SetWorkers), asynchronous message delivery that
+// preserves per-sender FIFO order (the only ordering guarantee the paper's
+// model assumes — Section 2, "for each individual peer the relative order
+// of its alarms ... respects the order in which they were sent"), and
+// distributed termination detection. A peer is owned by at most one worker
+// at a time and its queue is filled in send order, so the per-peer,
+// per-sender delivery order is identical to the historical
+// one-goroutine-per-peer runtime — and evaluation being monotone and
+// confluent, so are the results.
 //
 // Termination ("the system reaches a fixpoint when no new relation may be
 // activated and no new fact derived at any peer", Section 3.2) is detected
@@ -24,6 +29,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -121,12 +127,20 @@ type Stats struct {
 // ErrTimeout is returned by Run when the deadline passes before quiescence.
 var ErrTimeout = errors.New("dist: network did not quiesce before deadline")
 
+// peer scheduling states: idle (empty queue, not scheduled), ready (queued
+// messages, waiting for a worker), running (owned by a worker).
+const (
+	pIdle = iota
+	pReady
+	pRunning
+)
+
 type peer struct {
 	id      PeerID
 	handler Handler
 	queue   []Message
-	waiting bool
-	done    chan struct{}
+	state   int
+	ctx     Context
 }
 
 // Network is a closed set of peers exchanging asynchronous messages.
@@ -136,8 +150,9 @@ type Network struct {
 	cond     *sync.Cond
 	peers    map[PeerID]*peer
 	order    []PeerID
-	inflight int // messages sent but not yet fully processed
-	idle     int // peers currently blocked on an empty queue
+	ready    []*peer // peers with queued messages awaiting a worker
+	workers  int     // pool width; 0 = GOMAXPROCS
+	inflight int     // messages sent but not yet fully processed
 	stopped  bool
 	err      error
 	stats    Stats
@@ -160,6 +175,14 @@ func NewNetwork() *Network {
 	n.stats.BytesSentByPair = make(map[Pair]int)
 	n.stats.BytesReceivedByPair = make(map[Pair]int)
 	return n
+}
+
+// SetWorkers fixes the worker-pool width: up to w peer handlers run
+// concurrently. w <= 0 restores the default, a pool sized by GOMAXPROCS
+// (capped at the peer count); w == 1 reproduces fully sequential delivery.
+// Must be called before Run.
+func (n *Network) SetWorkers(w int) {
+	n.workers = w
 }
 
 // SetRoute diverts messages addressed to peers this network does not host:
@@ -229,12 +252,22 @@ func (n *Network) Inject(m Message) {
 		m.seq = n.seq
 	}
 	m.size = size
-	p.queue = append(p.queue, m)
-	n.wasIdle = false
-	n.cond.Broadcast()
+	n.enqueueLocked(p, m)
 	n.mu.Unlock()
 	if !preset {
 		n.tracer.FlowBegin(string(m.From), "msg", m.seq)
+	}
+}
+
+// enqueueLocked appends m to p's queue and schedules p onto the ready list
+// if no worker owns it yet. Caller holds n.mu.
+func (n *Network) enqueueLocked(p *peer, m Message) {
+	p.queue = append(p.queue, m)
+	n.wasIdle = false
+	if p.state == pIdle {
+		p.state = pReady
+		n.ready = append(n.ready, p)
+		n.cond.Signal()
 	}
 }
 
@@ -285,7 +318,9 @@ func (n *Network) AddPeer(id PeerID, h Handler) {
 	if _, ok := n.peers[id]; ok {
 		panic(fmt.Sprintf("dist: duplicate peer %q", id))
 	}
-	n.peers[id] = &peer{id: id, handler: h, done: make(chan struct{})}
+	p := &peer{id: id, handler: h}
+	p.ctx = Context{net: n, self: id}
+	n.peers[id] = p
 	n.order = append(n.order, id)
 }
 
@@ -327,9 +362,7 @@ func (n *Network) send(m Message) {
 		return
 	}
 	n.inflight++
-	p.queue = append(p.queue, m)
-	n.wasIdle = false
-	n.cond.Broadcast()
+	n.enqueueLocked(p, m)
 	n.mu.Unlock()
 	n.tracer.FlowBegin(string(m.From), "msg", m.seq)
 }
@@ -346,53 +379,64 @@ func (n *Network) abort(err error) {
 	}
 }
 
-// receive blocks until a message is available for p or the network stops.
-func (n *Network) receive(p *peer) (Message, bool) {
+// workerLoop is one worker of the pool: claim a ready peer, drain its
+// queue (handlers run outside the lock), release it, repeat. Because a
+// peer is owned by exactly one worker from claim to release, its messages
+// are handled one at a time in queue order — the per-sender FIFO guarantee
+// of the one-goroutine-per-peer runtime, at pool-bounded concurrency.
+func (n *Network) workerLoop() {
+	tr := n.tracer
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	for len(p.queue) == 0 && !n.stopped {
-		if !p.waiting {
-			p.waiting = true
-			n.idle++
+	for {
+		for len(n.ready) == 0 && !n.stopped {
 			if n.quiescentLocked() {
+				// A standalone network stops itself here; a member fires
+				// notify (once per idle transition) and keeps waiting.
 				n.quiesceLocked()
 				if n.stopped {
-					return Message{}, false
+					break
 				}
 			}
+			n.cond.Wait()
 		}
-		n.cond.Wait()
+		if n.stopped {
+			break
+		}
+		p := n.ready[0]
+		n.ready = n.ready[1:]
+		p.state = pRunning
+		for len(p.queue) > 0 && !n.stopped {
+			m := p.queue[0]
+			p.queue = p.queue[1:]
+			n.mu.Unlock()
+			if tr.Enabled() {
+				tr.FlowEnd(string(p.id), "msg", m.seq)
+				sp := tr.Begin(string(p.id), fmt.Sprintf("handle %T", m.Payload))
+				p.handler(&p.ctx, m)
+				sp.End()
+			} else {
+				p.handler(&p.ctx, m)
+			}
+			n.mu.Lock()
+			n.inflight--
+			n.stats.Processed[p.id]++
+			if m.size > 0 {
+				n.stats.BytesReceivedByPair[Pair{From: m.From, To: m.To}] += m.size
+			}
+		}
+		p.state = pIdle
+		if n.quiescentLocked() {
+			n.quiesceLocked()
+		}
 	}
-	if len(p.queue) == 0 {
-		return Message{}, false
-	}
-	if p.waiting {
-		p.waiting = false
-		n.idle--
-	}
-	m := p.queue[0]
-	p.queue = p.queue[1:]
-	return m, true
+	n.mu.Unlock()
 }
 
-// finish marks one message as fully processed.
-func (n *Network) finish(p *peer, m Message) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.inflight--
-	n.stats.Processed[p.id]++
-	if m.size > 0 {
-		n.stats.BytesReceivedByPair[Pair{From: m.From, To: m.To}] += m.size
-	}
-	if n.quiescentLocked() {
-		n.quiesceLocked()
-	}
-}
-
-// quiescentLocked reports local quiescence: every peer idle, nothing in
-// flight. Caller holds n.mu.
+// quiescentLocked reports local quiescence: nothing in flight — every sent
+// message has been fully handled, so no peer has queued work and no
+// handler is running. Caller holds n.mu.
 func (n *Network) quiescentLocked() bool {
-	return n.inflight == 0 && n.idle == len(n.peers)
+	return n.inflight == 0
 }
 
 // quiesceLocked reacts to local quiescence: a standalone network stops
@@ -439,34 +483,27 @@ func (n *Network) Err() error {
 	return n.err
 }
 
-func (p *peer) loop(n *Network) {
-	defer close(p.done)
-	ctx := &Context{net: n, self: p.id}
-	tr := n.tracer
-	life := tr.Begin(string(p.id), "peer")
-	defer life.End()
-	for {
-		m, ok := n.receive(p)
-		if !ok {
-			return
-		}
-		if tr.Enabled() {
-			tr.FlowEnd(string(p.id), "msg", m.seq)
-			sp := tr.Begin(string(p.id), fmt.Sprintf("handle %T", m.Payload))
-			p.handler(ctx, m)
-			sp.End()
-		} else {
-			p.handler(ctx, m)
-		}
-		n.finish(p, m)
+// poolWidth resolves the configured worker count against GOMAXPROCS and
+// the peer count.
+func (n *Network) poolWidth() int {
+	w := n.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
+	if len(n.order) > 0 && w > len(n.order) {
+		w = len(n.order)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Run injects the initial messages (From is preserved; use a synthetic
-// sender such as "query" for seeds), starts every peer, and blocks until
-// the network quiesces, a handler aborts, or the timeout elapses (zero
-// timeout means one minute). It returns run statistics and the abort or
-// timeout error, if any.
+// sender such as "query" for seeds), starts the worker pool, and blocks
+// until the network quiesces, a handler aborts, or the timeout elapses
+// (zero timeout means one minute). It returns run statistics and the abort
+// or timeout error, if any.
 func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 	if timeout <= 0 {
 		timeout = time.Minute
@@ -493,25 +530,34 @@ func (n *Network) Run(initial []Message, timeout time.Duration) (Stats, error) {
 		n.mu.Unlock()
 	}
 
-	for _, id := range n.order {
-		go n.peers[id].loop(n)
+	// Per-peer lifetime spans, kept from the one-goroutine-per-peer
+	// runtime so per-peer tracks still frame the round in trace timelines.
+	var lives []obs.Span
+	if n.tracer.Enabled() {
+		for _, id := range n.order {
+			lives = append(lives, n.tracer.Begin(string(id), "peer"))
+		}
+	}
+
+	// Workers exit only once the network stops: a standalone network stops
+	// itself at quiescence, a cluster member stops via the coordinator (or
+	// a failure) — even a node hosting no peers must keep answering polls
+	// until then, which the waiting workers cover.
+	var wg sync.WaitGroup
+	for i := n.poolWidth(); i > 0; i-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.workerLoop()
+		}()
 	}
 
 	timer := time.AfterFunc(timeout, func() { n.abort(ErrTimeout) })
-	for _, id := range n.order {
-		<-n.peers[id].done
-	}
-	if n.external {
-		// A member round only ends when the coordinator (or a failure)
-		// stops it — even a node hosting no peers must keep answering
-		// polls until then.
-		n.mu.Lock()
-		for !n.stopped {
-			n.cond.Wait()
-		}
-		n.mu.Unlock()
-	}
+	wg.Wait()
 	timer.Stop()
+	for _, sp := range lives {
+		sp.End()
+	}
 
 	n.mu.Lock()
 	n.stats.Elapsed = time.Since(start)

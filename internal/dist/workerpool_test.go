@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerPoolPerSenderFIFO checks the pool's ordering contract under
+// real contention: with 4 workers, several sources blast interleaved
+// numbered streams at one sink, and every source's stream must still
+// arrive in send order (streams may interleave with each other freely).
+func TestWorkerPoolPerSenderFIFO(t *testing.T) {
+	const sources, msgs = 6, 200
+	n := NewNetwork()
+	n.SetWorkers(4)
+	var mu sync.Mutex
+	got := make(map[PeerID][]int)
+	n.AddPeer("sink", func(ctx *Context, m Message) {
+		mu.Lock()
+		got[m.From] = append(got[m.From], m.Payload.(int))
+		mu.Unlock()
+	})
+	var seeds []Message
+	for s := 0; s < sources; s++ {
+		id := PeerID(fmt.Sprintf("src%d", s))
+		n.AddPeer(id, func(ctx *Context, m Message) {
+			for i := 0; i < msgs; i++ {
+				ctx.Send("sink", i)
+			}
+		})
+		seeds = append(seeds, Message{From: "go", To: id, Payload: 0})
+	}
+	st, err := n.Run(seeds, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Processed["sink"] != sources*msgs {
+		t.Fatalf("sink processed %d, want %d", st.Processed["sink"], sources*msgs)
+	}
+	for s := 0; s < sources; s++ {
+		id := PeerID(fmt.Sprintf("src%d", s))
+		stream := got[id]
+		if len(stream) != msgs {
+			t.Fatalf("%s delivered %d messages, want %d", id, len(stream), msgs)
+		}
+		for i, v := range stream {
+			if v != i {
+				t.Fatalf("%s stream out of order at %d: got %d", id, i, v)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolSingleOwnership checks the pool's exclusivity contract:
+// a peer's handler never runs on two workers at once, even with a pool
+// much wider than the peer count.
+func TestWorkerPoolSingleOwnership(t *testing.T) {
+	const peers, rounds = 3, 50
+	n := NewNetwork()
+	n.SetWorkers(8)
+	active := make([]atomic.Int32, peers)
+	var violations atomic.Int32
+	var seeds []Message
+	for p := 0; p < peers; p++ {
+		p := p
+		id := PeerID(fmt.Sprintf("p%d", p))
+		next := PeerID(fmt.Sprintf("p%d", (p+1)%peers))
+		n.AddPeer(id, func(ctx *Context, m Message) {
+			if active[p].Add(1) != 1 {
+				violations.Add(1)
+			}
+			k := m.Payload.(int)
+			if k > 0 {
+				ctx.Send(next, k-1)
+			}
+			active[p].Add(-1)
+		})
+		seeds = append(seeds, Message{From: "go", To: id, Payload: rounds})
+	}
+	if _, err := n.Run(seeds, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent handler invocations on one peer", v)
+	}
+}
+
+// TestWorkerPoolStatsMatchSequential checks that widening the pool does
+// not change what the network computes: the ping-pong workload must
+// process the same message multiset with 1 worker and with 4.
+func TestWorkerPoolStatsMatchSequential(t *testing.T) {
+	runIt := func(workers int) Stats {
+		n := NewNetwork()
+		n.SetWorkers(workers)
+		handler := func(ctx *Context, m Message) {
+			k := m.Payload.(int)
+			if k > 0 {
+				ctx.Send(m.From, k-1)
+			}
+		}
+		n.AddPeer("a", handler)
+		n.AddPeer("b", handler)
+		st, err := n.Run([]Message{{From: "a", To: "b", Payload: 40}}, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq, par := runIt(1), runIt(4)
+	if seq.MessagesSent != par.MessagesSent {
+		t.Fatalf("sent: seq %d, par %d", seq.MessagesSent, par.MessagesSent)
+	}
+	if fmt.Sprint(seq.Processed) != fmt.Sprint(par.Processed) {
+		t.Fatalf("processed: seq %v, par %v", seq.Processed, par.Processed)
+	}
+}

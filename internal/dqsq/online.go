@@ -242,6 +242,12 @@ func (s *OnlineSession) Trace() *OnlineTrace { return s.trace }
 // Engine exposes the warm engine for materialization metrics.
 func (s *OnlineSession) Engine() *ddatalog.Engine { return s.eng }
 
+// SetParallelism fixes the worker-pool width of the per-query evaluation
+// networks (see ddatalog.Engine.SetParallelism): 1 forces sequential
+// evaluation, <= 0 restores the GOMAXPROCS default. Results are identical
+// either way — evaluation is confluent. Call between queries only.
+func (s *OnlineSession) SetParallelism(n int) { s.eng.SetParallelism(n) }
+
 // Program exposes the session program (base facts plus every extension);
 // restored sessions hand it back to the supervisor that owns them.
 func (s *OnlineSession) Program() *ddatalog.Program { return s.prog }

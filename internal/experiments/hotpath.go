@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/alarm"
+	"repro/internal/datalog"
+	"repro/internal/diagnosis"
+	"repro/internal/gen"
+	"repro/internal/petri"
+)
+
+// engineHotpathBaselineNs is the pre-overhaul per-append cost of the online
+// diagnosis hot path: the LocalNsPerAppend figure recorded in
+// BENCH_pool_overhead.json before the arena-storage/integer-index engine
+// rewrite (median direct-backend append, pipeline(6,2), 16 single-alarm
+// appends, one core). The engine-hotpath guard in scripts/verify.sh
+// asserts the same workload now runs at least twice as fast per append.
+const engineHotpathBaselineNs = 34102830
+
+// EngineHotpathRow measures one workload of the engine hot-path
+// experiment: the same alarm sequence is streamed through two fresh online
+// diagnosers — one evaluating sequentially (worker pool of 1, the
+// reference semantics), one on a 4-wide worker pool — and the formatted
+// diagnoses of every append, plus the engine's derived/replicated totals,
+// must be identical between the two (the distributed evaluation is
+// confluent; the worker pool must not change results, only scheduling).
+type EngineHotpathRow struct {
+	Workload       string
+	Appends        int
+	SeqNsPerAppend int64   // median per-append, sequential (1 worker)
+	ParNsPerAppend int64   // median per-append, 4-worker pool
+	SeqNsTotal     int64   // whole sequential stream, wall-clock
+	BaselineNs     int64   // pre-overhaul per-append record (0 = no baseline for this workload)
+	Speedup        float64 // BaselineNs / SeqNsPerAppend, when a baseline exists
+	DiagnosesEqual bool    // per-append diagnosis bodies byte-identical, seq vs parallel
+	SeqDerived     int
+	ParDerived     int
+	SeqReplicated  int
+	ParReplicated  int
+}
+
+// hotpathSession streams seq one alarm at a time through a fresh online
+// diagnoser with the given evaluation parallelism and returns the median
+// and total per-append latency, the concatenated formatted diagnoses of
+// every append, and the engine's materialization totals.
+func hotpathSession(pn *petri.PetriNet, seq alarm.Seq, workers int) (medianNsOut, totalNs int64, bodies string, derived, replicated int, err error) {
+	d, err := diagnosis.NewOnlineDiagnoser(pn, datalog.Budget{})
+	if err != nil {
+		return 0, 0, "", 0, 0, err
+	}
+	d.SetParallelism(workers)
+	lats := make([]time.Duration, 0, len(seq))
+	var b strings.Builder
+	for i := range seq {
+		start := time.Now()
+		rep, err := d.Append(seq[i:i+1], poolEvalBudget)
+		lats = append(lats, time.Since(start))
+		if err != nil {
+			return 0, 0, "", 0, 0, fmt.Errorf("append %d (workers=%d): %w", i, workers, err)
+		}
+		fmt.Fprintf(&b, "%v\n", rep.Diagnoses)
+	}
+	for _, l := range lats {
+		totalNs += l.Nanoseconds()
+	}
+	derived, replicated = d.Session().Engine().Totals()
+	return medianNs(lats), totalNs, b.String(), derived, replicated, nil
+}
+
+// EngineHotpath runs the engine hot-path experiment on two workloads: the
+// quickstart running example (the paper's Section 2 sequence) and the
+// pipeline(6,2) stream behind the recorded pre-overhaul baseline. n
+// overrides the pipeline append count (default 16, matching the baseline
+// measurement).
+func EngineHotpath(n int) ([]EngineHotpathRow, error) {
+	if n <= 0 {
+		n = 16
+	}
+	pipeline := gen.Pipeline(6, 2)
+	workloads := []struct {
+		name     string
+		pn       *petri.PetriNet
+		seq      alarm.Seq
+		baseline int64
+	}{
+		{"quickstart", petri.Example(), alarm.S("b", "p1", "a", "p2", "c", "p1"), 0},
+		{"pipeline(6,2)", pipeline, gen.PipelineSeq(pipeline, rand.New(rand.NewSource(7)), n), engineHotpathBaselineNs},
+	}
+	rows := make([]EngineHotpathRow, 0, len(workloads))
+	for _, w := range workloads {
+		seqMed, seqTotal, seqBodies, seqDer, seqRepl, err := hotpathSession(w.pn, w.seq, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s sequential: %w", w.name, err)
+		}
+		parMed, _, parBodies, parDer, parRepl, err := hotpathSession(w.pn, w.seq, 4)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", w.name, err)
+		}
+		row := EngineHotpathRow{
+			Workload:       w.name,
+			Appends:        len(w.seq),
+			SeqNsPerAppend: seqMed,
+			SeqNsTotal:     seqTotal,
+			ParNsPerAppend: parMed,
+			BaselineNs:     w.baseline,
+			DiagnosesEqual: seqBodies == parBodies && seqDer == parDer && seqRepl == parRepl,
+			SeqDerived:     seqDer,
+			ParDerived:     parDer,
+			SeqReplicated:  seqRepl,
+			ParReplicated:  parRepl,
+		}
+		if w.baseline > 0 && seqMed > 0 {
+			row.Speedup = float64(w.baseline) / float64(seqMed)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

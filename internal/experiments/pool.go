@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/gen"
@@ -26,7 +27,14 @@ import (
 // (elapsed_ms scrubbed), the pool's correctness bar. The throughput side
 // runs the same multi-session batch against one worker and three;
 // the gain tracks the cores actually available — on a single-CPU box the
-// fleet buys concurrency, not wall-clock.
+// fleet buys concurrency, not wall-clock, and WorkerGain can even dip
+// below 1. To tell "the fleet did more work" apart from "same work,
+// worse scheduling", each batch phase also records the process CPU time
+// it burned (workers are in-process, so RUSAGE_SELF covers them): equal
+// CPU with unequal wall is a scheduling artifact; inflated CPU on the
+// wider fleet is genuine extra work. Hedged re-dispatch — which used to
+// duplicate straggling appends on the wider fleet and was the main such
+// inflator — is disabled for the batch phases.
 type PoolOverheadRow struct {
 	Appends           int
 	LocalNsPerAppend  int64   // median direct-backend append
@@ -34,10 +42,12 @@ type PoolOverheadRow struct {
 	OverheadRatio     float64 // pooled / local (medians)
 	BodiesEqual       bool    // pooled bodies byte-identical to local
 
-	Sessions      int
-	OneWorkerMs   int64 // batch wall-clock, 1 worker
-	ThreeWorkerMs int64 // batch wall-clock, 3 workers
-	WorkerGain    float64
+	Sessions         int
+	OneWorkerMs      int64 // batch wall-clock, 1 worker
+	ThreeWorkerMs    int64 // batch wall-clock, 3 workers
+	OneWorkerCPUMs   int64 // process CPU time (user+sys) burned by the 1-worker batch
+	ThreeWorkerCPUMs int64 // process CPU time (user+sys) burned by the 3-worker batch
+	WorkerGain       float64
 }
 
 // scrubElapsedMS blanks the one legitimately-nondeterministic field in
@@ -157,6 +167,10 @@ func PoolOverhead(n int) (*PoolOverheadRow, error) {
 			Transport:  mesh.Node("fe"),
 			Workers:    workers,
 			ProbeEvery: 250 * time.Millisecond,
+			// No hedging: in-process transport never drops frames, and a
+			// duplicated straggler append is pure extra work that would
+			// skew the fleet-width CPU comparison.
+			HedgeAfter: -1,
 		})
 		if err != nil {
 			return 0, err
@@ -196,20 +210,38 @@ func PoolOverhead(n int) (*PoolOverheadRow, error) {
 		}
 		return elapsed, nil
 	}
+	cpu0 := processCPUMs()
 	one, err := runBatch([]string{"w1"})
 	if err != nil {
 		return nil, err
 	}
+	cpu1 := processCPUMs()
 	three, err := runBatch([]string{"w1", "w2", "w3"})
 	if err != nil {
 		return nil, err
 	}
+	cpu2 := processCPUMs()
 	row.OneWorkerMs = one.Milliseconds()
 	row.ThreeWorkerMs = three.Milliseconds()
+	row.OneWorkerCPUMs = cpu1 - cpu0
+	row.ThreeWorkerCPUMs = cpu2 - cpu1
 	if three > 0 {
 		row.WorkerGain = float64(one) / float64(three)
 	}
 	return row, nil
+}
+
+// processCPUMs reads the process's cumulative CPU time (user + system)
+// in milliseconds; differencing it around a phase attributes that phase's
+// compute, including in-process pool workers and their goroutines.
+func processCPUMs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	user := time.Duration(ru.Utime.Sec)*time.Second + time.Duration(ru.Utime.Usec)*time.Microsecond
+	sys := time.Duration(ru.Stime.Sec)*time.Second + time.Duration(ru.Stime.Usec)*time.Microsecond
+	return (user + sys).Milliseconds()
 }
 
 func medianNs(lats []time.Duration) int64 {

@@ -6,11 +6,17 @@
 // semi-naive evaluation is just a watermark pair [lo,hi) of positions, and
 // index posting lists — which are ascending position slices — support
 // delta-restricted scans by binary search.
+//
+// Tuples live in a columnar arena: one flat []term.ID buffer where tuple i
+// occupies the slice [i*arity, (i+1)*arity). The full-tuple dedup set and
+// the per-mask indexes are open-addressing tables hashed over the term IDs
+// of the (masked) columns, so the probe path — Contains, Scan, ensureIndex
+// — never materializes a string key and never allocates.
 package rel
 
 import (
-	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 
@@ -25,11 +31,34 @@ type Name string
 // Insert ignores duplicates. Not safe for concurrent use — peers own their
 // relations.
 type Relation struct {
-	arity  int
-	tuples [][]term.ID
-	seen   map[string]struct{}         // full-tuple dedup
-	idx    map[uint64]map[string][]int // bound-column mask -> key -> ascending positions
-	built  map[uint64]int              // how many tuples each index has absorbed
+	arity int
+	flat  []term.ID // arena; tuple i occupies flat[i*arity:(i+1)*arity]
+	n     int       // number of tuples
+	seen  table     // full-tuple dedup: slots hold position+1
+	idx   []maskIndex
+}
+
+// table is an open-addressing (linear probing, power-of-two sized) hash
+// table. Slot values are payload+1 so zero marks an empty slot.
+type table struct {
+	slots []int32
+	n     int
+}
+
+// index is the per-mask hash index: slots map a masked-column hash to a
+// key number, postings[key] is the ascending list of tuple positions whose
+// masked columns equal that key.
+type index struct {
+	slots    []int32
+	postings [][]int32
+	built    int // number of tuples absorbed so far
+}
+
+// maskIndex pairs a binding mask with its index. Relations see only a
+// handful of masks, so a linear scan beats a map on the probe path.
+type maskIndex struct {
+	mask uint64
+	ix   *index
 }
 
 // New returns an empty relation of the given arity. Arity 0 is allowed and
@@ -39,32 +68,74 @@ func New(arity int) *Relation {
 	if arity < 0 || arity >= 64 {
 		panic(fmt.Sprintf("rel: unsupported arity %d", arity))
 	}
-	return &Relation{
-		arity: arity,
-		seen:  make(map[string]struct{}),
-		idx:   make(map[uint64]map[string][]int),
-		built: make(map[uint64]int),
-	}
+	return &Relation{arity: arity}
 }
 
 // Arity reports the tuple width.
 func (r *Relation) Arity() int { return r.arity }
 
 // Len reports the number of distinct tuples.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.n }
 
-// encode writes the IDs at the positions selected by mask into a string key.
-func encode(tuple []term.ID, mask uint64) string {
-	var b strings.Builder
-	b.Grow(4 * len(tuple))
-	var buf [4]byte
-	for i, t := range tuple {
-		if mask&(1<<uint(i)) != 0 {
-			binary.LittleEndian.PutUint32(buf[:], uint32(t))
-			b.Write(buf[:])
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// mix finalizes a hash with a 64-bit avalanche so nearby term IDs spread
+// across the table.
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// hashTuple hashes every column of a tuple (FNV-1a over the IDs).
+func hashTuple(tuple []term.ID) uint64 {
+	h := uint64(fnvOffset)
+	for _, t := range tuple {
+		h ^= uint64(uint32(t))
+		h *= fnvPrime
+	}
+	return mix(h)
+}
+
+// hashCols hashes the columns selected by mask.
+func hashCols(tuple []term.ID, mask uint64) uint64 {
+	h := uint64(fnvOffset)
+	for m := mask; m != 0; m &= m - 1 {
+		h ^= uint64(uint32(tuple[bits.TrailingZeros64(m)]))
+		h *= fnvPrime
+	}
+	return mix(h)
+}
+
+func eqTuple(a, b []term.ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
 		}
 	}
-	return b.String()
+	return true
+}
+
+// eqCols reports whether a and b agree on the columns selected by mask.
+func eqCols(a, b []term.ID, mask uint64) bool {
+	for m := mask; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// row returns the arena view of the tuple at pos. The capped slice keeps an
+// appending caller from stomping the next tuple.
+func (r *Relation) row(pos int) []term.ID {
+	lo, hi := pos*r.arity, (pos+1)*r.arity
+	return r.flat[lo:hi:hi]
 }
 
 // fullMask is the mask selecting every column of the relation.
@@ -73,48 +144,174 @@ func (r *Relation) fullMask() uint64 {
 }
 
 // Insert adds a ground tuple, returning true if it was new. The tuple is
-// copied. It panics on arity mismatch.
+// copied into the arena. It panics on arity mismatch.
 func (r *Relation) Insert(tuple []term.ID) bool {
+	_, added := r.InsertPos(tuple)
+	return added
+}
+
+// InsertPos is Insert returning also the tuple's position: the existing
+// position on a duplicate, the newly assigned one otherwise. Callers that
+// need a stable view of the stored tuple combine it with At.
+func (r *Relation) InsertPos(tuple []term.ID) (int, bool) {
 	if len(tuple) != r.arity {
 		panic(fmt.Sprintf("rel: arity mismatch: inserting %d-tuple into %d-ary relation", len(tuple), r.arity))
 	}
-	key := encode(tuple, r.fullMask())
-	if _, ok := r.seen[key]; ok {
-		return false
+	if len(r.seen.slots) == 0 {
+		r.seen.slots = make([]int32, 16)
 	}
-	r.seen[key] = struct{}{}
-	cp := make([]term.ID, len(tuple))
-	copy(cp, tuple)
-	r.tuples = append(r.tuples, cp)
-	return true
+	m := uint64(len(r.seen.slots) - 1)
+	i := hashTuple(tuple) & m
+	for {
+		s := r.seen.slots[i]
+		if s == 0 {
+			break
+		}
+		if pos := int(s - 1); eqTuple(r.row(pos), tuple) {
+			return pos, false
+		}
+		i = (i + 1) & m
+	}
+	pos := r.n
+	r.flat = append(r.flat, tuple...)
+	r.n++
+	r.seen.slots[i] = int32(pos + 1)
+	r.seen.n++
+	if r.seen.n*4 >= len(r.seen.slots)*3 {
+		r.growSeen()
+	}
+	return pos, true
+}
+
+// growSeen doubles the dedup table and reinserts every tuple position.
+func (r *Relation) growSeen() {
+	slots := make([]int32, 2*len(r.seen.slots))
+	m := uint64(len(slots) - 1)
+	for _, s := range r.seen.slots {
+		if s == 0 {
+			continue
+		}
+		i := hashTuple(r.row(int(s-1))) & m
+		for slots[i] != 0 {
+			i = (i + 1) & m
+		}
+		slots[i] = s
+	}
+	r.seen.slots = slots
 }
 
 // Contains reports whether the ground tuple is present.
 func (r *Relation) Contains(tuple []term.ID) bool {
-	if len(tuple) != r.arity {
+	if len(tuple) != r.arity || len(r.seen.slots) == 0 {
 		return false
 	}
-	_, ok := r.seen[encode(tuple, r.fullMask())]
-	return ok
+	m := uint64(len(r.seen.slots) - 1)
+	i := hashTuple(tuple) & m
+	for {
+		s := r.seen.slots[i]
+		if s == 0 {
+			return false
+		}
+		if eqTuple(r.row(int(s-1)), tuple) {
+			return true
+		}
+		i = (i + 1) & m
+	}
 }
 
 // At returns the tuple at position pos (insertion order). The returned
-// slice must not be modified.
-func (r *Relation) At(pos int) []term.ID { return r.tuples[pos] }
+// slice is a view into the arena and must not be modified; it stays valid
+// across later Inserts.
+func (r *Relation) At(pos int) []term.ID { return r.row(pos) }
 
 // ensureIndex brings the index for mask up to date with all tuples.
-func (r *Relation) ensureIndex(mask uint64) map[string][]int {
-	m, ok := r.idx[mask]
-	if !ok {
-		m = make(map[string][]int)
-		r.idx[mask] = m
+func (r *Relation) ensureIndex(mask uint64) *index {
+	var ix *index
+	for i := range r.idx {
+		if r.idx[i].mask == mask {
+			ix = r.idx[i].ix
+			break
+		}
 	}
-	for pos := r.built[mask]; pos < len(r.tuples); pos++ {
-		k := encode(r.tuples[pos], mask)
-		m[k] = append(m[k], pos)
+	if ix == nil {
+		ix = &index{slots: make([]int32, 16)}
+		r.idx = append(r.idx, maskIndex{mask: mask, ix: ix})
 	}
-	r.built[mask] = len(r.tuples)
-	return m
+	for pos := ix.built; pos < r.n; pos++ {
+		r.indexInsert(ix, mask, pos)
+	}
+	ix.built = r.n
+	return ix
+}
+
+// indexInsert files tuple position pos under its masked-column key.
+func (r *Relation) indexInsert(ix *index, mask uint64, pos int) {
+	row := r.row(pos)
+	m := uint64(len(ix.slots) - 1)
+	i := hashCols(row, mask) & m
+	for {
+		s := ix.slots[i]
+		if s == 0 {
+			break
+		}
+		k := int(s - 1)
+		if eqCols(r.row(int(ix.postings[k][0])), row, mask) {
+			ix.postings[k] = append(ix.postings[k], int32(pos))
+			return
+		}
+		i = (i + 1) & m
+	}
+	ix.postings = append(ix.postings, []int32{int32(pos)})
+	ix.slots[i] = int32(len(ix.postings))
+	if len(ix.postings)*4 >= len(ix.slots)*3 {
+		r.growIndex(ix, mask)
+	}
+}
+
+// growIndex doubles an index's slot table and reinserts every key.
+func (r *Relation) growIndex(ix *index, mask uint64) {
+	slots := make([]int32, 2*len(ix.slots))
+	m := uint64(len(slots) - 1)
+	for k, posting := range ix.postings {
+		i := hashCols(r.row(int(posting[0])), mask) & m
+		for slots[i] != 0 {
+			i = (i + 1) & m
+		}
+		slots[i] = int32(k + 1)
+	}
+	ix.slots = slots
+}
+
+// lookup returns the posting list for key's masked columns, or nil.
+func (ix *index) lookup(r *Relation, mask uint64, key []term.ID) []int32 {
+	m := uint64(len(ix.slots) - 1)
+	i := hashCols(key, mask) & m
+	for {
+		s := ix.slots[i]
+		if s == 0 {
+			return nil
+		}
+		posting := ix.postings[s-1]
+		if eqCols(r.row(int(posting[0])), key, mask) {
+			return posting
+		}
+		i = (i + 1) & m
+	}
+}
+
+// searchPos returns the first index in the ascending posting list whose
+// value is >= lo.
+func searchPos(posting []int32, lo int32) int {
+	i, j := 0, len(posting)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if posting[h] < lo {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return i
 }
 
 // Scan calls f for each tuple position in [lo,hi) whose columns selected by
@@ -122,37 +319,42 @@ func (r *Relation) ensureIndex(mask uint64) map[string][]int {
 // outside mask are ignored). Iteration stops early if f returns false.
 // A zero mask scans the whole window.
 func (r *Relation) Scan(mask uint64, key []term.ID, lo, hi int, f func(pos int, tuple []term.ID) bool) {
-	if hi > len(r.tuples) {
-		hi = len(r.tuples)
+	if hi > r.n {
+		hi = r.n
 	}
 	if lo >= hi {
 		return
 	}
 	if mask == 0 {
 		for pos := lo; pos < hi; pos++ {
-			if !f(pos, r.tuples[pos]) {
+			if !f(pos, r.row(pos)) {
 				return
 			}
 		}
 		return
 	}
-	m := r.ensureIndex(mask)
-	posting := m[encode(key, mask)]
-	// posting is ascending; restrict to [lo,hi).
-	start := sort.SearchInts(posting, lo)
-	for _, pos := range posting[start:] {
+	posting := r.ensureIndex(mask).lookup(r, mask, key)
+	start := searchPos(posting, int32(lo))
+	for _, p := range posting[start:] {
+		pos := int(p)
 		if pos >= hi {
 			return
 		}
-		if !f(pos, r.tuples[pos]) {
+		if !f(pos, r.row(pos)) {
 			return
 		}
 	}
 }
 
-// All returns the backing tuple slice (insertion order). Neither the slice
-// nor its tuples may be modified.
-func (r *Relation) All() [][]term.ID { return r.tuples }
+// All returns the tuples in insertion order as views into the arena.
+// Neither the slice nor its tuples may be modified.
+func (r *Relation) All() [][]term.ID {
+	out := make([][]term.ID, r.n)
+	for i := range out {
+		out[i] = r.row(i)
+	}
+	return out
+}
 
 // DB is a named collection of relations sharing one term store.
 type DB struct {

@@ -6,15 +6,21 @@ import (
 )
 
 // EncodeSnapshot writes the relation's arity and tuples (in insertion
-// order) into w. The dedup set and the lazily built indexes are derived
-// state and are rebuilt on demand after decode.
+// order) into w. The arena keeps insertion order, so the byte format is
+// unchanged from the slice-of-tuples representation. The dedup set and the
+// lazily built indexes are derived state and are rebuilt on demand after
+// decode. The writer is grown up front by the exact encoded size of the
+// arena, not a per-column worst case.
 func (r *Relation) EncodeSnapshot(w *snapshot.Writer) {
 	w.Uvarint(uint64(r.arity))
-	w.Uvarint(uint64(len(r.tuples)))
-	for _, tup := range r.tuples {
-		for _, id := range tup {
-			w.Uvarint(uint64(id))
-		}
+	w.Uvarint(uint64(r.n))
+	total := 0
+	for _, id := range r.flat {
+		total += snapshot.UvarintLen(uint64(id))
+	}
+	w.Reserve(total)
+	for _, id := range r.flat {
+		w.Uvarint(uint64(id))
 	}
 }
 

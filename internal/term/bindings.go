@@ -4,19 +4,24 @@ package term
 // join loops can bind, descend and backtrack without reallocating. A
 // variable is bound at most once; bindings never form chains because Bind
 // resolves its value argument first.
+//
+// Bindings live in a dense slice indexed by variable ID rather than a map:
+// the join hot path does a lookup, a bind and an undo per probed tuple, and
+// flat-array access keeps all three allocation-free.
 type Bindings struct {
 	s     *Store
-	m     map[ID]ID
+	vals  []ID // vals[v] = bound term of variable v, or None if unbound
 	trail []ID
+	rbuf  []ID // scratch stack for Resolve's rebuilt argument lists
 }
 
 // NewBindings returns an empty substitution over the given store.
 func NewBindings(s *Store) *Bindings {
-	return &Bindings{s: s, m: make(map[ID]ID)}
+	return &Bindings{s: s}
 }
 
 // Len reports the number of bound variables.
-func (b *Bindings) Len() int { return len(b.m) }
+func (b *Bindings) Len() int { return len(b.trail) }
 
 // Mark returns an opaque position in the trail; passing it to Undo removes
 // every binding made since.
@@ -27,7 +32,7 @@ func (b *Bindings) Undo(mark int) {
 	for len(b.trail) > mark {
 		v := b.trail[len(b.trail)-1]
 		b.trail = b.trail[:len(b.trail)-1]
-		delete(b.m, v)
+		b.vals[v] = None
 	}
 }
 
@@ -37,11 +42,30 @@ func (b *Bindings) Reset() {
 }
 
 // Lookup returns the binding of variable v, or None if unbound.
-func (b *Bindings) Lookup(v ID) ID {
-	if t, ok := b.m[v]; ok {
-		return t
+func (b *Bindings) Lookup(v ID) ID { return b.lookup(v) }
+
+func (b *Bindings) lookup(v ID) ID {
+	if int(v) < len(b.vals) {
+		return b.vals[v]
 	}
 	return None
+}
+
+// set records v := t on the trail, growing vals on demand. Growth targets
+// the store size so a warm Bindings stops growing once every variable in
+// play has an ID below len(vals).
+func (b *Bindings) set(v, t ID) {
+	if int(v) >= len(b.vals) {
+		n := b.s.Len()
+		if n <= int(v) {
+			n = int(v) + 1
+		}
+		for len(b.vals) < n {
+			b.vals = append(b.vals, None)
+		}
+	}
+	b.vals[v] = t
+	b.trail = append(b.trail, v)
 }
 
 // Bind records v := t (t is resolved through the current bindings first).
@@ -51,22 +75,22 @@ func (b *Bindings) Bind(v, t ID) {
 	if b.s.Kind(v) != Var {
 		panic("term: Bind on non-variable " + b.s.String(v))
 	}
-	if _, ok := b.m[v]; ok {
+	if b.lookup(v) != None {
 		panic("term: Bind on already-bound variable " + b.s.String(v))
 	}
-	b.m[v] = b.Resolve(t)
-	b.trail = append(b.trail, v)
+	b.set(v, b.Resolve(t))
 }
 
 // Resolve applies the substitution to t, rebuilding compound terms as
 // needed. Unbound variables stay put.
 func (b *Bindings) Resolve(t ID) ID {
 	s := b.s
-	switch c := &s.cells[t]; c.kind {
+	c := &s.cells[t]
+	switch c.kind {
 	case Const:
 		return t
 	case Var:
-		if u, ok := b.m[t]; ok {
+		if u := b.lookup(t); u != None {
 			return u
 		}
 		return t
@@ -74,16 +98,22 @@ func (b *Bindings) Resolve(t ID) ID {
 		if c.ground {
 			return t
 		}
+		// Interning below may grow s.cells; copy the fields we need first.
+		name, args := c.name, c.args
+		mark := len(b.rbuf)
 		changed := false
-		args := make([]ID, len(c.args))
-		for i, a := range c.args {
-			args[i] = b.Resolve(a)
-			changed = changed || args[i] != a
+		for _, a := range args {
+			ra := b.Resolve(a)
+			changed = changed || ra != a
+			b.rbuf = append(b.rbuf, ra)
 		}
 		if !changed {
+			b.rbuf = b.rbuf[:mark]
 			return t
 		}
-		return s.Compound(c.name, args...)
+		id := s.Intern(name, b.rbuf[mark:])
+		b.rbuf = b.rbuf[:mark]
+		return id
 	}
 }
 
@@ -106,11 +136,10 @@ func (b *Bindings) match(pattern, ground ID) bool {
 	case Const:
 		return pattern == ground
 	case Var:
-		if t, ok := b.m[pattern]; ok {
+		if t := b.lookup(pattern); t != None {
 			return t == ground
 		}
-		b.m[pattern] = ground
-		b.trail = append(b.trail, pattern)
+		b.set(pattern, ground)
 		return true
 	default:
 		if pc.ground {
@@ -153,8 +182,7 @@ func (b *Bindings) unify(x, y ID) bool {
 		if b.occurs(x, t) {
 			return false
 		}
-		b.m[x] = t
-		b.trail = append(b.trail, x)
+		b.set(x, t)
 		return true
 	case yc.kind == Var:
 		return b.unify(y, x)
@@ -176,8 +204,8 @@ func (b *Bindings) unify(x, y ID) bool {
 // walk follows a variable to its binding, if any.
 func (b *Bindings) walk(t ID) ID {
 	for b.s.Kind(t) == Var {
-		u, ok := b.m[t]
-		if !ok {
+		u := b.lookup(t)
+		if u == None {
 			return t
 		}
 		t = u

@@ -9,7 +9,6 @@
 package term
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -60,11 +59,11 @@ type cell struct {
 // distributed runtime gives each peer its own Store and exchanges terms in
 // a portable wire form (see Extern/Intern).
 type Store struct {
-	cells  []cell
-	consts map[string]ID
-	vars   map[string]ID
-	comps  map[string]ID
-	fresh  int // counter for FreshVar
+	cells   []cell
+	consts  map[string]ID
+	vars    map[string]ID
+	compTab idTable // hash-cons table for compound terms
+	fresh   int     // counter for FreshVar
 }
 
 // NewStore returns an empty term store.
@@ -72,7 +71,6 @@ func NewStore() *Store {
 	return &Store{
 		consts: make(map[string]ID),
 		vars:   make(map[string]ID),
-		comps:  make(map[string]ID),
 	}
 }
 
@@ -113,29 +111,88 @@ func (s *Store) FreshVar(prefix string) ID {
 	}
 }
 
-// compKey builds the hash-consing key for a compound term.
-func compKey(functor string, args []ID) string {
-	var b strings.Builder
-	b.Grow(len(functor) + 1 + 4*len(args))
-	b.WriteString(functor)
-	b.WriteByte(0)
-	var buf [4]byte
-	for _, a := range args {
-		binary.LittleEndian.PutUint32(buf[:], uint32(a))
-		b.Write(buf[:])
+// idTable is an open-addressing (linear probing, power-of-two sized) hash
+// set of interned compound IDs keyed by (functor, args). Hashing runs over
+// the argument IDs directly, so interning a compound on the join hot path
+// never materializes a string key.
+type idTable struct {
+	slots []ID // interned IDs; None marks an empty slot
+	n     int
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashString is FNV-1a over the bytes of s.
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
 	}
-	return b.String()
+	return h
+}
+
+// hashIDs folds args into seed with FNV-1a and finalizes with a 64-bit
+// avalanche so nearby IDs spread across the table.
+func hashIDs(seed uint64, args []ID) uint64 {
+	h := seed
+	for _, a := range args {
+		h ^= uint64(uint32(a))
+		h *= fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func eqIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Compound interns the term functor(args...). It panics if args is empty:
 // zero-ary function symbols are constants.
 func (s *Store) Compound(functor string, args ...ID) ID {
+	return s.Intern(functor, args)
+}
+
+// Intern interns functor(args...) without taking ownership of args: the
+// slice is copied only when the term is new. It is the allocation-free form
+// of Compound used on hot paths.
+func (s *Store) Intern(functor string, args []ID) ID {
 	if len(args) == 0 {
 		panic("term: Compound with no arguments; use Constant")
 	}
-	key := compKey(functor, args)
-	if id, ok := s.comps[key]; ok {
-		return id
+	if len(s.compTab.slots) == 0 {
+		s.compTab.slots = make([]ID, 16)
+		for i := range s.compTab.slots {
+			s.compTab.slots[i] = None
+		}
+	}
+	h := hashIDs(hashString(functor), args)
+	mask := uint64(len(s.compTab.slots) - 1)
+	i := h & mask
+	for {
+		id := s.compTab.slots[i]
+		if id == None {
+			break
+		}
+		c := &s.cells[id]
+		if c.name == functor && eqIDs(c.args, args) {
+			return id
+		}
+		i = (i + 1) & mask
 	}
 	ground := true
 	depth := int32(0)
@@ -150,8 +207,34 @@ func (s *Store) Compound(functor string, args ...ID) ID {
 	copy(cp, args)
 	id := ID(len(s.cells))
 	s.cells = append(s.cells, cell{kind: Comp, name: functor, args: cp, ground: ground, depth: depth})
-	s.comps[key] = id
+	s.compTab.slots[i] = id
+	s.compTab.n++
+	if s.compTab.n*4 >= len(s.compTab.slots)*3 {
+		s.growCompTab()
+	}
 	return id
+}
+
+// growCompTab doubles the hash-cons table and reinserts every compound.
+func (s *Store) growCompTab() {
+	old := s.compTab.slots
+	slots := make([]ID, 2*len(old))
+	for i := range slots {
+		slots[i] = None
+	}
+	mask := uint64(len(slots) - 1)
+	for _, id := range old {
+		if id == None {
+			continue
+		}
+		c := &s.cells[id]
+		j := hashIDs(hashString(c.name), c.args) & mask
+		for slots[j] != None {
+			j = (j + 1) & mask
+		}
+		slots[j] = id
+	}
+	s.compTab.slots = slots
 }
 
 // Kind reports the kind of t.
